@@ -1,0 +1,27 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures.  Formatted
+result tables are printed *and* written to ``benchmarks/results/`` so the
+rows survive pytest's output capture; ``bench_output.txt`` plus that
+directory together document a full reproduction run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Callable saving a formatted experiment table to disk + stdout."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _report

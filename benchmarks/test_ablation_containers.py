@@ -1,0 +1,17 @@
+"""ABL2: smart containers vs raw always-copy parameters (sections IV-D/H)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_containers(benchmark, report):
+    result = benchmark.pedantic(
+        ablations.container_study,
+        kwargs={"nrows": 500_000, "calls": 10},
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_containers", ablations.format_container_study(result))
+    # containers reuse device copies across repeated invocations;
+    # raw parameters re-transfer everything on every call
+    assert result.smart_transfers < result.raw_transfers / 3
+    assert result.speedup > 2.0

@@ -1,0 +1,18 @@
+"""ABL4: optimization goal — min_exec_time vs min_energy.
+
+The PEPPHER main descriptor states an overall optimization goal; this
+ablation quantifies what switching it changes on a workload where the
+GPU's speed advantage is smaller than its power disadvantage.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_energy_goal(benchmark, report):
+    result = benchmark.pedantic(
+        ablations.energy_study, rounds=1, iterations=1
+    )
+    report("ablation_energy", ablations.format_energy_study(result))
+    assert result.energy_goal_energy_j < result.time_goal_energy_j
+    assert result.energy_goal_makespan_s >= result.time_goal_makespan_s
+    assert result.energy_saving_percent > 10.0

@@ -1,0 +1,17 @@
+"""ABL5: multi-GPU scaling of hybrid SpMV.
+
+The PEPPHER component model targets multi-GPU systems; a second C2050
+must reduce the hybrid makespan (each GPU has its own PCIe DMA engine,
+so transfers also parallelise).
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_multigpu(benchmark, report):
+    results = benchmark.pedantic(
+        ablations.multigpu_study, kwargs={"scale": 1.0}, rounds=1, iterations=1
+    )
+    report("ablation_multigpu", ablations.format_multigpu_study(results))
+    assert results["cpus+2gpu"] < results["cpus+1gpu"]
+    assert results["cpus+1gpu"] / results["cpus+2gpu"] > 1.2

@@ -1,0 +1,25 @@
+"""ABL6: composition stages — why dynamic composition is the default.
+
+Paper section III: composition can be static, dynamic, or multi-stage
+(static narrowing + runtime finalisation).  On a streaming
+transfer-dominated workload, kernel-only prediction metadata mispicks
+and also *narrows away* the true winner; only fully dynamic composition,
+learning transfer-inclusive behaviour, recovers — the quantified case
+for PEPPHER's default.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_multistage(benchmark, report):
+    result = benchmark.pedantic(
+        ablations.multistage_study, rounds=1, iterations=1
+    )
+    report("ablation_multistage", ablations.format_multistage_study(result))
+    # the static table (kernel-only predictions) picked the GPU variant
+    assert result.static_pick == "spmv_cuda_cusp"
+    # narrowing dropped the OpenMP variant that wins with transfers
+    assert "spmv_openmp" not in result.narrowed_to
+    # fully dynamic composition beats both static-informed modes
+    assert result.pure_dynamic_s < result.pure_static_s
+    assert result.pure_dynamic_s < result.multistage_s

@@ -1,0 +1,17 @@
+"""ABL3: user-guided static narrowing vs full dynamic composition (IV-A)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_narrowing(benchmark, report):
+    result = benchmark.pedantic(
+        ablations.narrowing_study,
+        kwargs={"size": 1024, "calls": 12},
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_narrowing", ablations.format_narrowing_study(result))
+    # when the winner is statically known, narrowing removes both the
+    # dynamic-selection calibration cost and the risk of wrong picks
+    assert result.narrowed_s < result.dynamic_s
+    assert result.dynamic_wrong_picks > 0

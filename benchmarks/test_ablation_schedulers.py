@@ -1,0 +1,18 @@
+"""ABL1: scheduling-policy ablation on the hybrid SpMV workload."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_schedulers(benchmark, report):
+    results = benchmark.pedantic(
+        ablations.scheduler_study,
+        kwargs={"scale": 1.0, "matrix": "Simulation"},
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_schedulers", ablations.format_scheduler_study(results))
+    # speed-blind random placement is clearly worst; the availability- and
+    # model-aware policies cluster at the front
+    best = min(results.values())
+    assert results["random"] > 1.3 * best
+    assert results["dmda"] < 1.2 * best

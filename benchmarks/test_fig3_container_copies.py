@@ -1,0 +1,11 @@
+"""Figure 3: smart-container copy elision (2 copies vs 7)."""
+
+from repro.experiments import fig3
+
+
+def test_fig3_container_copies(benchmark, report):
+    result = benchmark.pedantic(fig3.run, rounds=1, iterations=1)
+    report("fig3_container_copies", fig3.format_result(result))
+    assert result.smart_copies == 2  # the paper's count
+    assert result.naive_copies == 7  # the paper's count
+    assert result.values_ok and result.readers_overlap

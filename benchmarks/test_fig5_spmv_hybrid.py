@@ -1,0 +1,26 @@
+"""Figure 5: hybrid SpMV vs direct CUDA on the six UF-class matrices.
+
+Full-scale matrices (nnz per the paper's table).  Expected shape: hybrid
+execution (4 CPUs + C2050) beats GPU-only on every matrix because the
+partitioned run ships less data over PCIe; the paper reports speedups up
+to ~2.2x.
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5_spmv_hybrid(benchmark, report):
+    rows = benchmark.pedantic(
+        fig5.run, kwargs={"scale": 1.0, "verify": False}, rounds=1, iterations=1
+    )
+    report("fig5_spmv_hybrid", fig5.format_result(rows))
+    from repro.report import fig5_chart, save_svg
+    from pathlib import Path
+
+    RESULTS_DIR = Path(__file__).parent / "results"
+    save_svg(fig5_chart(rows).to_svg(), RESULTS_DIR / "fig5.svg")
+    assert len(rows) == 6
+    for row in rows:
+        assert row.speedup > 1.0, f"{row.matrix}: {row.speedup:.2f}"
+        assert row.gpu_chunks > 0 and row.cpu_chunks > 0
+    assert max(r.speedup for r in rows) > 1.3

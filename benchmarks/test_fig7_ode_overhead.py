@@ -1,0 +1,30 @@
+"""Figure 7: composition-tool overhead on the Runge-Kutta ODE solver.
+
+Problem sizes 250..1000, ~10600 component invocations per run with tight
+data dependencies (almost sequential execution).  Expected shape:
+Direct-CPU far above Direct-CUDA; Tool-CUDA hugs Direct-CUDA (the
+generated composition code's overhead is negligible).
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7_ode_overhead(benchmark, report):
+    points = benchmark.pedantic(
+        fig7.run, kwargs={"steps": 588}, rounds=1, iterations=1
+    )
+    report("fig7_ode_overhead", fig7.format_result(points))
+    from repro.report import fig7_chart, save_svg
+    from pathlib import Path
+
+    RESULTS_DIR = Path(__file__).parent / "results"
+    save_svg(fig7_chart(points).to_svg(), RESULTS_DIR / "fig7.svg")
+    assert [p.size for p in points] == [250, 500, 750, 1000]
+    for p in points:
+        assert p.invocations > 10_000  # the paper's 10613-call scale
+        assert p.direct_cpu_s > 3 * p.direct_cuda_s
+        assert abs(p.tool_overhead_percent) < 10.0
+    # monotone growth with problem size on every curve
+    for attr in ("direct_cpu_s", "direct_cuda_s", "tool_cuda_s"):
+        series = [getattr(p, attr) for p in points]
+        assert series == sorted(series), attr

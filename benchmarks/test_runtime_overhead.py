@@ -1,0 +1,33 @@
+"""Section V-E: per-task runtime overhead micro-benchmark.
+
+The paper cites StarPU task overhead below ~2 microseconds.  The modeled
+(virtual) per-task overhead of this runtime matches that bound; the
+wall-clock cost of the Python simulator is reported for transparency.
+"""
+
+from repro.experiments import overhead
+
+
+def test_runtime_task_overhead(benchmark, report):
+    result = benchmark.pedantic(
+        overhead.run, kwargs={"n_tasks": 2000}, rounds=1, iterations=1
+    )
+    report("runtime_overhead", overhead.format_result(result))
+    assert result.virtual_us_per_task < 2.0
+
+
+def test_submit_wallclock_per_task(benchmark):
+    """Real wall time of one submit+schedule+complete cycle (the number
+    pytest-benchmark reports for this test)."""
+    import numpy as np
+
+    from repro.experiments.overhead import empty_codelet
+    from repro.hw.presets import platform_c2050
+    from repro.runtime import Runtime
+
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=0, noise_sigma=0.0)
+    cl = empty_codelet()
+    handle = rt.register(np.zeros(16, dtype=np.float32))
+
+    benchmark(lambda: rt.submit(cl, [(handle, "r")]))
+    rt.wait_for_all()

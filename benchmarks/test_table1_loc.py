@@ -1,0 +1,14 @@
+"""Table I: programmer LOC, composition tool vs direct runtime code."""
+
+from repro.experiments import table1
+
+
+def test_table1_loc(benchmark, report):
+    rows = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    report("table1_loc", table1.format_table(rows))
+    # paper shape: direct exceeds tool for all ten applications
+    assert len(rows) == 10
+    for row in rows:
+        assert row.direct_loc > row.tool_loc
+    # the ODE solver is the largest row, as in the paper
+    assert max(rows, key=lambda r: r.tool_loc).application == "odesolver"

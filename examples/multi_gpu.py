@@ -1,0 +1,68 @@
+"""Hybrid SpMV on a dual-GPU machine, with an execution-trace Gantt.
+
+Runs the partitioned SpMV on 4 CPUs + one C2050, then on 4 CPUs + two
+C2050s, prints the makespans and a terminal Gantt chart of the dual-GPU
+schedule, and writes a Chrome trace (open in chrome://tracing or
+https://ui.perfetto.dev).
+
+Run:  python examples/multi_gpu.py [scale]
+"""
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.apps import spmv
+from repro.composer.glue import lower_component
+from repro.hw.presets import platform_c2050, platform_dual_c2050
+from repro.runtime import Runtime, gantt_text, save_chrome_trace
+from repro.runtime.perfmodel import PerfModel
+from repro.workloads.sparse import make_matrix
+
+
+def run_hybrid(machine_factory, mat, n_chunks=32, seed=0):
+    perf = PerfModel()
+    last = None
+    for rep in range(2):  # first run calibrates, second measures
+        rt = Runtime(
+            machine_factory(), scheduler="dmda", seed=seed + rep,
+            perfmodel=perf, run_kernels=False,
+        )
+        codelet = lower_component(spmv.INTERFACE, spmv.IMPLEMENTATIONS).without(
+            ["spmv_openmp"]
+        )
+        hv = rt.register(mat.values, "values")
+        hc = rt.register(mat.colidxs, "colidxs")
+        hp = rt.register(mat.rowptr, "rowptr")
+        hx = rt.register(np.ones(mat.ncols, dtype=np.float32), "x")
+        hy = rt.register(np.zeros(mat.nrows, dtype=np.float32), "y")
+        spmv.submit_partitioned(
+            rt, codelet, hv, hc, hp, hx, hy, mat.rowptr, mat.ncols, n_chunks
+        )
+        rt.unpartition(hy)
+        elapsed = rt.now
+        last = (elapsed, rt.trace, rt.machine)
+        rt.shutdown()
+    return last
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    mat = make_matrix("Simulation", scale=scale)
+    print(f"{mat.name}: {mat.nrows} rows, {mat.nnz} nnz\n")
+
+    t1, _, _ = run_hybrid(lambda: platform_c2050(n_cpu_cores=5), mat)
+    t2, trace, machine = run_hybrid(lambda: platform_dual_c2050(n_cpu_cores=6), mat)
+    print(f"4 CPUs + 1 GPU : {t1 * 1e3:8.3f} ms")
+    print(f"4 CPUs + 2 GPU : {t2 * 1e3:8.3f} ms   ({t1 / t2:.2f}x)\n")
+
+    print(gantt_text(trace, machine))
+
+    out = tempfile.mktemp(prefix="peppher_trace_", suffix=".json")
+    save_chrome_trace(trace, machine, out)
+    print(f"\nChrome trace written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""PEPPHERized applications (tool-mode components).
+
+SpMV, SGEMM, seven Rodinia benchmarks (bfs, cfd, hotspot, lud, nw,
+particlefilter, pathfinder) and a LibSolve-style Runge-Kutta ODE solver.
+Each module provides: the interface descriptor built from the app's C
+declaration, three implementation variants (serial CPU, OpenMP, CUDA)
+computing identical results under different cost models, descriptor
+objects for the composition tool, a pure-NumPy reference oracle, and —
+where the paper exercises it — a partitioner for hybrid execution.
+"""
+
+from repro.apps.registry import APP_NAMES, app_module, components_of, make_repository
+
+__all__ = ["APP_NAMES", "app_module", "components_of", "make_repository"]

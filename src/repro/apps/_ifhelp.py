@@ -1,0 +1,43 @@
+"""Shared helper for building app interfaces from C declarations.
+
+Mirrors the paper's workflow: the utility mode pre-fills the interface
+descriptor from the declaration (access patterns from ``const``
+semantics), and the programmer "fills in the missing information" —
+refining output parameters to write-only and declaring context-parameter
+ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable
+
+from repro.components.cdecl import parse_declaration, to_interface
+from repro.components.context import ContextParamDecl
+from repro.components.interface import InterfaceDescriptor
+from repro.runtime.access import AccessMode
+
+
+def interface_from_decl(
+    declaration: str,
+    write_params: Iterable[str] = (),
+    rw_params: Iterable[str] = (),
+    context: Iterable[ContextParamDecl] = (),
+) -> InterfaceDescriptor:
+    """Parse a declaration and apply the programmer's refinements."""
+    iface = to_interface(parse_declaration(declaration))
+    write_set = set(write_params)
+    rw_set = set(rw_params)
+    params = []
+    for p in iface.params:
+        if p.name in write_set:
+            params.append(replace(p, access=AccessMode.W))
+        elif p.name in rw_set:
+            params.append(replace(p, access=AccessMode.RW))
+        else:
+            params.append(p)
+    return replace(
+        iface,
+        params=tuple(params),
+        context_params=tuple(context),
+    )

@@ -1,0 +1,173 @@
+"""CFD: Euler-equation flux solver (Rodinia ``cfd``/euler3d benchmark).
+
+Rodinia's cfd computes compressible-flow fluxes over an *unstructured*
+grid: per cell, gather the four neighbours through an index array,
+evaluate the flux contributions, and update the conserved variables
+(density, momentum, energy).  We reproduce that computational pattern —
+state arrays of 4 conserved variables per cell, an explicit neighbour
+index table (so the memory access stays indirect/irregular like the
+original), and a fixed number of Runge-Kutta-style sweeps per call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps._ifhelp import interface_from_decl
+from repro.apps.costkit import gpu_time, ncores_of, openmp_time, serial_time
+from repro.components.context import ContextParamDecl
+from repro.components.implementation import ImplementationDescriptor
+from repro.hw.devices import AccessPattern
+
+DECLARATION = (
+    "void cfd(float* variables, const int* neighbors, int ncells, int iters);"
+)
+
+INTERFACE = interface_from_decl(
+    DECLARATION,
+    rw_params=("variables",),
+    context=(
+        ContextParamDecl("ncells", "int", minimum=64, maximum=1 << 21),
+        ContextParamDecl("iters", "int", minimum=1, maximum=64),
+    ),
+)
+
+#: conserved variables per cell (density, 2x momentum, energy)
+NVAR = 4
+#: neighbours per cell in the synthetic unstructured grid
+NNB = 4
+_GAMMA = 1.4
+
+
+def _flux_sweep(u: np.ndarray, nb: np.ndarray) -> np.ndarray:
+    """One flux-accumulation sweep (gather neighbours, update state)."""
+    rho = u[:, 0]
+    mx = u[:, 1]
+    my = u[:, 2]
+    en = u[:, 3]
+    pressure = np.maximum(
+        (_GAMMA - 1.0) * (en - 0.5 * (mx * mx + my * my) / np.maximum(rho, 1e-6)),
+        1e-6,
+    )
+    flux = np.zeros_like(u)
+    for j in range(NNB):  # fixed small neighbour count, vectorised per side
+        un = u[nb[:, j]]
+        pn = pressure[nb[:, j]]
+        flux[:, 0] += un[:, 1] - mx
+        flux[:, 1] += (un[:, 1] ** 2 / np.maximum(un[:, 0], 1e-6) + pn) - (
+            mx * mx / np.maximum(rho, 1e-6) + pressure
+        )
+        flux[:, 2] += un[:, 2] - my
+        flux[:, 3] += (un[:, 3] + pn) - (en + pressure)
+    return u + 0.001 * flux
+
+
+def _cfd(variables, neighbors, ncells, iters):
+    u = variables.reshape(ncells, NVAR)
+    nb = neighbors.reshape(ncells, NNB)
+    for _ in range(int(iters)):
+        u[:] = _flux_sweep(u, nb)
+
+
+def cfd_cpu(variables, neighbors, ncells, iters):
+    """Serial per-cell flux solver."""
+    _cfd(variables, neighbors, ncells, iters)
+
+
+def cfd_openmp(variables, neighbors, ncells, iters):
+    """OpenMP cell-parallel flux solver (identical results)."""
+    _cfd(variables, neighbors, ncells, iters)
+
+
+def cfd_cuda(variables, neighbors, ncells, iters):
+    """Rodinia's CUDA euler3d kernel (identical results)."""
+    _cfd(variables, neighbors, ncells, iters)
+
+
+def _flops(ctx) -> float:
+    return 140.0 * float(ctx["ncells"]) * float(ctx["iters"])
+
+
+def _bytes(ctx) -> float:
+    # state read/write + 4 neighbour gathers of 4 variables, per sweep
+    return (2 + NNB) * NVAR * 4.0 * float(ctx["ncells"]) * float(ctx["iters"])
+
+
+def cost_cpu(ctx, device) -> float:
+    return serial_time(device, _flops(ctx), _bytes(ctx), AccessPattern.IRREGULAR)
+
+
+def cost_openmp(ctx, device) -> float:
+    return openmp_time(
+        device, ncores_of(ctx), _flops(ctx), _bytes(ctx), AccessPattern.IRREGULAR
+    )
+
+
+def cost_cuda(ctx, device) -> float:
+    # Rodinia's euler3d is a well-tuned kernel despite the gathers
+    return gpu_time(
+        device, _flops(ctx), _bytes(ctx), AccessPattern.IRREGULAR, library_factor=0.85
+    )
+
+
+IMPLEMENTATIONS = [
+    ImplementationDescriptor(
+        name="cfd_cpu",
+        provides="cfd",
+        platform="cpu_serial",
+        sources=("cfd_cpu.cpp",),
+        kernel_ref="repro.apps.cfd:cfd_cpu",
+        cost_ref="repro.apps.cfd:cost_cpu",
+        prediction_ref="repro.apps.cfd:cost_cpu",
+    ),
+    ImplementationDescriptor(
+        name="cfd_openmp",
+        provides="cfd",
+        platform="openmp",
+        sources=("cfd_openmp.cpp",),
+        kernel_ref="repro.apps.cfd:cfd_openmp",
+        cost_ref="repro.apps.cfd:cost_openmp",
+        prediction_ref="repro.apps.cfd:cost_openmp",
+    ),
+    ImplementationDescriptor(
+        name="cfd_cuda",
+        provides="cfd",
+        platform="cuda",
+        sources=("cfd_cuda.cu",),
+        kernel_ref="repro.apps.cfd:cfd_cuda",
+        cost_ref="repro.apps.cfd:cost_cuda",
+        prediction_ref="repro.apps.cfd:cost_cuda",
+    ),
+]
+
+
+def register(repo) -> None:
+    repo.add_interface(INTERFACE)
+    for impl in IMPLEMENTATIONS:
+        repo.add_implementation(impl)
+
+
+def make_grid(ncells: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Synthetic unstructured grid: initial state + neighbour table."""
+    rng = np.random.default_rng(seed)
+    u = np.ones((ncells, NVAR), dtype=np.float32)
+    u[:, 0] = 1.0 + 0.1 * rng.random(ncells)
+    u[:, 1] = 0.1 * rng.standard_normal(ncells)
+    u[:, 2] = 0.1 * rng.standard_normal(ncells)
+    u[:, 3] = 2.5 + 0.1 * rng.random(ncells)
+    # neighbours: ring topology plus random far links (unstructured feel)
+    nb = np.empty((ncells, NNB), dtype=np.int32)
+    idx = np.arange(ncells)
+    nb[:, 0] = (idx + 1) % ncells
+    nb[:, 1] = (idx - 1) % ncells
+    nb[:, 2] = rng.integers(0, ncells, size=ncells)
+    nb[:, 3] = rng.integers(0, ncells, size=ncells)
+    return u.reshape(-1), nb.reshape(-1)
+
+
+def reference(variables, neighbors, ncells, iters) -> np.ndarray:
+    u = variables.reshape(ncells, NVAR).copy()
+    nb = neighbors.reshape(ncells, NNB)
+    for _ in range(int(iters)):
+        u = _flux_sweep(u, nb)
+    return u.reshape(-1)

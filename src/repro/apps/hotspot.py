@@ -1,0 +1,176 @@
+"""HotSpot: thermal simulation stencil (Rodinia benchmark).
+
+Iterative 5-point stencil modelling on-chip temperature from a power
+map.  Regular, bandwidth-bound, trivially data-parallel — the archetypal
+GPU-friendly kernel, where the tiled CUDA implementation dominates both
+CPU variants at size (Figure 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps._ifhelp import interface_from_decl
+from repro.apps.costkit import gpu_time, ncores_of, openmp_time, serial_time
+from repro.components.context import ContextParamDecl
+from repro.components.implementation import ImplementationDescriptor
+from repro.hw.devices import AccessPattern
+
+DECLARATION = (
+    "void hotspot(const float* power, float* temp, int rows, int cols, "
+    "int iters);"
+)
+
+INTERFACE = interface_from_decl(
+    DECLARATION,
+    rw_params=("temp",),
+    context=(
+        ContextParamDecl("rows", "int", minimum=16, maximum=8192),
+        ContextParamDecl("cols", "int", minimum=16, maximum=8192),
+        ContextParamDecl("iters", "int", minimum=1, maximum=1024),
+    ),
+)
+
+#: physical constants of the Rodinia model (scaled for a unit grid)
+_CAP = 0.5
+_RX, _RY, _RZ = 1.0, 1.0, 4.0
+_AMB = 80.0
+
+
+def _step(temp: np.ndarray, power: np.ndarray) -> np.ndarray:
+    """One explicit Euler step of the heat equation on the chip grid."""
+    up = np.vstack([temp[:1], temp[:-1]])
+    down = np.vstack([temp[1:], temp[-1:]])
+    left = np.hstack([temp[:, :1], temp[:, :-1]])
+    right = np.hstack([temp[:, 1:], temp[:, -1:]])
+    delta = (
+        power
+        + (up + down - 2.0 * temp) / _RY
+        + (left + right - 2.0 * temp) / _RX
+        + (_AMB - temp) / _RZ
+    ) / _CAP
+    return temp + 0.05 * delta
+
+
+def _hotspot(power, temp, rows, cols, iters):
+    t = temp.reshape(rows, cols)
+    p = power.reshape(rows, cols)
+    for _ in range(int(iters)):
+        t[:] = _step(t, p)
+
+
+def hotspot_cpu(power, temp, rows, cols, iters):
+    """Serial row-major stencil sweep."""
+    _hotspot(power, temp, rows, cols, iters)
+
+
+def hotspot_openmp(power, temp, rows, cols, iters):
+    """OpenMP row-parallel sweep (identical results)."""
+    _hotspot(power, temp, rows, cols, iters)
+
+
+def hotspot_cuda(power, temp, rows, cols, iters):
+    """Rodinia's tiled, shared-memory CUDA kernel (identical results)."""
+    _hotspot(power, temp, rows, cols, iters)
+
+
+def hotspot_opencl(power, temp, rows, cols, iters):
+    """Rodinia's OpenCL port (identical results, portable kernel)."""
+    _hotspot(power, temp, rows, cols, iters)
+
+
+def _flops(ctx) -> float:
+    return 12.0 * float(ctx["rows"]) * float(ctx["cols"]) * float(ctx["iters"])
+
+
+def _bytes(ctx) -> float:
+    return 12.0 * float(ctx["rows"]) * float(ctx["cols"]) * float(ctx["iters"])
+
+
+def cost_cpu(ctx, device) -> float:
+    return serial_time(device, _flops(ctx), _bytes(ctx), AccessPattern.REGULAR)
+
+
+def cost_openmp(ctx, device) -> float:
+    return openmp_time(
+        device, ncores_of(ctx), _flops(ctx), _bytes(ctx), AccessPattern.REGULAR
+    )
+
+
+def cost_cuda(ctx, device) -> float:
+    # tiled shared-memory kernel: near-library efficiency, one launch
+    # per pyramid of iterations
+    base = gpu_time(
+        device, _flops(ctx), _bytes(ctx), AccessPattern.REGULAR, library_factor=0.8
+    )
+    launches = max(float(ctx["iters"]) / 4.0, 1.0)  # 4 time steps per launch
+    return base + launches * device.launch_overhead_s
+
+
+def cost_opencl(ctx, device) -> float:
+    # the portable OpenCL port lacks the CUDA kernel's tuning and pays a
+    # heavier per-launch cost through the driver stack
+    base = gpu_time(
+        device, _flops(ctx), _bytes(ctx), AccessPattern.REGULAR, library_factor=1.0
+    )
+    launches = max(float(ctx["iters"]) / 4.0, 1.0)
+    return base + 2.0 * launches * device.launch_overhead_s
+
+
+#: optional portable variant — not registered by default (the paper's
+#: Figure 6 builds use OpenMP/CUDA); used to exercise the OpenCL backend
+OPENCL_IMPLEMENTATION = ImplementationDescriptor(
+    name="hotspot_opencl",
+    provides="hotspot",
+    platform="opencl",
+    sources=("hotspot_opencl.cl",),
+    kernel_ref="repro.apps.hotspot:hotspot_opencl",
+    cost_ref="repro.apps.hotspot:cost_opencl",
+    prediction_ref="repro.apps.hotspot:cost_opencl",
+)
+
+
+IMPLEMENTATIONS = [
+    ImplementationDescriptor(
+        name="hotspot_cpu",
+        provides="hotspot",
+        platform="cpu_serial",
+        sources=("hotspot_cpu.cpp",),
+        kernel_ref="repro.apps.hotspot:hotspot_cpu",
+        cost_ref="repro.apps.hotspot:cost_cpu",
+        prediction_ref="repro.apps.hotspot:cost_cpu",
+    ),
+    ImplementationDescriptor(
+        name="hotspot_openmp",
+        provides="hotspot",
+        platform="openmp",
+        sources=("hotspot_openmp.cpp",),
+        kernel_ref="repro.apps.hotspot:hotspot_openmp",
+        cost_ref="repro.apps.hotspot:cost_openmp",
+        prediction_ref="repro.apps.hotspot:cost_openmp",
+    ),
+    ImplementationDescriptor(
+        name="hotspot_cuda",
+        provides="hotspot",
+        platform="cuda",
+        sources=("hotspot_cuda.cu",),
+        kernel_ref="repro.apps.hotspot:hotspot_cuda",
+        cost_ref="repro.apps.hotspot:cost_cuda",
+        prediction_ref="repro.apps.hotspot:cost_cuda",
+    ),
+]
+
+
+def register(repo) -> None:
+    repo.add_interface(INTERFACE)
+    for impl in IMPLEMENTATIONS:
+        repo.add_implementation(impl)
+
+
+def reference(power, temp0, rows, cols, iters) -> np.ndarray:
+    """Pure NumPy oracle (does not modify its inputs)."""
+    temp = temp0.reshape(rows, cols).copy()
+    p = power.reshape(rows, cols)
+    for _ in range(int(iters)):
+        temp = _step(temp, p)
+    return temp.reshape(-1)

@@ -1,0 +1,160 @@
+"""NW: Needleman-Wunsch sequence alignment (Rodinia benchmark).
+
+Global alignment DP over an (n+1)x(n+1) score table with a gap penalty.
+Parallelism is wavefront-shaped: cells along an anti-diagonal are
+independent but diagonals are serial, so the GPU needs one (blocked)
+kernel launch per diagonal strip and never reaches stencil-class
+efficiency — on the C1060 the OpenMP variant wins (Figure 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps._ifhelp import interface_from_decl
+from repro.apps.costkit import gpu_time, ncores_of, openmp_time, serial_time
+from repro.components.context import ContextParamDecl
+from repro.components.implementation import ImplementationDescriptor
+from repro.hw.devices import AccessPattern
+
+DECLARATION = (
+    "void nw(const int* seq1, const int* seq2, int* score, int n, int penalty);"
+)
+
+INTERFACE = interface_from_decl(
+    DECLARATION,
+    write_params=("score",),
+    context=(
+        ContextParamDecl("n", "int", minimum=16, maximum=8192),
+        ContextParamDecl("penalty", "int", minimum=1, maximum=32),
+    ),
+)
+
+#: BLOSUM-like match/mismatch scores
+_MATCH = 5
+_MISMATCH = -3
+
+
+def _nw(seq1, seq2, score, n, penalty):
+    """Anti-diagonal wavefront fill of the alignment table."""
+    table = score.reshape(n + 1, n + 1)
+    table[0, :] = -penalty * np.arange(n + 1)
+    table[:, 0] = -penalty * np.arange(n + 1)
+    sim_row = np.where(
+        seq1[:, None] == seq2[None, :], _MATCH, _MISMATCH
+    )  # (n, n) similarity; row i aligns seq1[i-1] with seq2[j-1]
+    for d in range(2, 2 * n + 1):
+        i_lo = max(1, d - n)
+        i_hi = min(n, d - 1)
+        i = np.arange(i_lo, i_hi + 1)
+        j = d - i
+        diag = table[i - 1, j - 1] + sim_row[i - 1, j - 1]
+        up = table[i - 1, j] - penalty
+        left = table[i, j - 1] - penalty
+        table[i, j] = np.maximum(diag, np.maximum(up, left))
+
+
+def nw_cpu(seq1, seq2, score, n, penalty):
+    """Serial row-major DP fill."""
+    _nw(seq1, seq2, score, n, penalty)
+
+
+def nw_openmp(seq1, seq2, score, n, penalty):
+    """OpenMP wavefront-parallel fill (identical results)."""
+    _nw(seq1, seq2, score, n, penalty)
+
+
+def nw_cuda(seq1, seq2, score, n, penalty):
+    """Rodinia's blocked-diagonal CUDA kernel (identical results)."""
+    _nw(seq1, seq2, score, n, penalty)
+
+
+def _flops(ctx) -> float:
+    return 7.0 * float(ctx["n"]) ** 2
+
+
+def _bytes(ctx) -> float:
+    return 16.0 * float(ctx["n"]) ** 2
+
+
+def cost_cpu(ctx, device) -> float:
+    return serial_time(device, _flops(ctx), _bytes(ctx), AccessPattern.REGULAR)
+
+
+def cost_openmp(ctx, device) -> float:
+    # wavefront sync after each diagonal strip costs a join per strip
+    t = openmp_time(
+        device, ncores_of(ctx), _flops(ctx), _bytes(ctx), AccessPattern.REGULAR
+    )
+    strips = 2.0 * float(ctx["n"]) / 16.0
+    return t + strips * 1e-7
+
+
+def cost_cuda(ctx, device) -> float:
+    # one kernel launch per 16-wide diagonal strip; modest efficiency
+    base = gpu_time(
+        device, _flops(ctx), _bytes(ctx), AccessPattern.REGULAR, library_factor=1.4
+    )
+    strips = 2.0 * float(ctx["n"]) / 16.0
+    return base + strips * device.launch_overhead_s
+
+
+IMPLEMENTATIONS = [
+    ImplementationDescriptor(
+        name="nw_cpu",
+        provides="nw",
+        platform="cpu_serial",
+        sources=("nw_cpu.cpp",),
+        kernel_ref="repro.apps.nw:nw_cpu",
+        cost_ref="repro.apps.nw:cost_cpu",
+        prediction_ref="repro.apps.nw:cost_cpu",
+    ),
+    ImplementationDescriptor(
+        name="nw_openmp",
+        provides="nw",
+        platform="openmp",
+        sources=("nw_openmp.cpp",),
+        kernel_ref="repro.apps.nw:nw_openmp",
+        cost_ref="repro.apps.nw:cost_openmp",
+        prediction_ref="repro.apps.nw:cost_openmp",
+    ),
+    ImplementationDescriptor(
+        name="nw_cuda",
+        provides="nw",
+        platform="cuda",
+        sources=("nw_cuda.cu",),
+        kernel_ref="repro.apps.nw:nw_cuda",
+        cost_ref="repro.apps.nw:cost_cuda",
+        prediction_ref="repro.apps.nw:cost_cuda",
+    ),
+]
+
+
+def register(repo) -> None:
+    repo.add_interface(INTERFACE)
+    for impl in IMPLEMENTATIONS:
+        repo.add_implementation(impl)
+
+
+def make_sequences(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, 4, size=n).astype(np.int32),
+        rng.integers(0, 4, size=n).astype(np.int32),
+    )
+
+
+def reference(seq1, seq2, n, penalty) -> np.ndarray:
+    """Cell-by-cell oracle (small n only)."""
+    table = np.zeros((n + 1, n + 1), dtype=np.int32)
+    table[0, :] = -penalty * np.arange(n + 1)
+    table[:, 0] = -penalty * np.arange(n + 1)
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            sim = _MATCH if seq1[i - 1] == seq2[j - 1] else _MISMATCH
+            table[i, j] = max(
+                table[i - 1, j - 1] + sim,
+                table[i - 1, j] - penalty,
+                table[i, j - 1] - penalty,
+            )
+    return table.reshape(-1)

@@ -1,0 +1,167 @@
+"""ParticleFilter: sequential Monte-Carlo object tracking (Rodinia).
+
+Tracks a target through a synthetic video: per frame, particles
+propagate with process noise, are weighted by a likelihood computed from
+pixels around each particle, normalised, and systematically resampled.
+The resampling step is branch-heavy and serialises poorly — the workload
+class where GPUs (especially the cache-less, divergence-sensitive C1060)
+lose their edge (Figure 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps._ifhelp import interface_from_decl
+from repro.apps.costkit import gpu_time, ncores_of, openmp_time, serial_time
+from repro.components.context import ContextParamDecl
+from repro.components.implementation import ImplementationDescriptor
+from repro.hw.devices import AccessPattern
+
+DECLARATION = (
+    "void particlefilter(const float* frames, int n_frames, int dim, "
+    "int n_particles, int seed, float* track);"
+)
+
+INTERFACE = interface_from_decl(
+    DECLARATION,
+    write_params=("track",),
+    context=(
+        ContextParamDecl("n_frames", "int", minimum=1, maximum=128),
+        ContextParamDecl("dim", "int", minimum=16, maximum=1024),
+        ContextParamDecl("n_particles", "int", minimum=64, maximum=1 << 20),
+    ),
+)
+
+
+def _particlefilter(frames, n_frames, dim, n_particles, seed, track):
+    """SIR particle filter (deterministic given the seed)."""
+    rng = np.random.default_rng(int(seed))
+    video = frames.reshape(n_frames, dim, dim)
+    px = np.full(n_particles, dim / 2.0)
+    py = np.full(n_particles, dim / 2.0)
+    out = track.reshape(n_frames, 2)
+    for f in range(n_frames):
+        # propagate with process noise
+        px = np.clip(px + rng.normal(1.0, 2.0, n_particles), 0, dim - 1)
+        py = np.clip(py + rng.normal(0.5, 2.0, n_particles), 0, dim - 1)
+        # likelihood: brightness at the particle (bright object on dark bg)
+        ix = px.astype(np.int64)
+        iy = py.astype(np.int64)
+        lik = video[f, iy, ix]
+        w = np.exp(4.0 * (lik - lik.max()))
+        w /= w.sum()
+        # estimate before resampling
+        out[f, 0] = np.dot(w, px)
+        out[f, 1] = np.dot(w, py)
+        # systematic resampling (the branchy part on real hardware)
+        positions = (rng.random() + np.arange(n_particles)) / n_particles
+        idx = np.searchsorted(np.cumsum(w), positions)
+        idx = np.clip(idx, 0, n_particles - 1)
+        px = px[idx]
+        py = py[idx]
+
+
+def particlefilter_cpu(frames, n_frames, dim, n_particles, seed, track):
+    """Serial SIR filter."""
+    _particlefilter(frames, n_frames, dim, n_particles, seed, track)
+
+
+def particlefilter_openmp(frames, n_frames, dim, n_particles, seed, track):
+    """OpenMP particle-parallel filter (identical results)."""
+    _particlefilter(frames, n_frames, dim, n_particles, seed, track)
+
+
+def particlefilter_cuda(frames, n_frames, dim, n_particles, seed, track):
+    """Rodinia's float CUDA filter (identical results)."""
+    _particlefilter(frames, n_frames, dim, n_particles, seed, track)
+
+
+def _flops(ctx) -> float:
+    return 90.0 * float(ctx["n_particles"]) * float(ctx["n_frames"])
+
+
+def _bytes(ctx) -> float:
+    return 56.0 * float(ctx["n_particles"]) * float(ctx["n_frames"])
+
+
+def cost_cpu(ctx, device) -> float:
+    return serial_time(device, _flops(ctx), _bytes(ctx), AccessPattern.BRANCHY)
+
+
+def cost_openmp(ctx, device) -> float:
+    # the resampling scan limits scaling; charge a reduction per frame
+    t = openmp_time(
+        device, ncores_of(ctx), _flops(ctx), _bytes(ctx), AccessPattern.BRANCHY
+    )
+    return t + float(ctx["n_frames"]) * 2e-6
+
+
+def cost_cuda(ctx, device) -> float:
+    # divergent resampling + several launches per frame
+    base = gpu_time(
+        device, _flops(ctx), _bytes(ctx), AccessPattern.BRANCHY, library_factor=1.3
+    )
+    return base + 4.0 * float(ctx["n_frames"]) * device.launch_overhead_s
+
+
+IMPLEMENTATIONS = [
+    ImplementationDescriptor(
+        name="particlefilter_cpu",
+        provides="particlefilter",
+        platform="cpu_serial",
+        sources=("particlefilter_cpu.cpp",),
+        kernel_ref="repro.apps.particlefilter:particlefilter_cpu",
+        cost_ref="repro.apps.particlefilter:cost_cpu",
+        prediction_ref="repro.apps.particlefilter:cost_cpu",
+    ),
+    ImplementationDescriptor(
+        name="particlefilter_openmp",
+        provides="particlefilter",
+        platform="openmp",
+        sources=("particlefilter_openmp.cpp",),
+        kernel_ref="repro.apps.particlefilter:particlefilter_openmp",
+        cost_ref="repro.apps.particlefilter:cost_openmp",
+        prediction_ref="repro.apps.particlefilter:cost_openmp",
+    ),
+    ImplementationDescriptor(
+        name="particlefilter_cuda",
+        provides="particlefilter",
+        platform="cuda",
+        sources=("particlefilter_cuda.cu",),
+        kernel_ref="repro.apps.particlefilter:particlefilter_cuda",
+        cost_ref="repro.apps.particlefilter:cost_cuda",
+        prediction_ref="repro.apps.particlefilter:cost_cuda",
+    ),
+]
+
+
+def register(repo) -> None:
+    repo.add_interface(INTERFACE)
+    for impl in IMPLEMENTATIONS:
+        repo.add_implementation(impl)
+
+
+def make_video(
+    n_frames: int, dim: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Synthetic video of a bright blob moving diagonally; returns
+    (frames, true positions)."""
+    rng = np.random.default_rng(seed)
+    frames = 0.1 * rng.random((n_frames, dim, dim)).astype(np.float32)
+    truth = np.zeros((n_frames, 2), dtype=np.float32)
+    x, y = dim / 2.0, dim / 2.0
+    yy, xx = np.mgrid[0:dim, 0:dim]
+    for f in range(n_frames):
+        x = np.clip(x + 1.0, 2, dim - 3)
+        y = np.clip(y + 0.5, 2, dim - 3)
+        blob = np.exp(-((xx - x) ** 2 + (yy - y) ** 2) / 8.0)
+        frames[f] += blob.astype(np.float32)
+        truth[f] = (x, y)
+    return frames.reshape(-1), truth
+
+
+def reference(frames, n_frames, dim, n_particles, seed) -> np.ndarray:
+    track = np.zeros(n_frames * 2, dtype=np.float32)
+    _particlefilter(frames, n_frames, dim, n_particles, seed, track)
+    return track

@@ -1,0 +1,75 @@
+"""One-stop registration of every PEPPHERized application.
+
+The paper evaluates SpMV, SGEMM, seven Rodinia benchmarks and the
+LibSolve Runge-Kutta ODE solver; this module builds repositories
+containing any subset of them.
+"""
+
+from __future__ import annotations
+
+from repro.apps import (
+    bfs,
+    cfd,
+    hotspot,
+    lud,
+    nw,
+    odesolver,
+    particlefilter,
+    pathfinder,
+    sgemm,
+    spmv,
+)
+from repro.components.repository import Repository
+
+#: single-component applications (module exposes INTERFACE/IMPLEMENTATIONS)
+SIMPLE_APPS = {
+    "spmv": spmv,
+    "sgemm": sgemm,
+    "bfs": bfs,
+    "cfd": cfd,
+    "hotspot": hotspot,
+    "lud": lud,
+    "nw": nw,
+    "particlefilter": particlefilter,
+    "pathfinder": pathfinder,
+}
+
+#: all application names in the paper's Table I order
+APP_NAMES = (
+    "spmv",
+    "sgemm",
+    "bfs",
+    "cfd",
+    "hotspot",
+    "lud",
+    "nw",
+    "particlefilter",
+    "pathfinder",
+    "odesolver",
+)
+
+
+def app_module(name: str):
+    """The application module for a Table-I app name."""
+    if name == "odesolver":
+        return odesolver
+    try:
+        return SIMPLE_APPS[name]
+    except KeyError:
+        raise KeyError(f"unknown app {name!r}; known: {APP_NAMES}") from None
+
+
+def components_of(name: str) -> tuple[str, ...]:
+    """Interface names one application contributes."""
+    if name == "odesolver":
+        return odesolver.COMPONENT_NAMES
+    return (name,)
+
+
+def make_repository(*apps: str) -> Repository:
+    """A repository with the named apps registered (all by default)."""
+    names = apps or APP_NAMES
+    repo = Repository()
+    for name in names:
+        app_module(name).register(repo)
+    return repo

@@ -1,0 +1,175 @@
+"""SGEMM: single-precision dense matrix-matrix multiplication.
+
+``C = alpha * A @ B + beta * C`` — one of the paper's two scientific
+kernels (Table I, Figure 6).  The CUDA variant stands in for CUBLAS
+(the paper uses CUBLAS components for CUDA implementations); the serial
+variant is a blocked C++ triple loop, the OpenMP variant its
+loop-parallel version.  Large GEMMs are strongly compute-bound, which is
+why the GPU dominates at size and the CPU wins only tiny problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps._ifhelp import interface_from_decl
+from repro.apps.costkit import gpu_time, ncores_of, openmp_time, serial_time
+from repro.components.context import ContextParamDecl
+from repro.components.implementation import ImplementationDescriptor
+from repro.hw.devices import AccessPattern
+
+DECLARATION = (
+    "void sgemm(int m, int n, int k, float alpha, const float* A, "
+    "const float* B, float beta, float* C);"
+)
+
+INTERFACE = interface_from_decl(
+    DECLARATION,
+    context=(
+        ContextParamDecl("m", "int", minimum=16, maximum=4096),
+        ContextParamDecl("n", "int", minimum=16, maximum=4096),
+        ContextParamDecl("k", "int", minimum=16, maximum=4096),
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+def _gemm(m, n, k, alpha, A, B, beta, C):
+    a = A.reshape(m, k)
+    b = B.reshape(k, n)
+    c = C.reshape(m, n)
+    # in-place so the write lands in the registered payload
+    c *= beta
+    c += alpha * (a @ b).astype(c.dtype, copy=False)
+
+
+def sgemm_cpu(m, n, k, alpha, A, B, beta, C):
+    """Blocked serial C++ GEMM."""
+    _gemm(m, n, k, alpha, A, B, beta, C)
+
+
+def sgemm_openmp(m, n, k, alpha, A, B, beta, C):
+    """OpenMP loop-parallel GEMM (identical results)."""
+    _gemm(m, n, k, alpha, A, B, beta, C)
+
+
+def sgemm_cublas(m, n, k, alpha, A, B, beta, C):
+    """CUBLAS sgemm (identical results)."""
+    _gemm(m, n, k, alpha, A, B, beta, C)
+
+
+# ---------------------------------------------------------------------------
+# cost models
+# ---------------------------------------------------------------------------
+
+def _flops(ctx) -> float:
+    return 2.0 * float(ctx["m"]) * float(ctx["n"]) * float(ctx["k"])
+
+
+def _bytes(ctx) -> float:
+    m, n, k = float(ctx["m"]), float(ctx["n"]), float(ctx["k"])
+    return 4.0 * (m * k + k * n + 2.0 * m * n)
+
+
+def cost_cpu(ctx, device) -> float:
+    return serial_time(device, _flops(ctx), _bytes(ctx), AccessPattern.REGULAR)
+
+
+def cost_openmp(ctx, device) -> float:
+    return openmp_time(
+        device, ncores_of(ctx), _flops(ctx), _bytes(ctx), AccessPattern.REGULAR
+    )
+
+
+def cost_cublas(ctx, device) -> float:
+    # CUBLAS reaches a much larger fraction of peak than a naive kernel
+    return gpu_time(
+        device, _flops(ctx), _bytes(ctx), AccessPattern.REGULAR, library_factor=0.55
+    )
+
+
+IMPLEMENTATIONS = [
+    ImplementationDescriptor(
+        name="sgemm_cpu",
+        provides="sgemm",
+        platform="cpu_serial",
+        sources=("sgemm_cpu.cpp",),
+        kernel_ref="repro.apps.sgemm:sgemm_cpu",
+        cost_ref="repro.apps.sgemm:cost_cpu",
+        prediction_ref="repro.apps.sgemm:cost_cpu",
+    ),
+    ImplementationDescriptor(
+        name="sgemm_openmp",
+        provides="sgemm",
+        platform="openmp",
+        sources=("sgemm_openmp.cpp",),
+        kernel_ref="repro.apps.sgemm:sgemm_openmp",
+        cost_ref="repro.apps.sgemm:cost_openmp",
+        prediction_ref="repro.apps.sgemm:cost_openmp",
+    ),
+    ImplementationDescriptor(
+        name="sgemm_cublas",
+        provides="sgemm",
+        platform="cuda",
+        sources=("sgemm_cuda.cu",),
+        compile_cmd="nvcc -O3 -lcublas -c $< -o $@",
+        kernel_ref="repro.apps.sgemm:sgemm_cublas",
+        cost_ref="repro.apps.sgemm:cost_cublas",
+        prediction_ref="repro.apps.sgemm:cost_cublas",
+    ),
+]
+
+
+def register(repo) -> None:
+    repo.add_interface(INTERFACE)
+    for impl in IMPLEMENTATIONS:
+        repo.add_implementation(impl)
+
+
+def reference(m, n, k, alpha, A, B, beta, C0) -> np.ndarray:
+    """Pure NumPy oracle (does not touch its inputs)."""
+    return beta * C0.reshape(m, n) + alpha * (
+        A.reshape(m, k) @ B.reshape(k, n)
+    )
+
+
+def training_operands(ctx, runtime):
+    """Operand factory for off-line training executions."""
+    m, n, k = int(ctx["m"]), int(ctx["n"]), int(ctx["k"])
+    a = np.zeros((m, k), dtype=np.float32)
+    b = np.zeros((k, n), dtype=np.float32)
+    c = np.zeros((m, n), dtype=np.float32)
+    operands = [
+        (runtime.register(a, "A"), "r"),
+        (runtime.register(b, "B"), "r"),
+        (runtime.register(c, "C"), "rw"),
+    ]
+    return operands, (m, n, k, 1.0, 0.0)
+
+
+def submit_partitioned(runtime, codelet, h_a, h_b, h_c, m, n, k, alpha, beta, n_chunks):
+    """Blocked matrix multiplication as multiple sub-tasks.
+
+    Row-blocks of A and C form independent tasks sharing B (the paper's
+    canonical intra-component-parallelism example: "the final result can
+    be produced by just simple concatenation ... (e.g. blocked matrix
+    multiplication)").
+    """
+    a_children = h_a.partition_equal(n_chunks, axis=0)
+    c_children = h_c.partition_equal(n_chunks, axis=0)
+    tasks = []
+    for i, (a_i, c_i) in enumerate(zip(a_children, c_children)):
+        m_i = a_i.array.shape[0] if a_i.array.ndim == 2 else len(a_i.array) // k
+        tasks.append(
+            runtime.submit(
+                codelet,
+                [(a_i, "r"), (h_b, "r"), (c_i, "rw")],
+                ctx={"m": m_i, "n": n, "k": k},
+                scalar_args=(m_i, n, k, alpha, beta),
+                name=f"sgemm[{i}]",
+            )
+        )
+    return tasks

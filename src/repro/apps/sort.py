@@ -1,0 +1,130 @@
+"""Generic sorting component (template expansion demonstration).
+
+Paper section IV-B: "Component expansion supports genericity on the
+component parameter types using C++ templates.  This enables writing
+generic components such as sorting that can be used to sort different
+types of data.  The expansion takes place statically."
+
+The interface is generic in the element type ``T``; the composition
+recipe binds concrete types (``sort_float``, ``sort_int`` ...), and all
+instantiations share the same source module — exactly like C++ template
+instantiation.  The CUDA variant carries a tunable ``tile`` parameter
+(bitonic chunk length), so this component also exercises tunable
+expansion, and a selectability constraint (the GPU variant only bids for
+arrays that amortise its launch cost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps._ifhelp import interface_from_decl
+from repro.apps.costkit import gpu_time, ncores_of, openmp_time, serial_time
+from repro.components.constraints import RangeConstraint
+from repro.components.context import ContextParamDecl
+from repro.components.implementation import ImplementationDescriptor
+from repro.components.tunables import TunableParam
+from repro.hw.devices import AccessPattern
+
+DECLARATION = "template <typename T> void sort(T* data, int n);"
+
+INTERFACE = interface_from_decl(
+    DECLARATION,
+    context=(ContextParamDecl("n", "int", minimum=2, maximum=1 << 24),),
+)
+
+
+# ---------------------------------------------------------------------------
+# kernels (shared by every type instantiation)
+# ---------------------------------------------------------------------------
+
+def sort_cpu(data, n):
+    """Introsort-style serial sort."""
+    data.sort()
+
+
+def sort_openmp(data, n):
+    """Parallel mergesort over the CPU gang (identical results)."""
+    data.sort(kind="mergesort")
+
+
+def sort_cuda(data, n):
+    """Bitonic sort on the GPU (identical results)."""
+    data.sort()
+
+
+# ---------------------------------------------------------------------------
+# cost models: n log n comparisons, streaming passes over the data
+# ---------------------------------------------------------------------------
+
+def _work(ctx) -> tuple[float, float]:
+    n = float(ctx["n"])
+    log_n = max(np.log2(max(n, 2.0)), 1.0)
+    return 4.0 * n * log_n, 8.0 * n * log_n
+
+
+def cost_cpu(ctx, device) -> float:
+    flops, bytes_ = _work(ctx)
+    return serial_time(device, flops, bytes_, AccessPattern.REGULAR)
+
+
+def cost_openmp(ctx, device) -> float:
+    flops, bytes_ = _work(ctx)
+    # merge phases limit scaling: charge an extra pass
+    return openmp_time(
+        device, ncores_of(ctx), flops * 1.3, bytes_, AccessPattern.REGULAR
+    )
+
+
+def cost_cuda(ctx, device) -> float:
+    n = float(ctx["n"])
+    log_n = max(np.log2(max(n, 2.0)), 1.0)
+    tile = float(ctx.get("tile", 1024))
+    # bitonic: n log^2 n work, one kernel launch per merge stage; larger
+    # tiles fuse stages into shared memory and save launches
+    flops = 2.0 * n * log_n * log_n
+    bytes_ = 8.0 * n * log_n
+    launches = max(log_n * log_n / max(np.log2(tile), 1.0), 1.0)
+    base = gpu_time(device, flops, bytes_, AccessPattern.REGULAR, library_factor=0.9)
+    return base + launches * device.launch_overhead_s
+
+
+IMPLEMENTATIONS = [
+    ImplementationDescriptor(
+        name="sort_cpu",
+        provides="sort",
+        platform="cpu_serial",
+        sources=("sort_cpu.cpp",),
+        kernel_ref="repro.apps.sort:sort_cpu",
+        cost_ref="repro.apps.sort:cost_cpu",
+        prediction_ref="repro.apps.sort:cost_cpu",
+    ),
+    ImplementationDescriptor(
+        name="sort_openmp",
+        provides="sort",
+        platform="openmp",
+        sources=("sort_openmp.cpp",),
+        kernel_ref="repro.apps.sort:sort_openmp",
+        cost_ref="repro.apps.sort:cost_openmp",
+        prediction_ref="repro.apps.sort:cost_openmp",
+    ),
+    ImplementationDescriptor(
+        name="sort_bitonic_cuda",
+        provides="sort",
+        platform="cuda",
+        sources=("sort_cuda.cu",),
+        kernel_ref="repro.apps.sort:sort_cuda",
+        cost_ref="repro.apps.sort:cost_cuda",
+        prediction_ref="repro.apps.sort:cost_cuda",
+        tunables=(TunableParam("tile", values=(256, 1024)),),
+        constraints=(RangeConstraint("n", minimum=1024),),
+    ),
+]
+
+
+def register(repo) -> None:
+    """Register the *generic* sort component (expansion happens at
+    composition time via the recipe's type bindings)."""
+    repo.add_interface(INTERFACE)
+    for impl in IMPLEMENTATIONS:
+        repo.add_implementation(impl)

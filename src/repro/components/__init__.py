@@ -1,0 +1,66 @@
+"""The PEPPHER component model.
+
+Interfaces, implementation variants, platforms and application main
+modules — each described by a non-intrusive XML descriptor — plus the
+repositories that organise them, call contexts, prediction functions,
+tunable parameters, selectability constraints, and the C-declaration
+parser that powers utility mode.
+"""
+
+from repro.components.cdecl import ParsedDecl, parse_declaration, parse_header, to_interface
+from repro.components.constraints import (
+    ExpressionConstraint,
+    RangeConstraint,
+    make_guard,
+)
+from repro.components.context import (
+    ContextInstance,
+    ContextParamDecl,
+    training_scenarios,
+)
+from repro.components.implementation import (
+    ImplementationDescriptor,
+    ResourceRequirement,
+)
+from repro.components.interface import InterfaceDescriptor, ParamDecl
+from repro.components.main_desc import MainDescriptor
+from repro.components.platform_desc import PlatformDescriptor, standard_platforms
+from repro.components.prediction import MicrobenchTable, PredictionFunction, resolve_ref
+from repro.components.repository import Repository
+from repro.components.tunables import TunableParam, expand_tunables
+from repro.components.xml_io import (
+    descriptor_to_string,
+    load_descriptor,
+    parse_descriptor_string,
+    save_descriptor,
+)
+
+__all__ = [
+    "ContextInstance",
+    "ContextParamDecl",
+    "ExpressionConstraint",
+    "ImplementationDescriptor",
+    "InterfaceDescriptor",
+    "MainDescriptor",
+    "MicrobenchTable",
+    "ParamDecl",
+    "ParsedDecl",
+    "PlatformDescriptor",
+    "PredictionFunction",
+    "RangeConstraint",
+    "Repository",
+    "ResourceRequirement",
+    "TunableParam",
+    "descriptor_to_string",
+    "expand_tunables",
+    "load_descriptor",
+    "make_guard",
+    "parse_declaration",
+    "parse_descriptor_string",
+    "parse_header",
+    "resolve_ref",
+    "save_descriptor",
+    "standard_platforms",
+    "to_interface",
+    "training_scenarios",
+]

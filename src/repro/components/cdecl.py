@@ -1,0 +1,190 @@
+"""C/C++ function-declaration parsing for utility mode.
+
+The composition tool can generate a basic skeleton of the XML and source
+files required for writing PEPPHER components from a simple C/C++ method
+declaration (paper section IV-I), e.g.::
+
+    void spmv(float* values, int nnz, int nrows, int ncols, int first,
+              size_t* colidxs, size_t* rowPtr, float* x, float* y);
+
+The parser also detects template parameters and suggests values for the
+data-access-pattern fields by analyzing ``const`` and pass-by-reference
+semantics of the arguments: ``const T*`` / ``const T&`` are reads, other
+pointers/references are (conservatively) read-write, and by-value scalars
+are reads.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.components.interface import InterfaceDescriptor, ParamDecl
+from repro.errors import CDeclError
+from repro.runtime.access import AccessMode
+
+_TEMPLATE_RE = re.compile(r"^\s*template\s*<([^>]*)>\s*", re.S)
+_DECL_RE = re.compile(
+    r"^\s*(?P<ret>[\w:<>\s\*&]+?)\s*"
+    r"\b(?P<name>[A-Za-z_]\w*)\s*"
+    r"\(\s*(?P<params>.*?)\s*\)\s*;?\s*$",
+    re.S,
+)
+_PARAM_RE = re.compile(
+    r"^(?P<type>.+?)\s*(?P<name>[A-Za-z_]\w*)\s*(?:\[\s*\])?$", re.S
+)
+
+
+@dataclass(frozen=True)
+class ParsedParam:
+    """One parsed formal parameter."""
+
+    name: str
+    ctype: str
+    access: AccessMode
+    is_operand: bool  # pointers/references carry operand data
+
+
+@dataclass(frozen=True)
+class ParsedDecl:
+    """A parsed C/C++ function declaration."""
+
+    name: str
+    return_type: str
+    params: tuple[ParsedParam, ...]
+    type_params: tuple[str, ...] = ()
+
+
+def _split_params(text: str) -> list[str]:
+    """Split a parameter list on top-level commas (template-aware)."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch in "<(":
+            depth += 1
+        elif ch in ">)":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_type_params(template_text: str) -> tuple[str, ...]:
+    names = []
+    for item in _split_params(template_text):
+        m = re.match(r"^\s*(?:typename|class)\s+([A-Za-z_]\w*)\s*$", item)
+        if not m:
+            raise CDeclError(f"unsupported template parameter {item!r}")
+        names.append(m.group(1))
+    return tuple(names)
+
+
+def _normalise(ctype: str) -> str:
+    """Canonical spacing: ``const float *`` -> ``const float*``."""
+    t = " ".join(ctype.split())
+    t = t.replace(" *", "*").replace("* ", "*")
+    t = t.replace(" &", "&").replace("& ", "&")
+    return t
+
+
+def _infer_access(ctype: str) -> tuple[AccessMode, bool]:
+    """(suggested access mode, is-operand) from const/pointer semantics."""
+    is_const = bool(re.search(r"\bconst\b", ctype))
+    is_ptr = "*" in ctype
+    is_ref = "&" in ctype
+    if is_ptr or is_ref:
+        return (AccessMode.R if is_const else AccessMode.RW), True
+    return AccessMode.R, False
+
+
+def parse_declaration(text: str) -> ParsedDecl:
+    """Parse one C/C++ function declaration (optionally templated)."""
+    body = text.strip()
+    if not body:
+        raise CDeclError("empty declaration")
+    type_params: tuple[str, ...] = ()
+    m = _TEMPLATE_RE.match(body)
+    if m:
+        type_params = _parse_type_params(m.group(1))
+        body = body[m.end():]
+    m = _DECL_RE.match(body)
+    if not m:
+        raise CDeclError(f"cannot parse declaration: {text.strip()!r}")
+    params: list[ParsedParam] = []
+    params_text = m.group("params").strip()
+    if params_text and params_text != "void":
+        for item in _split_params(params_text):
+            pm = _PARAM_RE.match(item)
+            if not pm:
+                raise CDeclError(f"cannot parse parameter {item!r} in {text.strip()!r}")
+            ctype = _normalise(pm.group("type"))
+            access, is_operand = _infer_access(ctype)
+            params.append(
+                ParsedParam(
+                    name=pm.group("name"),
+                    ctype=ctype,
+                    access=access,
+                    is_operand=is_operand,
+                )
+            )
+    return ParsedDecl(
+        name=m.group("name"),
+        return_type=_normalise(m.group("ret")),
+        params=tuple(params),
+        type_params=type_params,
+    )
+
+
+def parse_header(text: str) -> list[ParsedDecl]:
+    """Parse every declaration in a header file's text.
+
+    Comments and preprocessor lines are stripped; each remaining
+    ``...;`` statement containing ``(`` is treated as a declaration.
+    """
+    no_block_comments = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    lines = []
+    for line in no_block_comments.splitlines():
+        line = re.sub(r"//.*$", "", line)
+        if line.lstrip().startswith("#"):
+            continue
+        lines.append(line)
+    joined = "\n".join(lines)
+    decls = []
+    for stmt in joined.split(";"):
+        if "(" in stmt and ")" in stmt:
+            decls.append(parse_declaration(stmt + ";"))
+    if not decls:
+        raise CDeclError("no function declarations found in header")
+    return decls
+
+
+def to_interface(decl: ParsedDecl) -> InterfaceDescriptor:
+    """Lift a parsed declaration into an interface descriptor skeleton.
+
+    Scalar integer parameters are suggested as context parameters by the
+    utility-mode skeleton generator (they usually carry problem sizes).
+    """
+    from repro.components.context import ContextParamDecl
+
+    params = tuple(
+        ParamDecl(name=p.name, ctype=p.ctype, access=p.access) for p in decl.params
+    )
+    context_params = tuple(
+        ContextParamDecl(name=p.name, kind="int")
+        for p in decl.params
+        if not p.is_operand and re.search(r"\b(int|size_t|long|unsigned)\b", p.ctype)
+    )
+    return InterfaceDescriptor(
+        name=decl.name,
+        params=params,
+        return_type=decl.return_type,
+        type_params=decl.type_params,
+        context_params=context_params,
+    )

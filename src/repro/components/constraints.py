@@ -1,0 +1,175 @@
+"""Selectability constraints for component implementations.
+
+An implementation descriptor may declare constraints — e.g. parameter
+ranges — restricting the call contexts in which the implementation is a
+valid candidate (paper section II).  Constraints compile to guard
+predicates evaluated on the call context, both by the composition tool
+(static narrowing) and by the runtime (candidate filtering).
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import ConstraintError
+
+#: operators permitted in constraint expressions
+_CMP_OPS: dict[type, Callable] = {
+    ast.Lt: operator.lt,
+    ast.LtE: operator.le,
+    ast.Gt: operator.gt,
+    ast.GtE: operator.ge,
+    ast.Eq: operator.eq,
+    ast.NotEq: operator.ne,
+}
+_BIN_OPS: dict[type, Callable] = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+    ast.FloorDiv: operator.floordiv,
+}
+
+
+@dataclass(frozen=True)
+class RangeConstraint:
+    """``minimum <= ctx[param] <= maximum`` (either bound optional)."""
+
+    param: str
+    minimum: float | None = None
+    maximum: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.minimum is None and self.maximum is None:
+            raise ConstraintError(
+                f"range constraint on {self.param!r} needs at least one bound"
+            )
+
+    def evaluate(self, ctx: Mapping[str, object]) -> bool:
+        if self.param not in ctx:
+            return True  # property not supplied: cannot reject
+        value = ctx[self.param]
+        if self.minimum is not None and value < self.minimum:
+            return False
+        if self.maximum is not None and value > self.maximum:
+            return False
+        return True
+
+    def describe(self) -> str:
+        parts = []
+        if self.minimum is not None:
+            parts.append(f"{self.minimum} <= {self.param}")
+        if self.maximum is not None:
+            parts.append(f"{self.param} <= {self.maximum}")
+        return " and ".join(parts)
+
+
+class ExpressionConstraint:
+    """A restricted boolean expression over context properties.
+
+    Descriptors may state constraints like ``"nnz / nrows <= 64"`` or
+    ``"nrows >= 1024 and ncols >= 1024"``.  The expression is parsed with
+    :mod:`ast` and evaluated against the context with a whitelist of
+    operations — never ``eval`` on arbitrary text.
+    """
+
+    def __init__(self, expression: str) -> None:
+        self.expression = expression
+        try:
+            tree = ast.parse(expression, mode="eval")
+        except SyntaxError as exc:
+            raise ConstraintError(
+                f"invalid constraint expression {expression!r}: {exc}"
+            ) from None
+        self._tree = tree
+        self._validate(tree.body)
+
+    def _validate(self, node: ast.AST) -> None:
+        if isinstance(node, ast.BoolOp) and isinstance(node.op, (ast.And, ast.Or)):
+            for v in node.values:
+                self._validate(v)
+        elif isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.Not, ast.USub)):
+            self._validate(node.operand)
+        elif isinstance(node, ast.Compare):
+            self._validate(node.left)
+            for op in node.ops:
+                if type(op) not in _CMP_OPS:
+                    raise ConstraintError(
+                        f"comparison {type(op).__name__} not allowed in constraints"
+                    )
+            for c in node.comparators:
+                self._validate(c)
+        elif isinstance(node, ast.BinOp):
+            if type(node.op) not in _BIN_OPS:
+                raise ConstraintError(
+                    f"operator {type(node.op).__name__} not allowed in constraints"
+                )
+            self._validate(node.left)
+            self._validate(node.right)
+        elif isinstance(node, ast.Name):
+            pass  # resolved from the context at evaluation time
+        elif isinstance(node, ast.Constant) and isinstance(
+            node.value, (int, float, bool)
+        ):
+            pass
+        else:
+            raise ConstraintError(
+                f"node {type(node).__name__} not allowed in constraint "
+                f"{self.expression!r}"
+            )
+
+    def evaluate(self, ctx: Mapping[str, object]) -> bool:
+        try:
+            return bool(self._eval(self._tree.body, ctx))
+        except KeyError:
+            return True  # property not supplied: cannot reject
+
+    def _eval(self, node: ast.AST, ctx: Mapping[str, object]):
+        if isinstance(node, ast.BoolOp):
+            results = (self._eval(v, ctx) for v in node.values)
+            return all(results) if isinstance(node.op, ast.And) else any(results)
+        if isinstance(node, ast.UnaryOp):
+            val = self._eval(node.operand, ctx)
+            return (not val) if isinstance(node.op, ast.Not) else -val
+        if isinstance(node, ast.Compare):
+            left = self._eval(node.left, ctx)
+            for op, comp in zip(node.ops, node.comparators):
+                right = self._eval(comp, ctx)
+                if not _CMP_OPS[type(op)](left, right):
+                    return False
+                left = right
+            return True
+        if isinstance(node, ast.BinOp):
+            return _BIN_OPS[type(node.op)](
+                self._eval(node.left, ctx), self._eval(node.right, ctx)
+            )
+        if isinstance(node, ast.Name):
+            return ctx[node.id]  # KeyError propagates to evaluate()
+        if isinstance(node, ast.Constant):
+            return node.value
+        raise ConstraintError(f"unexpected node {type(node).__name__}")
+
+    def describe(self) -> str:
+        return self.expression
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExpressionConstraint({self.expression!r})"
+
+
+Constraint = RangeConstraint | ExpressionConstraint
+
+
+def make_guard(constraints: list) -> Callable[[Mapping[str, object]], bool] | None:
+    """Compile a constraint list into a single guard predicate."""
+    if not constraints:
+        return None
+
+    def guard(ctx: Mapping[str, object]) -> bool:
+        return all(c.evaluate(ctx) for c in constraints)
+
+    return guard

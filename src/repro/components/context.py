@@ -1,0 +1,140 @@
+"""Call contexts and context-parameter declarations.
+
+Composition is *context-aware*: the chosen implementation variant may
+depend on the current call context — selected input parameter properties
+(such as problem sizes) and currently available resources.  The subset of
+properties that may influence callee selection is declared in the
+interface descriptor; a *context instance* is a tuple of concrete values
+for them (paper section III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Mapping
+
+from repro.errors import DescriptorError
+
+
+@dataclass(frozen=True)
+class ContextParamDecl:
+    """Declaration of one context property in an interface descriptor.
+
+    Attributes
+    ----------
+    name:
+        Property name, usually matching a scalar function parameter
+        (``nrows``, ``size`` ...) or a well-known resource (``ncores``).
+    kind:
+        ``"int"`` or ``"float"``.
+    minimum / maximum:
+        Optional declared range, used to generate training scenarios for
+        static composition and to validate call contexts.
+    """
+
+    name: str
+    kind: str = "int"
+    minimum: float | None = None
+    maximum: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("int", "float"):
+            raise DescriptorError(
+                f"context param {self.name!r}: kind must be int or float, "
+                f"got {self.kind!r}"
+            )
+        if (
+            self.minimum is not None
+            and self.maximum is not None
+            and self.minimum > self.maximum
+        ):
+            raise DescriptorError(
+                f"context param {self.name!r}: min {self.minimum} > max {self.maximum}"
+            )
+
+    def validate(self, value) -> None:
+        """Raise if ``value`` is outside the declared range."""
+        if self.minimum is not None and value < self.minimum:
+            raise DescriptorError(
+                f"context param {self.name!r}: value {value} < min {self.minimum}"
+            )
+        if self.maximum is not None and value > self.maximum:
+            raise DescriptorError(
+                f"context param {self.name!r}: value {value} > max {self.maximum}"
+            )
+
+    def sample_points(self, n: int = 4) -> list[float]:
+        """Representative values across the declared range (geometric
+        spacing), used to build training scenarios off-line."""
+        lo = self.minimum if self.minimum is not None else 1
+        hi = self.maximum if self.maximum is not None else 1 << 20
+        lo = max(float(lo), 1.0)
+        hi = max(float(hi), lo)
+        if n == 1 or hi == lo:
+            return [lo]
+        pts = [lo * (hi / lo) ** (i / (n - 1)) for i in range(n)]
+        if self.kind == "int":
+            return [float(int(round(p))) for p in pts]
+        return pts
+
+
+class ContextInstance(Mapping[str, object]):
+    """An immutable tuple of concrete context-property values.
+
+    Hashable, so dispatch tables can be keyed by context instances.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, values: Mapping[str, object]) -> None:
+        self._items = tuple(sorted(values.items()))
+
+    def __getitem__(self, key: str):
+        for k, v in self._items:
+            if k == key:
+                return v
+        raise KeyError(key)
+
+    def __iter__(self):
+        return (k for k, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ContextInstance):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return dict(self._items) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self._items)
+        return f"ContextInstance({inner})"
+
+    def as_dict(self) -> dict[str, object]:
+        return dict(self._items)
+
+
+def training_scenarios(
+    decls: Iterable[ContextParamDecl], points_per_param: int = 4
+) -> list[ContextInstance]:
+    """Cartesian product of representative values for each declared
+    context parameter — the "selected context scenarios" the tool
+    evaluates prediction functions on for static composition."""
+    decls = list(decls)
+    if not decls:
+        return [ContextInstance({})]
+    grids = [d.sample_points(points_per_param) for d in decls]
+    out = []
+    for combo in product(*grids):
+        values = {
+            d.name: (int(v) if d.kind == "int" else float(v))
+            for d, v in zip(decls, combo)
+        }
+        out.append(ContextInstance(values))
+    return out

@@ -1,0 +1,177 @@
+"""Component implementation descriptors.
+
+Each implementation variant provides its own component descriptor with
+metadata: the provided and required interfaces, source files, deployment
+information, a platform reference, resource requirements, an optional
+prediction function reference, tunable parameters and selectability
+constraints (paper section II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping
+
+from repro.components.constraints import Constraint, make_guard
+from repro.components.prediction import PredictionFunction, resolve_ref
+from repro.components.tunables import TunableParam, expand_tunables, mangle_tunable_suffix
+from repro.errors import DescriptorError
+from repro.runtime.archs import Arch
+from repro.runtime.codelet import ImplVariant
+
+
+@dataclass(frozen=True)
+class ResourceRequirement:
+    """Type and min/max amount of one resource required for execution,
+    expressed in the target platform description's name space."""
+
+    resource: str
+    minimum: float = 0.0
+    maximum: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.maximum is not None and self.maximum < self.minimum:
+            raise DescriptorError(
+                f"resource {self.resource!r}: max {self.maximum} < min {self.minimum}"
+            )
+
+
+@dataclass(frozen=True)
+class ImplementationDescriptor:
+    """Metadata of one component implementation variant.
+
+    Attributes
+    ----------
+    name:
+        Variant name, unique within its interface.
+    provides:
+        Name of the PEPPHER interface this implementation realises.
+    platform:
+        Platform descriptor name (``cpu_serial`` / ``openmp`` / ``cuda``
+        / ``opencl``), determining the backend architecture.
+    requires:
+        Interfaces whose functionality this implementation calls — the
+        relation the composition tool processes bottom-up.
+    sources:
+        Source file names of the implementation (deployment info).
+    compile_cmd:
+        Compilation command/flags override (otherwise the platform's).
+    kernel_ref:
+        ``module:attribute`` reference to the executable kernel —
+        signature ``fn(ctx, *arrays, *scalars)``.  In the paper this is
+        the native function the backend-wrapper delegates to.
+    cost_ref:
+        ``module:attribute`` reference to the analytic cost model used
+        by the simulated device (ground truth for the simulation).
+    prediction_ref:
+        Optional ``module:attribute`` reference to a programmer-provided
+        prediction function (used for *static* composition decisions).
+    resources:
+        Resource requirements in the platform's name space.
+    tunables:
+        Tunable parameters; expansion generates one variant per value
+        combination.
+    constraints:
+        Selectability constraints on the call context.
+    """
+
+    name: str
+    provides: str
+    platform: str
+    requires: tuple[str, ...] = ()
+    sources: tuple[str, ...] = ()
+    compile_cmd: str = ""
+    kernel_ref: str = ""
+    cost_ref: str = ""
+    prediction_ref: str = ""
+    resources: tuple[ResourceRequirement, ...] = ()
+    tunables: tuple[TunableParam, ...] = ()
+    constraints: tuple[Constraint, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DescriptorError("implementation descriptor needs a name")
+        if not self.provides:
+            raise DescriptorError(
+                f"implementation {self.name!r}: missing provided interface"
+            )
+        if not self.platform:
+            raise DescriptorError(f"implementation {self.name!r}: missing platform")
+
+    # -- lowering to the runtime level -------------------------------------
+
+    def arch_for(self, platforms: Mapping[str, "object"]) -> Arch:
+        """Backend architecture via the referenced platform descriptor."""
+        try:
+            platform = platforms[self.platform]
+        except KeyError:
+            raise DescriptorError(
+                f"implementation {self.name!r}: unknown platform {self.platform!r}"
+            ) from None
+        return platform.arch  # type: ignore[attr-defined]
+
+    def prediction(self) -> PredictionFunction | None:
+        """Resolve the prediction function reference, if any."""
+        if not self.prediction_ref:
+            return None
+        return PredictionFunction.from_ref(self.prediction_ref)
+
+    def to_variants(self, platforms: Mapping[str, "object"]) -> list[ImplVariant]:
+        """Lower this descriptor to runtime implementation variants.
+
+        Expands tunable parameters (one variant per value combination),
+        resolves the kernel and cost-model references, and compiles the
+        selectability constraints into a guard.
+        """
+        if not self.kernel_ref:
+            raise DescriptorError(
+                f"implementation {self.name!r}: no kernel reference to lower"
+            )
+        if not self.cost_ref:
+            raise DescriptorError(
+                f"implementation {self.name!r}: no cost-model reference to lower"
+            )
+        arch = self.arch_for(platforms)
+        kernel = resolve_ref(self.kernel_ref)
+        cost = resolve_ref(self.cost_ref)
+        if not callable(kernel) or not callable(cost):
+            raise DescriptorError(
+                f"implementation {self.name!r}: kernel/cost refs must be callable"
+            )
+        guard = make_guard(list(self.constraints))
+        variants = []
+        for binding in expand_tunables(self.tunables):
+            suffix = mangle_tunable_suffix(binding)
+            variants.append(
+                ImplVariant(
+                    name=f"{self.name}{suffix}",
+                    arch=arch,
+                    fn=_bind_tunables(kernel, binding),
+                    cost_model=_bind_tunables(cost, binding),
+                    guard=guard,
+                    tunables=binding,
+                )
+            )
+        return variants
+
+    def expand_generic(self, suffix: str) -> "ImplementationDescriptor":
+        """Rename for a generic-interface instantiation (``sort`` ->
+        ``sort_float``); kernel references stay shared, matching the
+        paper's template expansion from a common source module."""
+        return replace(
+            self, name=f"{self.name}_{suffix}", provides=f"{self.provides}_{suffix}"
+        )
+
+
+def _bind_tunables(fn: Callable, binding: dict[str, object]) -> Callable:
+    """Wrap a kernel/cost callable so the tunable binding rides in ctx."""
+    if not binding:
+        return fn
+
+    def bound(ctx, *args, **kwargs):
+        merged = dict(ctx)
+        merged.update(binding)
+        return fn(merged, *args, **kwargs)
+
+    bound.__name__ = getattr(fn, "__name__", "bound")
+    return bound

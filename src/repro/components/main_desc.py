@@ -1,0 +1,62 @@
+"""Main-module descriptors.
+
+The main module of a PEPPHER application is annotated by its own XML
+descriptor, which states e.g. the target execution platform and the
+overall optimization goal (paper section II), plus composition-time
+switches like ``disableImpls`` and ``useHistoryModels`` (sections IV-A
+and IV-G) and the architecture-dependent link command (section III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DescriptorError
+
+
+@dataclass(frozen=True)
+class MainDescriptor:
+    """Application main-module metadata.
+
+    Attributes
+    ----------
+    name:
+        Application name.
+    sources:
+        Main-program source files.
+    target_platform:
+        Machine preset to build for (``"c2050"`` / ``"c1060"`` / ``"cpu"``).
+    optimization_goal:
+        Overall goal, e.g. ``"min_exec_time"``.
+    components:
+        Interfaces invoked from the main program (exploration roots).
+    scheduler:
+        Runtime scheduling policy (``dmda`` is PEPPHER's default
+        dynamic composition mechanism).
+    use_history_models:
+        Enable performance-aware selection via runtime history models
+        globally (section IV-G).
+    disable_impls:
+        Implementation variants excluded by user-guided static
+        composition (section IV-A).
+    link_cmd:
+        Architecture-dependent link command for the final executable.
+    """
+
+    name: str
+    sources: tuple[str, ...] = ("main.cpp",)
+    target_platform: str = "c2050"
+    optimization_goal: str = "min_exec_time"
+    components: tuple[str, ...] = ()
+    scheduler: str = "dmda"
+    use_history_models: bool = True
+    disable_impls: tuple[str, ...] = ()
+    link_cmd: str = "g++ -o {app} {objects} -lpeppher -lstarpu"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DescriptorError("main descriptor needs an application name")
+        if not self.components:
+            raise DescriptorError(
+                f"main descriptor {self.name!r}: declare at least one component"
+            )

@@ -1,0 +1,74 @@
+"""Tunable parameters of component implementations.
+
+A component implementation may expose tunable parameters such as buffer
+or tile sizes.  Expansion for multiple values of tunable parameters
+generates multiple implementation variants from a single source (paper
+sections II and IV-B; completed here although the paper's prototype left
+it as future work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterable
+
+from repro.errors import DescriptorError
+
+
+@dataclass(frozen=True)
+class TunableParam:
+    """One tunable parameter with its candidate values.
+
+    Attributes
+    ----------
+    name:
+        Parameter name, visible to the implementation's kernel and cost
+        model through the call context / variant tunables.
+    values:
+        Explicit candidate values to expand over.
+    default:
+        Value used when the tool does not expand this tunable.
+    """
+
+    name: str
+    values: tuple = ()
+    default: object | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DescriptorError("tunable parameter needs a name")
+        if not self.values and self.default is None:
+            raise DescriptorError(
+                f"tunable {self.name!r}: needs candidate values or a default"
+            )
+
+    @property
+    def effective_default(self):
+        if self.default is not None:
+            return self.default
+        return self.values[0]
+
+
+def expand_tunables(tunables: Iterable[TunableParam]) -> list[dict[str, object]]:
+    """Cartesian product of candidate values over all tunables.
+
+    Returns one binding dict per generated variant; a single dict of
+    defaults when there is nothing to expand.
+    """
+    tunables = list(tunables)
+    if not tunables:
+        return [{}]
+    axes: list[list[tuple[str, object]]] = []
+    for t in tunables:
+        vals = t.values or (t.effective_default,)
+        axes.append([(t.name, v) for v in vals])
+    return [dict(combo) for combo in product(*axes)]
+
+
+def mangle_tunable_suffix(binding: dict[str, object]) -> str:
+    """Stable name suffix for a tunable binding (``_tile16_buf4096``)."""
+    if not binding:
+        return ""
+    parts = [f"{k}{v}" for k, v in sorted(binding.items())]
+    return "_" + "_".join(parts)

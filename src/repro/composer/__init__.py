@@ -1,0 +1,61 @@
+"""The PEPPHER composition tool (the paper's primary contribution).
+
+Explores the application's components and their implementation variants
+through the repository, builds a component-tree IR, performs composition
+processing (generic expansion, user-guided narrowing, static composition
+with dispatch tables) and generates the low-level code that interacts
+with the runtime system: entry/backend wrapper stubs, the single linking
+point ``peppher`` module, a Makefile and a build manifest.  Utility mode
+generates component skeletons from plain C/C++ declarations.
+"""
+
+from repro.composer.application import ComposedApplication
+from repro.composer.builder import Composer
+from repro.composer.compaction import DecisionTreeDispatch, compact_dispatch_table
+from repro.composer.expansion import expand_all, expand_component
+from repro.composer.explorer import bottom_up_order, build_ir, reachable_interfaces
+from repro.composer.glue import (
+    RuntimeHolder,
+    invoke_entry,
+    lower_component,
+    make_backend_adapter,
+)
+from repro.composer.ir import ComponentNode, ComponentTree
+from repro.composer.narrowing import apply_narrowing
+from repro.composer.recipe import Recipe
+from repro.composer.static_comp import (
+    DispatchEntry,
+    DispatchTable,
+    apply_static_composition,
+    build_dispatch_table,
+)
+from repro.composer.training import TrainingReport, train_dispatch_table
+from repro.composer.utility import generate_component_files, generate_from_decls
+
+__all__ = [
+    "ComposedApplication",
+    "ComponentNode",
+    "ComponentTree",
+    "Composer",
+    "DecisionTreeDispatch",
+    "compact_dispatch_table",
+    "DispatchEntry",
+    "DispatchTable",
+    "Recipe",
+    "RuntimeHolder",
+    "TrainingReport",
+    "train_dispatch_table",
+    "apply_narrowing",
+    "apply_static_composition",
+    "bottom_up_order",
+    "build_dispatch_table",
+    "build_ir",
+    "expand_all",
+    "expand_component",
+    "generate_component_files",
+    "generate_from_decls",
+    "invoke_entry",
+    "lower_component",
+    "make_backend_adapter",
+    "reachable_interfaces",
+]

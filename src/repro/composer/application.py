@@ -1,0 +1,105 @@
+"""The composed application artefact.
+
+``Composer.compose`` deploys the components and "builds an executable
+application": a generated Python package on disk (stubs + registry +
+peppher module + Makefile + deployed descriptors) plus this handle
+object, which can import the generated package and drive it — the
+reproduction's analog of running the linked executable.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import sys
+from pathlib import Path
+from types import ModuleType
+
+from repro.composer.ir import ComponentTree
+from repro.errors import CompositionError
+
+
+class ComposedApplication:
+    """Handle to one composed (built) application."""
+
+    def __init__(self, tree: ComponentTree, out_dir: Path) -> None:
+        self.tree = tree
+        self.out_dir = Path(out_dir)
+        self._package: ModuleType | None = None
+
+    @property
+    def name(self) -> str:
+        return self.tree.main.name
+
+    @property
+    def package_name(self) -> str:
+        """Unique import name for the generated package."""
+        return f"peppher_app_{self.name}"
+
+    def artefact_files(self) -> list[str]:
+        """Relative paths of every generated artefact."""
+        return sorted(
+            str(p.relative_to(self.out_dir))
+            for p in self.out_dir.rglob("*")
+            if p.is_file()
+        )
+
+    def import_generated(self) -> ModuleType:
+        """Import the generated package (idempotent)."""
+        if self._package is not None:
+            return self._package
+        init_path = self.out_dir / "__init__.py"
+        if not init_path.exists():
+            raise CompositionError(
+                f"application {self.name!r}: no generated package at {self.out_dir}"
+            )
+        # a previous compose into a different directory may have claimed
+        # the name; evict stale modules so the fresh artefacts load
+        stale = [
+            mod
+            for mod in sys.modules
+            if mod == self.package_name or mod.startswith(self.package_name + ".")
+        ]
+        for mod in stale:
+            del sys.modules[mod]
+        spec = importlib.util.spec_from_file_location(
+            self.package_name,
+            init_path,
+            submodule_search_locations=[str(self.out_dir)],
+        )
+        if spec is None or spec.loader is None:
+            raise CompositionError(
+                f"cannot load generated package from {self.out_dir}"
+            )
+        package = importlib.util.module_from_spec(spec)
+        sys.modules[self.package_name] = package
+        spec.loader.exec_module(package)
+        self._package = package
+        return package
+
+    @property
+    def peppher(self) -> ModuleType:
+        """The generated ``peppher`` module (single linking point)."""
+        self.import_generated()
+        return importlib.import_module(f"{self.package_name}.peppher")
+
+    def initialize(self, **options):
+        """``PEPPHER_INITIALIZE()`` on the generated application."""
+        return self.peppher.PEPPHER_INITIALIZE(**options)
+
+    def shutdown(self) -> float:
+        """``PEPPHER_SHUTDOWN()`` on the generated application."""
+        return self.peppher.PEPPHER_SHUTDOWN()
+
+    def entry(self, component: str):
+        """The generated entry-wrapper for one component."""
+        module = self.peppher
+        try:
+            return getattr(module, component)
+        except AttributeError:
+            raise CompositionError(
+                f"application {self.name!r} has no component {component!r}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ComposedApplication {self.name!r} at {self.out_dir}>"

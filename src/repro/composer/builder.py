@@ -1,0 +1,134 @@
+"""The composition tool's build orchestration.
+
+Implements the per-interface processing loop of paper section III:
+
+1. read descriptors, build the component-tree IR (expanding generic
+   components along the way);
+2. apply user-guided static narrowing and — when prediction metadata is
+   sufficient and requested — static composition with dispatch tables;
+3. generate composition code: one wrapper (stub) file per component, the
+   ``peppher`` single-linking-point module and the registry;
+4. "call the native compilers" — emit the Makefile and build manifest
+   recording every compile/link command — and link everything into a
+   :class:`~repro.composer.application.ComposedApplication`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.components.main_desc import MainDescriptor
+from repro.components.repository import Repository
+from repro.components.xml_io import load_descriptor, save_descriptor
+from repro.composer.application import ComposedApplication
+from repro.composer.codegen.header import (
+    generate_init_module,
+    generate_peppher_module,
+    generate_registry_module,
+)
+from repro.composer.codegen.makefile import generate_build_manifest, generate_makefile
+from repro.composer.codegen.stubs import generate_stub_module, stub_module_name
+from repro.composer.explorer import build_ir
+from repro.composer.ir import ComponentTree
+from repro.composer.narrowing import apply_narrowing
+from repro.composer.recipe import Recipe
+from repro.composer.static_comp import apply_static_composition
+from repro.errors import CompositionError
+from repro.hw.presets import by_name
+
+
+class Composer:
+    """The PEPPHER composition tool."""
+
+    def __init__(self, repo: Repository, recipe: Recipe | None = None) -> None:
+        self.repo = repo
+        self.recipe = recipe or Recipe()
+
+    # -- pipeline phases (usable separately, e.g. by tests) -------------------
+
+    def build_ir(self, main: MainDescriptor) -> ComponentTree:
+        """Phase 1: descriptors -> component-tree IR."""
+        problems = self.repo.validate()
+        if problems:
+            raise CompositionError(
+                "repository is inconsistent:\n  " + "\n  ".join(problems)
+            )
+        return build_ir(self.repo, main, self.recipe)
+
+    def process(self, tree: ComponentTree) -> ComponentTree:
+        """Phase 2: composition processing on the IR."""
+        apply_narrowing(tree)
+        if self.recipe.static_dispatch:
+            machine = by_name(self.recipe.platform or tree.main.target_platform)
+            apply_static_composition(tree, machine)
+        tree.check()
+        return tree
+
+    def generate(self, tree: ComponentTree, out_dir: str | Path) -> ComposedApplication:
+        """Phase 3+4: code generation and deployment."""
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        component_names = tree.interface_names()
+
+        # deploy descriptors in the paper's directory structure so the
+        # generated registry can reload them independently of this repo
+        for node in tree.nodes:
+            comp_dir = out_dir / "descriptors" / node.name
+            save_descriptor(node.interface, comp_dir / "interface.xml")
+            for impl in node.implementations:
+                save_descriptor(impl, comp_dir / impl.platform / f"{impl.name}.xml")
+
+        # wrapper (stub) files: one per component; fully static
+        # composition embeds the compacted dispatch function
+        for node in tree.nodes:
+            dispatch = None
+            if (
+                self.recipe.static_dispatch_codegen
+                and node.static_choice is not None
+            ):
+                dispatch = node.static_choice.compact()
+            text = generate_stub_module(
+                node.interface, node.implementations, dispatch=dispatch
+            )
+            (out_dir / f"{stub_module_name(node.name)}.py").write_text(text)
+
+        # static narrowing the registry must re-apply when reloading
+        narrowing: dict[str, list[str]] = {}
+        for node in tree.nodes:
+            if node.static_choice is not None:
+                narrowing[node.name] = sorted(node.static_choice.winners())
+
+        (out_dir / "_registry.py").write_text(
+            generate_registry_module(tree.main.name, component_names, narrowing)
+        )
+        (out_dir / "peppher.py").write_text(
+            generate_peppher_module(tree.main, component_names)
+        )
+        (out_dir / "__init__.py").write_text(generate_init_module(tree.main.name))
+        (out_dir / "Makefile").write_text(
+            generate_makefile(tree, self.repo.platforms)
+        )
+        (out_dir / "build_manifest.json").write_text(
+            generate_build_manifest(tree, self.repo.platforms)
+        )
+        return ComposedApplication(tree, out_dir)
+
+    # -- the one-call front door ------------------------------------------------
+
+    def compose(
+        self, main: MainDescriptor | str | Path, out_dir: str | Path
+    ) -> ComposedApplication:
+        """``compose main.xml`` — the full pipeline.
+
+        ``main`` may be a descriptor object or a path to a ``main.xml``.
+        """
+        if isinstance(main, (str, Path)):
+            desc = load_descriptor(main)
+            if not isinstance(desc, MainDescriptor):
+                raise CompositionError(
+                    f"{main}: expected a main-module descriptor"
+                )
+            main = desc
+        tree = self.build_ir(main)
+        self.process(tree)
+        return self.generate(tree, out_dir)

@@ -1,0 +1,19 @@
+"""Code generation: wrapper stubs, linking header and Makefile."""
+
+from repro.composer.codegen.header import (
+    generate_init_module,
+    generate_peppher_module,
+    generate_registry_module,
+)
+from repro.composer.codegen.makefile import generate_build_manifest, generate_makefile
+from repro.composer.codegen.stubs import generate_stub_module, stub_module_name
+
+__all__ = [
+    "generate_build_manifest",
+    "generate_init_module",
+    "generate_makefile",
+    "generate_peppher_module",
+    "generate_registry_module",
+    "generate_stub_module",
+    "stub_module_name",
+]

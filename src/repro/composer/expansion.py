@@ -1,0 +1,95 @@
+"""Generic component expansion (C++-template-style instantiation).
+
+Component expansion supports genericity on the component parameter types
+using C++ templates; the expansion takes place statically (paper section
+IV-B).  Multiple concrete components are created from a generic component
+by binding template type parameters — e.g. a generic ``sort`` becomes
+``sort_float`` and ``sort_int`` — each with its own expanded interface
+and implementation descriptors sharing the common source module.
+"""
+
+from __future__ import annotations
+
+from repro.components.implementation import ImplementationDescriptor
+from repro.components.interface import InterfaceDescriptor
+from repro.errors import ExpansionError
+
+#: C types a template parameter may legally bind to
+_KNOWN_SCALAR_TYPES = {
+    "float",
+    "double",
+    "int",
+    "long",
+    "unsigned",
+    "size_t",
+    "char",
+    "short",
+    "bool",
+}
+
+
+def type_suffix(binding: dict[str, str], type_params: tuple[str, ...]) -> str:
+    """Stable mangled suffix for one binding (``{"T": "float"}`` ->
+    ``"float"``; multi-parameter bindings join with underscores)."""
+    parts = []
+    for tp in type_params:
+        concrete = binding[tp].replace(" ", "_").replace("*", "p")
+        parts.append(concrete)
+    return "_".join(parts)
+
+
+def expand_component(
+    interface: InterfaceDescriptor,
+    implementations: list[ImplementationDescriptor],
+    binding: dict[str, str],
+) -> tuple[InterfaceDescriptor, list[ImplementationDescriptor]]:
+    """Instantiate one generic component for one type binding.
+
+    Returns the expanded interface plus expanded implementation
+    descriptors.  Kernel/cost references stay shared — all instantiations
+    come from the same source module, as with C++ templates.
+    """
+    if not interface.is_generic:
+        raise ExpansionError(f"interface {interface.name!r} is not generic")
+    missing = set(interface.type_params) - set(binding)
+    if missing:
+        raise ExpansionError(
+            f"interface {interface.name!r}: missing bindings for {sorted(missing)}"
+        )
+    unknown = set(binding) - set(interface.type_params)
+    if unknown:
+        raise ExpansionError(
+            f"interface {interface.name!r}: unknown type params {sorted(unknown)}"
+        )
+    for tp, concrete in binding.items():
+        base = concrete.replace("*", "").replace("const", "").strip()
+        if base not in _KNOWN_SCALAR_TYPES:
+            raise ExpansionError(
+                f"interface {interface.name!r}: cannot bind {tp}={concrete!r} "
+                f"(not a known scalar type)"
+            )
+    expanded_iface = interface.expand(binding)
+    suffix = type_suffix(binding, interface.type_params)
+    expanded_impls = [impl.expand_generic(suffix) for impl in implementations]
+    return expanded_iface, expanded_impls
+
+
+def expand_all(
+    interface: InterfaceDescriptor,
+    implementations: list[ImplementationDescriptor],
+    bindings: list[dict[str, str]],
+) -> list[tuple[InterfaceDescriptor, list[ImplementationDescriptor]]]:
+    """Instantiate a generic component for several bindings at once."""
+    if not bindings:
+        raise ExpansionError(
+            f"interface {interface.name!r}: no type bindings supplied"
+        )
+    seen: set[tuple] = set()
+    out = []
+    for binding in bindings:
+        key = tuple(sorted(binding.items()))
+        if key in seen:
+            continue  # idempotent: same instantiation requested twice
+        seen.add(key)
+        out.append(expand_component(interface, implementations, binding))
+    return out

@@ -1,0 +1,110 @@
+"""Repository exploration and bottom-up interface ordering.
+
+The composition tool recursively explores all interfaces and components
+that may occur in the given PEPPHER application by browsing the
+repository, and processes the set of interfaces bottom-up in reverse
+order of their components' required-interfaces relation, lifted to the
+interface level (paper section III).
+"""
+
+from __future__ import annotations
+
+from repro.components.main_desc import MainDescriptor
+from repro.components.repository import Repository
+from repro.composer.expansion import expand_component
+from repro.composer.ir import ComponentNode, ComponentTree
+from repro.composer.recipe import Recipe
+from repro.errors import CompositionError
+
+
+def reachable_interfaces(repo: Repository, roots: tuple[str, ...]) -> dict[str, set[str]]:
+    """Transitively explore interfaces reachable from the main program.
+
+    Returns ``{interface: set(required interfaces)}`` where the
+    requirement relation is lifted to the interface level (union over
+    all implementation variants of the interface).
+    """
+    graph: dict[str, set[str]] = {}
+    stack = list(roots)
+    while stack:
+        name = stack.pop()
+        if name in graph:
+            continue
+        if not repo.has_interface(name):
+            raise CompositionError(
+                f"main program references unknown interface {name!r}"
+            )
+        requires: set[str] = set()
+        for impl in repo.implementations_of(name):
+            requires.update(impl.requires)
+        graph[name] = requires
+        stack.extend(requires - graph.keys())
+    return graph
+
+
+def bottom_up_order(graph: dict[str, set[str]]) -> list[str]:
+    """Topological order with required interfaces first.
+
+    Deterministic (alphabetical among ties).  Raises on cyclic
+    requirement relations, which the component model forbids.
+    """
+    order: list[str] = []
+    state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(name: str, chain: tuple[str, ...]) -> None:
+        mark = state.get(name)
+        if mark == 1:
+            return
+        if mark == 0:
+            cycle = " -> ".join(chain + (name,))
+            raise CompositionError(f"cyclic required-interfaces relation: {cycle}")
+        state[name] = 0
+        for req in sorted(graph[name]):
+            visit(req, chain + (name,))
+        state[name] = 1
+        order.append(name)
+
+    for name in sorted(graph):
+        visit(name, ())
+    return order
+
+
+def build_ir(repo: Repository, main: MainDescriptor, recipe: Recipe) -> ComponentTree:
+    """Phase 1 of the tool (Figure 2): descriptors -> component-tree IR.
+
+    Reads the descriptors of every component reachable from the main
+    program, expands generic interfaces per the recipe's type bindings,
+    and arranges nodes bottom-up.  Narrowing and static composition run
+    as later passes over the returned IR.
+    """
+    graph = reachable_interfaces(repo, main.components)
+    order = bottom_up_order(graph)
+    tree = ComponentTree(main=main, recipe=recipe)
+    for name in order:
+        interface = repo.interface(name)
+        impls = repo.implementations_of(name)
+        if interface.is_generic:
+            bindings = recipe.bindings_for(name)
+            if not bindings:
+                raise CompositionError(
+                    f"generic interface {name!r} needs type bindings in the "
+                    f"composition recipe (type params: {list(interface.type_params)})"
+                )
+            for binding in bindings:
+                exp_iface, exp_impls = expand_component(interface, impls, binding)
+                tree.nodes.append(
+                    ComponentNode(
+                        interface=exp_iface,
+                        implementations=list(exp_impls),
+                        requires=tuple(sorted(graph[name])),
+                    )
+                )
+        else:
+            tree.nodes.append(
+                ComponentNode(
+                    interface=interface,
+                    implementations=list(impls),
+                    requires=tuple(sorted(graph[name])),
+                )
+            )
+    return tree

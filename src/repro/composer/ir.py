@@ -1,0 +1,112 @@
+"""The component-tree intermediate representation (IR).
+
+Like typical compiler frameworks, the composition tool decouples
+composition processing from the XML schema by introducing an intermediate
+component-tree representation of the metadata for the processed component
+interfaces and implementations (paper section IV, Figure 2).  The IR can
+be processed for expansion, training executions, static composition and
+code generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.components.implementation import ImplementationDescriptor
+from repro.components.interface import InterfaceDescriptor
+from repro.components.main_desc import MainDescriptor
+from repro.composer.recipe import Recipe
+from repro.errors import CompositionError
+
+
+@dataclass
+class ComponentNode:
+    """One interface with its candidate implementations and requirements.
+
+    Attributes
+    ----------
+    interface:
+        The (possibly expanded, non-generic) interface descriptor.
+    implementations:
+        Candidate implementation descriptors after narrowing.
+    requires:
+        Names of interfaces any of the implementations call (the
+        requirement relation lifted to the interface level).
+    static_choice:
+        Set by static composition: the variant name selected per context
+        scenario, or a single unconditional choice.
+    """
+
+    interface: InterfaceDescriptor
+    implementations: list[ImplementationDescriptor] = field(default_factory=list)
+    requires: tuple[str, ...] = ()
+    static_choice: "object | None" = None  # DispatchTable, set by static_comp
+
+    @property
+    def name(self) -> str:
+        return self.interface.name
+
+    def implementation(self, name: str) -> ImplementationDescriptor:
+        for impl in self.implementations:
+            if impl.name == name:
+                return impl
+        raise CompositionError(
+            f"component {self.name!r} has no implementation {name!r}"
+        )
+
+    def check(self) -> None:
+        if not self.implementations:
+            raise CompositionError(
+                f"component {self.name!r}: no implementation variant left "
+                "after narrowing — composition impossible"
+            )
+
+
+@dataclass
+class ComponentTree:
+    """The whole application's IR.
+
+    ``nodes`` is ordered bottom-up: every node appears *after* the nodes
+    it requires (the tool processes interfaces in reverse order of the
+    requirement relation, paper section III).
+    """
+
+    main: MainDescriptor
+    recipe: Recipe
+    nodes: list[ComponentNode] = field(default_factory=list)
+
+    def node(self, interface_name: str) -> ComponentNode:
+        for n in self.nodes:
+            if n.name == interface_name:
+                return n
+        raise CompositionError(f"IR has no component {interface_name!r}")
+
+    def has_node(self, interface_name: str) -> bool:
+        return any(n.name == interface_name for n in self.nodes)
+
+    def interface_names(self) -> list[str]:
+        return [n.name for n in self.nodes]
+
+    def check(self) -> None:
+        """Validate composability of the whole tree."""
+        seen: set[str] = set()
+        for node in self.nodes:
+            node.check()
+            for req in node.requires:
+                if req not in seen:
+                    raise CompositionError(
+                        f"IR order violated: {node.name!r} requires {req!r} "
+                        "which has not been processed yet"
+                    )
+            seen.add(node.name)
+
+    def describe(self) -> str:
+        """Human-readable dump (the tool's verbose mode)."""
+        lines = [f"application {self.main.name!r}: {len(self.nodes)} components"]
+        for node in self.nodes:
+            impls = ", ".join(
+                f"{i.name}@{i.platform}" for i in node.implementations
+            )
+            req = f" requires {list(node.requires)}" if node.requires else ""
+            lines.append(f"  {node.name}: [{impls}]{req}")
+        return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""User-guided static composition: narrowing the candidate set.
+
+Static composition refines the composition choices at compile time, in
+the extreme case to one candidate per call.  The tool provides simple
+switches (e.g. ``disableImpls``) to enable/disable implementations at
+composition time without requiring any modifications in the user source
+code (paper section IV-A) — e.g. a programmer who statically knows the
+problem is large and data-parallel can force the GPU implementation and
+remove both dynamic-composition overhead and the risk of a wrong dynamic
+selection.
+"""
+
+from __future__ import annotations
+
+from repro.composer.ir import ComponentTree
+from repro.errors import CompositionError
+
+
+def apply_narrowing(tree: ComponentTree) -> ComponentTree:
+    """Apply the recipe's and main descriptor's narrowing switches.
+
+    Mutates and returns the IR.  Disables come from two places — the
+    application's main XML descriptor (``disableImpls`` elements) and the
+    composition command line (recipe) — matching the paper's "both per
+    component in XML or globally as a command line argument".
+    """
+    recipe = tree.recipe
+    disabled = set(recipe.disable_impls) | set(tree.main.disable_impls)
+    enable_only = set(recipe.enable_only)
+
+    all_names = {
+        impl.name for node in tree.nodes for impl in node.implementations
+    }
+    unknown = (disabled | enable_only) - all_names
+    if unknown:
+        raise CompositionError(
+            f"narrowing references unknown implementations: {sorted(unknown)}"
+        )
+
+    for node in tree.nodes:
+        kept = list(node.implementations)
+        if enable_only:
+            relevant = {i.name for i in kept} & enable_only
+            if relevant:  # enable_only only narrows components it names
+                kept = [i for i in kept if i.name in relevant]
+        kept = [i for i in kept if i.name not in disabled]
+        if not kept:
+            raise CompositionError(
+                f"component {node.name!r}: narrowing removed every "
+                f"implementation variant (disabled: {sorted(disabled)})"
+            )
+        node.implementations = kept
+    return tree

@@ -1,0 +1,84 @@
+"""Composition recipes: the options driving one composition run.
+
+The IR "incorporates information not only from the XML descriptors but
+also information given at composition time (i.e., composition recipe)"
+(paper section IV).  A recipe captures the CLI switches: user-guided
+static narrowing (``disableImpls``), scheduler selection, history-model
+toggles, generic-type bindings for component expansion, and static
+composition controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """Composition-time options.
+
+    Attributes
+    ----------
+    disable_impls:
+        Implementation variant names excluded from composition without
+        modifying user source code (``compose --disableImpls=...``,
+        paper section IV-A).
+    enable_only:
+        When non-empty, keep *only* these variants (stronger form of
+        user-guided static composition: in the extreme case one
+        candidate per call).
+    type_bindings:
+        Per-interface generic type bindings for component expansion,
+        e.g. ``{"sort": [{"T": "float"}, {"T": "int"}]}``.
+    scheduler:
+        Runtime policy override (otherwise the main descriptor's).
+    use_history_models:
+        Enable performance-aware dynamic selection globally
+        (``useHistoryModels``, section IV-G).  When disabled, the
+        runtime falls back to the eager policy.
+    static_dispatch:
+        Build an off-line dispatch table from prediction metadata and
+        narrow each call to the statically expected best variant
+        (multi-stage composition, section III).
+    static_dispatch_codegen:
+        With ``static_dispatch``: additionally embed the compacted
+        dispatch *function* in the generated stubs, binding every call
+        to its statically expected best variant — fully static
+        composition ("in the extreme case one possible candidate per
+        call and context instance").
+    training_points_per_param:
+        Context scenarios per context parameter when constructing
+        static dispatch tables.
+    platform:
+        Target machine preset override (otherwise the main descriptor's).
+    seed:
+        Seed threaded into the runtime for reproducibility.
+    """
+
+    disable_impls: tuple[str, ...] = ()
+    enable_only: tuple[str, ...] = ()
+    type_bindings: tuple[tuple[str, tuple[tuple[str, str], ...]], ...] = ()
+    scheduler: str | None = None
+    use_history_models: bool = True
+    static_dispatch: bool = False
+    static_dispatch_codegen: bool = False
+    training_points_per_param: int = 4
+    platform: str | None = None
+    seed: int = 0
+
+    def bindings_for(self, interface_name: str) -> list[dict[str, str]]:
+        """Generic type bindings requested for one interface."""
+        return [
+            dict(binding)
+            for name, binding in self.type_bindings
+            if name == interface_name
+        ]
+
+    def with_bindings(
+        self, interface_name: str, *bindings: dict[str, str]
+    ) -> "Recipe":
+        """A copy with additional expansion bindings (builder-style API)."""
+        extra = tuple(
+            (interface_name, tuple(sorted(b.items()))) for b in bindings
+        )
+        return replace(self, type_bindings=self.type_bindings + extra)

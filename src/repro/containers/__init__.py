@@ -1,0 +1,15 @@
+"""PEPPHER smart containers: Scalar, Vector and Matrix.
+
+Portable, generic, STL-like containers that wrap operand data passed in
+and out of components.  Inside the PEPPHER context they keep track of
+data copies across memory units and enforce consistency lazily; outside
+it they behave as regular containers (paper section IV-D).
+"""
+
+from repro.containers.base import SmartContainer
+from repro.containers.matrix import Matrix
+from repro.containers.proxy import ElementProxy
+from repro.containers.scalar import Scalar
+from repro.containers.vector import Vector
+
+__all__ = ["ElementProxy", "Matrix", "Scalar", "SmartContainer", "Vector"]

@@ -1,0 +1,155 @@
+"""Core machinery shared by the PEPPHER smart containers.
+
+A smart container wraps operand data passed in and out of components
+while exposing a high-level, STL-like interface.  It encapsulates the
+*state* of its payload: which memory units currently hold valid copies,
+managed by the runtime's data handle.  Accesses from the application
+program trigger coherence actions lazily — reading an element of a
+vector last written on the GPU performs one implicit device-to-host copy
+at that moment, not before (paper section IV-D and Figure 3).
+
+Containers also "function as regular C++ containers outside the PEPPHER
+context": constructed without a runtime they are plain array wrappers,
+and every operation works unchanged with zero overhead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ContainerError
+from repro.runtime.access import AccessMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.data import DataHandle
+    from repro.runtime.runtime import Runtime
+
+
+class SmartContainer:
+    """Base class: payload + (optional) runtime-managed data handle."""
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        runtime: "Runtime | None" = None,
+        name: str = "",
+    ) -> None:
+        self._array = np.asarray(array)
+        self._runtime = runtime
+        self._name = name or type(self).__name__.lower()
+        self._handle: "DataHandle | None" = None
+        self._freed = False
+        if runtime is not None:
+            self._handle = runtime.register(self._array, name=self._name)
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._array.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._array.dtype
+
+    @property
+    def size(self) -> int:
+        return int(self._array.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._array.nbytes)
+
+    @property
+    def managed(self) -> bool:
+        """True when attached to a runtime (inside the PEPPHER context)."""
+        return self._handle is not None
+
+    @property
+    def handle(self) -> "DataHandle":
+        """The runtime data handle (for passing to component calls)."""
+        self._check_alive()
+        if self._handle is None:
+            raise ContainerError(
+                f"container {self._name!r} is not attached to a runtime; "
+                "construct it with runtime=... to use it in component calls"
+            )
+        return self._handle
+
+    # -- coherent host access ---------------------------------------------------
+
+    def acquire(self, mode: str | AccessMode) -> np.ndarray:
+        """Block until the host may access the payload with ``mode``.
+
+        Returns the payload array.  For pure reads the returned view is
+        marked read-only, so an accidental write through it raises
+        instead of silently bypassing coherence tracking.
+        """
+        self._check_alive()
+        if isinstance(mode, str):
+            mode = AccessMode.parse(mode)
+        if self._runtime is not None and self._handle is not None:
+            self._runtime.acquire(self._handle, mode)
+        if mode is AccessMode.R:
+            view = self._array.view()
+            view.flags.writeable = False
+            return view
+        return self._array
+
+    def read(self) -> np.ndarray:
+        """Coherent read-only view of the whole payload."""
+        return self.acquire(AccessMode.R)
+
+    def write(self) -> np.ndarray:
+        """Coherent writable view (invalidates device copies)."""
+        return self.acquire(AccessMode.RW)
+
+    def to_numpy(self) -> np.ndarray:
+        """Coherent *copy* of the payload (detached from the container)."""
+        return np.array(self.acquire(AccessMode.R))
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def free(self) -> None:
+        """Flush to host and detach from the runtime.
+
+        After ``free()`` the container keeps working as a plain local
+        array wrapper; further component calls must not use it.
+        """
+        if self._freed:
+            return
+        if self._runtime is not None and self._handle is not None:
+            self._runtime.unregister(self._handle)
+        self._handle = None
+        self._runtime = None
+        self._freed = True
+
+    def _check_alive(self) -> None:
+        # freed containers remain usable locally; nothing to check today,
+        # but the hook stays so subclasses can restrict behaviour
+        return
+
+    # -- numpy interoperability ------------------------------------------------------
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        """NumPy protocol: converting to an array is a *read* access."""
+        arr = self.acquire(AccessMode.R)
+        if dtype is not None:
+            return np.asarray(arr, dtype=dtype)
+        return np.asarray(arr)
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = "managed" if self.managed else "local"
+        return (
+            f"<{type(self).__name__} {self._name!r} shape={self.shape} "
+            f"dtype={self.dtype} {where}>"
+        )

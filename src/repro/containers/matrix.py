@@ -1,0 +1,87 @@
+"""Matrix smart container (2D array)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.containers.base import SmartContainer
+from repro.containers.proxy import ElementProxy
+from repro.errors import ContainerError
+from repro.runtime.access import AccessMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.data import DataHandle
+
+
+class Matrix(SmartContainer):
+    """A generic dense 2D container with transparent coherence.
+
+    >>> m = Matrix.zeros(2, 3)
+    >>> m[1, 2] = 5.0
+    >>> m[1, 2]
+    5.0
+    """
+
+    def __init__(self, data, runtime=None, dtype=None, name: str = "") -> None:
+        arr = np.array(data, dtype=dtype, copy=True)
+        if arr.ndim != 2:
+            raise ContainerError(f"Matrix needs 2D data, got shape {arr.shape}")
+        super().__init__(arr, runtime=runtime, name=name or "matrix")
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def zeros(
+        cls, rows: int, cols: int, runtime=None, dtype=np.float32, name: str = ""
+    ) -> "Matrix":
+        return cls(np.zeros((rows, cols), dtype=dtype), runtime=runtime, name=name)
+
+    @classmethod
+    def identity(
+        cls, n: int, runtime=None, dtype=np.float32, name: str = ""
+    ) -> "Matrix":
+        return cls(np.eye(n, dtype=dtype), runtime=runtime, name=name)
+
+    # -- shape ----------------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.shape[1]
+
+    # -- element access ------------------------------------------------------
+
+    def __getitem__(self, index):
+        arr = self.acquire(AccessMode.R)
+        out = arr[index]
+        if isinstance(out, np.ndarray):
+            return np.array(out)  # detach sub-arrays from coherence tracking
+        return out
+
+    def __setitem__(self, index, value) -> None:
+        self.acquire(AccessMode.RW)[index] = value
+
+    def at(self, i: int, j: int) -> ElementProxy:
+        """Deferred-access element reference (read *or* write later)."""
+        return ElementProxy(self, (i, j))
+
+    def fill(self, value) -> None:
+        """Write-only bulk initialisation (no read-back of old contents)."""
+        self.acquire(AccessMode.W)[:, :] = value
+
+    # -- partitioning --------------------------------------------------------
+
+    def partition_rows(self, n_chunks: int) -> "list[DataHandle]":
+        """Split the handle into ``n_chunks`` row-block children
+        (blocked matrix operations, paper section IV-F)."""
+        return self.handle.partition_equal(n_chunks, axis=0)
+
+    def unpartition(self) -> None:
+        if self._runtime is None:
+            raise ContainerError("unpartition requires a runtime-managed matrix")
+        self._runtime.unpartition(self.handle)

@@ -1,0 +1,126 @@
+"""Element proxies: distinguishing read from write accesses.
+
+The paper (footnote 3) distinguishes read and write accesses to container
+elements "by implementing proxy classes for element data in C++"
+(Alexandrescu's Modern C++ Design idiom).  Python's ``__getitem__`` /
+``__setitem__`` split already separates most cases, but compound accesses
+like ``v.at(i)`` that will *later* be read or assigned need the same
+trick.  :class:`ElementProxy` defers the coherence action to the moment
+the element is actually used: converting it to a number is a read,
+calling :meth:`set` (or using an in-place operator) is a read-write.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.runtime.access import AccessMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.containers.base import SmartContainer
+
+
+class ElementProxy:
+    """Deferred-access reference to one container element."""
+
+    __slots__ = ("_container", "_index")
+
+    def __init__(self, container: "SmartContainer", index) -> None:
+        self._container = container
+        self._index = index
+
+    # -- read path ---------------------------------------------------------
+
+    @property
+    def value(self):
+        """Read the element (triggers coherence for a read access)."""
+        return self._container.acquire(AccessMode.R)[self._index]
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ElementProxy):
+            other = other.value
+        return bool(self.value == other)
+
+    def __ne__(self, other) -> bool:
+        return not self.__eq__(other)
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, ElementProxy):
+            other = other.value
+        return bool(self.value < other)
+
+    def __le__(self, other) -> bool:
+        if isinstance(other, ElementProxy):
+            other = other.value
+        return bool(self.value <= other)
+
+    def __gt__(self, other) -> bool:
+        if isinstance(other, ElementProxy):
+            other = other.value
+        return bool(self.value > other)
+
+    def __ge__(self, other) -> bool:
+        if isinstance(other, ElementProxy):
+            other = other.value
+        return bool(self.value >= other)
+
+    def __add__(self, other):
+        return self.value + other
+
+    def __radd__(self, other):
+        return other + self.value
+
+    def __sub__(self, other):
+        return self.value - other
+
+    def __rsub__(self, other):
+        return other - self.value
+
+    def __mul__(self, other):
+        return self.value * other
+
+    def __rmul__(self, other):
+        return other * self.value
+
+    def __truediv__(self, other):
+        return self.value / other
+
+    def __rtruediv__(self, other):
+        return other / self.value
+
+    def __hash__(self) -> int:
+        # proxies identify a *location*, not a value snapshot
+        return hash((id(self._container), repr(self._index)))
+
+    # -- write path ------------------------------------------------------------
+
+    def set(self, value) -> None:
+        """Assign the element (triggers coherence for a write access)."""
+        self._container.acquire(AccessMode.RW)[self._index] = value
+
+    def __iadd__(self, other) -> "ElementProxy":
+        arr = self._container.acquire(AccessMode.RW)
+        arr[self._index] = arr[self._index] + other
+        return self
+
+    def __isub__(self, other) -> "ElementProxy":
+        arr = self._container.acquire(AccessMode.RW)
+        arr[self._index] = arr[self._index] - other
+        return self
+
+    def __imul__(self, other) -> "ElementProxy":
+        arr = self._container.acquire(AccessMode.RW)
+        arr[self._index] = arr[self._index] * other
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ElementProxy {self._container.name}[{self._index}]>"

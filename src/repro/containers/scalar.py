@@ -1,0 +1,54 @@
+"""Scalar smart container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.containers.base import SmartContainer
+from repro.runtime.access import AccessMode
+
+
+class Scalar(SmartContainer):
+    """A single value with runtime-managed placement.
+
+    Useful for reduction results (e.g. a norm computed on the GPU) that
+    the application reads back lazily.
+
+    >>> s = Scalar(0.0)        # local mode
+    >>> s.value = 3.5
+    >>> float(s)
+    3.5
+    """
+
+    def __init__(self, value=0.0, runtime=None, dtype=None, name: str = "") -> None:
+        arr = np.asarray(value, dtype=dtype)
+        if arr.ndim != 0:
+            arr = arr.reshape(())
+        # store as 1-element array so views stay shared with the handle
+        super().__init__(arr.reshape(1).copy(), runtime=runtime, name=name or "scalar")
+
+    @property
+    def value(self):
+        """Coherent read of the value."""
+        return self.acquire(AccessMode.R)[0]
+
+    @value.setter
+    def value(self, v) -> None:
+        self.acquire(AccessMode.RW)[0] = v
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Scalar):
+            other = other.value
+        return bool(self.value == other)
+
+    def __hash__(self) -> int:
+        return id(self)

@@ -1,0 +1,86 @@
+"""Vector smart container (1D array)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.containers.base import SmartContainer
+from repro.containers.proxy import ElementProxy
+from repro.errors import ContainerError
+from repro.runtime.access import AccessMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.data import DataHandle
+    from repro.runtime.runtime import Runtime
+
+
+class Vector(SmartContainer):
+    """A generic 1D array container with transparent coherence.
+
+    Reading an element (``v[i]``) is a coherent read access: if the data
+    was last written by a component executed on the GPU, the master copy
+    is updated implicitly, once, at this moment (paper Figure 3, line 6).
+    Writing (``v[i] = x``) is a read-write access that additionally
+    outdates device copies (Figure 3, line 14).
+
+    >>> v = Vector.zeros(4)     # local mode, like a regular container
+    >>> v[2] = 7.0
+    >>> v[2]
+    7.0
+    """
+
+    def __init__(self, data, runtime=None, dtype=None, name: str = "") -> None:
+        arr = np.array(data, dtype=dtype, copy=True)
+        if arr.ndim != 1:
+            raise ContainerError(f"Vector needs 1D data, got shape {arr.shape}")
+        super().__init__(arr, runtime=runtime, name=name or "vector")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zeros(
+        cls, n: int, runtime=None, dtype=np.float32, name: str = ""
+    ) -> "Vector":
+        return cls(np.zeros(n, dtype=dtype), runtime=runtime, name=name)
+
+    @classmethod
+    def from_iterable(
+        cls, items: Iterable, runtime=None, dtype=None, name: str = ""
+    ) -> "Vector":
+        return cls(np.fromiter(items, dtype=dtype or np.float32), runtime=runtime, name=name)
+
+    # -- element access -----------------------------------------------------
+
+    def __getitem__(self, index):
+        arr = self.acquire(AccessMode.R)
+        out = arr[index]
+        if isinstance(index, slice) or isinstance(index, np.ndarray):
+            return np.array(out)  # detach slices from coherence tracking
+        return out
+
+    def __setitem__(self, index, value) -> None:
+        self.acquire(AccessMode.RW)[index] = value
+
+    def at(self, index: int) -> ElementProxy:
+        """Deferred-access element reference (read *or* write later)."""
+        return ElementProxy(self, index)
+
+    def __iter__(self):
+        return iter(self.acquire(AccessMode.R))
+
+    def fill(self, value) -> None:
+        """Write-only bulk initialisation (no read-back of old contents)."""
+        self.acquire(AccessMode.W)[:] = value
+
+    # -- partitioning (for hybrid / multi-device execution) -------------------
+
+    def partition(self, n_chunks: int) -> "list[DataHandle]":
+        """Split the handle into ``n_chunks`` row-block children."""
+        return self.handle.partition_equal(n_chunks, axis=0)
+
+    def unpartition(self) -> None:
+        if self._runtime is None:
+            raise ContainerError("unpartition requires a runtime-managed vector")
+        self._runtime.unpartition(self.handle)

@@ -1,0 +1,36 @@
+"""Hand-written runtime-system versions of every application.
+
+The "Direct" column of Table I: what a programmer writes when targeting
+the task runtime without the composition tool — backend wrappers,
+codelet assembly, data registration, argument packing and explicit
+synchronisation, all by hand.  Also supplies the single-backend builds
+behind Figure 7's "Direct - CPU" / "Direct - CUDA" curves.
+"""
+
+from repro.direct import (
+    bfs_direct,
+    cfd_direct,
+    hotspot_direct,
+    lud_direct,
+    nw_direct,
+    odesolver_direct,
+    particlefilter_direct,
+    pathfinder_direct,
+    sgemm_direct,
+    spmv_direct,
+)
+
+DIRECT_MODULES = {
+    "spmv": spmv_direct,
+    "sgemm": sgemm_direct,
+    "bfs": bfs_direct,
+    "cfd": cfd_direct,
+    "hotspot": hotspot_direct,
+    "lud": lud_direct,
+    "nw": nw_direct,
+    "particlefilter": particlefilter_direct,
+    "pathfinder": pathfinder_direct,
+    "odesolver": odesolver_direct,
+}
+
+__all__ = ["DIRECT_MODULES"]

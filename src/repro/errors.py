@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`PeppherError`,
+so callers can catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class PeppherError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class DescriptorError(PeppherError):
+    """A descriptor (interface/implementation/platform/main) is malformed."""
+
+
+class RepositoryError(PeppherError):
+    """Lookup in a component repository failed."""
+
+
+class CompositionError(PeppherError):
+    """The composition tool could not compose the application."""
+
+
+class ExpansionError(CompositionError):
+    """Generic component expansion failed (unbound or mismatched type args)."""
+
+
+class CodegenError(CompositionError):
+    """Stub / header / makefile generation failed."""
+
+
+class RuntimeSystemError(PeppherError):
+    """The task runtime was used incorrectly or reached an invalid state."""
+
+
+class DataConsistencyError(RuntimeSystemError):
+    """A coherence invariant on a data handle was violated."""
+
+
+class SchedulingError(RuntimeSystemError):
+    """No worker can execute a task (e.g. no variant for any device)."""
+
+
+class KernelExecutionError(RuntimeSystemError):
+    """A component implementation raised while executing its kernel."""
+
+
+class ContainerError(PeppherError):
+    """Smart container misuse (e.g. access after shutdown)."""
+
+
+class CDeclError(PeppherError):
+    """A C function declaration could not be parsed (utility mode input)."""
+
+
+class ConstraintError(PeppherError):
+    """A selectability constraint is malformed or unsatisfiable."""

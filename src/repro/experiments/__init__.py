@@ -1,0 +1,29 @@
+"""Experiment harnesses reproducing every table and figure of the paper.
+
+Each module owns one artefact (see DESIGN.md's per-experiment index) and
+exposes ``run(...) -> result`` plus a ``format_*`` printer producing the
+same rows/series the paper reports.  The pytest benchmarks under
+``benchmarks/`` are thin wrappers over these harnesses.
+
+========================  =====================================
+module                    paper artefact
+========================  =====================================
+``table1``                Table I (programmer LOC, tool vs direct)
+``fig3``                  Figure 3 (smart-container copy elision)
+``fig5``                  Figure 5 (hybrid SpMV speedups)
+``fig6``                  Figure 6 (OpenMP/CUDA/TGPA, two platforms)
+``fig7``                  Figure 7 (ODE solver runtime overhead)
+``overhead``              section V-E (per-task runtime overhead)
+``ablations``             scheduler / container / narrowing studies
+========================  =====================================
+"""
+
+__all__ = [
+    "ablations",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "overhead",
+    "table1",
+]

@@ -1,0 +1,73 @@
+"""Section V-E: runtime task overhead micro-benchmark.
+
+The paper cites micro-benchmarking of the runtime system showing a
+per-task overhead below ~2 microseconds, negligible against the gains of
+performance-aware scheduling.  We measure both views of our runtime:
+
+- **modeled (virtual) overhead**: the virtual host time charged per
+  submitted task (submission + wrapper packing), which is what the
+  simulated timelines in every figure include;
+- **implementation (wall-clock) overhead**: the real Python time one
+  empty-task submit/schedule/complete cycle costs, reported for
+  transparency (a Python simulator is orders of magnitude slower than
+  StarPU's C fast path; the *modeled* number is the one calibrated to
+  the paper).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.presets import platform_c2050
+from repro.runtime import Arch, Codelet, ImplVariant, Runtime
+
+
+@dataclass(frozen=True)
+class OverheadResult:
+    n_tasks: int
+    virtual_us_per_task: float
+    wall_us_per_task: float
+
+
+def empty_codelet() -> Codelet:
+    """A no-op codelet with negligible modeled cost."""
+    return Codelet(
+        "noop",
+        [
+            ImplVariant("noop_cpu", Arch.CPU, lambda ctx, *a: None, lambda ctx, dev: 1e-9),
+            ImplVariant("noop_cuda", Arch.CUDA, lambda ctx, *a: None, lambda ctx, dev: 1e-9),
+        ],
+    )
+
+
+def run(n_tasks: int = 2000, seed: int = 0) -> OverheadResult:
+    """Submit ``n_tasks`` empty independent tasks and amortise the cost."""
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=seed, noise_sigma=0.0)
+    codelet = empty_codelet()
+    data = np.zeros(16, dtype=np.float32)
+    handles = [rt.register(data.copy(), f"d{i}") for i in range(8)]
+    t0 = time.perf_counter()
+    for i in range(n_tasks):
+        rt.submit(codelet, [(handles[i % 8], "r")], name=f"noop{i}")
+    virtual = rt.wait_for_all()
+    wall = time.perf_counter() - t0
+    rt.shutdown()
+    return OverheadResult(
+        n_tasks=n_tasks,
+        virtual_us_per_task=virtual / n_tasks * 1e6,
+        wall_us_per_task=wall / n_tasks * 1e6,
+    )
+
+
+def format_result(result: OverheadResult) -> str:
+    return (
+        "Section V-E: per-task runtime overhead "
+        f"({result.n_tasks} empty tasks)\n"
+        f"  modeled (virtual) overhead : {result.virtual_us_per_task:.3f} us/task"
+        "   [paper: < 2 us]\n"
+        f"  simulator wall-clock cost  : {result.wall_us_per_task:.1f} us/task"
+        "   (Python implementation cost, not modeled time)"
+    )

@@ -1,0 +1,50 @@
+"""Simulated heterogeneous hardware substrate.
+
+Substitutes for the paper's physical testbed (Xeon E5520 + Tesla
+C2050/C1060): analytical device models, a PCIe transfer model, a virtual
+clock and deterministic timing noise.  See DESIGN.md section 2 for why the
+substitution preserves the behaviour the paper measures.
+"""
+
+from repro.hw.clock import VirtualClock
+from repro.hw.devices import (
+    AccessPattern,
+    DeviceKind,
+    DeviceSpec,
+    tesla_c1060,
+    tesla_c2050,
+    xeon_e5520_core,
+)
+from repro.hw.interconnect import LinkSpec, pcie2_x16
+from repro.hw.machine import HOST_NODE, Machine, ProcessingUnit, make_machine
+from repro.hw.noise import NoiseModel, NullNoise
+from repro.hw.presets import (
+    by_name,
+    cpu_only,
+    platform_c1060,
+    platform_c2050,
+    platform_dual_c2050,
+)
+
+__all__ = [
+    "AccessPattern",
+    "DeviceKind",
+    "DeviceSpec",
+    "HOST_NODE",
+    "LinkSpec",
+    "Machine",
+    "NoiseModel",
+    "NullNoise",
+    "ProcessingUnit",
+    "VirtualClock",
+    "by_name",
+    "cpu_only",
+    "make_machine",
+    "pcie2_x16",
+    "platform_c1060",
+    "platform_c2050",
+    "platform_dual_c2050",
+    "tesla_c1060",
+    "tesla_c2050",
+    "xeon_e5520_core",
+]

@@ -1,0 +1,53 @@
+"""PCI-Express transfer model.
+
+Host <-> device copies in the paper run over PCIe 2.0 x16.  We model a
+transfer of ``n`` bytes as ``latency + n / bandwidth``.  Each GPU has its
+own DMA engine, so transfers to different GPUs can overlap, but transfers
+to the *same* GPU serialize — the :class:`repro.runtime.engine.Engine`
+enforces that by tracking per-link availability; this module only supplies
+the cost function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One host<->device interconnect link.
+
+    Attributes
+    ----------
+    bandwidth_gbs:
+        Effective unidirectional bandwidth in GB/s (PCIe 2.0 x16 sustains
+        roughly 5.5 GB/s of its 8 GB/s theoretical rate).
+    latency_s:
+        Fixed per-transfer cost (driver + DMA setup), in seconds.
+    duplex:
+        Whether host-to-device and device-to-host transfers may overlap
+        (Fermi-class devices have two DMA engines; GT200 has one).
+    """
+
+    bandwidth_gbs: float = 5.5
+    latency_s: float = 15e-6
+    duplex: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("link latency must be non-negative")
+
+    def transfer_time(self, nbytes: int | float) -> float:
+        """Seconds to move ``nbytes`` over this link (one direction)."""
+        if nbytes < 0:
+            raise ValueError(f"cannot transfer negative bytes: {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_s + float(nbytes) / (self.bandwidth_gbs * 1e9)
+
+
+def pcie2_x16(duplex: bool = False) -> LinkSpec:
+    """The PCIe 2.0 x16 link used by both of the paper's platforms."""
+    return LinkSpec(bandwidth_gbs=5.5, latency_s=15e-6, duplex=duplex)

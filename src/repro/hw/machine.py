@@ -1,0 +1,187 @@
+"""The simulated machine: execution units plus memory nodes.
+
+Mirrors StarPU's machine abstraction: memory node 0 is host RAM, shared by
+all CPU workers; each GPU contributes one additional memory node reached
+through a PCIe link.  The runtime engine asks the machine which node a
+worker computes from and what a transfer between two nodes costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RuntimeSystemError
+from repro.hw.devices import DeviceKind, DeviceSpec
+from repro.hw.interconnect import LinkSpec, pcie2_x16
+
+HOST_NODE = 0
+
+
+@dataclass(frozen=True)
+class ProcessingUnit:
+    """One schedulable execution unit (a CPU core or a whole GPU).
+
+    Attributes
+    ----------
+    unit_id:
+        Dense index, unique within the machine.
+    device:
+        The static device model.
+    memory_node:
+        Index of the memory node this unit computes from.
+    link:
+        The host link for GPU units (``None`` for CPU units, which sit on
+        the host node).
+    """
+
+    unit_id: int
+    device: DeviceSpec
+    memory_node: int
+    link: LinkSpec | None = None
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.device.kind is DeviceKind.GPU
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.device.kind is DeviceKind.CPU
+
+
+@dataclass
+class Machine:
+    """A heterogeneous node: ``n`` CPU cores + zero or more GPUs.
+
+    Build one with :func:`make_machine` or a preset from
+    :mod:`repro.hw.presets`.
+    """
+
+    name: str
+    units: list[ProcessingUnit] = field(default_factory=list)
+    #: link used to reach each non-host memory node, indexed by node id
+    links: dict[int, LinkSpec] = field(default_factory=dict)
+
+    @property
+    def n_memory_nodes(self) -> int:
+        return 1 + len(self.links)
+
+    @property
+    def cpu_units(self) -> list[ProcessingUnit]:
+        return [u for u in self.units if u.is_cpu]
+
+    @property
+    def gpu_units(self) -> list[ProcessingUnit]:
+        return [u for u in self.units if u.is_gpu]
+
+    def unit(self, unit_id: int) -> ProcessingUnit:
+        try:
+            u = self.units[unit_id]
+        except IndexError:
+            raise RuntimeSystemError(
+                f"machine {self.name!r} has no unit {unit_id}"
+            ) from None
+        if u.unit_id != unit_id:  # defensive: units must be densely indexed
+            raise RuntimeSystemError(
+                f"unit table corrupt: slot {unit_id} holds unit {u.unit_id}"
+            )
+        return u
+
+    def transfer_time(self, src_node: int, dst_node: int, nbytes: int) -> float:
+        """Seconds to copy ``nbytes`` from ``src_node`` to ``dst_node``.
+
+        Device-to-device copies are modeled as staging through the host
+        (the paper's PCIe 2.0 platforms have no peer-to-peer DMA).
+        """
+        self._check_node(src_node)
+        self._check_node(dst_node)
+        if src_node == dst_node or nbytes == 0:
+            return 0.0
+        if src_node == HOST_NODE:
+            return self.links[dst_node].transfer_time(nbytes)
+        if dst_node == HOST_NODE:
+            return self.links[src_node].transfer_time(nbytes)
+        # GPU -> host -> other GPU
+        return self.links[src_node].transfer_time(nbytes) + self.links[
+            dst_node
+        ].transfer_time(nbytes)
+
+    def node_capacity(self, node: int) -> int | None:
+        """Memory capacity of a node in bytes (None = unlimited host RAM)."""
+        self._check_node(node)
+        if node == HOST_NODE:
+            return None
+        for unit in self.gpu_units:
+            if unit.memory_node == node:
+                return unit.device.memory_bytes
+        return None
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.n_memory_nodes):
+            raise RuntimeSystemError(
+                f"memory node {node} out of range for machine {self.name!r} "
+                f"with {self.n_memory_nodes} nodes"
+            )
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (used by the CLI)."""
+        lines = [f"machine {self.name!r}: {len(self.units)} units, "
+                 f"{self.n_memory_nodes} memory nodes"]
+        for u in self.units:
+            where = f"node {u.memory_node}"
+            lines.append(
+                f"  unit {u.unit_id}: {u.device.name} ({u.device.kind.value}, "
+                f"{where}, {u.device.peak_gflops:g} GF/s peak)"
+            )
+        return "\n".join(lines)
+
+
+def make_machine(
+    name: str,
+    cpu: DeviceSpec,
+    n_cpu_cores: int,
+    gpus: list[DeviceSpec] | None = None,
+    link: LinkSpec | None = None,
+    reserve_core_per_gpu: bool = True,
+) -> Machine:
+    """Assemble a :class:`Machine`.
+
+    Parameters
+    ----------
+    cpu:
+        Device model for *one* CPU core; replicated ``n_cpu_cores`` times.
+    gpus:
+        One device model per GPU.  Each GPU gets its own memory node.
+    link:
+        Host link model shared by all GPUs (default PCIe 2.0 x16).
+    reserve_core_per_gpu:
+        StarPU dedicates one CPU core to drive each CUDA device; when
+        true, one CPU worker is removed per GPU (so a 4-core + 1-GPU
+        platform exposes 3 CPU workers + 1 GPU worker, and "all four
+        CPUs" in the paper's hybrid plots means 3 compute cores + the
+        driver core).  Set to ``False`` to expose every core.
+    """
+    gpus = gpus or []
+    if n_cpu_cores < 1:
+        raise ValueError("a machine needs at least one CPU core")
+    n_workers = n_cpu_cores - (len(gpus) if reserve_core_per_gpu else 0)
+    if n_workers < 0:
+        raise ValueError(
+            f"{len(gpus)} GPUs need {len(gpus)} driver cores but only "
+            f"{n_cpu_cores} cores exist"
+        )
+    link = link or pcie2_x16()
+    units: list[ProcessingUnit] = []
+    for _ in range(n_workers):
+        units.append(
+            ProcessingUnit(unit_id=len(units), device=cpu, memory_node=HOST_NODE)
+        )
+    links: dict[int, LinkSpec] = {}
+    for i, gpu in enumerate(gpus):
+        node = 1 + i
+        links[node] = link
+        units.append(
+            ProcessingUnit(
+                unit_id=len(units), device=gpu, memory_node=node, link=link
+            )
+        )
+    return Machine(name=name, units=units, links=links)

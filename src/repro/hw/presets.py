@@ -1,0 +1,79 @@
+"""Ready-made machines matching the paper's two evaluation platforms.
+
+Both platforms use Intel Xeon E5520 CPUs; the main platform carries a
+Tesla C2050 (Fermi, cached), the second a lower-end Tesla C1060 (GT200,
+uncached).  The paper's hybrid experiments use four CPU cores plus the GPU.
+"""
+
+from __future__ import annotations
+
+from repro.hw.devices import tesla_c1060, tesla_c2050, xeon_e5520_core
+from repro.hw.interconnect import pcie2_x16
+from repro.hw.machine import Machine, make_machine
+
+
+def platform_c2050(n_cpu_cores: int = 4) -> Machine:
+    """Xeon E5520 (``n_cpu_cores`` cores) + one Tesla C2050.
+
+    The C2050 is Fermi-class: two DMA engines, so host<->device copies in
+    both directions may overlap (``duplex=True``).
+    """
+    return make_machine(
+        name="xeon-e5520+c2050",
+        cpu=xeon_e5520_core(),
+        n_cpu_cores=n_cpu_cores,
+        gpus=[tesla_c2050()],
+        link=pcie2_x16(duplex=True),
+    )
+
+
+def platform_c1060(n_cpu_cores: int = 4) -> Machine:
+    """Xeon E5520 (``n_cpu_cores`` cores) + one Tesla C1060 (single DMA)."""
+    return make_machine(
+        name="xeon-e5520+c1060",
+        cpu=xeon_e5520_core(),
+        n_cpu_cores=n_cpu_cores,
+        gpus=[tesla_c1060()],
+        link=pcie2_x16(duplex=False),
+    )
+
+
+def platform_dual_c2050(n_cpu_cores: int = 6) -> Machine:
+    """Two Tesla C2050s (multi-GPU systems are first-class in the
+    PEPPHER component model; each GPU reserves one driver core)."""
+    return make_machine(
+        name="xeon-e5520+2xc2050",
+        cpu=xeon_e5520_core(),
+        n_cpu_cores=n_cpu_cores,
+        gpus=[tesla_c2050(), tesla_c2050()],
+        link=pcie2_x16(duplex=True),
+    )
+
+
+def cpu_only(n_cpu_cores: int = 4) -> Machine:
+    """A homogeneous multicore machine (no accelerator)."""
+    return make_machine(
+        name=f"xeon-e5520-{n_cpu_cores}c",
+        cpu=xeon_e5520_core(),
+        n_cpu_cores=n_cpu_cores,
+        gpus=[],
+    )
+
+
+PRESETS = {
+    "c2050": platform_c2050,
+    "c1060": platform_c1060,
+    "2xc2050": platform_dual_c2050,
+    "cpu": cpu_only,
+}
+
+
+def by_name(name: str, **kwargs) -> Machine:
+    """Look up a preset machine by short name (``c2050``/``c1060``/``cpu``)."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform preset {name!r}; known: {sorted(PRESETS)}"
+        ) from None
+    return factory(**kwargs)

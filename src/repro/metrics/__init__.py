@@ -1,0 +1,5 @@
+"""Measurement utilities: SEI-style LOC counting for the Table I study."""
+
+from repro.metrics.loc import count_file, count_files, count_logical_lines, count_object
+
+__all__ = ["count_file", "count_files", "count_logical_lines", "count_object"]

@@ -1,0 +1,14 @@
+"""Figure rendering: dependency-free SVG charts of the reproduced results."""
+
+from repro.report.figures import fig5_chart, fig6_chart, fig7_chart, render_all
+from repro.report.svg import BarChart, LineChart, save_svg
+
+__all__ = [
+    "BarChart",
+    "LineChart",
+    "fig5_chart",
+    "fig6_chart",
+    "fig7_chart",
+    "render_all",
+    "save_svg",
+]

@@ -1,0 +1,77 @@
+"""Render experiment results as the paper's figures (SVG)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.fig5 import Fig5Row
+from repro.experiments.fig6 import Fig6Result
+from repro.experiments.fig7 import Fig7Point
+from repro.report.svg import BarChart, LineChart, save_svg
+
+
+def fig5_chart(rows: list[Fig5Row]) -> BarChart:
+    """Figure 5: per-matrix speedup bars (direct CUDA = 1.0 baseline)."""
+    return BarChart(
+        title="Figure 5: SpMV speedup over direct CUDA (hybrid: 4 CPUs + C2050)",
+        categories=[r.matrix for r in rows],
+        series={
+            "Direct CUDA": [1.0] * len(rows),
+            "Hybrid": [r.speedup for r in rows],
+        },
+        y_label="speedup",
+    )
+
+
+def fig6_chart(result: Fig6Result) -> BarChart:
+    """Figure 6: normalised execution time per app and mode."""
+    norm = result.normalised()
+    apps = sorted(norm)
+    return BarChart(
+        title=f"Figure 6 ({result.platform}): normalised execution time",
+        categories=apps,
+        series={
+            "OpenMP": [norm[a]["openmp"] for a in apps],
+            "CUDA": [norm[a]["cuda"] for a in apps],
+            "TGPA": [norm[a]["tgpa"] for a in apps],
+        },
+        y_label="normalised exec. time",
+    )
+
+
+def fig7_chart(points: list[Fig7Point]) -> LineChart:
+    """Figure 7: ODE solver execution time vs problem size, log y."""
+    return LineChart(
+        title="Figure 7: Runge-Kutta ODE solver execution time",
+        x_values=[float(p.size) for p in points],
+        series={
+            "Direct - CPU": [p.direct_cpu_s for p in points],
+            "Direct - CUDA": [p.direct_cuda_s for p in points],
+            "Composition Tool - CUDA": [p.tool_cuda_s for p in points],
+        },
+        x_label="Problem Size",
+        y_label="Execution time (seconds)",
+        log_y=True,
+    )
+
+
+def render_all(
+    out_dir: str | Path,
+    fig5_rows: list[Fig5Row] | None = None,
+    fig6_results: list[Fig6Result] | None = None,
+    fig7_points: list[Fig7Point] | None = None,
+) -> list[Path]:
+    """Write SVGs for whichever results are supplied; returns the paths."""
+    out_dir = Path(out_dir)
+    written: list[Path] = []
+    if fig5_rows:
+        written.append(save_svg(fig5_chart(fig5_rows).to_svg(), out_dir / "fig5.svg"))
+    for result in fig6_results or ():
+        written.append(
+            save_svg(
+                fig6_chart(result).to_svg(), out_dir / f"fig6_{result.platform}.svg"
+            )
+        )
+    if fig7_points:
+        written.append(save_svg(fig7_chart(fig7_points).to_svg(), out_dir / "fig7.svg"))
+    return written

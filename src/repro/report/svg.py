@@ -1,0 +1,242 @@
+"""Dependency-free SVG charts for the regenerated figures.
+
+The benchmark harnesses print the paper's tables; this module renders
+them as actual figures (grouped bar charts and log-scale line charts) so
+a reproduction run can be compared against the paper's plots visually.
+Pure stdlib — no matplotlib in the sandbox.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+#: a colour-blind-safe palette (Okabe-Ito)
+PALETTE = ("#0072B2", "#E69F00", "#009E73", "#CC79A7", "#56B4E9", "#D55E00")
+
+
+@dataclass
+class BarChart:
+    """Grouped bar chart (the shape of the paper's Figures 5 and 6)."""
+
+    title: str
+    categories: list[str]  # x-axis groups (apps, matrices)
+    series: dict[str, list[float]]  # legend label -> one value per category
+    y_label: str = ""
+    width: int = 760
+    height: int = 360
+
+    def validate(self) -> None:
+        for label, values in self.series.items():
+            if len(values) != len(self.categories):
+                raise ValueError(
+                    f"series {label!r} has {len(values)} values for "
+                    f"{len(self.categories)} categories"
+                )
+        if not self.categories or not self.series:
+            raise ValueError("chart needs categories and at least one series")
+
+    def to_svg(self) -> str:
+        self.validate()
+        margin_l, margin_r, margin_t, margin_b = 64, 16, 44, 72
+        plot_w = self.width - margin_l - margin_r
+        plot_h = self.height - margin_t - margin_b
+        y_max = max(max(v) for v in self.series.values()) * 1.08 or 1.0
+        n_cat = len(self.categories)
+        n_ser = len(self.series)
+        group_w = plot_w / n_cat
+        bar_w = group_w * 0.8 / n_ser
+
+        parts = [_svg_open(self.width, self.height), _title(self.title, self.width)]
+        parts.append(_y_axis(margin_l, margin_t, plot_h, y_max, self.y_label))
+        # bars
+        for si, (label, values) in enumerate(self.series.items()):
+            colour = PALETTE[si % len(PALETTE)]
+            for ci, value in enumerate(values):
+                h = plot_h * value / y_max
+                x = margin_l + ci * group_w + group_w * 0.1 + si * bar_w
+                y = margin_t + plot_h - h
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                    f'height="{h:.1f}" fill="{colour}">'
+                    f"<title>{escape(label)} / {escape(self.categories[ci])}: "
+                    f"{value:.4g}</title></rect>"
+                )
+        # category labels (rotated)
+        for ci, cat in enumerate(self.categories):
+            x = margin_l + (ci + 0.5) * group_w
+            y = margin_t + plot_h + 12
+            parts.append(
+                f'<text x="{x:.1f}" y="{y:.1f}" font-size="11" '
+                f'text-anchor="end" transform="rotate(-35 {x:.1f} {y:.1f})">'
+                f"{escape(cat)}</text>"
+            )
+        parts.append(
+            _legend(self.series.keys(), margin_l, self.height - 14)
+        )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+@dataclass
+class LineChart:
+    """Multi-series line chart with optional log-y (the paper's Figure 7)."""
+
+    title: str
+    x_values: list[float]
+    series: dict[str, list[float]]
+    x_label: str = ""
+    y_label: str = ""
+    log_y: bool = False
+    width: int = 760
+    height: int = 360
+
+    def validate(self) -> None:
+        for label, values in self.series.items():
+            if len(values) != len(self.x_values):
+                raise ValueError(f"series {label!r} length mismatch")
+            if self.log_y and any(v <= 0 for v in values):
+                raise ValueError(f"series {label!r}: log scale needs positives")
+        if len(self.x_values) < 2 or not self.series:
+            raise ValueError("chart needs >= 2 x values and a series")
+
+    def _y_pos(self, value, y_min, y_max, margin_t, plot_h):
+        if self.log_y:
+            frac = (math.log10(value) - math.log10(y_min)) / (
+                math.log10(y_max) - math.log10(y_min)
+            )
+        else:
+            frac = (value - y_min) / (y_max - y_min)
+        return margin_t + plot_h * (1 - frac)
+
+    def to_svg(self) -> str:
+        self.validate()
+        margin_l, margin_r, margin_t, margin_b = 72, 16, 44, 56
+        plot_w = self.width - margin_l - margin_r
+        plot_h = self.height - margin_t - margin_b
+        all_vals = [v for vs in self.series.values() for v in vs]
+        if self.log_y:
+            y_min = 10 ** math.floor(math.log10(min(all_vals)))
+            y_max = 10 ** math.ceil(math.log10(max(all_vals)))
+        else:
+            y_min, y_max = 0.0, max(all_vals) * 1.08
+        x_min, x_max = min(self.x_values), max(self.x_values)
+
+        parts = [_svg_open(self.width, self.height), _title(self.title, self.width)]
+        # y grid
+        if self.log_y:
+            decade = int(math.log10(y_min))
+            ticks = []
+            while 10**decade <= y_max:
+                ticks.append(10**decade)
+                decade += 1
+        else:
+            ticks = [y_min + (y_max - y_min) * i / 4 for i in range(5)]
+        for tick in ticks:
+            y = self._y_pos(max(tick, y_min if not self.log_y else tick), y_min, y_max, margin_t, plot_h)
+            parts.append(
+                f'<line x1="{margin_l}" y1="{y:.1f}" x2="{margin_l + plot_w}" '
+                f'y2="{y:.1f}" stroke="#ddd"/>'
+                f'<text x="{margin_l - 6}" y="{y + 4:.1f}" font-size="11" '
+                f'text-anchor="end">{tick:g}</text>'
+            )
+        for si, (label, values) in enumerate(self.series.items()):
+            colour = PALETTE[si % len(PALETTE)]
+            points = []
+            for xv, yv in zip(self.x_values, values):
+                x = margin_l + plot_w * (xv - x_min) / (x_max - x_min)
+                y = self._y_pos(yv, y_min, y_max, margin_t, plot_h)
+                points.append(f"{x:.1f},{y:.1f}")
+            parts.append(
+                f'<polyline points="{" ".join(points)}" fill="none" '
+                f'stroke="{colour}" stroke-width="2"/>'
+            )
+            for p, yv in zip(points, values):
+                x, y = p.split(",")
+                parts.append(
+                    f'<circle cx="{x}" cy="{y}" r="3.5" fill="{colour}">'
+                    f"<title>{escape(label)}: {yv:.4g}</title></circle>"
+                )
+        for xv in self.x_values:
+            x = margin_l + plot_w * (xv - x_min) / (x_max - x_min)
+            parts.append(
+                f'<text x="{x:.1f}" y="{margin_t + plot_h + 16}" font-size="11" '
+                f'text-anchor="middle">{xv:g}</text>'
+            )
+        if self.x_label:
+            parts.append(
+                f'<text x="{margin_l + plot_w / 2}" y="{self.height - 24}" '
+                f'font-size="12" text-anchor="middle">{escape(self.x_label)}</text>'
+            )
+        if self.y_label:
+            parts.append(_y_axis_label(self.y_label, margin_t, plot_h))
+        parts.append(_legend(self.series.keys(), margin_l, self.height - 6))
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+def _svg_open(width: int, height: int) -> str:
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="sans-serif">'
+        f'<rect width="{width}" height="{height}" fill="white"/>'
+    )
+
+
+def _title(title: str, width: int) -> str:
+    return (
+        f'<text x="{width / 2}" y="22" font-size="15" font-weight="bold" '
+        f'text-anchor="middle">{escape(title)}</text>'
+    )
+
+
+def _y_axis(margin_l, margin_t, plot_h, y_max, y_label) -> str:
+    parts = []
+    for i in range(5):
+        frac = i / 4
+        y = margin_t + plot_h * (1 - frac)
+        value = y_max * frac
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{margin_l - 4}" '
+            f'y2="{y:.1f}" stroke="#444"/>'
+            f'<text x="{margin_l - 7}" y="{y + 4:.1f}" font-size="11" '
+            f'text-anchor="end">{value:.3g}</text>'
+        )
+    parts.append(
+        f'<line x1="{margin_l}" y1="{margin_t}" x2="{margin_l}" '
+        f'y2="{margin_t + plot_h}" stroke="#444"/>'
+    )
+    if y_label:
+        parts.append(_y_axis_label(y_label, margin_t, plot_h))
+    return "\n".join(parts)
+
+
+def _y_axis_label(label: str, margin_t, plot_h) -> str:
+    y_mid = margin_t + plot_h / 2
+    return (
+        f'<text x="14" y="{y_mid}" font-size="12" text-anchor="middle" '
+        f'transform="rotate(-90 14 {y_mid})">{escape(label)}</text>'
+    )
+
+
+def _legend(labels, x0: float, y: float) -> str:
+    parts = []
+    x = x0
+    for i, label in enumerate(labels):
+        colour = PALETTE[i % len(PALETTE)]
+        parts.append(f'<rect x="{x}" y="{y - 10}" width="12" height="12" fill="{colour}"/>')
+        parts.append(
+            f'<text x="{x + 16}" y="{y}" font-size="12">{escape(str(label))}</text>'
+        )
+        x += 16 + 8 * len(str(label)) + 24
+    return "\n".join(parts)
+
+
+def save_svg(svg_text: str, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(svg_text)
+    return path

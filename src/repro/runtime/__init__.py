@@ -1,0 +1,54 @@
+"""Task-based heterogeneous runtime system (StarPU analog).
+
+Implements the substrate the PEPPHER composition tool targets: codelets
+with per-architecture implementation variants, registered data handles
+with MSI coherence across memory nodes, implicit dependency inference
+from declared access modes, asynchronous task submission, history- and
+regression-based performance models and performance-aware scheduling
+policies — all driven by a deterministic discrete-event engine over the
+simulated machine of :mod:`repro.hw`.
+"""
+
+from repro.runtime.access import AccessMode
+from repro.runtime.archs import Arch
+from repro.runtime.codelet import Codelet, ImplVariant
+from repro.runtime.data import CopyState, DataHandle
+from repro.runtime.engine import Engine
+from repro.runtime.perfmodel import HistoryModel, PerfModel, RegressionModel
+from repro.runtime.runtime import Runtime
+from repro.runtime.schedulers import Scheduler, make_scheduler, policy_names
+from repro.runtime.stats import (
+    EvictionRecord,
+    ExecutionTrace,
+    TaskRecord,
+    TransferRecord,
+)
+from repro.runtime.task import Operand, Task, TaskState
+from repro.runtime.trace_export import gantt_text, save_chrome_trace, to_chrome_trace
+
+__all__ = [
+    "AccessMode",
+    "Arch",
+    "Codelet",
+    "CopyState",
+    "DataHandle",
+    "Engine",
+    "EvictionRecord",
+    "ExecutionTrace",
+    "HistoryModel",
+    "ImplVariant",
+    "Operand",
+    "PerfModel",
+    "RegressionModel",
+    "Runtime",
+    "Scheduler",
+    "Task",
+    "TaskRecord",
+    "TaskState",
+    "TransferRecord",
+    "gantt_text",
+    "make_scheduler",
+    "policy_names",
+    "save_chrome_trace",
+    "to_chrome_trace",
+]

@@ -1,0 +1,50 @@
+"""Data access modes for task operands.
+
+PEPPHER interfaces declare each parameter's access type (read, write or
+both); the runtime uses these to infer inter-task dependencies and to
+decide which coherence actions (transfers, invalidations) a task needs.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class AccessMode(Enum):
+    """How a task (or the host program) accesses one operand."""
+
+    R = "r"  #: read-only
+    W = "w"  #: write-only (previous contents are irrelevant)
+    RW = "rw"  #: read-write
+
+    @property
+    def reads(self) -> bool:
+        """True if the previous contents of the operand are needed."""
+        return self in (AccessMode.R, AccessMode.RW)
+
+    @property
+    def writes(self) -> bool:
+        """True if the operand is modified."""
+        return self in (AccessMode.W, AccessMode.RW)
+
+    @classmethod
+    def parse(cls, text: str) -> "AccessMode":
+        """Parse from descriptor text (``read``/``write``/``readwrite``
+        or the short forms ``r``/``w``/``rw``), case-insensitively."""
+        key = text.strip().lower()
+        aliases = {
+            "r": cls.R,
+            "read": cls.R,
+            "in": cls.R,
+            "w": cls.W,
+            "write": cls.W,
+            "out": cls.W,
+            "rw": cls.RW,
+            "readwrite": cls.RW,
+            "read-write": cls.RW,
+            "inout": cls.RW,
+        }
+        try:
+            return aliases[key]
+        except KeyError:
+            raise ValueError(f"unknown access mode {text!r}") from None

@@ -1,0 +1,59 @@
+"""Backend architectures for implementation variants.
+
+A PEPPHER component implementation targets one platform/programming model
+(serial C++ on a CPU core, OpenMP across the CPU cores, CUDA or OpenCL on
+an accelerator).  The runtime maps each architecture onto the machine's
+processing units.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.hw.devices import DeviceKind
+from repro.hw.machine import ProcessingUnit
+
+
+class Arch(Enum):
+    """Programming-model / target-architecture of a variant."""
+
+    CPU = "cpu"  #: sequential code on one CPU core
+    OPENMP = "openmp"  #: parallel code over a gang of CPU cores
+    CUDA = "cuda"  #: NVIDIA GPU kernel (wrapped in a CPU-side call)
+    OPENCL = "opencl"  #: OpenCL kernel, runnable on a GPU
+
+    @classmethod
+    def parse(cls, text: str) -> "Arch":
+        key = text.strip().lower()
+        aliases = {
+            "cpu": cls.CPU,
+            "c++": cls.CPU,
+            "c": cls.CPU,
+            "serial": cls.CPU,
+            "sequential": cls.CPU,
+            "openmp": cls.OPENMP,
+            "omp": cls.OPENMP,
+            "cpu/openmp": cls.OPENMP,
+            "cuda": cls.CUDA,
+            "gpu": cls.CUDA,
+            "opencl": cls.OPENCL,
+        }
+        try:
+            return aliases[key]
+        except KeyError:
+            raise ValueError(f"unknown architecture {text!r}") from None
+
+    def runs_on(self, unit: ProcessingUnit) -> bool:
+        """Whether a variant of this arch can execute on ``unit``.
+
+        OpenMP variants are *gang* tasks: they are anchored on one CPU
+        unit but occupy the whole CPU gang (see the engine).
+        """
+        if self in (Arch.CPU, Arch.OPENMP):
+            return unit.device.kind is DeviceKind.CPU
+        return unit.device.kind is DeviceKind.GPU
+
+    @property
+    def is_gang(self) -> bool:
+        """Gang architectures occupy every CPU worker while running."""
+        return self is Arch.OPENMP

@@ -1,0 +1,269 @@
+"""Data handles: registered operands with MSI coherence over memory nodes.
+
+A :class:`DataHandle` wraps one NumPy array (the *ground-truth payload* —
+real values, checkable in tests) and models where valid *copies* of it
+currently live: host RAM (node 0) and each GPU's device memory.  The model
+is a classic MSI protocol:
+
+- ``MODIFIED`` — this node holds the only up-to-date copy.
+- ``SHARED``   — this node holds an up-to-date copy; others may too.
+- ``INVALID``  — this node's copy (if allocated) is stale.
+
+Transfers are *lazy*: a copy is made only when a task (or the host
+program) actually needs the data at a node where it is not valid.  This
+is exactly the smart-container behaviour of the paper's Figure 3, where a
+four-call scenario needs 2 copies instead of the 7 a copy-every-call
+strategy performs.
+
+The handle also tracks, per StarPU's *sequential data consistency*, which
+task last wrote it and which tasks have read it since — the information
+needed to infer implicit dependencies between asynchronously submitted
+tasks (paper section IV-E).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from itertools import count
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import DataConsistencyError
+from repro.hw.machine import HOST_NODE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.task import Task
+
+
+class CopyState(Enum):
+    """MSI state of one node's copy of a handle."""
+
+    INVALID = "invalid"
+    SHARED = "shared"
+    MODIFIED = "modified"
+
+
+class DataHandle:
+    """One registered operand.
+
+    Parameters
+    ----------
+    array:
+        Ground-truth payload.  Tasks compute on this array directly (the
+        simulation separates *values*, which are real, from *placement
+        and timing*, which are modeled).
+    n_nodes:
+        Number of memory nodes in the machine.
+    name:
+        Debugging / tracing label.
+    """
+
+    _ids = count()
+
+    def __init__(self, array: np.ndarray, n_nodes: int, name: str = "") -> None:
+        if n_nodes < 1:
+            raise DataConsistencyError("need at least the host memory node")
+        self.handle_id: int = next(DataHandle._ids)
+        self.array = np.asarray(array)
+        self.name = name or f"data{self.handle_id}"
+        self._states: list[CopyState] = [CopyState.INVALID] * n_nodes
+        self._states[HOST_NODE] = CopyState.MODIFIED
+        #: virtual time at which each node's copy becomes valid
+        self._ready_at: list[float] = [0.0] * n_nodes
+        #: virtual time of the last use of each node's copy (LRU eviction)
+        self._last_used: list[float] = [0.0] * n_nodes
+        # --- sequential-consistency bookkeeping -------------------------
+        self.last_writer: "Task | None" = None
+        self.readers_since_write: list["Task"] = []
+        # --- partitioning ------------------------------------------------
+        self.parent: DataHandle | None = None
+        self.children: list[DataHandle] = []
+        self.unregistered = False
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._states)
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self.children)
+
+    def state(self, node: int) -> CopyState:
+        return self._states[node]
+
+    def is_valid(self, node: int) -> bool:
+        return self._states[node] is not CopyState.INVALID
+
+    def ready_at(self, node: int) -> float:
+        """Virtual time the copy at ``node`` becomes valid (only
+        meaningful when the node is or is becoming valid)."""
+        return self._ready_at[node]
+
+    def valid_nodes(self) -> list[int]:
+        return [n for n, s in enumerate(self._states) if s is not CopyState.INVALID]
+
+    def pick_source(self) -> int:
+        """Choose the node to copy from: the valid copy that is ready
+        earliest (ties broken toward the host, which every link touches)."""
+        nodes = self.valid_nodes()
+        if not nodes:
+            raise DataConsistencyError(
+                f"handle {self.name!r} has no valid copy anywhere"
+            )
+        return min(nodes, key=lambda n: (self._ready_at[n], n != HOST_NODE, n))
+
+    def touch(self, node: int, t: float) -> None:
+        """Record a use of the copy at ``node`` (for LRU eviction)."""
+        if t > self._last_used[node]:
+            self._last_used[node] = t
+
+    def last_used(self, node: int) -> float:
+        return self._last_used[node]
+
+    # -- state transitions (invoked by the engine) --------------------------
+
+    def invalidate(self, node: int) -> None:
+        """Drop the copy at ``node`` (eviction); some other copy must
+        remain valid, otherwise data would be lost."""
+        if self._states[node] is CopyState.INVALID:
+            return
+        others_valid = any(
+            s is not CopyState.INVALID
+            for n, s in enumerate(self._states)
+            if n != node
+        )
+        if not others_valid:
+            raise DataConsistencyError(
+                f"handle {self.name!r}: evicting node {node} would lose the "
+                "only valid copy (flush it home first)"
+            )
+        self._states[node] = CopyState.INVALID
+        # a remaining single SHARED copy is effectively the owner
+        valid = [n for n, s in enumerate(self._states) if s is not CopyState.INVALID]
+        if len(valid) == 1 and self._states[valid[0]] is CopyState.SHARED:
+            self._states[valid[0]] = CopyState.MODIFIED
+        self._check_invariants()
+
+    def mark_shared(self, node: int, ready_at: float) -> None:
+        """A valid copy appears at ``node`` (via transfer); any MODIFIED
+        copy elsewhere degrades to SHARED — both are now up to date."""
+        for n, s in enumerate(self._states):
+            if s is CopyState.MODIFIED:
+                self._states[n] = CopyState.SHARED
+        self._states[node] = CopyState.SHARED
+        self._ready_at[node] = max(self._ready_at[node], ready_at)
+        self._check_invariants()
+
+    def mark_modified(self, node: int, ready_at: float) -> None:
+        """``node`` is written: it becomes the single valid copy."""
+        for n in range(len(self._states)):
+            self._states[n] = CopyState.INVALID
+        self._states[node] = CopyState.MODIFIED
+        self._ready_at[node] = ready_at
+        self._check_invariants()
+
+    def _check_invariants(self) -> None:
+        states = self._states
+        modified = [n for n, s in enumerate(states) if s is CopyState.MODIFIED]
+        if len(modified) > 1:
+            raise DataConsistencyError(
+                f"handle {self.name!r}: multiple MODIFIED copies at {modified}"
+            )
+        if modified and any(s is CopyState.SHARED for s in states):
+            raise DataConsistencyError(
+                f"handle {self.name!r}: MODIFIED coexists with SHARED"
+            )
+        if not any(s is not CopyState.INVALID for s in states):
+            raise DataConsistencyError(f"handle {self.name!r}: no valid copy")
+
+    # -- sequential data consistency ---------------------------------------
+
+    def dependencies_for(self, writes: bool) -> list["Task"]:
+        """Tasks a new access must wait for (StarPU's R/W ordering):
+
+        - a reader waits for the last writer;
+        - a writer waits for the last writer *and* every reader since.
+        """
+        deps: list["Task"] = []
+        if self.last_writer is not None:
+            deps.append(self.last_writer)
+        if writes:
+            deps.extend(self.readers_since_write)
+        return deps
+
+    def record_access(self, task: "Task", writes: bool) -> None:
+        """Register ``task``'s access in submission order."""
+        if writes:
+            self.last_writer = task
+            self.readers_since_write = []
+        else:
+            self.readers_since_write.append(task)
+
+    def reset_host_access(self) -> None:
+        """The host program wrote the data (acquire-RW): task-level
+        ordering restarts from the host copy."""
+        self.last_writer = None
+        self.readers_since_write = []
+
+    # -- partitioning --------------------------------------------------------
+
+    def partition_by_slices(
+        self, slices: Sequence[tuple[slice, ...] | slice]
+    ) -> list["DataHandle"]:
+        """Split this handle into child handles over *views* of the payload.
+
+        Children inherit the parent's coherence state, so a handle that is
+        valid on the GPU stays valid chunk-wise.  While partitioned, the
+        parent must not be used by tasks (use :meth:`unpartition` first).
+        """
+        if self.partitioned:
+            raise DataConsistencyError(f"handle {self.name!r} already partitioned")
+        if not slices:
+            raise DataConsistencyError("partition needs at least one slice")
+        for i, sl in enumerate(slices):
+            view = self.array[sl]
+            if view.base is None and view.size and view is not self.array:
+                raise DataConsistencyError(
+                    f"slice {i} of handle {self.name!r} is not a view"
+                )
+            child = DataHandle(view, self.n_nodes, name=f"{self.name}[{i}]")
+            child._states = list(self._states)
+            child._ready_at = list(self._ready_at)
+            # children inherit the parent's ordering state so chunk tasks
+            # still serialize correctly against pre-partition accesses
+            child.last_writer = self.last_writer
+            child.readers_since_write = list(self.readers_since_write)
+            child.parent = self
+            self.children.append(child)
+        return list(self.children)
+
+    def partition_equal(self, n_chunks: int, axis: int = 0) -> list["DataHandle"]:
+        """Split into ``n_chunks`` nearly equal blocks along ``axis``."""
+        if n_chunks < 1:
+            raise DataConsistencyError(f"n_chunks must be >= 1, got {n_chunks}")
+        length = self.array.shape[axis]
+        bounds = np.linspace(0, length, n_chunks + 1).astype(int)
+        slices = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            sl: list[slice] = [slice(None)] * self.array.ndim
+            sl[axis] = slice(int(lo), int(hi))
+            slices.append(tuple(sl))
+        return self.partition_by_slices(slices)
+
+    def drop_partition(self) -> None:
+        """Forget the children (the engine gathers them first)."""
+        for child in self.children:
+            child.parent = None
+            child.unregistered = True
+        self.children = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        states = ",".join(s.value[0] for s in self._states)
+        return f"<DataHandle {self.name} #{self.handle_id} [{states}]>"

@@ -1,0 +1,623 @@
+"""The discrete-event execution engine.
+
+Design (see DESIGN.md section 5): the *application's main program* runs
+eagerly as ordinary Python and submits tasks; the engine immediately
+resolves each task's implicit dependencies, and as soon as a task becomes
+ready it asks the scheduling policy for a (variant, workers) decision and
+computes the task's timeline — staging transfers on the PCIe links,
+start on the chosen worker(s), modeled execution time with noise, end.
+Completions are processed in virtual-time order from an event heap; each
+completion releases dependents and feeds the performance model, so later
+scheduling decisions see exactly the history a real runtime would have at
+that (virtual) moment.
+
+Host-side blocking points — smart-container accesses, synchronous calls,
+``wait_for_all`` — advance the virtual clock only as far as the awaited
+result requires, so the host program genuinely overlaps with outstanding
+asynchronous tasks (paper section IV-E).
+
+Values vs. time: kernels run *for real* on the NumPy payloads (results
+are checkable), in dependency order; only the *durations* are modeled.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import (
+    DataConsistencyError,
+    KernelExecutionError,
+    PeppherError,
+    RuntimeSystemError,
+)
+from repro.hw.clock import VirtualClock
+from repro.hw.machine import HOST_NODE, Machine, ProcessingUnit
+from repro.hw.noise import NoiseModel
+from repro.runtime.access import AccessMode
+from repro.runtime.codelet import ImplVariant
+from repro.runtime.data import DataHandle
+from repro.runtime.perfmodel import PerfModel
+from repro.runtime.schedulers.base import Decision, Scheduler
+from repro.runtime.stats import (
+    EvictionRecord,
+    ExecutionTrace,
+    TaskRecord,
+    TransferRecord,
+)
+from repro.runtime.task import Task, TaskState
+
+
+class _WorkerState:
+    """Mutable per-worker scheduling state."""
+
+    __slots__ = ("unit", "available_at", "assigned_count")
+
+    def __init__(self, unit: ProcessingUnit) -> None:
+        self.unit = unit
+        self.available_at = 0.0
+        self.assigned_count = 0
+
+
+class Engine:
+    """Discrete-event engine implementing the EngineView protocol."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        scheduler: Scheduler,
+        perfmodel: PerfModel | None = None,
+        noise: NoiseModel | None = None,
+        submit_overhead_s: float = 1e-6,
+        seed: int = 0,
+        run_kernels: bool = True,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        submit_overhead_s:
+            Host-side virtual time charged per task submission (the
+            paper reports StarPU task overhead below ~2 microseconds).
+        run_kernels:
+            When False, skip the real NumPy computation and only model
+            time — used by pure scheduling experiments where values are
+            irrelevant and kernels would be wasted work.
+        """
+        self.machine = machine
+        self.scheduler = scheduler
+        self.perf = perfmodel or PerfModel()
+        self.noise = noise or NoiseModel(seed=seed)
+        self.clock = VirtualClock()
+        self.trace = ExecutionTrace()
+        self.submit_overhead_s = float(submit_overhead_s)
+        self.run_kernels = run_kernels
+        self._rng = np.random.default_rng(seed + 0x5EED)
+        self._workers = [_WorkerState(u) for u in machine.units]
+        self._gang = tuple(u for u in machine.units if u.is_cpu)
+        #: per-(link node, direction) DMA availability; direction is
+        #: "h2d"/"d2h" for duplex links, "both" otherwise
+        self._link_free: dict[tuple[int, str], float] = {}
+        #: device-memory accounting: resident top-level handles and used
+        #: bytes per memory node (host is unlimited and untracked)
+        self._resident: list[dict[int, DataHandle]] = [
+            {} for _ in range(machine.n_memory_nodes)
+        ]
+        self._node_usage: list[int] = [0] * machine.n_memory_nodes
+        self._node_capacity: list[int | None] = [
+            machine.node_capacity(n) for n in range(machine.n_memory_nodes)
+        ]
+        self._events: list[tuple[float, int, Task]] = []
+        self._event_seq = count()
+        self._last_end = 0.0
+        self._n_submitted = 0
+        self._n_completed = 0
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    # EngineView protocol (what schedulers may see)
+    # ------------------------------------------------------------------
+
+    def worker_available_at(self, unit_id: int) -> float:
+        return self._workers[unit_id].available_at
+
+    def worker_assigned_count(self, unit_id: int) -> int:
+        return self._workers[unit_id].assigned_count
+
+    def estimate_data_ready(self, task: Task, node: int) -> float:
+        """Earliest time the task's operands could be valid at ``node``.
+
+        Pending copies share one DMA engine per direction, so their
+        estimated transfers *serialize* (StarPU's dmda models per-link
+        queues the same way); ignoring that would make multi-operand
+        accelerator tasks look systematically cheaper than they are.
+        """
+        ready = task.ready_time
+        pending: list[DataHandle] = []
+        for op in task.operands:
+            if not op.mode.reads:
+                continue
+            h = op.handle
+            if h.is_valid(node):
+                ready = max(ready, h.ready_at(node))
+            else:
+                pending.append(h)
+        if pending:
+            direction = "d2h" if node == HOST_NODE else "h2d"
+            t_link = task.ready_time
+            if node != HOST_NODE:
+                t_link = max(t_link, self._link_available(node, direction))
+            for h in pending:
+                src = h.pick_source()
+                dur = self.machine.transfer_time(src, node, h.nbytes)
+                t_link = max(t_link, h.ready_at(src)) + dur
+            ready = max(ready, t_link)
+        return ready
+
+    def estimate_transfer_cost(self, task: Task, node: int) -> float:
+        cost = 0.0
+        for op in task.operands:
+            if not op.mode.reads:
+                continue
+            h = op.handle
+            if not h.is_valid(node):
+                cost += self.machine.transfer_time(h.pick_source(), node, h.nbytes)
+        return cost
+
+    def predict_exec(
+        self, task: Task, variant: ImplVariant, unit: ProcessingUnit
+    ) -> float | None:
+        size = float(sum(h.nbytes for h in task.handles))
+        return self.perf.predict(task.footprint(), variant.name, size)
+
+    def n_samples(self, task: Task, variant: ImplVariant) -> int:
+        return self.perf.n_samples(task.footprint(), variant.name)
+
+    def cpu_gang(self) -> tuple[ProcessingUnit, ...]:
+        return self._gang
+
+    def random(self) -> float:
+        return float(self._rng.random())
+
+    # ------------------------------------------------------------------
+    # data registration
+    # ------------------------------------------------------------------
+
+    def register(self, array: np.ndarray, name: str = "") -> DataHandle:
+        """Register host data with the runtime's data management."""
+        self._check_alive()
+        return DataHandle(array, self.machine.n_memory_nodes, name=name)
+
+    def unregister(self, handle: DataHandle) -> float:
+        """Flush the handle home (host) and discard device copies.
+
+        Returns the virtual time at which the host copy is consistent.
+        """
+        self._check_alive()
+        if handle.unregistered:
+            raise RuntimeSystemError(
+                f"handle {handle.name!r} is already unregistered"
+            )
+        t = self.acquire(handle, AccessMode.R)
+        handle.mark_modified(HOST_NODE, t)
+        handle.unregistered = True
+        self._sync_residency(handle)
+        return t
+
+    # ------------------------------------------------------------------
+    # task submission
+    # ------------------------------------------------------------------
+
+    def submit(self, task: Task, sync: bool = False) -> Task:
+        """Submit one task; with ``sync=True``, block until it completes."""
+        self._check_alive()
+        for op in task.operands:
+            if op.handle.unregistered:
+                raise RuntimeSystemError(
+                    f"task {task.name}: operand {op.handle.name!r} is unregistered"
+                )
+            if op.handle.partitioned:
+                raise RuntimeSystemError(
+                    f"task {task.name}: operand {op.handle.name!r} is partitioned; "
+                    "use its children or unpartition first"
+                )
+        self.clock.advance(self.submit_overhead_s)
+        task.submit_time = self.clock.now
+        # implicit dependencies via sequential data consistency
+        deps: list[Task] = []
+        seen: set[int] = set()
+        for op in task.operands:
+            for dep in op.handle.dependencies_for(op.mode.writes):
+                if dep.task_id not in seen and dep is not task:
+                    seen.add(dep.task_id)
+                    deps.append(dep)
+        for op in task.operands:
+            op.handle.record_access(task, op.mode.writes)
+        for dep in deps:
+            task.add_dependency(dep)
+        self._n_submitted += 1
+        if task.n_pending_deps == 0:
+            self._make_ready(task, max(task.submit_time, task.earliest_start))
+        self._process_events()
+        if sync:
+            self.wait_for_task(task)
+        return task
+
+    def wait_for_task(self, task: Task) -> float:
+        """Block the host program until ``task`` completes."""
+        self._process_events()
+        if task.state is not TaskState.DONE:
+            raise RuntimeSystemError(
+                f"task {task.name} cannot complete: state {task.state.value} "
+                "(missing dependency? engine invariant violated)"
+            )
+        self.clock.advance_to(task.end_time)
+        return task.end_time
+
+    def wait_for_all(self) -> float:
+        """Barrier: block until every submitted task has completed."""
+        self._check_alive()
+        self._process_events()
+        if self._n_completed != self._n_submitted:
+            raise RuntimeSystemError(
+                f"{self._n_submitted - self._n_completed} tasks never completed"
+            )
+        self.clock.advance_to(self._last_end)
+        return self.clock.now
+
+    # ------------------------------------------------------------------
+    # host-side data access (smart containers call this)
+    # ------------------------------------------------------------------
+
+    def acquire(self, handle: DataHandle, mode: AccessMode) -> float:
+        """Block until ``handle`` may be accessed on the host with ``mode``.
+
+        Implements the paper's Figure 3 semantics: a read of an outdated
+        master copy triggers one implicit device-to-host copy; a host
+        write additionally invalidates device copies and resets the
+        task-ordering state (the host now owns the data).
+        """
+        self._check_alive()
+        if handle.unregistered:
+            raise RuntimeSystemError(
+                f"handle {handle.name!r} is unregistered; the flushed host "
+                "array remains usable directly"
+            )
+        if handle.partitioned:
+            raise DataConsistencyError(
+                f"handle {handle.name!r} is partitioned; unpartition before "
+                "accessing it from the application program"
+            )
+        self._process_events()
+        t = self.clock.now
+        if handle.last_writer is not None:
+            t = max(t, handle.last_writer.end_time)
+        if mode.writes:
+            for reader in handle.readers_since_write:
+                t = max(t, reader.end_time)
+        if mode.reads:
+            t = max(t, self._commit_copy(handle, HOST_NODE, earliest=t))
+        if mode.writes:
+            handle.mark_modified(HOST_NODE, t)
+            handle.reset_host_access()
+            self._sync_residency(handle)
+        self.clock.advance_to(t)
+        return t
+
+    # ------------------------------------------------------------------
+    # partitioning (intra-component parallelism, paper section IV-F)
+    # ------------------------------------------------------------------
+
+    def partition_by_slices(
+        self, handle: DataHandle, slices: Iterable
+    ) -> list[DataHandle]:
+        """Split a handle into chunk children usable as task operands."""
+        self._check_alive()
+        return handle.partition_by_slices(list(slices))
+
+    def partition_equal(
+        self, handle: DataHandle, n_chunks: int, axis: int = 0
+    ) -> list[DataHandle]:
+        self._check_alive()
+        return handle.partition_equal(n_chunks, axis=axis)
+
+    def unpartition(self, handle: DataHandle) -> float:
+        """Gather all chunk children back into a consistent host copy."""
+        self._check_alive()
+        if not handle.partitioned:
+            return self.clock.now
+        self._process_events()
+        t = self.clock.now
+        for child in handle.children:
+            if child.last_writer is not None:
+                t = max(t, child.last_writer.end_time)
+            for reader in child.readers_since_write:
+                t = max(t, reader.end_time)
+        ready = t
+        for child in handle.children:
+            ready = max(ready, self._commit_copy(child, HOST_NODE, earliest=t))
+        handle.mark_modified(HOST_NODE, ready)
+        handle.reset_host_access()
+        handle.drop_partition()
+        self._sync_residency(handle)
+        self.clock.advance_to(ready)
+        return ready
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> float:
+        """Drain all tasks and stop accepting work."""
+        if self._shutdown:
+            return self.clock.now
+        t = self.wait_for_all()
+        self._shutdown = True
+        return t
+
+    def _check_alive(self) -> None:
+        if self._shutdown:
+            raise RuntimeSystemError("runtime has been shut down")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _make_ready(self, task: Task, t: float) -> None:
+        task.state = TaskState.READY
+        task.ready_time = t
+        try:
+            decision = self.scheduler.choose(task, self)
+            self._schedule(task, decision)
+        except PeppherError:
+            # keep the engine consistent when a task cannot be placed
+            # (no feasible variant, device out of memory, ...): abort the
+            # task, release its dependents, and let the error propagate
+            self._abort(task, t)
+            raise
+
+    def _abort(self, task: Task, t: float) -> None:
+        """Mark an unplaceable task as terminated without executing it."""
+        task.state = TaskState.DONE
+        task.start_time = t
+        task.end_time = t
+        self._n_completed += 1
+        self._last_end = max(self._last_end, t)
+        for dependent in task.dependents:
+            if dependent.dep_satisfied():
+                self._make_ready(dependent, max(t, dependent.earliest_start))
+
+    def _schedule(self, task: Task, decision: Decision) -> None:
+        variant = decision.variant
+        workers = decision.workers
+        node = decision.anchor.memory_node
+        # gang variants see how many cores they occupy
+        if variant.arch.is_gang:
+            task.ctx.setdefault("ncores", len(workers))
+        # stage operands at the target node (commits transfers); the
+        # task's own operands are pinned against eviction
+        pinned = frozenset(op.handle.handle_id for op in task.operands)
+        data_ready = task.ready_time
+        for op in task.operands:
+            if op.mode.reads:
+                data_ready = max(
+                    data_ready,
+                    self._commit_copy(
+                        op.handle, node, earliest=task.ready_time, pinned=pinned
+                    ),
+                )
+            elif node != HOST_NODE:
+                # write-only outputs still need an allocation on the device
+                data_ready = max(
+                    data_ready,
+                    self._ensure_capacity(node, op.handle, task.ready_time, pinned),
+                )
+        worker_free = max(self._workers[u.unit_id].available_at for u in workers)
+        start = max(task.ready_time, data_ready, worker_free)
+        raw = variant.predict(task.ctx, decision.anchor.device)
+        exec_time = self.noise.perturb(raw)
+        end = start + exec_time
+        # run the real computation now: dependency order is respected
+        # because dependents are only scheduled after this completes
+        task.chosen_variant = variant
+        task.workers = workers
+        if self.run_kernels:
+            try:
+                task.run_kernel()
+            except PeppherError:
+                raise
+            except Exception as exc:
+                # wrap so _make_ready's abort path keeps the engine
+                # consistent; chain the original for diagnosis
+                raise KernelExecutionError(
+                    f"task {task.name}: variant {variant.name!r} raised "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+        for u in workers:
+            ws = self._workers[u.unit_id]
+            ws.available_at = end
+            ws.assigned_count += 1
+        # apply write effects: the target node becomes the single owner
+        for op in task.operands:
+            op.handle.touch(node, end)
+            if op.mode.writes:
+                op.handle.mark_modified(node, end)
+                self._sync_residency(op.handle)
+        task.state = TaskState.SCHEDULED
+        task.start_time = start
+        task.end_time = end
+        heapq.heappush(self._events, (end, next(self._event_seq), task))
+
+    def _process_events(self) -> None:
+        while self._events:
+            end, _, task = heapq.heappop(self._events)
+            self._complete(task, end)
+
+    def _complete(self, task: Task, end: float) -> None:
+        task.state = TaskState.DONE
+        self._n_completed += 1
+        self._last_end = max(self._last_end, end)
+        variant = task.chosen_variant
+        assert variant is not None
+        size = float(sum(h.nbytes for h in task.handles))
+        self.perf.record(
+            task.footprint(), variant.name, size, task.end_time - task.start_time
+        )
+        duration = task.end_time - task.start_time
+        energy = duration * sum(u.device.busy_watts for u in task.workers)
+        self.trace.record_task(
+            TaskRecord(
+                task_id=task.task_id,
+                name=task.name,
+                codelet=task.codelet.name,
+                variant=variant.name,
+                arch=variant.arch.value,
+                worker_ids=tuple(u.unit_id for u in task.workers),
+                submit_time=task.submit_time,
+                ready_time=task.ready_time,
+                start_time=task.start_time,
+                end_time=task.end_time,
+                energy_j=energy,
+            )
+        )
+        for dependent in task.dependents:
+            if dependent.dep_satisfied():
+                self._make_ready(dependent, max(end, dependent.earliest_start))
+
+    # -- transfers -----------------------------------------------------------
+
+    def _commit_copy(
+        self,
+        handle: DataHandle,
+        node: int,
+        earliest: float,
+        pinned: frozenset[int] | None = None,
+    ) -> float:
+        """Ensure a valid copy of ``handle`` at ``node``; commit transfers.
+
+        Returns the virtual time the copy is (or becomes) valid.  Lazy:
+        no transfer happens if the node already holds a valid copy.
+        Device-to-device copies stage through the host (no peer DMA on
+        the paper's platforms).  When the target device memory is full,
+        least-recently-used resident copies are evicted first (``pinned``
+        handles — the current task's operands — are exempt).
+        """
+        if handle.is_valid(node):
+            handle.touch(node, earliest)
+            return handle.ready_at(node)
+        if pinned is None:
+            pinned = frozenset({handle.handle_id})
+        src = handle.pick_source()
+        if src != HOST_NODE and node != HOST_NODE:
+            # stage through host, then continue host -> node
+            t_host = self._commit_copy(handle, HOST_NODE, earliest, pinned)
+            src, earliest = HOST_NODE, max(earliest, t_host)
+        earliest = self._ensure_capacity(node, handle, earliest, pinned)
+        direction = "d2h" if node == HOST_NODE else "h2d"
+        link_node = src if node == HOST_NODE else node
+        link_free = self._link_available(link_node, direction)
+        start = max(earliest, handle.ready_at(src), link_free)
+        dur = self.machine.transfer_time(src, node, handle.nbytes)
+        end = start + dur
+        self._occupy_link(link_node, direction, end)
+        handle.mark_shared(node, end)
+        handle.touch(node, end)
+        self._sync_residency(handle)
+        self.trace.record_transfer(
+            TransferRecord(
+                handle_id=handle.handle_id,
+                handle_name=handle.name,
+                src_node=src,
+                dst_node=node,
+                nbytes=handle.nbytes,
+                start_time=start,
+                end_time=end,
+            )
+        )
+        return end
+
+    # -- device-memory management (LRU eviction) -----------------------------
+
+    def _sync_residency(self, handle: DataHandle) -> None:
+        """Reconcile the per-node residency tables with a handle's state.
+
+        Only top-level handles are tracked: partition children are views
+        into their parent's allocation.
+        """
+        if handle.parent is not None:
+            return
+        for node in range(1, self.machine.n_memory_nodes):
+            present = handle.handle_id in self._resident[node]
+            wanted = handle.is_valid(node) and not handle.unregistered
+            if wanted and not present:
+                self._resident[node][handle.handle_id] = handle
+                self._node_usage[node] += handle.nbytes
+            elif present and not wanted:
+                del self._resident[node][handle.handle_id]
+                self._node_usage[node] -= handle.nbytes
+
+    def _ensure_capacity(
+        self, node: int, handle: DataHandle, when: float, pinned: frozenset[int]
+    ) -> float:
+        """Make room for ``handle`` at ``node``, evicting LRU copies.
+
+        Returns the (possibly later) time the allocation can proceed —
+        evicting a sole-owner copy costs a flush transfer home.
+        """
+        capacity = self._node_capacity[node]
+        if capacity is None or node == HOST_NODE or handle.parent is not None:
+            return when
+        if handle.handle_id in self._resident[node]:
+            return when  # already allocated there
+        need = handle.nbytes
+        if need > capacity:
+            raise RuntimeSystemError(
+                f"handle {handle.name!r} ({need} bytes) exceeds node {node} "
+                f"memory ({capacity} bytes); partition it first"
+            )
+        t = when
+        while self._node_usage[node] + need > capacity:
+            victims = [
+                h
+                for hid, h in self._resident[node].items()
+                if hid not in pinned and not h.partitioned
+            ]
+            if not victims:
+                raise RuntimeSystemError(
+                    f"node {node} out of memory: {self._node_usage[node]} bytes "
+                    f"resident, all pinned, {need} more needed"
+                )
+            victim = min(victims, key=lambda h: h.last_used(node))
+            flushed = False
+            from repro.runtime.data import CopyState
+
+            if victim.state(node) is CopyState.MODIFIED:
+                # sole owner: write it home before dropping it
+                t = max(t, self._commit_copy(victim, HOST_NODE, t, pinned))
+                flushed = True
+            victim.invalidate(node)
+            self._sync_residency(victim)
+            self.trace.record_eviction(
+                EvictionRecord(
+                    handle_id=victim.handle_id,
+                    handle_name=victim.name,
+                    node=node,
+                    nbytes=victim.nbytes,
+                    time=t,
+                    flushed=flushed,
+                )
+            )
+        return t
+
+    def _link_key(self, link_node: int, direction: str) -> tuple[int, str]:
+        link = self.machine.links[link_node]
+        return (link_node, direction if link.duplex else "both")
+
+    def _link_available(self, link_node: int, direction: str) -> float:
+        return self._link_free.get(self._link_key(link_node, direction), 0.0)
+
+    def _occupy_link(self, link_node: int, direction: str, until: float) -> None:
+        key = self._link_key(link_node, direction)
+        self._link_free[key] = max(self._link_free.get(key, 0.0), until)

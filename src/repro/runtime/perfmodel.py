@@ -1,0 +1,206 @@
+"""Performance models: what the runtime *learns* about variant timings.
+
+The paper's runtime (StarPU) selects variants using performance history
+recorded per codelet, per architecture and per data-size bucket.  We
+reproduce both model kinds StarPU offers:
+
+- :class:`HistoryModel` — per-(footprint, variant) running mean of observed
+  execution times; exact but only valid for sizes already seen.
+- :class:`RegressionModel` — per-variant power-law fit ``t = a * s^b + c``
+  (we fit ``log t = log a + b log s``, StarPU's ``NL_REGRESSION_BASED``
+  without the constant term) over (total operand bytes, time) samples;
+  extrapolates to unseen sizes once enough samples span a size range.
+
+:class:`PerfModel` combines them: exact history when available, regression
+as fallback, ``None`` when the variant is still uncalibrated (schedulers
+then explore, mirroring StarPU's calibration phase).
+
+Observations come from the *simulated* execution times (analytic cost
+model + lognormal noise), so the learning problem is faithful: the
+scheduler never sees the ground-truth cost model, only noisy samples.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import RuntimeSystemError
+
+
+@dataclass
+class RunningStats:
+    """Welford running mean/variance of a stream of durations."""
+
+    n: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def add(self, x: float) -> None:
+        if x < 0:
+            raise RuntimeSystemError(f"negative duration observed: {x}")
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (x - self.mean)
+
+    @property
+    def variance(self) -> float:
+        return self.m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class HistoryModel:
+    """Exact per-(footprint, variant) history of observed times."""
+
+    def __init__(self, min_samples: int = 1) -> None:
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.min_samples = min_samples
+        self._table: dict[tuple, RunningStats] = {}
+
+    @staticmethod
+    def _key(footprint: tuple, variant_name: str) -> tuple:
+        # Footprints are keyed by their repr so that persisted models
+        # (JSON) round-trip exactly: Task.footprint() is stable across runs.
+        return (repr(footprint), variant_name)
+
+    def record(self, footprint: tuple, variant_name: str, duration: float) -> None:
+        key = self._key(footprint, variant_name)
+        stats = self._table.get(key)
+        if stats is None:
+            stats = self._table[key] = RunningStats()
+        stats.add(duration)
+
+    def predict(self, footprint: tuple, variant_name: str) -> float | None:
+        stats = self._table.get(self._key(footprint, variant_name))
+        if stats is None or stats.n < self.min_samples:
+            return None
+        return stats.mean
+
+    def n_samples(self, footprint: tuple, variant_name: str) -> int:
+        stats = self._table.get(self._key(footprint, variant_name))
+        return 0 if stats is None else stats.n
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class RegressionModel:
+    """Power-law fit of time vs. total operand size, per variant."""
+
+    def __init__(self, min_samples: int = 4, min_size_ratio: float = 2.0) -> None:
+        self.min_samples = min_samples
+        #: largest/smallest sampled size must exceed this for extrapolation
+        self.min_size_ratio = min_size_ratio
+        self._samples: dict[str, list[tuple[float, float]]] = {}
+        self._fits: dict[str, tuple[float, float] | None] = {}
+
+    def record(self, variant_name: str, size: float, duration: float) -> None:
+        if size <= 0 or duration <= 0:
+            return  # log-log fit cannot use non-positive samples
+        self._samples.setdefault(variant_name, []).append((size, duration))
+        self._fits.pop(variant_name, None)  # invalidate cached fit
+
+    def _fit(self, variant_name: str) -> tuple[float, float] | None:
+        """Return (log_a, b) of ``t = a * s^b``, or None if unfit-able."""
+        if variant_name in self._fits:
+            return self._fits[variant_name]
+        samples = self._samples.get(variant_name, ())
+        fit: tuple[float, float] | None = None
+        if len(samples) >= self.min_samples:
+            sizes = [s for s, _ in samples]
+            if max(sizes) / min(sizes) >= self.min_size_ratio:
+                xs = [math.log(s) for s, _ in samples]
+                ys = [math.log(t) for _, t in samples]
+                n = len(xs)
+                mx = sum(xs) / n
+                my = sum(ys) / n
+                sxx = sum((x - mx) ** 2 for x in xs)
+                if sxx > 0:
+                    b = sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / sxx
+                    log_a = my - b * mx
+                    fit = (log_a, b)
+        self._fits[variant_name] = fit
+        return fit
+
+    def predict(self, variant_name: str, size: float) -> float | None:
+        if size <= 0:
+            return None
+        fit = self._fit(variant_name)
+        if fit is None:
+            return None
+        log_a, b = fit
+        return math.exp(log_a + b * math.log(size))
+
+    def n_samples(self, variant_name: str) -> int:
+        return len(self._samples.get(variant_name, ()))
+
+
+class PerfModel:
+    """History-first, regression-fallback performance model."""
+
+    def __init__(
+        self,
+        history_min_samples: int = 1,
+        regression_min_samples: int = 4,
+    ) -> None:
+        self.history = HistoryModel(min_samples=history_min_samples)
+        self.regression = RegressionModel(min_samples=regression_min_samples)
+
+    def record(
+        self, footprint: tuple, variant_name: str, size: float, duration: float
+    ) -> None:
+        """Feed one observation (called by the engine at task completion)."""
+        self.history.record(footprint, variant_name, duration)
+        self.regression.record(variant_name, size, duration)
+
+    def predict(
+        self, footprint: tuple, variant_name: str, size: float
+    ) -> float | None:
+        """Best available estimate, or None while uncalibrated."""
+        est = self.history.predict(footprint, variant_name)
+        if est is not None:
+            return est
+        return self.regression.predict(variant_name, size)
+
+    def n_samples(self, footprint: tuple, variant_name: str) -> int:
+        return self.history.n_samples(footprint, variant_name)
+
+    # -- persistence (StarPU stores per-machine perfmodel files) -----------
+
+    def to_dict(self) -> dict:
+        return {
+            "history": [
+                {
+                    "footprint": fp,
+                    "variant": var,
+                    "n": st.n,
+                    "mean": st.mean,
+                    "m2": st.m2,
+                }
+                for (fp, var), st in self.history._table.items()
+            ],
+            "regression": {
+                var: samples for var, samples in self.regression._samples.items()
+            },
+        }
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PerfModel":
+        raw = json.loads(Path(path).read_text())
+        model = cls()
+        for entry in raw.get("history", []):
+            st = RunningStats(n=entry["n"], mean=entry["mean"], m2=entry["m2"])
+            model.history._table[(entry["footprint"], entry["variant"])] = st
+        for var, samples in raw.get("regression", {}).items():
+            model.regression._samples[var] = [tuple(s) for s in samples]
+        return model

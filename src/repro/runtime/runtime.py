@@ -1,0 +1,207 @@
+"""The Runtime facade: PEPPHER's runtime-system API surface.
+
+Generated entry-wrappers (and hand-written "direct" code) talk to this
+class, the analog of StarPU's public API as the paper uses it:
+``PEPPHER_INITIALIZE()`` / ``PEPPHER_SHUTDOWN()``, data registration,
+asynchronous and synchronous task submission, explicit acquire/release of
+data from the application program, and a task barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import RuntimeSystemError
+from repro.hw.machine import Machine
+from repro.hw.noise import NoiseModel, NullNoise
+from repro.runtime.access import AccessMode
+from repro.runtime.codelet import Codelet
+from repro.runtime.data import DataHandle
+from repro.runtime.engine import Engine
+from repro.runtime.perfmodel import PerfModel
+from repro.runtime.schedulers import Scheduler, make_scheduler
+from repro.runtime.stats import ExecutionTrace
+from repro.runtime.task import Operand, Task
+
+
+class Runtime:
+    """One runtime session on a (simulated) heterogeneous machine.
+
+    Parameters
+    ----------
+    machine:
+        The machine to execute on (see :mod:`repro.hw.presets`).
+    scheduler:
+        A policy name (``"eager"``, ``"random"``, ``"ws"``, ``"dm"``,
+        ``"dmda"``) or a :class:`Scheduler` instance.  The paper's
+        performance-aware dynamic composition corresponds to ``"dmda"``.
+    seed:
+        Seed for timing noise and randomized policies; runs are
+        bit-reproducible for a fixed seed.
+    noise_sigma:
+        Relative timing jitter; 0 disables noise.
+    submit_overhead_s:
+        Host virtual time charged per task submission.
+    run_kernels:
+        When False, tasks advance time but skip the real computation.
+    perfmodel:
+        Optionally start from a pre-trained performance model (e.g.
+        loaded from disk), like StarPU's persistent calibration files.
+    perfmodel_path:
+        Persistent calibration file (StarPU keeps per-machine perfmodel
+        files under ``~/.starpu``): loaded at start-up when it exists,
+        written back at shutdown, so later sessions skip calibration.
+
+    Example
+    -------
+    >>> from repro.hw.presets import platform_c2050
+    >>> rt = Runtime(platform_c2050())
+    >>> # h = rt.register(array); rt.submit(codelet, [(h, "rw")], ctx={...})
+    >>> # rt.wait_for_all(); rt.shutdown()
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        scheduler: str | Scheduler = "dmda",
+        seed: int = 0,
+        noise_sigma: float = 0.03,
+        submit_overhead_s: float = 1e-6,
+        run_kernels: bool = True,
+        perfmodel: PerfModel | None = None,
+        scheduler_options: Mapping[str, object] | None = None,
+        perfmodel_path: "str | None" = None,
+    ) -> None:
+        if perfmodel_path is not None:
+            if perfmodel is not None:
+                raise RuntimeSystemError(
+                    "pass either perfmodel or perfmodel_path, not both"
+                )
+            from pathlib import Path
+
+            if Path(perfmodel_path).exists():
+                perfmodel = PerfModel.load(perfmodel_path)
+        self._perfmodel_path = perfmodel_path
+        if isinstance(scheduler, str):
+            scheduler = make_scheduler(scheduler, **dict(scheduler_options or {}))
+        elif scheduler_options:
+            raise RuntimeSystemError(
+                "scheduler_options only apply when scheduler is given by name"
+            )
+        noise: NoiseModel = (
+            NullNoise() if noise_sigma == 0 else NoiseModel(sigma=noise_sigma, seed=seed)
+        )
+        self.machine = machine
+        self.scheduler = scheduler
+        self.engine = Engine(
+            machine=machine,
+            scheduler=scheduler,
+            perfmodel=perfmodel,
+            noise=noise,
+            submit_overhead_s=submit_overhead_s,
+            seed=seed,
+            run_kernels=run_kernels,
+        )
+
+    # -- data ---------------------------------------------------------------
+
+    def register(self, array: np.ndarray, name: str = "") -> DataHandle:
+        """Register host data; returns a handle usable as task operand."""
+        return self.engine.register(array, name=name)
+
+    def unregister(self, handle: DataHandle) -> float:
+        """Flush to host and release the handle (no further task use)."""
+        return self.engine.unregister(handle)
+
+    def acquire(self, handle: DataHandle, mode: str | AccessMode) -> float:
+        """Block until the host may access the data with ``mode``."""
+        if isinstance(mode, str):
+            mode = AccessMode.parse(mode)
+        return self.engine.acquire(handle, mode)
+
+    def partition_equal(
+        self, handle: DataHandle, n_chunks: int, axis: int = 0
+    ) -> list[DataHandle]:
+        return self.engine.partition_equal(handle, n_chunks, axis=axis)
+
+    def partition_by_slices(
+        self, handle: DataHandle, slices: Iterable
+    ) -> list[DataHandle]:
+        return self.engine.partition_by_slices(handle, slices)
+
+    def unpartition(self, handle: DataHandle) -> float:
+        return self.engine.unpartition(handle)
+
+    # -- tasks ----------------------------------------------------------------
+
+    def submit(
+        self,
+        codelet: Codelet,
+        operands: Sequence[tuple[DataHandle, str | AccessMode]],
+        ctx: Mapping[str, object] | None = None,
+        scalar_args: tuple = (),
+        sync: bool = False,
+        priority: int = 0,
+        name: str = "",
+        parent: Task | None = None,
+    ) -> Task:
+        """Translate one component invocation into a runtime task.
+
+        ``operands`` pairs each registered handle with its access mode
+        (``"r"``/``"w"``/``"rw"`` or :class:`AccessMode`).  Asynchronous
+        by default; ``sync=True`` blocks the host program until the task
+        completes (entry-wrappers expose both, paper section IV-C).
+        """
+        ops = [
+            Operand(handle=h, mode=AccessMode.parse(m) if isinstance(m, str) else m)
+            for h, m in operands
+        ]
+        task = Task(
+            codelet=codelet,
+            operands=ops,
+            ctx=ctx,
+            scalar_args=scalar_args,
+            priority=priority,
+            parent=parent,
+            name=name,
+        )
+        return self.engine.submit(task, sync=sync)
+
+    def wait_for_all(self) -> float:
+        """Barrier over every submitted task; returns virtual time."""
+        return self.engine.wait_for_all()
+
+    def shutdown(self) -> float:
+        """Drain and close the session; returns the final virtual time.
+
+        When a persistent calibration file was configured, the (now
+        updated) performance model is written back to it.
+        """
+        t = self.engine.shutdown()
+        if self._perfmodel_path is not None:
+            self.engine.perf.save(self._perfmodel_path)
+        return t
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current host virtual time in seconds."""
+        return self.engine.clock.now
+
+    @property
+    def trace(self) -> ExecutionTrace:
+        return self.engine.trace
+
+    @property
+    def perfmodel(self) -> PerfModel:
+        return self.engine.perf
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.shutdown()

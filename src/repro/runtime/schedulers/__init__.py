@@ -1,0 +1,53 @@
+"""Scheduling policies for the task runtime.
+
+``eager`` (greedy first-free), ``random`` (speed-weighted random), ``ws``
+(queue-length balancing), ``dm`` (performance-model driven) and ``dmda``
+(performance-model + data-transfer aware — the default, and the policy
+the paper's evaluation relies on).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.schedulers.base import Decision, EngineView, Scheduler, enumerate_candidates
+from repro.runtime.schedulers.dmda import DmdaScheduler, DmScheduler
+from repro.runtime.schedulers.eager import EagerScheduler
+from repro.runtime.schedulers.random_sched import RandomWeightedScheduler
+from repro.runtime.schedulers.ws import WorkStealingScheduler
+
+_POLICIES: dict[str, type[Scheduler]] = {
+    EagerScheduler.name: EagerScheduler,
+    RandomWeightedScheduler.name: RandomWeightedScheduler,
+    WorkStealingScheduler.name: WorkStealingScheduler,
+    DmScheduler.name: DmScheduler,
+    DmdaScheduler.name: DmdaScheduler,
+}
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a policy by its short name."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduling policy {name!r}; known: {sorted(_POLICIES)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def policy_names() -> list[str]:
+    return sorted(_POLICIES)
+
+
+__all__ = [
+    "Decision",
+    "DmScheduler",
+    "DmdaScheduler",
+    "EagerScheduler",
+    "EngineView",
+    "RandomWeightedScheduler",
+    "Scheduler",
+    "WorkStealingScheduler",
+    "enumerate_candidates",
+    "make_scheduler",
+    "policy_names",
+]

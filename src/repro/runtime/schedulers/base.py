@@ -1,0 +1,127 @@
+"""Scheduler interface and the engine view schedulers decide against.
+
+A scheduler sees tasks one at a time, at the moment they become ready
+(StarPU's push model), and picks an (implementation variant, worker set)
+pair.  It never sees ground-truth cost models — only the machine layout,
+current worker/link availability estimates and the *learned* performance
+model, exactly the information StarPU policies have.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol
+
+from repro.errors import SchedulingError
+from repro.runtime.archs import Arch
+from repro.runtime.codelet import ImplVariant
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.machine import Machine, ProcessingUnit
+    from repro.runtime.task import Task
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of a scheduling choice for one ready task."""
+
+    variant: ImplVariant
+    workers: tuple["ProcessingUnit", ...]
+
+    @property
+    def anchor(self) -> "ProcessingUnit":
+        """The unit whose memory node the task computes from."""
+        return self.workers[0]
+
+
+class EngineView(Protocol):
+    """What the engine exposes to scheduling policies (read-only)."""
+
+    @property
+    def machine(self) -> "Machine": ...
+
+    def worker_available_at(self, unit_id: int) -> float:
+        """Virtual time the worker finishes its currently assigned work."""
+        ...
+
+    def worker_assigned_count(self, unit_id: int) -> int:
+        """Number of tasks assigned to the worker so far."""
+        ...
+
+    def estimate_data_ready(self, task: "Task", node: int) -> float:
+        """Earliest time all of ``task``'s operands could be valid at
+        ``node``, including estimated (not yet committed) transfers."""
+        ...
+
+    def estimate_transfer_cost(self, task: "Task", node: int) -> float:
+        """Total seconds of copies needed to stage ``task`` at ``node``."""
+        ...
+
+    def predict_exec(
+        self, task: "Task", variant: ImplVariant, unit: "ProcessingUnit"
+    ) -> float | None:
+        """Learned execution-time estimate, or None while uncalibrated."""
+        ...
+
+    def n_samples(self, task: "Task", variant: ImplVariant) -> int:
+        """Performance-history sample count for this (task-size, variant)."""
+        ...
+
+    def cpu_gang(self) -> tuple["ProcessingUnit", ...]:
+        """The CPU worker set an OpenMP (gang) variant occupies."""
+        ...
+
+    def random(self) -> float:
+        """Uniform sample in [0, 1) from the engine's seeded stream."""
+        ...
+
+
+def enumerate_candidates(
+    task: "Task", view: EngineView
+) -> list[Decision]:
+    """All feasible (variant, workers) decisions for a ready task.
+
+    CPU variants may run on any CPU worker; OpenMP variants occupy the
+    whole CPU gang; CUDA/OpenCL variants run on any GPU worker.  Variants
+    whose selectability guard rejects the call context are skipped.
+    """
+    decisions: list[Decision] = []
+    gang = view.cpu_gang()
+    for variant in task.codelet.candidates(task.ctx):
+        if variant.arch.is_gang:
+            if gang and len(gang) >= variant.min_cores:
+                decisions.append(Decision(variant=variant, workers=gang))
+            continue
+        for unit in view.machine.units:
+            if variant.arch.runs_on(unit) and variant.fits_device(unit.device):
+                decisions.append(Decision(variant=variant, workers=(unit,)))
+    if not decisions:
+        raise SchedulingError(
+            f"task {task.name}: no executable variant on machine "
+            f"{view.machine.name!r} (variants: "
+            f"{[v.name for v in task.codelet.variants]}, context rejected: "
+            f"{[v.name for v in task.codelet.variants if not v.selectable(task.ctx)]})"
+        )
+    return decisions
+
+
+class Scheduler(ABC):
+    """Base class for scheduling policies."""
+
+    #: short policy name used in CLI flags and experiment configs
+    name: str = "base"
+
+    @abstractmethod
+    def choose(self, task: "Task", view: EngineView) -> Decision:
+        """Pick the decision for one ready task."""
+
+    # Helper shared by time-driven policies ---------------------------------
+
+    @staticmethod
+    def earliest_start(task: "Task", decision: Decision, view: EngineView) -> float:
+        """max(worker availability, operand readiness) for a decision."""
+        node = decision.anchor.memory_node
+        avail = max(view.worker_available_at(u.unit_id) for u in decision.workers)
+        data = view.estimate_data_ready(task, node)
+        return max(task.ready_time, avail, data)

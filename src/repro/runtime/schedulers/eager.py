@@ -1,0 +1,37 @@
+"""Eager (greedy first-free) scheduling policy.
+
+The StarPU ``eager`` policy keeps one central queue; any worker that
+becomes idle grabs the next task, regardless of how well suited it is.
+In our push-model simulator the equivalent greedy behaviour is: assign
+the ready task to whichever feasible (variant, worker) pair can *start*
+it earliest, ignoring how long it will then take.  This is deliberately
+performance-oblivious — it is the baseline that dmda improves upon.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.runtime.schedulers.base import Decision, EngineView, Scheduler, enumerate_candidates
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.task import Task
+
+
+class EagerScheduler(Scheduler):
+    """Greedy first-free assignment, oblivious to execution time."""
+
+    name = "eager"
+
+    def choose(self, task: "Task", view: EngineView) -> Decision:
+        candidates = enumerate_candidates(task, view)
+        best: Decision | None = None
+        best_key: tuple[float, int] | None = None
+        for decision in candidates:
+            start = self.earliest_start(task, decision, view)
+            # deterministic tie-break on anchor unit id
+            key = (start, decision.anchor.unit_id)
+            if best_key is None or key < best_key:
+                best, best_key = decision, key
+        assert best is not None  # enumerate_candidates raises when empty
+        return best

@@ -1,0 +1,36 @@
+"""Weighted-random scheduling policy (StarPU's ``random``).
+
+Each feasible decision is drawn with probability proportional to the
+peak throughput of its (anchor) device, so a C2050 attracts ~50x more
+tasks than one CPU core — statistically load-balanced but blind to data
+locality and to the actual per-task costs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.runtime.schedulers.base import Decision, EngineView, Scheduler, enumerate_candidates
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.task import Task
+
+
+class RandomWeightedScheduler(Scheduler):
+    """Pick a decision with probability proportional to device speed."""
+
+    name = "random"
+
+    def choose(self, task: "Task", view: EngineView) -> Decision:
+        candidates = enumerate_candidates(task, view)
+        weights = [
+            sum(u.device.peak_gflops for u in d.workers) for d in candidates
+        ]
+        total = sum(weights)
+        pick = view.random() * total
+        acc = 0.0
+        for decision, w in zip(candidates, weights):
+            acc += w
+            if pick < acc:
+                return decision
+        return candidates[-1]  # numerical edge: pick == total

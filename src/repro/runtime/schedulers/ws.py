@@ -1,0 +1,38 @@
+"""Work-stealing-style load balancing (StarPU's ``ws``).
+
+Real work stealing is a pull protocol; in the push-model simulator the
+observable effect — tasks spread to keep per-worker queue lengths even —
+is reproduced by assigning each ready task to the feasible worker with
+the fewest tasks assigned so far.  Like ``eager``, it is oblivious to
+execution-time predictions and to transfer costs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.runtime.schedulers.base import Decision, EngineView, Scheduler, enumerate_candidates
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.task import Task
+
+
+class WorkStealingScheduler(Scheduler):
+    """Balance assigned-task counts across feasible workers."""
+
+    name = "ws"
+
+    def choose(self, task: "Task", view: EngineView) -> Decision:
+        candidates = enumerate_candidates(task, view)
+        best: Decision | None = None
+        best_key: tuple[int, float, int] | None = None
+        for decision in candidates:
+            count = max(
+                view.worker_assigned_count(u.unit_id) for u in decision.workers
+            )
+            start = self.earliest_start(task, decision, view)
+            key = (count, start, decision.anchor.unit_id)
+            if best_key is None or key < best_key:
+                best, best_key = decision, key
+        assert best is not None
+        return best

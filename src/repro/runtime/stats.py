@@ -1,0 +1,178 @@
+"""Execution trace and statistics for simulated runs.
+
+The trace is the evidence base for every experiment in the paper:
+makespan (Figures 5-7), per-worker utilisation (hybrid execution), data
+transfer counts and volumes (Figure 3's copy elision, Figure 5's
+communication bottleneck), and per-task timelines for debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.machine import HOST_NODE
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Completed-task timeline entry."""
+
+    task_id: int
+    name: str
+    codelet: str
+    variant: str
+    arch: str
+    worker_ids: tuple[int, ...]
+    submit_time: float
+    ready_time: float
+    start_time: float
+    end_time: float
+    #: modeled energy spent executing this task (duration x the busy
+    #: power of every occupied worker), in joules
+    energy_j: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One modeled data copy between memory nodes."""
+
+    handle_id: int
+    handle_name: str
+    src_node: int
+    dst_node: int
+    nbytes: int
+    start_time: float
+    end_time: float
+
+    @property
+    def is_h2d(self) -> bool:
+        return self.src_node == HOST_NODE and self.dst_node != HOST_NODE
+
+    @property
+    def is_d2h(self) -> bool:
+        return self.src_node != HOST_NODE and self.dst_node == HOST_NODE
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """One device-memory eviction (copy dropped to make room)."""
+
+    handle_id: int
+    handle_name: str
+    node: int
+    nbytes: int
+    time: float
+    flushed: bool  # True when the copy had to be written home first
+
+
+@dataclass
+class ExecutionTrace:
+    """Accumulates task and transfer records for one runtime session."""
+
+    tasks: list[TaskRecord] = field(default_factory=list)
+    transfers: list[TransferRecord] = field(default_factory=list)
+    evictions: list[EvictionRecord] = field(default_factory=list)
+
+    def record_task(self, rec: TaskRecord) -> None:
+        self.tasks.append(rec)
+
+    def record_transfer(self, rec: TransferRecord) -> None:
+        self.transfers.append(rec)
+
+    def record_eviction(self, rec: EvictionRecord) -> None:
+        self.evictions.append(rec)
+
+    @property
+    def n_evictions(self) -> int:
+        return len(self.evictions)
+
+    # -- aggregate views ----------------------------------------------------
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def n_transfers(self) -> int:
+        return len(self.transfers)
+
+    @property
+    def n_h2d(self) -> int:
+        return sum(1 for t in self.transfers if t.is_h2d)
+
+    @property
+    def n_d2h(self) -> int:
+        return sum(1 for t in self.transfers if t.is_d2h)
+
+    @property
+    def bytes_transferred(self) -> int:
+        return sum(t.nbytes for t in self.transfers)
+
+    @property
+    def makespan(self) -> float:
+        """Virtual time from first task start to last task/transfer end."""
+        ends = [t.end_time for t in self.tasks] + [
+            t.end_time for t in self.transfers
+        ]
+        return max(ends, default=0.0)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Modeled execution energy over all tasks, in joules (basis of
+        the ``min_energy`` optimization goal)."""
+        return sum(rec.energy_j for rec in self.tasks)
+
+    def energy_by_arch(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for rec in self.tasks:
+            out[rec.arch] = out.get(rec.arch, 0.0) + rec.energy_j
+        return out
+
+    def busy_time(self, worker_id: int) -> float:
+        """Total virtual time ``worker_id`` spent executing tasks."""
+        return sum(
+            rec.duration for rec in self.tasks if worker_id in rec.worker_ids
+        )
+
+    def utilisation(self, worker_id: int) -> float:
+        """Busy fraction of the makespan for one worker."""
+        span = self.makespan
+        return self.busy_time(worker_id) / span if span > 0 else 0.0
+
+    def tasks_by_arch(self) -> dict[str, int]:
+        """How many tasks each backend architecture executed."""
+        out: dict[str, int] = {}
+        for rec in self.tasks:
+            out[rec.arch] = out.get(rec.arch, 0) + 1
+        return out
+
+    def tasks_by_variant(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for rec in self.tasks:
+            out[rec.variant] = out.get(rec.variant, 0) + 1
+        return out
+
+    def transfers_for_handle(self, handle_id: int) -> list[TransferRecord]:
+        return [t for t in self.transfers if t.handle_id == handle_id]
+
+    def summary(self) -> str:
+        """Short human-readable report."""
+        by_arch = ", ".join(
+            f"{arch}: {n}" for arch, n in sorted(self.tasks_by_arch().items())
+        )
+        return (
+            f"{self.n_tasks} tasks ({by_arch or 'none'}), "
+            f"{self.n_transfers} transfers "
+            f"({self.n_h2d} h2d / {self.n_d2h} d2h, "
+            f"{self.bytes_transferred / 1e6:.2f} MB), "
+            f"makespan {self.makespan * 1e3:.3f} ms"
+        )
+
+    def clear(self) -> None:
+        self.tasks.clear()
+        self.transfers.clear()
+        self.evictions.clear()

@@ -1,0 +1,172 @@
+"""Tasks: scheduled invocations of a codelet on registered operands.
+
+Component invocations are translated (by generated entry-wrappers) into
+tasks, which are executed non-preemptively by the runtime.  Tasks are
+stateless — all state travels through their operand data handles — and
+may be synchronous (the caller blocks) or asynchronous (control returns
+immediately; ordering is inferred from data accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from itertools import count
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import RuntimeSystemError
+from repro.runtime.access import AccessMode
+from repro.runtime.codelet import Codelet, ImplVariant
+from repro.runtime.data import DataHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hw.machine import ProcessingUnit
+
+
+class TaskState(Enum):
+    """Lifecycle of a task inside the runtime."""
+
+    SUBMITTED = "submitted"  # waiting on dependencies
+    READY = "ready"  # dependencies satisfied, not yet assigned
+    SCHEDULED = "scheduled"  # assigned to worker(s), timeline computed
+    DONE = "done"
+
+
+@dataclass
+class Operand:
+    """One (handle, access-mode) pair of a task."""
+
+    handle: DataHandle
+    mode: AccessMode
+
+
+class Task:
+    """One runtime task.
+
+    Parameters
+    ----------
+    codelet:
+        The functionality to execute; the scheduler picks the variant.
+    operands:
+        Registered data the task touches, with access modes.
+    ctx:
+        Call-context properties (problem sizes etc.) passed to kernels,
+        cost models, guards and performance models.
+    scalar_args:
+        Plain (non-registered) values forwarded to the kernel unchanged.
+    priority:
+        Larger runs earlier among simultaneously-ready tasks.
+    parent:
+        Set for sub-tasks created by partitioning a single component
+        invocation (intra-component parallelism, paper section IV-F).
+    """
+
+    _ids = count()
+
+    def __init__(
+        self,
+        codelet: Codelet,
+        operands: list[Operand],
+        ctx: Mapping[str, object] | None = None,
+        scalar_args: tuple = (),
+        priority: int = 0,
+        parent: "Task | None" = None,
+        name: str = "",
+    ) -> None:
+        if not codelet.variants:
+            raise RuntimeSystemError(f"codelet {codelet.name!r} has no variants")
+        self.task_id: int = next(Task._ids)
+        self.codelet = codelet
+        self.operands = operands
+        self.ctx: dict[str, object] = dict(ctx or {})
+        self.scalar_args = scalar_args
+        self.priority = priority
+        self.parent = parent
+        self.name = name or f"{codelet.name}#{self.task_id}"
+        self.state = TaskState.SUBMITTED
+        # dependency bookkeeping
+        self.n_pending_deps = 0
+        self.dependents: list[Task] = []
+        #: lower bound on the start time imposed by already-completed
+        #: dependencies (their effects are virtual-future even when the
+        #: engine has processed them eagerly)
+        self.earliest_start = 0.0
+        # timeline, filled by the engine
+        self.submit_time: float = float("nan")
+        self.ready_time: float = float("nan")
+        self.start_time: float = float("nan")
+        self.end_time: float = float("nan")
+        self.chosen_variant: ImplVariant | None = None
+        self.workers: tuple["ProcessingUnit", ...] = ()
+
+    # -- dependency graph ---------------------------------------------------
+
+    def add_dependency(self, dep: "Task") -> None:
+        """Make this task wait for ``dep``.
+
+        The engine schedules eagerly, so ``dep`` may already be DONE in
+        bookkeeping terms while its completion still lies in the virtual
+        future; in that case the dependency degenerates to a start-time
+        lower bound instead of a pending-counter entry.
+        """
+        if dep.state is TaskState.DONE or dep.state is TaskState.SCHEDULED:
+            self.earliest_start = max(self.earliest_start, dep.end_time)
+            return
+        dep.dependents.append(self)
+        self.n_pending_deps += 1
+
+    def dep_satisfied(self) -> bool:
+        """Notify one dependency completed; True when the task turns ready."""
+        if self.n_pending_deps <= 0:
+            raise RuntimeSystemError(
+                f"task {self.name}: dependency release underflow"
+            )
+        self.n_pending_deps -= 1
+        return self.n_pending_deps == 0
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def handles(self) -> list[DataHandle]:
+        return [op.handle for op in self.operands]
+
+    def footprint(self) -> tuple:
+        """Size signature used to bucket performance-model history.
+
+        Like StarPU, the footprint hashes the operand sizes
+        (log2-bucketed so near-identical sizes share history).  It also
+        folds in the *integer* context properties — the declared PEPPHER
+        context parameters (problem sizes/counts) that may influence
+        cost without changing operand bytes (e.g. a particle count
+        driving work over fixed-size buffers).  Float context values
+        (coefficients, time points) are payload, not size, and are
+        excluded so history is reused across them.  The context may
+        override everything with an explicit ``footprint`` entry.
+        """
+        override = self.ctx.get("footprint")
+        if override is not None:
+            return (self.codelet.name, override)
+        sizes = tuple(_bucket(op.handle.nbytes) for op in self.operands)
+        ctx_sizes = tuple(
+            (key, _bucket(abs(value)))
+            for key, value in sorted(self.ctx.items())
+            if isinstance(value, int)
+            and not isinstance(value, bool)
+            and key != "ncores"
+        )
+        return (self.codelet.name, sizes, ctx_sizes)
+
+    def run_kernel(self) -> None:
+        """Execute the real computation of the chosen variant."""
+        if self.chosen_variant is None:
+            raise RuntimeSystemError(f"task {self.name}: no variant chosen")
+        arrays = tuple(op.handle.array for op in self.operands)
+        self.chosen_variant.fn(self.ctx, *arrays, *self.scalar_args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Task {self.name} {self.state.value}>"
+
+
+def _bucket(nbytes: int) -> int:
+    """Log2 size bucket (0 for empty operands)."""
+    return int(nbytes).bit_length()

@@ -1,0 +1,145 @@
+"""Execution-trace export for visualisation.
+
+StarPU generates Paje traces viewable in ViTE; the modern equivalent is
+the Chrome trace-event format (load ``chrome://tracing`` or Perfetto).
+This module exports an :class:`~repro.runtime.stats.ExecutionTrace` as:
+
+- **Chrome trace-event JSON** — one row per worker plus one per DMA
+  direction, tasks and transfers as duration events with variant /
+  operand metadata;
+- **text Gantt** — a quick terminal rendering for examples and debugging.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.hw.machine import HOST_NODE, Machine
+from repro.runtime.stats import ExecutionTrace
+
+#: microseconds per virtual second in the exported timestamps
+_US = 1e6
+
+
+def to_chrome_trace(trace: ExecutionTrace, machine: Machine) -> dict:
+    """Build the Chrome trace-event JSON object."""
+    events: list[dict] = []
+    # process/thread naming metadata
+    for unit in machine.units:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": unit.unit_id,
+                "args": {"name": f"{unit.device.name} #{unit.unit_id}"},
+            }
+        )
+    dma_tid_base = len(machine.units)
+    for i, node in enumerate(sorted(machine.links)):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": dma_tid_base + i,
+                "args": {"name": f"DMA node {node}"},
+            }
+        )
+    dma_tid = {node: dma_tid_base + i for i, node in enumerate(sorted(machine.links))}
+
+    for rec in trace.tasks:
+        for tid in rec.worker_ids:
+            events.append(
+                {
+                    "name": rec.variant,
+                    "cat": "task," + rec.arch,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": rec.start_time * _US,
+                    "dur": rec.duration * _US,
+                    "args": {
+                        "codelet": rec.codelet,
+                        "task": rec.name,
+                        "energy_j": rec.energy_j,
+                    },
+                }
+            )
+    for rec in trace.transfers:
+        link_node = rec.src_node if rec.dst_node == HOST_NODE else rec.dst_node
+        direction = "d2h" if rec.is_d2h else "h2d"
+        events.append(
+            {
+                "name": f"{direction}:{rec.handle_name}",
+                "cat": "transfer",
+                "ph": "X",
+                "pid": 0,
+                "tid": dma_tid.get(link_node, dma_tid_base),
+                "ts": rec.start_time * _US,
+                "dur": (rec.end_time - rec.start_time) * _US,
+                "args": {"bytes": rec.nbytes, "src": rec.src_node, "dst": rec.dst_node},
+            }
+        )
+    for ev in trace.evictions:
+        events.append(
+            {
+                "name": f"evict:{ev.handle_name}",
+                "cat": "eviction",
+                "ph": "i",
+                "s": "g",
+                "pid": 0,
+                "tid": dma_tid.get(ev.node, dma_tid_base),
+                "ts": ev.time * _US,
+                "args": {"bytes": ev.nbytes, "flushed": ev.flushed},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(
+    trace: ExecutionTrace, machine: Machine, path: str | Path
+) -> Path:
+    """Write the Chrome trace JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(trace, machine), indent=1))
+    return path
+
+
+def gantt_text(
+    trace: ExecutionTrace, machine: Machine, width: int = 72
+) -> str:
+    """Quick terminal Gantt chart of the worker timelines."""
+    span = trace.makespan
+    if span <= 0:
+        return "(empty trace)"
+    lines = [f"Gantt over {span * 1e3:.3f} ms (each column ~ {span / width * 1e3:.3f} ms)"]
+    for unit in machine.units:
+        row = [" "] * width
+        for rec in trace.tasks:
+            if unit.unit_id not in rec.worker_ids:
+                continue
+            lo = int(rec.start_time / span * (width - 1))
+            hi = max(int(rec.end_time / span * (width - 1)), lo)
+            mark = {"cpu": "#", "openmp": "=", "cuda": "@", "opencl": "%"}.get(
+                rec.arch, "*"
+            )
+            for i in range(lo, min(hi + 1, width)):
+                row[i] = mark
+        label = f"{unit.device.name[:14]:<14s} u{unit.unit_id}"
+        lines.append(f"{label:<18s}|{''.join(row)}|")
+    if trace.transfers:
+        row = [" "] * width
+        for rec in trace.transfers:
+            lo = int(rec.start_time / span * (width - 1))
+            hi = max(int(rec.end_time / span * (width - 1)), lo)
+            mark = "v" if rec.is_d2h else "^"
+            for i in range(lo, min(hi + 1, width)):
+                row[i] = mark
+        lines.append(f"{'PCIe DMA':<18s}|{''.join(row)}|")
+    lines.append(
+        "legend: # cpu, = openmp gang, @ cuda, % opencl, ^ h2d, v d2h"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Input generators for the benchmark applications.
+
+Synthetic stand-ins for data the paper uses but we cannot ship: the UF
+sparse matrix collection (:mod:`repro.workloads.sparse`), Rodinia input
+decks (:mod:`repro.workloads.graphs`, :mod:`repro.workloads.grids`) and
+dense operands (:mod:`repro.workloads.dense`).
+"""
+
+from repro.workloads.dense import gemm_inputs
+from repro.workloads.graphs import random_graph
+from repro.workloads.grids import hotspot_inputs, pathfinder_wall
+from repro.workloads.sparse import (
+    CSRMatrix,
+    MatrixSpec,
+    UF_SPECS,
+    make_matrix,
+    matrix_names,
+    random_csr,
+)
+
+__all__ = [
+    "CSRMatrix",
+    "MatrixSpec",
+    "UF_SPECS",
+    "gemm_inputs",
+    "hotspot_inputs",
+    "make_matrix",
+    "matrix_names",
+    "pathfinder_wall",
+    "random_csr",
+    "random_graph",
+]

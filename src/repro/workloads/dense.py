@@ -1,0 +1,16 @@
+"""Dense linear-algebra workloads (sgemm, lud inputs)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gemm_inputs(
+    m: int, n: int, k: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random single-precision (A, B, C) operands for sgemm."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k)).astype(np.float32)
+    b = rng.standard_normal((k, n)).astype(np.float32)
+    c = rng.standard_normal((m, n)).astype(np.float32)
+    return a, b, c

@@ -1,0 +1,28 @@
+"""Graph workload generation for the bfs benchmark."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_graph(
+    n_nodes: int, avg_degree: int = 8, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rodinia-style random graph in adjacency-offset form.
+
+    Returns ``(nodes, edges)`` where ``nodes`` has ``n_nodes + 1`` edge
+    offsets and ``edges`` the flattened adjacency lists.  A Hamiltonian
+    ring is embedded so BFS reaches every node (bounded diameter).
+    """
+    if n_nodes < 2:
+        raise ValueError("graph needs at least 2 nodes")
+    rng = np.random.default_rng(seed)
+    extra = rng.poisson(max(avg_degree - 1, 0), size=n_nodes)
+    degrees = 1 + extra  # ring edge + random extras
+    nodes = np.zeros(n_nodes + 1, dtype=np.int32)
+    np.cumsum(degrees, out=nodes[1:])
+    total = int(nodes[-1])
+    edges = rng.integers(0, n_nodes, size=total).astype(np.int32)
+    # first slot of each adjacency list: the ring successor
+    edges[nodes[:-1]] = (np.arange(n_nodes) + 1) % n_nodes
+    return nodes, edges

@@ -1,0 +1,26 @@
+"""Grid workloads: hotspot power maps, pathfinder walls, nw sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hotspot_inputs(
+    rows: int, cols: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """(power map, initial temperature) for the hotspot stencil."""
+    rng = np.random.default_rng(seed)
+    power = (0.1 * rng.random((rows, cols))).astype(np.float32)
+    # a few hot functional units
+    for _ in range(4):
+        r = rng.integers(0, rows)
+        c = rng.integers(0, cols)
+        power[max(r - 2, 0): r + 3, max(c - 2, 0): c + 3] += 2.0
+    temp = np.full((rows, cols), 60.0, dtype=np.float32)
+    return power.reshape(-1), temp.reshape(-1)
+
+
+def pathfinder_wall(rows: int, cols: int, seed: int = 0) -> np.ndarray:
+    """Random weight grid for the pathfinder DP."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(1, 10, size=rows * cols).astype(np.int32)

@@ -1,0 +1,83 @@
+"""Broad cost-model sweep: sanity across every app, device and size.
+
+Guards the calibration every figure rests on: costs are positive,
+finite, monotone in the primary size, and ordered sensibly between the
+two GPUs (the C2050 never loses to the C1060 on the same kernel).
+"""
+
+import pytest
+
+from repro.apps import bfs, cfd, hotspot, lud, nw, particlefilter, pathfinder, sgemm, sort, spmv
+from repro.apps import odesolver as ode
+from repro.hw.devices import tesla_c1060, tesla_c2050, xeon_e5520_core
+
+CPU = xeon_e5520_core()
+C2050 = tesla_c2050()
+C1060 = tesla_c1060()
+
+#: (module, cuda cost fn name, primary size key, small ctx, big ctx)
+SWEEPS = [
+    (spmv, "cost_cuda", {"nnz": 10_000, "nrows": 1_000}, {"nnz": 1_000_000, "nrows": 100_000}),
+    (sgemm, "cost_cublas", {"m": 64, "n": 64, "k": 64}, {"m": 1024, "n": 1024, "k": 1024}),
+    (bfs, "cost_cuda", {"n_nodes": 1_000, "n_edges": 8_000}, {"n_nodes": 100_000, "n_edges": 800_000}),
+    (cfd, "cost_cuda", {"ncells": 1_000, "iters": 4}, {"ncells": 100_000, "iters": 4}),
+    (hotspot, "cost_cuda", {"rows": 64, "cols": 64, "iters": 8}, {"rows": 1024, "cols": 1024, "iters": 8}),
+    (lud, "cost_cuda", {"n": 64}, {"n": 1024}),
+    (nw, "cost_cuda", {"n": 64, "penalty": 2}, {"n": 2048, "penalty": 2}),
+    (particlefilter, "cost_cuda", {"n_frames": 8, "dim": 64, "n_particles": 1_000}, {"n_frames": 8, "dim": 64, "n_particles": 100_000}),
+    (pathfinder, "cost_cuda", {"rows": 50, "cols": 1_000}, {"rows": 50, "cols": 1_000_000}),
+    (sort, "cost_cuda", {"n": 2_000}, {"n": 2_000_000}),
+]
+
+_GPU_FN = {sgemm: "cost_cublas"}
+
+
+def _cost_fns(module):
+    gpu = getattr(module, _GPU_FN.get(module, "cost_cuda"))
+    return [
+        (getattr(module, "cost_cpu"), CPU),
+        (getattr(module, "cost_openmp"), CPU),
+        (gpu, C2050),
+        (gpu, C1060),
+    ]
+
+
+@pytest.mark.parametrize("module,_gpu,small,big", SWEEPS)
+def test_costs_positive_finite_and_monotone(module, _gpu, small, big):
+    import math
+
+    for fn, device in _cost_fns(module):
+        ctx_small = {**small, "ncores": 4}
+        ctx_big = {**big, "ncores": 4}
+        t_small = fn(ctx_small, device)
+        t_big = fn(ctx_big, device)
+        assert 0 < t_small < 10 and math.isfinite(t_small)
+        assert t_big > t_small, (module.__name__, fn.__name__)
+
+
+@pytest.mark.parametrize("module,gpu_name,small,big", SWEEPS)
+def test_c2050_never_loses_to_c1060(module, gpu_name, small, big):
+    gpu = getattr(module, gpu_name)
+    for ctx in (small, big):
+        assert gpu(dict(ctx), C2050) <= gpu(dict(ctx), C1060)
+
+
+@pytest.mark.parametrize(
+    "suffix,device",
+    [("cpu", CPU), ("openmp", CPU), ("cuda", C2050), ("cuda", C1060)],
+)
+@pytest.mark.parametrize("name", ode.COMPONENT_NAMES)
+def test_ode_component_costs_monotone(name, suffix, device):
+    cost = getattr(ode, f"{name}_cost_{suffix}")
+    small = cost({"n": 1_000, "ncores": 4}, device)
+    big = cost({"n": 1_000_000, "ncores": 4}, device)
+    assert 0 < small < big
+
+
+def test_openmp_never_slower_than_serial_at_size():
+    """The gang must beat one core on large problems for every app."""
+    for module, _, _, big in SWEEPS:
+        ctx = {**big, "ncores": 4}
+        assert module.cost_openmp(ctx, CPU) < module.cost_cpu(dict(big), CPU), (
+            module.__name__
+        )

@@ -1,0 +1,113 @@
+"""Cost-model shape checks: the relative structure the figures rely on."""
+
+import pytest
+
+from repro.apps import bfs, hotspot, nw, particlefilter, sgemm, spmv
+from repro.apps import odesolver as ode
+from repro.apps.costkit import gpu_time, openmp_time, serial_time
+from repro.hw.devices import AccessPattern, tesla_c1060, tesla_c2050, xeon_e5520_core
+
+
+CPU = xeon_e5520_core()
+C2050 = tesla_c2050()
+C1060 = tesla_c1060()
+
+
+def test_costkit_openmp_scales_compute_with_cores():
+    flops, size = 1e9, 1e6
+    t1 = openmp_time(CPU, 1, flops, size)
+    t4 = openmp_time(CPU, 4, flops, size)
+    assert t4 < t1 / 2  # compute-bound: near-linear scaling
+
+
+def test_costkit_openmp_bandwidth_saturates():
+    size = 1e9  # memory-bound
+    t4 = openmp_time(CPU, 4, 1, size)
+    t16 = openmp_time(CPU, 16, 1, size)
+    assert t16 > 0.9 * t4  # no further scaling past saturation
+
+
+def test_costkit_validation():
+    with pytest.raises(ValueError):
+        openmp_time(CPU, 0, 1, 1)
+    with pytest.raises(ValueError):
+        gpu_time(C2050, 1, 1, AccessPattern.REGULAR, library_factor=0.0)
+
+
+def test_costkit_library_factor_speeds_up_kernel():
+    slow = gpu_time(C2050, 1e9, 1e8, AccessPattern.REGULAR, library_factor=1.0)
+    fast = gpu_time(C2050, 1e9, 1e8, AccessPattern.REGULAR, library_factor=0.5)
+    assert fast < slow
+
+
+@pytest.mark.parametrize(
+    "gpu_cost,omp_cost,big_ctx",
+    [
+        (sgemm.cost_cublas, sgemm.cost_openmp, {"m": 2048, "n": 2048, "k": 2048}),
+        (
+            hotspot.cost_cuda,
+            hotspot.cost_openmp,
+            {"rows": 1024, "cols": 1024, "iters": 16},
+        ),
+    ],
+)
+def test_gpu_wins_large_regular_kernels(gpu_cost, omp_cost, big_ctx):
+    t_cuda = gpu_cost(dict(big_ctx), C2050)
+    t_omp = omp_cost({**big_ctx, "ncores": 4}, CPU)
+    assert t_cuda < t_omp / 3
+
+
+@pytest.mark.parametrize(
+    "gpu_cost,cpu_cost,small_ctx",
+    [
+        (sgemm.cost_cublas, sgemm.cost_cpu, {"m": 16, "n": 16, "k": 16}),
+        (spmv.cost_cuda, spmv.cost_cpu, {"nnz": 200, "nrows": 50}),
+    ],
+)
+def test_cpu_wins_tiny_kernels(gpu_cost, cpu_cost, small_ctx):
+    t_cuda = gpu_cost(dict(small_ctx), C2050)
+    t_cpu = cpu_cost(dict(small_ctx), CPU)
+    assert t_cpu < t_cuda  # launch overhead dominates
+
+
+def test_c1060_degrades_irregular_kernels_more():
+    ctx = {"n_nodes": 1_000_000, "n_edges": 8_000_000}
+    slowdown_bfs = bfs.cost_cuda(ctx, C1060) / bfs.cost_cuda(ctx, C2050)
+    ctx_hs = {"rows": 1024, "cols": 1024, "iters": 8}
+    slowdown_hs = hotspot.cost_cuda(ctx_hs, C1060) / hotspot.cost_cuda(ctx_hs, C2050)
+    assert slowdown_bfs > 1.5 * slowdown_hs  # cache-less GPU hurts gathers
+
+
+def test_branchy_filter_prefers_cpu_gang_on_c1060():
+    ctx = {"n_frames": 8, "dim": 64, "n_particles": 100_000, "ncores": 4}
+    assert particlefilter.cost_openmp(ctx, CPU) < particlefilter.cost_cuda(ctx, C1060)
+
+
+def test_nw_wavefront_launches_limit_gpu_advantage():
+    """Per-diagonal launches keep nw's GPU advantage far below a
+    stencil's: the wavefront app class is where OpenMP stays relevant."""
+    ctx_nw = {"n": 2048, "penalty": 2, "ncores": 4}
+    nw_advantage = nw.cost_openmp(ctx_nw, CPU) / nw.cost_cuda(ctx_nw, C2050)
+    ctx_hs = {"rows": 1024, "cols": 1024, "iters": 16, "ncores": 4}
+    hs_advantage = hotspot.cost_openmp(ctx_hs, CPU) / hotspot.cost_cuda(ctx_hs, C2050)
+    assert nw_advantage < hs_advantage / 2
+
+
+def test_costs_monotone_in_problem_size():
+    small = sgemm.cost_cublas({"m": 128, "n": 128, "k": 128}, C2050)
+    large = sgemm.cost_cublas({"m": 1024, "n": 1024, "k": 1024}, C2050)
+    assert large > small
+
+
+def test_ode_costs_exist_for_all_components():
+    for name in ode.COMPONENT_NAMES:
+        for suffix in ("cpu", "openmp", "cuda"):
+            cost = getattr(ode, f"{name}_cost_{suffix}")
+            device = CPU if suffix != "cuda" else C2050
+            assert cost({"n": 10_000, "ncores": 4}, device) > 0
+
+
+def test_ode_rhs_is_the_expensive_component():
+    cheap = ode.ode_copy_cost_cpu({"n": 100_000}, CPU)
+    pricey = ode.ode_rhs_cost_cpu({"n": 100_000}, CPU)
+    assert pricey > cheap

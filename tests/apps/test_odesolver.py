@@ -1,0 +1,93 @@
+"""The nine-component ODE solver."""
+
+import numpy as np
+import pytest
+
+from repro.apps import odesolver as ode
+
+
+def test_nine_components_declared():
+    assert len(ode.COMPONENT_NAMES) == 9
+    assert set(ode.INTERFACES) == set(ode.COMPONENT_NAMES)
+    for name in ode.COMPONENT_NAMES:
+        assert len(ode.IMPLEMENTATIONS[name]) == 3
+
+
+def test_rhs_is_smooth_and_bounded():
+    y = np.linspace(0.5, 1.5, 100).astype(np.float32)
+    k = np.empty_like(y)
+    ode.ode_rhs_kernel(y, k, 100, 0.0)
+    assert np.isfinite(k).all()
+
+
+def test_accum_update_algebra():
+    du = np.array([1.0, 2.0], dtype=np.float32)
+    k = np.array([10.0, 20.0], dtype=np.float32)
+    ode.ode_accum_kernel(du, k, a=0.5, h=0.1, n=2)
+    assert np.allclose(du, [1.5, 3.0])
+    y = np.array([0.0, 0.0], dtype=np.float32)
+    ode.ode_update_kernel(y, du, b=2.0, n=2)
+    assert np.allclose(y, [3.0, 6.0])
+
+
+def test_norm_kernel_weighted_rms():
+    err = np.array([1e-3, 1e-3], dtype=np.float32)
+    y = np.zeros(2, dtype=np.float32)
+    out = np.zeros(1, dtype=np.float32)
+    ode.ode_norm_kernel(err, y, out, 2)
+    assert out[0] > 0
+
+
+def test_output_kernel_strides():
+    y = np.arange(16, dtype=np.float32)
+    sample = np.zeros(4, dtype=np.float32)
+    ode.ode_output_kernel(y, sample, 16, 4)
+    assert (sample == [0, 4, 8, 12]).all()
+
+
+def test_solve_matches_reference():
+    n, steps = 96, 25
+    inv = ode.local_invoke_table()
+    arrays = {
+        "y": np.zeros(n, dtype=np.float32),
+        "k": np.zeros(n, dtype=np.float32),
+        "du": np.zeros(n, dtype=np.float32),
+        "err": np.zeros(n, dtype=np.float32),
+        "norm": np.zeros(1, dtype=np.float32),
+        "sample": np.zeros(8, dtype=np.float32),
+    }
+    calls = ode.solve(inv, arrays, n, steps=steps)
+    assert np.allclose(arrays["y"], ode.reference_solution(n, steps), rtol=1e-4)
+    assert calls == 2 + steps * 18 + steps // 10
+
+
+def test_solve_invocation_count_matches_paper_scale():
+    """588 steps yield ~10600 invocations (paper: 10613)."""
+    per_step = 18
+    total = 2 + 588 * per_step + 588 // 10
+    assert abs(total - 10613) < 100
+
+
+def test_solution_stays_finite_and_positive():
+    y = ode.reference_solution(256, 200)
+    assert np.isfinite(y).all()
+    assert (y > 0).all()  # Brusselator-like dynamics stay positive here
+
+
+def test_read_norm_hook_called_each_step():
+    n, steps = 32, 7
+    inv = ode.local_invoke_table()
+    arrays = {
+        "y": np.zeros(n, dtype=np.float32),
+        "k": np.zeros(n, dtype=np.float32),
+        "du": np.zeros(n, dtype=np.float32),
+        "err": np.zeros(n, dtype=np.float32),
+        "norm": np.zeros(1, dtype=np.float32),
+        "sample": np.zeros(4, dtype=np.float32),
+    }
+    seen = []
+    ode.solve(
+        inv, arrays, n, steps=steps,
+        read_norm=lambda: seen.append(float(arrays["norm"][0])),
+    )
+    assert len(seen) == steps

@@ -1,0 +1,79 @@
+"""The OpenCL backend: portability when CUDA variants are unavailable."""
+
+import numpy as np
+
+from repro.apps import hotspot
+from repro.composer.glue import lower_component
+from repro.hw.devices import tesla_c2050
+from repro.hw.presets import platform_c2050
+from repro.runtime import Runtime
+from repro.runtime.archs import Arch
+from repro.workloads.grids import hotspot_inputs
+
+
+def _codelet_with_opencl():
+    return lower_component(
+        hotspot.INTERFACE,
+        list(hotspot.IMPLEMENTATIONS) + [hotspot.OPENCL_IMPLEMENTATION],
+    )
+
+
+def test_opencl_variant_lowered_to_gpu_arch():
+    cl = _codelet_with_opencl()
+    opencl = [v for v in cl.variants if v.arch is Arch.OPENCL]
+    assert [v.name for v in opencl] == ["hotspot_opencl"]
+
+
+def test_opencl_cost_between_cuda_and_cpu():
+    ctx = {"rows": 512, "cols": 512, "iters": 16, "ncores": 4}
+    dev = tesla_c2050()
+    from repro.hw.devices import xeon_e5520_core
+
+    t_cuda = hotspot.cost_cuda(ctx, dev)
+    t_opencl = hotspot.cost_opencl(ctx, dev)
+    t_omp = hotspot.cost_openmp(ctx, xeon_e5520_core())
+    assert t_cuda < t_opencl < t_omp  # portable but less tuned
+
+
+def test_opencl_runs_when_cuda_is_narrowed_out():
+    """disableImpls on the CUDA variant leaves the OpenCL port to keep
+    the GPU busy — the portability story of the component model."""
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=0, noise_sigma=0.0)
+    cl = _codelet_with_opencl().without(["hotspot_cuda", "hotspot_cpu", "hotspot_openmp"])
+    power, temp = hotspot_inputs(24, 24, seed=1)
+    hp = rt.register(power)
+    ht = rt.register(temp)
+    rt.submit(
+        cl,
+        [(hp, "r"), (ht, "rw")],
+        ctx={"rows": 24, "cols": 24, "iters": 4},
+        scalar_args=(24, 24, 4),
+        sync=True,
+    )
+    rec = rt.trace.tasks[0]
+    assert rec.arch == "opencl"
+    assert rec.worker_ids[0] == rt.machine.gpu_units[0].unit_id
+    rt.acquire(ht, "r")
+    power2, temp2 = hotspot_inputs(24, 24, seed=1)
+    ref = hotspot.reference(power2, temp2, 24, 24, 4)
+    assert np.allclose(temp, ref, rtol=1e-5)
+    rt.shutdown()
+
+
+def test_dmda_prefers_cuda_over_opencl_when_both_present():
+    rt = Runtime(platform_c2050(), scheduler="dmda", seed=0)
+    cl = _codelet_with_opencl()
+    power, temp = hotspot_inputs(128, 128, seed=2)
+    hp = rt.register(power)
+    ht = rt.register(temp)
+    for _ in range(16):
+        rt.submit(
+            cl,
+            [(hp, "r"), (ht, "rw")],
+            ctx={"rows": 128, "cols": 128, "iters": 8},
+            scalar_args=(128, 128, 8),
+        )
+    rt.wait_for_all()
+    tail = [rec.variant for rec in rt.trace.tasks][-6:]
+    assert all(v == "hotspot_cuda" for v in tail)
+    rt.shutdown()

@@ -1,0 +1,135 @@
+"""Intra-component parallelism helpers (paper section IV-F)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import sgemm, spmv
+from repro.composer.glue import lower_component
+from repro.hw.presets import cpu_only, platform_c2050
+from repro.runtime import Runtime
+from repro.workloads.dense import gemm_inputs
+from repro.workloads.sparse import random_csr
+
+
+def test_sgemm_blocked_matches_reference():
+    """Blocked matrix multiplication: row-block sub-tasks concatenate to
+    the full result (the paper's canonical example)."""
+    m = n = k = 96
+    rt = Runtime(platform_c2050(), scheduler="dmda", seed=0)
+    cl = lower_component(sgemm.INTERFACE, sgemm.IMPLEMENTATIONS).without(
+        ["sgemm_openmp"]
+    )
+    a, b, c0 = gemm_inputs(m, n, k, seed=1)
+    c = c0.copy()
+    ha = rt.register(a, "A")
+    hb = rt.register(b, "B")
+    hc = rt.register(c, "C")
+    tasks = sgemm.submit_partitioned(rt, cl, ha, hb, hc, m, n, k, 1.5, 0.5, 4)
+    assert len(tasks) == 4
+    rt.unpartition(hc)
+    rt.unpartition(ha)
+    ref = sgemm.reference(m, n, k, 1.5, a, b, 0.5, c0)
+    assert np.allclose(c.reshape(m, n), ref, rtol=1e-3)
+    rt.shutdown()
+
+
+def test_sgemm_blocks_share_b_single_upload():
+    """B is read by every block: one h2d transfer serves all GPU blocks."""
+    m = n = k = 64
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=0, noise_sigma=0.0)
+    cuda_only = [i for i in sgemm.IMPLEMENTATIONS if i.platform == "cuda"]
+    cl = lower_component(sgemm.INTERFACE, cuda_only)
+    a, b, c0 = gemm_inputs(m, n, k, seed=2)
+    ha = rt.register(a, "A")
+    hb = rt.register(b, "B")
+    hc = rt.register(c0.copy(), "C")
+    sgemm.submit_partitioned(rt, cl, ha, hb, hc, m, n, k, 1.0, 0.0, 4)
+    rt.unpartition(hc)
+    b_uploads = [
+        t for t in rt.trace.transfers if t.is_h2d and t.handle_name == "B"
+    ]
+    assert len(b_uploads) == 1
+    rt.shutdown()
+
+
+def test_spmv_partitioned_on_cpu_only_machine():
+    """The same partitioned call runs unchanged without a GPU."""
+    mat = random_csr(600, 600, 6, seed=3)
+    rt = Runtime(cpu_only(4), scheduler="eager", seed=0, noise_sigma=0.0)
+    cpu_impls = [i for i in spmv.IMPLEMENTATIONS if i.platform == "cpu_serial"]
+    cl = lower_component(spmv.INTERFACE, cpu_impls)
+    x = np.ones(600, dtype=np.float32)
+    y = np.zeros(600, dtype=np.float32)
+    hv = rt.register(mat.values)
+    hc = rt.register(mat.colidxs)
+    hp = rt.register(mat.rowptr)
+    hx = rt.register(x)
+    hy = rt.register(y)
+    tasks = spmv.submit_partitioned(rt, cl, hv, hc, hp, hx, hy, mat.rowptr, 600, 8)
+    rt.unpartition(hy)
+    ref = spmv.reference(mat.values, mat.colidxs, mat.rowptr, x, 600)
+    assert np.allclose(y, ref, rtol=1e-4)
+    # chunks genuinely spread over the four cores
+    workers = {w for t in tasks for w in t.workers}
+    assert len(workers) == 4
+    rt.shutdown()
+
+
+def test_spmv_chunks_overlap_in_time():
+    mat = random_csr(2000, 2000, 8, seed=4)
+    rt = Runtime(cpu_only(4), scheduler="eager", seed=0, noise_sigma=0.0)
+    cpu_impls = [i for i in spmv.IMPLEMENTATIONS if i.platform == "cpu_serial"]
+    cl = lower_component(spmv.INTERFACE, cpu_impls)
+    hv = rt.register(mat.values)
+    hc = rt.register(mat.colidxs)
+    hp = rt.register(mat.rowptr)
+    hx = rt.register(np.ones(2000, dtype=np.float32))
+    hy = rt.register(np.zeros(2000, dtype=np.float32))
+    tasks = spmv.submit_partitioned(rt, cl, hv, hc, hp, hx, hy, mat.rowptr, 2000, 8)
+    rt.wait_for_all()
+    # at least two chunk tasks run concurrently
+    t0 = tasks[0]
+    assert any(
+        t.start_time < t0.end_time and t0.start_time < t.end_time
+        for t in tasks[1:]
+    )
+    rt.shutdown()
+
+
+def test_partitioned_speedup_over_single_task():
+    """The whole point: one invocation mapped to sub-tasks finishes
+    faster than the same invocation as a single task."""
+    mat = random_csr(20_000, 20_000, 8, seed=5)
+    x = np.ones(20_000, dtype=np.float32)
+
+    def single():
+        rt = Runtime(cpu_only(4), scheduler="eager", seed=0, noise_sigma=0.0)
+        cpu_impls = [i for i in spmv.IMPLEMENTATIONS if i.platform == "cpu_serial"]
+        cl = lower_component(spmv.INTERFACE, cpu_impls)
+        hv = rt.register(mat.values)
+        hc = rt.register(mat.colidxs)
+        hp = rt.register(mat.rowptr)
+        hx = rt.register(x)
+        hy = rt.register(np.zeros(20_000, dtype=np.float32))
+        rt.submit(
+            cl,
+            [(hv, "r"), (hc, "r"), (hp, "r"), (hx, "r"), (hy, "w")],
+            ctx={"nnz": mat.nnz, "nrows": 20_000},
+            scalar_args=(mat.nnz, 20_000, 20_000, 0),
+        )
+        return rt.shutdown()
+
+    def partitioned():
+        rt = Runtime(cpu_only(4), scheduler="eager", seed=0, noise_sigma=0.0)
+        cpu_impls = [i for i in spmv.IMPLEMENTATIONS if i.platform == "cpu_serial"]
+        cl = lower_component(spmv.INTERFACE, cpu_impls)
+        hv = rt.register(mat.values)
+        hc = rt.register(mat.colidxs)
+        hp = rt.register(mat.rowptr)
+        hx = rt.register(x)
+        hy = rt.register(np.zeros(20_000, dtype=np.float32))
+        spmv.submit_partitioned(rt, cl, hv, hc, hp, hx, hy, mat.rowptr, 20_000, 8)
+        rt.unpartition(hy)
+        return rt.shutdown()
+
+    assert partitioned() < single() / 2.5  # ~4 cores worth of speedup

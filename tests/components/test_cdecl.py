@@ -1,0 +1,110 @@
+"""C/C++ declaration parsing (utility-mode input)."""
+
+import pytest
+
+from repro.components.cdecl import parse_declaration, parse_header, to_interface
+from repro.errors import CDeclError
+from repro.runtime.access import AccessMode
+
+
+def test_simple_declaration():
+    d = parse_declaration("void foo(int a, float b);")
+    assert d.name == "foo" and d.return_type == "void"
+    assert [(p.name, p.ctype) for p in d.params] == [("a", "int"), ("b", "float")]
+
+
+def test_paper_spmv_declaration():
+    d = parse_declaration(
+        "void spmv(float* values, int nnz, int nrows, int ncols, int first, "
+        "size_t* colidxs, size_t* rowPtr, float* x, float* y);"
+    )
+    assert d.name == "spmv" and len(d.params) == 9
+    assert d.params[0].ctype == "float*"
+    assert d.params[5].ctype == "size_t*"
+
+
+def test_const_pointer_is_read():
+    d = parse_declaration("void f(const float* in, float* out);")
+    assert d.params[0].access is AccessMode.R
+    assert d.params[1].access is AccessMode.RW  # conservative suggestion
+
+
+def test_references_follow_const_semantics():
+    d = parse_declaration("void f(const Thing& a, Thing& b);")
+    assert d.params[0].access is AccessMode.R and d.params[0].is_operand
+    assert d.params[1].access is AccessMode.RW
+
+
+def test_by_value_scalar_is_read_non_operand():
+    d = parse_declaration("void f(int n);")
+    assert d.params[0].access is AccessMode.R and not d.params[0].is_operand
+
+
+def test_template_declaration():
+    d = parse_declaration("template <typename T> void sort(T* data, int n);")
+    assert d.type_params == ("T",)
+    assert d.params[0].ctype == "T*"
+
+
+def test_template_multiple_params():
+    d = parse_declaration(
+        "template <typename K, class V> void join(K* keys, V* vals, int n);"
+    )
+    assert d.type_params == ("K", "V")
+
+
+def test_template_bad_param():
+    with pytest.raises(CDeclError):
+        parse_declaration("template <int N> void f(int a);")
+
+
+def test_void_parameter_list():
+    assert parse_declaration("void f(void);").params == ()
+    assert parse_declaration("int g();").params == ()
+
+
+def test_array_suffix_parameter():
+    d = parse_declaration("void f(float data[], int n);")
+    assert d.params[0].name == "data"
+
+
+def test_whitespace_normalisation():
+    d = parse_declaration("void f(const  float  *  x);")
+    assert d.params[0].ctype == "const float*"
+
+
+def test_unparsable_rejected():
+    with pytest.raises(CDeclError):
+        parse_declaration("not a declaration")
+    with pytest.raises(CDeclError):
+        parse_declaration("")
+
+
+def test_header_parsing_strips_comments():
+    header = """
+    /* block comment with (parens) */
+    #include <stddef.h>
+    // line comment with foo(int)
+    void alpha(int a);
+    void beta(const float* x, float* y);
+    """
+    decls = parse_header(header)
+    assert [d.name for d in decls] == ["alpha", "beta"]
+
+
+def test_header_without_declarations():
+    with pytest.raises(CDeclError):
+        parse_header("// nothing here\n#define X 1\n")
+
+
+def test_to_interface_suggests_context_params():
+    d = parse_declaration("void f(const float* data, int n, size_t count, float w);")
+    iface = to_interface(d)
+    names = [cp.name for cp in iface.context_params]
+    assert names == ["n", "count"]  # integer scalars only
+    assert iface.param("data").access is AccessMode.R
+
+
+def test_to_interface_keeps_template_params():
+    d = parse_declaration("template <typename T> void s(T* d, int n);")
+    assert to_interface(d).type_params == ("T",)

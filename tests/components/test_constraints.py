@@ -1,0 +1,91 @@
+"""Selectability constraints."""
+
+import pytest
+
+from repro.components.constraints import (
+    ExpressionConstraint,
+    RangeConstraint,
+    make_guard,
+)
+from repro.errors import ConstraintError
+
+
+def test_range_needs_a_bound():
+    with pytest.raises(ConstraintError):
+        RangeConstraint("n")
+
+
+def test_range_evaluation():
+    c = RangeConstraint("n", minimum=10, maximum=100)
+    assert c.evaluate({"n": 10}) and c.evaluate({"n": 100})
+    assert not c.evaluate({"n": 9})
+    assert not c.evaluate({"n": 101})
+
+
+def test_range_missing_property_accepts():
+    assert RangeConstraint("n", minimum=10).evaluate({"m": 1})
+
+
+def test_range_describe():
+    assert "n <= 100" in RangeConstraint("n", maximum=100).describe()
+
+
+def test_expression_comparison_chain():
+    c = ExpressionConstraint("10 <= n <= 100")
+    assert c.evaluate({"n": 50})
+    assert not c.evaluate({"n": 5})
+
+
+def test_expression_arithmetic():
+    c = ExpressionConstraint("nnz / nrows <= 64")
+    assert c.evaluate({"nnz": 640, "nrows": 100})
+    assert not c.evaluate({"nnz": 6500, "nrows": 100})
+
+
+def test_expression_boolean_ops():
+    c = ExpressionConstraint("n >= 8 and (m < 4 or not small)")
+    assert c.evaluate({"n": 8, "m": 2, "small": True})
+    assert not c.evaluate({"n": 8, "m": 9, "small": True})
+
+
+def test_expression_unary_minus():
+    assert ExpressionConstraint("x > -5").evaluate({"x": 0})
+
+
+def test_expression_missing_property_accepts():
+    assert ExpressionConstraint("n > 100").evaluate({})
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "__import__('os')",
+        "f(n)",
+        "n.attr > 1",
+        "[1,2][0] > 0",
+        "n if m else k",
+        "lambda: 1",
+        "'text' == 'text'",
+    ],
+)
+def test_expression_rejects_unsafe_nodes(bad):
+    with pytest.raises(ConstraintError):
+        ExpressionConstraint(bad)
+
+
+def test_expression_rejects_syntax_errors():
+    with pytest.raises(ConstraintError):
+        ExpressionConstraint("n >")
+
+
+def test_make_guard_combines():
+    guard = make_guard(
+        [RangeConstraint("n", minimum=10), ExpressionConstraint("m < 5")]
+    )
+    assert guard({"n": 20, "m": 1})
+    assert not guard({"n": 5, "m": 1})
+    assert not guard({"n": 20, "m": 9})
+
+
+def test_make_guard_empty_is_none():
+    assert make_guard([]) is None

@@ -1,0 +1,75 @@
+"""Context parameter declarations and instances."""
+
+import pytest
+
+from repro.components.context import (
+    ContextInstance,
+    ContextParamDecl,
+    training_scenarios,
+)
+from repro.errors import DescriptorError
+
+
+def test_decl_validation():
+    with pytest.raises(DescriptorError):
+        ContextParamDecl("n", kind="string")
+    with pytest.raises(DescriptorError):
+        ContextParamDecl("n", minimum=10, maximum=1)
+
+
+def test_value_range_check():
+    decl = ContextParamDecl("n", minimum=2, maximum=8)
+    decl.validate(4)
+    with pytest.raises(DescriptorError):
+        decl.validate(1)
+    with pytest.raises(DescriptorError):
+        decl.validate(9)
+
+
+def test_sample_points_geometric_and_bounded():
+    decl = ContextParamDecl("n", minimum=10, maximum=10_000)
+    pts = decl.sample_points(4)
+    assert pts[0] == 10 and pts[-1] == 10_000
+    assert pts == sorted(pts)
+    ratios = [pts[i + 1] / pts[i] for i in range(3)]
+    assert max(ratios) / min(ratios) < 1.3  # roughly geometric
+
+
+def test_sample_points_int_kind_rounds():
+    decl = ContextParamDecl("n", kind="int", minimum=10, maximum=1000)
+    assert all(p == int(p) for p in decl.sample_points(5))
+
+
+def test_sample_points_single():
+    decl = ContextParamDecl("n", minimum=7, maximum=7)
+    assert decl.sample_points(3) == [7.0]
+
+
+def test_context_instance_mapping_protocol():
+    ctx = ContextInstance({"n": 10, "m": 20})
+    assert ctx["n"] == 10 and len(ctx) == 2
+    assert sorted(ctx) == ["m", "n"]
+    with pytest.raises(KeyError):
+        ctx["missing"]
+
+
+def test_context_instance_hash_eq():
+    a = ContextInstance({"n": 10, "m": 20})
+    b = ContextInstance({"m": 20, "n": 10})
+    assert a == b and hash(a) == hash(b)
+    assert a == {"n": 10, "m": 20}
+    assert a != ContextInstance({"n": 11, "m": 20})
+
+
+def test_training_scenarios_cartesian():
+    decls = [
+        ContextParamDecl("n", minimum=10, maximum=1000),
+        ContextParamDecl("m", minimum=10, maximum=1000),
+    ]
+    scenarios = training_scenarios(decls, points_per_param=3)
+    assert len(scenarios) == 9
+    assert all("n" in s and "m" in s for s in scenarios)
+
+
+def test_training_scenarios_empty_decls():
+    assert training_scenarios([]) == [ContextInstance({})]

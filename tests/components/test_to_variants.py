@@ -1,0 +1,116 @@
+"""ImplementationDescriptor.to_variants (ctx-style kernel lowering).
+
+``lower_component`` adapts C-signature kernels for generated code;
+``to_variants`` is the direct path for ctx-style callables
+(``fn(ctx, *arrays, *scalars)``), useful for hand-built codelets.
+"""
+
+import sys
+import types
+
+import numpy as np
+import pytest
+
+from repro.components import (
+    ImplementationDescriptor,
+    TunableParam,
+    RangeConstraint,
+    standard_platforms,
+)
+from repro.errors import DescriptorError
+from repro.runtime.archs import Arch
+
+_PLATFORMS = {p.name: p for p in standard_platforms()}
+
+
+@pytest.fixture(autouse=True)
+def kernel_module():
+    """A throwaway module the descriptor refs can resolve against."""
+    mod = types.ModuleType("tv_kernels")
+
+    def kernel(ctx, data, scale):
+        data *= scale * ctx.get("tile", 1)
+
+    def cost(ctx, device):
+        return 1e-6 * ctx.get("tile", 1)
+
+    mod.kernel = kernel
+    mod.cost = cost
+    sys.modules["tv_kernels"] = mod
+    yield mod
+    del sys.modules["tv_kernels"]
+
+
+def _desc(**kw):
+    base = dict(
+        name="scale",
+        provides="scale",
+        platform="cuda",
+        kernel_ref="tv_kernels:kernel",
+        cost_ref="tv_kernels:cost",
+    )
+    base.update(kw)
+    return ImplementationDescriptor(**base)
+
+
+def test_lowering_resolves_refs_and_arch():
+    variants = _desc().to_variants(_PLATFORMS)
+    assert len(variants) == 1
+    assert variants[0].arch is Arch.CUDA
+    data = np.ones(4)
+    variants[0].fn({}, data, 3.0)
+    assert (data == 3.0).all()
+
+
+def test_tunables_expand_and_reach_cost_model():
+    variants = _desc(
+        tunables=(TunableParam("tile", values=(2, 8)),)
+    ).to_variants(_PLATFORMS)
+    assert {v.name for v in variants} == {"scale_tile2", "scale_tile8"}
+    from repro.hw.devices import tesla_c2050
+
+    costs = {v.name: v.cost_model({}, tesla_c2050()) for v in variants}
+    assert costs["scale_tile8"] == pytest.approx(4 * costs["scale_tile2"])
+
+
+def test_tunables_reach_ctx_style_kernels():
+    variants = _desc(
+        tunables=(TunableParam("tile", values=(5,)),)
+    ).to_variants(_PLATFORMS)
+    data = np.ones(2)
+    variants[0].fn({}, data, 1.0)
+    assert (data == 5.0).all()  # tile merged into ctx, used by the kernel
+
+
+def test_constraints_become_guards():
+    variants = _desc(
+        constraints=(RangeConstraint("n", minimum=100),)
+    ).to_variants(_PLATFORMS)
+    assert not variants[0].selectable({"n": 10})
+    assert variants[0].selectable({"n": 1000})
+
+
+def test_missing_refs_rejected():
+    with pytest.raises(DescriptorError):
+        _desc(kernel_ref="").to_variants(_PLATFORMS)
+    with pytest.raises(DescriptorError):
+        _desc(cost_ref="").to_variants(_PLATFORMS)
+
+
+def test_non_callable_ref_rejected():
+    sys.modules["tv_kernels"].not_callable = 42
+    with pytest.raises(DescriptorError):
+        _desc(kernel_ref="tv_kernels:not_callable").to_variants(_PLATFORMS)
+
+
+def test_unknown_platform_rejected():
+    with pytest.raises(DescriptorError):
+        _desc(platform="vulkan").to_variants(_PLATFORMS)
+
+
+def test_prediction_resolution():
+    assert _desc().prediction() is None
+    pred = _desc(prediction_ref="tv_kernels:cost").prediction()
+    from repro.hw.devices import tesla_c2050
+
+    assert pred.predict({"tile": 2}, tesla_c2050()) == pytest.approx(2e-6)

@@ -1,0 +1,122 @@
+"""Tunable parameters and prediction functions."""
+
+import pytest
+
+from repro.components.prediction import (
+    MicrobenchTable,
+    PredictionFunction,
+    resolve_ref,
+)
+from repro.components.tunables import (
+    TunableParam,
+    expand_tunables,
+    mangle_tunable_suffix,
+)
+from repro.errors import DescriptorError
+from repro.hw.devices import tesla_c2050
+
+
+# -- tunables ----------------------------------------------------------------
+
+def test_tunable_needs_values_or_default():
+    with pytest.raises(DescriptorError):
+        TunableParam("tile")
+
+
+def test_tunable_effective_default():
+    assert TunableParam("tile", values=(8, 16)).effective_default == 8
+    assert TunableParam("tile", values=(8,), default=16).effective_default == 16
+
+
+def test_expand_cartesian_product():
+    bindings = expand_tunables(
+        [TunableParam("tile", values=(8, 16)), TunableParam("buf", values=(1, 2, 3))]
+    )
+    assert len(bindings) == 6
+    assert {"tile": 8, "buf": 2} in bindings
+
+
+def test_expand_empty():
+    assert expand_tunables([]) == [{}]
+
+
+def test_expand_uses_default_when_no_values():
+    bindings = expand_tunables([TunableParam("tile", default=32)])
+    assert bindings == [{"tile": 32}]
+
+
+def test_mangle_suffix_stable_order():
+    assert mangle_tunable_suffix({"b": 2, "a": 1}) == "_a1_b2"
+    assert mangle_tunable_suffix({}) == ""
+
+
+# -- prediction ----------------------------------------------------------------
+
+def test_resolve_ref_roundtrip():
+    fn = resolve_ref("repro.apps.spmv:cost_cpu")
+    assert callable(fn)
+
+
+def test_resolve_ref_validation():
+    with pytest.raises(DescriptorError):
+        resolve_ref("no_colon_here")
+    with pytest.raises(DescriptorError):
+        resolve_ref("repro.apps.spmv:not_there")
+    with pytest.raises(DescriptorError):
+        resolve_ref("definitely.not.a.module:x")
+
+
+def test_microbench_interpolates_log_log():
+    table = MicrobenchTable()
+    table.add(100, 1e-4)
+    table.add(10_000, 1e-2)  # slope 1 in log-log
+    assert table.predict(1000) == pytest.approx(1e-3, rel=1e-6)
+
+
+def test_microbench_extrapolates_with_edge_slope():
+    table = MicrobenchTable()
+    table.add(100, 1e-4)
+    table.add(1000, 1e-3)
+    assert table.predict(10_000) == pytest.approx(1e-2, rel=1e-6)
+
+
+def test_microbench_single_sample_scales_linearly():
+    table = MicrobenchTable()
+    table.add(100, 1e-3)
+    assert table.predict(200) == pytest.approx(2e-3)
+
+
+def test_microbench_validation():
+    table = MicrobenchTable()
+    with pytest.raises(DescriptorError):
+        table.add(-1, 1e-3)
+    with pytest.raises(DescriptorError):
+        table.predict(100)  # empty
+
+
+def test_prediction_function_exclusive_inputs():
+    with pytest.raises(DescriptorError):
+        PredictionFunction()
+    with pytest.raises(DescriptorError):
+        PredictionFunction(fn=lambda c, d: 1.0, table=MicrobenchTable())
+
+
+def test_prediction_function_from_callable_ref():
+    pred = PredictionFunction.from_ref("repro.apps.spmv:cost_cpu")
+    t = pred.predict({"nnz": 10_000, "nrows": 1000}, tesla_c2050())
+    assert t > 0
+
+
+def test_prediction_table_needs_size_key():
+    table = MicrobenchTable()
+    table.add(10, 1e-3)
+    pred = PredictionFunction(table=table, size_key="n")
+    assert pred.predict({"n": 10}, tesla_c2050()) == pytest.approx(1e-3)
+    with pytest.raises(DescriptorError):
+        pred.predict({"m": 10}, tesla_c2050())
+
+
+def test_prediction_rejects_invalid_output():
+    pred = PredictionFunction(fn=lambda c, d: float("nan"))
+    with pytest.raises(DescriptorError):
+        pred.predict({}, tesla_c2050())

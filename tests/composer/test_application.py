@@ -1,0 +1,67 @@
+"""ComposedApplication behaviour and error paths."""
+
+import pytest
+
+from repro.apps import spmv
+from repro.components import MainDescriptor, Repository
+from repro.composer import ComposedApplication, Composer, Recipe
+from repro.errors import CompositionError
+
+
+@pytest.fixture
+def app(tmp_path):
+    repo = Repository()
+    spmv.register(repo)
+    main = MainDescriptor(name="spmv_app", components=("spmv",))
+    repo.add_main(main)
+    return Composer(repo, Recipe()).compose(main, tmp_path)
+
+
+def test_artefact_listing(app):
+    files = app.artefact_files()
+    assert "peppher.py" in files and "Makefile" in files
+
+
+def test_import_is_idempotent(app):
+    assert app.import_generated() is app.import_generated()
+
+
+def test_entry_lookup(app):
+    assert callable(app.entry("spmv"))
+    with pytest.raises(CompositionError):
+        app.entry("not_a_component")
+
+
+def test_missing_package_rejected(app, tmp_path):
+    ghost = ComposedApplication(app.tree, tmp_path / "nowhere")
+    with pytest.raises(CompositionError):
+        ghost.import_generated()
+
+
+def test_recompose_evicts_stale_modules(tmp_path, app):
+    """Composing the same app into a new directory must load the fresh
+    artefacts, not the cached modules of the first compose."""
+    repo = Repository()
+    spmv.register(repo)
+    main = MainDescriptor(name="spmv_app", components=("spmv",))
+    repo.add_main(main)
+    app.import_generated()
+    second_dir = tmp_path / "second"
+    app2 = Composer(repo, Recipe(disable_impls=("spmv_cpu",))).compose(
+        main, second_dir
+    )
+    pkg = app2.import_generated()
+    import importlib
+
+    registry = importlib.import_module(f"{app2.package_name}._registry")
+    names = {v.name for v in registry.CODELETS["spmv"].variants}
+    assert "spmv_cpu" not in names  # the fresh, narrowed artefacts loaded
+
+
+def test_initialize_shutdown_roundtrip(app):
+    rt = app.initialize(seed=5)
+    assert rt.machine.name == "xeon-e5520+c2050"
+    assert app.shutdown() >= 0.0
+    # shutdown clears the holder: a fresh initialize works
+    rt2 = app.initialize()
+    app.shutdown()

@@ -1,0 +1,124 @@
+"""Code generation: stub text, header/registry, Makefile, manifest."""
+
+import json
+
+import pytest
+
+from repro.apps import spmv
+from repro.components import MainDescriptor, Repository
+from repro.composer.builder import Composer
+from repro.composer.codegen.header import (
+    generate_peppher_module,
+    generate_registry_module,
+)
+from repro.composer.codegen.makefile import generate_build_manifest, generate_makefile
+from repro.composer.codegen.stubs import generate_stub_module, stub_module_name
+from repro.composer.explorer import build_ir
+from repro.composer.recipe import Recipe
+from repro.errors import CodegenError
+
+
+@pytest.fixture
+def spmv_tree():
+    repo = Repository()
+    spmv.register(repo)
+    main = MainDescriptor(name="spmv_app", components=("spmv",))
+    return build_ir(repo, main, Recipe()), repo
+
+
+def test_stub_module_name():
+    assert stub_module_name("spmv") == "spmv_stub"
+
+
+def test_stub_text_is_valid_python(spmv_tree):
+    tree, _ = spmv_tree
+    node = tree.node("spmv")
+    text = generate_stub_module(node.interface, node.implementations)
+    compile(text, "spmv_stub.py", "exec")  # must parse
+
+
+def test_stub_contains_entry_and_backends(spmv_tree):
+    tree, _ = spmv_tree
+    node = tree.node("spmv")
+    text = generate_stub_module(node.interface, node.implementations)
+    # one entry-wrapper with the full C parameter list
+    assert "def spmv(values, nnz, nrows, ncols, first, colidxs, rowPtr, x, y," in text
+    # one backend-wrapper per implementation, task-function signature
+    for impl in ("spmv_cpu", "spmv_openmp", "spmv_cuda_cusp"):
+        assert f"def {impl}_backend(buffers, arg):" in text
+    assert "BACKENDS = {" in text
+    # packing: buffers unpack to operands, arg to scalars
+    assert "(values, colidxs, rowPtr, x, y, ) = buffers" in text
+    assert "(nnz, nrows, ncols, first, ) = arg" in text
+
+
+def test_stub_rejects_generic_interface():
+    from repro.components import InterfaceDescriptor, ParamDecl
+
+    generic = InterfaceDescriptor(
+        "sort", params=(ParamDecl("d", "T*"),), type_params=("T",)
+    )
+    with pytest.raises(CodegenError):
+        generate_stub_module(generic, [])
+
+
+def test_stub_rejects_missing_kernel_ref(spmv_tree):
+    from dataclasses import replace
+
+    tree, _ = spmv_tree
+    node = tree.node("spmv")
+    broken = [replace(node.implementations[0], kernel_ref="")]
+    with pytest.raises(CodegenError):
+        generate_stub_module(node.interface, broken)
+
+
+def test_registry_text_mentions_components():
+    text = generate_registry_module("app", ["spmv"], {"spmv": ["spmv_cuda_cusp"]})
+    compile(text, "_registry.py", "exec")
+    assert "STATIC_NARROWING = {'spmv': ['spmv_cuda_cusp']}" in text
+
+
+def test_peppher_module_exports(spmv_tree):
+    tree, _ = spmv_tree
+    text = generate_peppher_module(tree.main, ["spmv"])
+    compile(text, "peppher.py", "exec")
+    assert "PEPPHER_INITIALIZE" in text and "PEPPHER_SHUTDOWN" in text
+    assert "from .spmv_stub import spmv" in text
+    assert 'TARGET_PLATFORM = \'c2050\'' in text
+
+
+def test_makefile_structure(spmv_tree):
+    tree, repo = spmv_tree
+    text = generate_makefile(tree, repo.platforms)
+    assert "all: $(APP)" in text
+    assert "spmv_cpu.cpp" in text
+    assert "nvcc -O3 -arch=sm_20" in text  # impl-specific compile command
+    assert "g++ -fopenmp" in text  # platform default command
+    assert ".PHONY: all clean" in text
+
+
+def test_build_manifest_records_deployment(spmv_tree):
+    tree, repo = spmv_tree
+    manifest = json.loads(generate_build_manifest(tree, repo.platforms))
+    assert manifest["application"] == "spmv_app"
+    comp = manifest["components"][0]
+    assert comp["interface"] == "spmv"
+    archs = {i["arch"] for i in comp["implementations"]}
+    assert archs == {"cpu", "openmp", "cuda"}
+
+
+def test_generated_package_layout(tmp_path, spmv_tree):
+    tree, repo = spmv_tree
+    app = Composer(repo, Recipe()).generate(tree, tmp_path)
+    files = app.artefact_files()
+    for expected in (
+        "Makefile",
+        "__init__.py",
+        "_registry.py",
+        "build_manifest.json",
+        "peppher.py",
+        "spmv_stub.py",
+        "descriptors/spmv/interface.xml",
+        "descriptors/spmv/cuda/spmv_cuda_cusp.xml",
+    ):
+        assert expected in files, expected

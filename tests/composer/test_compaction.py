@@ -1,0 +1,89 @@
+"""Dispatch-table compaction into decision trees (paper section III)."""
+
+import pytest
+
+from repro.apps import sgemm, spmv
+from repro.components.context import ContextInstance
+from repro.composer.compaction import compact_dispatch_table
+from repro.composer.ir import ComponentNode
+from repro.composer.static_comp import DispatchEntry, DispatchTable, build_dispatch_table
+from repro.errors import CompositionError
+from repro.hw.presets import platform_c2050
+
+
+def _table(module=sgemm, points=3) -> DispatchTable:
+    node = ComponentNode(
+        interface=module.INTERFACE, implementations=list(module.IMPLEMENTATIONS)
+    )
+    return build_dispatch_table(node, platform_c2050(), points_per_param=points)
+
+
+def test_tree_reproduces_every_training_scenario():
+    table = _table()
+    tree = compact_dispatch_table(table)
+    for entry in table.entries:
+        assert tree.lookup(entry.scenario.as_dict()) == entry.variant
+
+
+def test_tree_is_smaller_than_the_table():
+    table = _table(points=4)  # 64 scenarios
+    tree = compact_dispatch_table(table)
+    assert tree.n_nodes < len(table.entries)
+
+
+def test_tree_generalises_between_grid_points():
+    """Between two scenarios with the same winner, the tree must keep
+    returning that winner (thresholds sit between the regions)."""
+    table = _table()
+    tree = compact_dispatch_table(table)
+    assert tree.lookup({"m": 4000, "n": 4000, "k": 4000}) == "sgemm_cublas"
+    small = tree.lookup({"m": 20, "n": 20, "k": 20})
+    assert small != "sgemm_cublas"
+
+
+def test_tree_handles_missing_keys_via_majority():
+    table = _table()
+    tree = compact_dispatch_table(table)
+    # no context at all: fall back through majorities to some variant
+    assert tree.lookup({}) in {i.name for i in sgemm.IMPLEMENTATIONS}
+
+
+def test_single_winner_collapses_to_one_leaf():
+    entries = [
+        DispatchEntry(
+            scenario=ContextInstance({"n": n}), variant="only", predicted_time=1.0
+        )
+        for n in (10, 100, 1000)
+    ]
+    table = DispatchTable("x", entries)
+    tree = compact_dispatch_table(table)
+    assert tree.n_nodes == 1 and tree.depth == 1
+    assert tree.lookup({"n": 5}) == "only"
+
+
+def test_empty_table_rejected():
+    with pytest.raises(CompositionError):
+        compact_dispatch_table(DispatchTable("x"))
+
+
+def test_describe_is_readable():
+    tree = compact_dispatch_table(_table())
+    text = tree.describe()
+    assert "if " in text and "-> " in text and "sgemm" in text
+
+
+def test_depth_limit_degrades_gracefully():
+    table = _table(points=4)
+    tree = compact_dispatch_table(table, max_depth=1)
+    assert tree.depth <= 2  # one split + leaves
+    # still a valid dispatch function
+    assert tree.lookup({"m": 4096, "n": 4096, "k": 4096}) in {
+        i.name for i in sgemm.IMPLEMENTATIONS
+    }
+
+
+def test_spmv_table_compacts_too():
+    table = _table(spmv)
+    tree = compact_dispatch_table(table)
+    for entry in table.entries:
+        assert tree.lookup(entry.scenario.as_dict()) == entry.variant

@@ -1,0 +1,125 @@
+"""Generic component expansion and user-guided narrowing."""
+
+import pytest
+
+from repro.components import (
+    ImplementationDescriptor,
+    InterfaceDescriptor,
+    MainDescriptor,
+    ParamDecl,
+    Repository,
+)
+from repro.composer.expansion import expand_all, expand_component, type_suffix
+from repro.composer.explorer import build_ir
+from repro.composer.narrowing import apply_narrowing
+from repro.composer.recipe import Recipe
+from repro.errors import CompositionError, ExpansionError
+
+
+def _generic():
+    iface = InterfaceDescriptor(
+        "sort",
+        params=(ParamDecl("data", "T*"), ParamDecl("n", "int")),
+        type_params=("T",),
+    )
+    impls = [
+        ImplementationDescriptor(
+            name="sort_cpu", provides="sort", platform="cpu_serial",
+            kernel_ref="m:k", cost_ref="m:c",
+        )
+    ]
+    return iface, impls
+
+
+def test_expand_component_binds_and_renames():
+    iface, impls = _generic()
+    exp_iface, exp_impls = expand_component(iface, impls, {"T": "float"})
+    assert exp_iface.name == "sort_float"
+    assert exp_impls[0].name == "sort_cpu_float"
+    assert exp_impls[0].provides == "sort_float"
+    # kernel refs stay shared: one source module serves all instantiations
+    assert exp_impls[0].kernel_ref == "m:k"
+
+
+def test_expand_rejects_non_generic():
+    iface, impls = _generic()
+    concrete = iface.expand({"T": "float"})
+    with pytest.raises(ExpansionError):
+        expand_component(concrete, impls, {"T": "float"})
+
+
+def test_expand_rejects_bad_bindings():
+    iface, impls = _generic()
+    with pytest.raises(ExpansionError):
+        expand_component(iface, impls, {})
+    with pytest.raises(ExpansionError):
+        expand_component(iface, impls, {"T": "float", "U": "int"})
+    with pytest.raises(ExpansionError):
+        expand_component(iface, impls, {"T": "MyWeirdClass"})
+
+
+def test_expand_all_deduplicates():
+    iface, impls = _generic()
+    out = expand_all(iface, impls, [{"T": "float"}, {"T": "float"}, {"T": "int"}])
+    assert [i.name for i, _ in out] == ["sort_float", "sort_int"]
+
+
+def test_expand_all_needs_bindings():
+    iface, impls = _generic()
+    with pytest.raises(ExpansionError):
+        expand_all(iface, impls, [])
+
+
+def test_type_suffix_mangling():
+    assert type_suffix({"T": "float"}, ("T",)) == "float"
+    assert type_suffix({"T": "size_t", "U": "float"}, ("T", "U")) == "size_t_float"
+
+
+# -- narrowing -----------------------------------------------------------------
+
+def _tree(disable=(), enable_only=(), main_disable=()):
+    repo = Repository()
+    repo.add_interface(InterfaceDescriptor("f", params=(ParamDecl("n", "int"),)))
+    for platform in ("cpu_serial", "openmp", "cuda"):
+        repo.add_implementation(
+            ImplementationDescriptor(
+                name=f"f_{platform}", provides="f", platform=platform,
+                kernel_ref="m:k", cost_ref="m:c",
+            )
+        )
+    main = MainDescriptor(
+        name="app", components=("f",), disable_impls=tuple(main_disable)
+    )
+    recipe = Recipe(disable_impls=tuple(disable), enable_only=tuple(enable_only))
+    return build_ir(repo, main, recipe)
+
+
+def test_disable_impls_removes_variants():
+    tree = apply_narrowing(_tree(disable=("f_cpu_serial",)))
+    names = [i.name for i in tree.node("f").implementations]
+    assert names == ["f_openmp", "f_cuda"]
+
+
+def test_main_descriptor_disables_combine_with_recipe():
+    tree = apply_narrowing(
+        _tree(disable=("f_cpu_serial",), main_disable=("f_openmp",))
+    )
+    names = [i.name for i in tree.node("f").implementations]
+    assert names == ["f_cuda"]
+
+
+def test_enable_only_keeps_single_candidate():
+    tree = apply_narrowing(_tree(enable_only=("f_cuda",)))
+    assert [i.name for i in tree.node("f").implementations] == ["f_cuda"]
+
+
+def test_narrowing_to_nothing_rejected():
+    with pytest.raises(CompositionError):
+        apply_narrowing(
+            _tree(disable=("f_cpu_serial", "f_openmp", "f_cuda"))
+        )
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(CompositionError):
+        apply_narrowing(_tree(disable=("no_such_impl",)))

@@ -1,0 +1,128 @@
+"""Repository exploration, bottom-up ordering and the IR."""
+
+import pytest
+
+from repro.components import (
+    ImplementationDescriptor,
+    InterfaceDescriptor,
+    MainDescriptor,
+    ParamDecl,
+    Repository,
+)
+from repro.composer.explorer import bottom_up_order, build_ir, reachable_interfaces
+from repro.composer.ir import ComponentNode
+from repro.composer.recipe import Recipe
+from repro.errors import CompositionError
+
+
+def _repo_with_chain():
+    """main -> top -> {mid1, mid2}; mid2 -> leaf."""
+    repo = Repository()
+    for name, requires in (
+        ("leaf", ()),
+        ("mid1", ()),
+        ("mid2", ("leaf",)),
+        ("top", ("mid1", "mid2")),
+        ("island", ()),  # not reachable from main
+    ):
+        repo.add_interface(
+            InterfaceDescriptor(name, params=(ParamDecl("n", "int"),))
+        )
+        repo.add_implementation(
+            ImplementationDescriptor(
+                name=f"{name}_cpu", provides=name, platform="cpu_serial",
+                requires=requires, kernel_ref="m:k", cost_ref="m:c",
+            )
+        )
+    return repo
+
+
+def test_reachability_is_transitive():
+    repo = _repo_with_chain()
+    graph = reachable_interfaces(repo, ("top",))
+    assert set(graph) == {"top", "mid1", "mid2", "leaf"}
+    assert "island" not in graph
+
+
+def test_unknown_root_rejected():
+    with pytest.raises(CompositionError):
+        reachable_interfaces(_repo_with_chain(), ("phantom",))
+
+
+def test_bottom_up_order_requirements_first():
+    graph = reachable_interfaces(_repo_with_chain(), ("top",))
+    order = bottom_up_order(graph)
+    assert order.index("leaf") < order.index("mid2")
+    assert order.index("mid1") < order.index("top")
+    assert order.index("mid2") < order.index("top")
+
+
+def test_cycle_detection():
+    with pytest.raises(CompositionError, match="cyclic"):
+        bottom_up_order({"a": {"b"}, "b": {"a"}})
+
+
+def test_build_ir_shape():
+    repo = _repo_with_chain()
+    main = MainDescriptor(name="app", components=("top",))
+    tree = build_ir(repo, main, Recipe())
+    assert tree.interface_names()[-1] == "top"
+    assert tree.node("mid2").requires == ("leaf",)
+    tree.check()  # bottom-up invariant holds
+
+
+def test_ir_check_rejects_bad_order():
+    repo = _repo_with_chain()
+    main = MainDescriptor(name="app", components=("top",))
+    tree = build_ir(repo, main, Recipe())
+    tree.nodes.reverse()
+    with pytest.raises(CompositionError, match="order"):
+        tree.check()
+
+
+def test_ir_node_lookup():
+    repo = _repo_with_chain()
+    tree = build_ir(repo, MainDescriptor(name="a", components=("top",)), Recipe())
+    assert tree.has_node("leaf")
+    assert not tree.has_node("island")
+    with pytest.raises(CompositionError):
+        tree.node("island")
+    with pytest.raises(CompositionError):
+        tree.node("top").implementation("nope")
+
+
+def test_node_without_impls_fails_check():
+    node = ComponentNode(
+        interface=InterfaceDescriptor("x", params=(ParamDecl("n", "int"),))
+    )
+    with pytest.raises(CompositionError):
+        node.check()
+
+
+def test_generic_interface_needs_bindings():
+    repo = Repository()
+    repo.add_interface(
+        InterfaceDescriptor(
+            "sort", params=(ParamDecl("d", "T*"),), type_params=("T",)
+        )
+    )
+    repo.add_implementation(
+        ImplementationDescriptor(
+            name="sort_cpu", provides="sort", platform="cpu_serial",
+            kernel_ref="m:k", cost_ref="m:c",
+        )
+    )
+    main = MainDescriptor(name="app", components=("sort",))
+    with pytest.raises(CompositionError, match="type bindings"):
+        build_ir(repo, main, Recipe())
+    tree = build_ir(
+        repo, main, Recipe().with_bindings("sort", {"T": "float"}, {"T": "int"})
+    )
+    assert tree.interface_names() == ["sort_float", "sort_int"]
+
+
+def test_describe_mentions_components():
+    repo = _repo_with_chain()
+    tree = build_ir(repo, MainDescriptor(name="a", components=("top",)), Recipe())
+    text = tree.describe()
+    assert "top" in text and "leaf_cpu@cpu_serial" in text

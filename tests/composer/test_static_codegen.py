@@ -1,0 +1,100 @@
+"""Fully static composition: the dispatch function generated as code."""
+
+import numpy as np
+import pytest
+
+from repro.apps import sgemm
+from repro.components import MainDescriptor, Repository
+from repro.composer import Composer, Recipe
+from repro.containers import Matrix
+from repro.workloads.dense import gemm_inputs
+
+
+@pytest.fixture
+def static_app(tmp_path):
+    repo = Repository()
+    sgemm.register(repo)
+    main = MainDescriptor(name="sgemm_app", components=("sgemm",))
+    repo.add_main(main)
+    recipe = Recipe(
+        static_dispatch=True,
+        static_dispatch_codegen=True,
+        training_points_per_param=3,
+    )
+    return Composer(repo, recipe).compose(main, tmp_path)
+
+
+def test_stub_embeds_generated_dispatch_function(static_app):
+    text = (static_app.out_dir / "sgemm_stub.py").read_text()
+    assert "def _dispatch(ctx):" in text
+    assert "Off-line constructed dispatch" in text
+    assert "dispatch=_dispatch," in text
+    # the dispatch body is plain comparisons over context properties
+    assert "if ctx[" in text and "return 'sgemm_" in text
+
+
+def test_static_dispatch_binds_each_call(static_app):
+    pep = static_app.peppher
+    rt = pep.PEPPHER_INITIALIZE(seed=0, scheduler="eager")
+
+    def call(size):
+        a_np, b_np, c_np = gemm_inputs(size, size, size, seed=1)
+        A = Matrix(a_np, runtime=rt)
+        B = Matrix(b_np, runtime=rt)
+        C = Matrix(c_np, runtime=rt)
+        task = pep.sgemm(size, size, size, 1.0, A, B, 0.0, C, sync=True)
+        result = C.to_numpy()
+        expected = sgemm.reference(size, size, size, 1.0, a_np, b_np, 0.0, c_np)
+        assert np.allclose(result, expected, rtol=1e-3)
+        return task.chosen_variant.name
+
+    # small call: the off-line table says CPU-side; big call: CUBLAS
+    small_variant = call(16)
+    big_variant = call(512)
+    pep.PEPPHER_SHUTDOWN()
+    assert big_variant == "sgemm_cublas"
+    assert small_variant != "sgemm_cublas"
+
+
+def test_dispatch_function_matches_offline_table(static_app):
+    """The generated code is exactly the compacted table."""
+    import importlib
+
+    static_app.import_generated()
+    stub = importlib.import_module(f"{static_app.package_name}.sgemm_stub")
+    table = static_app.tree.node("sgemm").static_choice
+    for entry in table.entries:
+        assert stub._dispatch(entry.scenario.as_dict()) == entry.variant
+
+
+def test_without_codegen_flag_no_dispatch_in_stub(tmp_path):
+    repo = Repository()
+    sgemm.register(repo)
+    main = MainDescriptor(name="sgemm_app", components=("sgemm",))
+    repo.add_main(main)
+    app = Composer(repo, Recipe(static_dispatch=True)).compose(main, tmp_path)
+    text = (app.out_dir / "sgemm_stub.py").read_text()
+    assert "def _dispatch" not in text
+    assert "dispatch=None," in text
+
+
+def test_cli_flag_implies_static_dispatch(tmp_path, capsys):
+    from repro.composer.cli import main as cli_main
+
+    repo = Repository()
+    sgemm.register(repo)
+    repo.add_main(MainDescriptor(name="sgemm_app", components=("sgemm",)))
+    repo.save_to(tmp_path / "repo")
+    rc = cli_main(
+        [
+            str(tmp_path / "repo" / "sgemm_app.xml"),
+            "--repo",
+            str(tmp_path / "repo"),
+            "--out",
+            str(tmp_path / "composed"),
+            "--static-dispatch-codegen",
+        ]
+    )
+    assert rc == 0
+    text = (tmp_path / "composed" / "sgemm_stub.py").read_text()
+    assert "def _dispatch(ctx):" in text

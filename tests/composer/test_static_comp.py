@@ -1,0 +1,96 @@
+"""Static composition: dispatch tables from prediction metadata."""
+
+import pytest
+
+from repro.apps import sgemm, spmv
+from repro.components import MainDescriptor, Repository
+from repro.composer.explorer import build_ir
+from repro.composer.ir import ComponentNode
+from repro.composer.recipe import Recipe
+from repro.composer.static_comp import (
+    DispatchTable,
+    apply_static_composition,
+    build_dispatch_table,
+)
+from repro.errors import CompositionError
+from repro.hw.presets import cpu_only, platform_c2050
+
+
+def _node(module=sgemm) -> ComponentNode:
+    return ComponentNode(
+        interface=module.INTERFACE, implementations=list(module.IMPLEMENTATIONS)
+    )
+
+
+def test_dispatch_table_has_entry_per_scenario():
+    table = build_dispatch_table(_node(), platform_c2050(), points_per_param=2)
+    assert len(table.entries) == 8  # 2^3 scenarios for m, n, k
+
+
+def test_large_gemm_scenarios_pick_cublas():
+    table = build_dispatch_table(_node(), platform_c2050(), points_per_param=3)
+    big = max(table.entries, key=lambda e: e.scenario["m"] * e.scenario["n"])
+    assert big.variant == "sgemm_cublas"
+
+
+def test_small_gemm_scenarios_avoid_gpu():
+    table = build_dispatch_table(_node(), platform_c2050(), points_per_param=3)
+    small = min(table.entries, key=lambda e: e.scenario["m"] * e.scenario["n"])
+    assert small.variant != "sgemm_cublas"
+
+
+def test_cpu_only_machine_excludes_cuda():
+    table = build_dispatch_table(_node(), cpu_only(4), points_per_param=2)
+    assert all("cublas" not in e.variant for e in table.entries)
+
+
+def test_lookup_nearest_scenario():
+    table = build_dispatch_table(_node(), platform_c2050(), points_per_param=3)
+    assert table.lookup({"m": 4096, "n": 4096, "k": 4096}) == "sgemm_cublas"
+    small = table.lookup({"m": 16, "n": 16, "k": 16})
+    assert small != "sgemm_cublas"
+
+
+def test_lookup_empty_table_rejected():
+    with pytest.raises(CompositionError):
+        DispatchTable("x").lookup({"n": 1})
+
+
+def test_winners_and_unconditional():
+    table = build_dispatch_table(_node(), platform_c2050(), points_per_param=3)
+    winners = table.winners()
+    assert "sgemm_cublas" in winners and len(winners) >= 2
+    assert table.unconditional is None  # no single winner across scenarios
+
+
+def test_predictions_recorded_per_entry():
+    table = build_dispatch_table(_node(), platform_c2050(), points_per_param=2)
+    entry = table.entries[0]
+    assert len(entry.all_predictions) == 3  # all three variants predicted
+    assert entry.predicted_time == min(t for _, t in entry.all_predictions)
+
+
+def test_apply_static_composition_narrows_ir():
+    repo = Repository()
+    sgemm.register(repo)
+    main = MainDescriptor(name="app", components=("sgemm",))
+    tree = build_ir(repo, main, Recipe(static_dispatch=True))
+    apply_static_composition(tree, platform_c2050())
+    node = tree.node("sgemm")
+    assert node.static_choice is not None
+    kept = {i.name for i in node.implementations}
+    assert kept == node.static_choice.winners()
+    assert len(kept) < 3  # at least one variant was never the winner
+
+
+def test_describe_lists_entries():
+    table = build_dispatch_table(_node(), platform_c2050(), points_per_param=2)
+    text = table.describe()
+    assert "sgemm" in text and "ms" in text
+
+
+def test_spmv_irregular_prefers_hybrid_pattern():
+    """SpMV is transfer/bandwidth-bound: CPU must win small scenarios."""
+    table = build_dispatch_table(_node(spmv), platform_c2050(), points_per_param=3)
+    small = min(table.entries, key=lambda e: e.scenario["nnz"])
+    assert small.variant in ("spmv_cpu", "spmv_openmp")

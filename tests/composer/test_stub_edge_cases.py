@@ -1,0 +1,71 @@
+"""Stub generation edge cases: components without scalars or operands."""
+
+import numpy as np
+import pytest
+
+from repro.components import (
+    ImplementationDescriptor,
+    InterfaceDescriptor,
+    MainDescriptor,
+    ParamDecl,
+    Repository,
+)
+from repro.composer import Composer, Recipe
+from repro.composer.codegen.stubs import generate_stub_module
+from repro.containers import Vector
+from repro.runtime.access import AccessMode
+
+
+# kernels for the edge-case components, referenced by descriptor
+def normalize_kernel(data):
+    """All-operand component: no scalar parameters at all."""
+    s = data.sum()
+    if s != 0:
+        data /= s
+
+
+def normalize_cost(ctx, device):
+    return 1e-5
+
+
+def test_stub_without_scalars_compiles_and_runs(tmp_path):
+    iface = InterfaceDescriptor(
+        "normalize", params=(ParamDecl("data", "float*", AccessMode.RW),)
+    )
+    impl = ImplementationDescriptor(
+        name="normalize_cpu",
+        provides="normalize",
+        platform="cpu_serial",
+        kernel_ref="tests.composer.test_stub_edge_cases:normalize_kernel",
+        cost_ref="tests.composer.test_stub_edge_cases:normalize_cost",
+    )
+    text = generate_stub_module(iface, [impl])
+    assert "del arg  # no scalar parameters" in text
+    compile(text, "stub.py", "exec")
+
+    repo = Repository()
+    repo.add_interface(iface)
+    repo.add_implementation(impl)
+    main = MainDescriptor(name="norm_app", components=("normalize",))
+    repo.add_main(main)
+    app = Composer(repo, Recipe()).compose(main, tmp_path)
+    pep = app.peppher
+    rt = pep.PEPPHER_INITIALIZE(seed=0)
+    v = Vector(np.array([1.0, 3.0], dtype=np.float32), runtime=rt)
+    pep.normalize(v, sync=True)
+    assert np.allclose(v.to_numpy(), [0.25, 0.75])
+    pep.PEPPHER_SHUTDOWN()
+
+
+def test_stub_without_operands_generates():
+    iface = InterfaceDescriptor("barrierish", params=(ParamDecl("n", "int"),))
+    impl = ImplementationDescriptor(
+        name="b_cpu",
+        provides="barrierish",
+        platform="cpu_serial",
+        kernel_ref="m:k",
+        cost_ref="m:c",
+    )
+    text = generate_stub_module(iface, [impl])
+    assert "del buffers  # no operand parameters" in text
+    compile(text, "stub.py", "exec")

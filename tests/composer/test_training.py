@@ -1,0 +1,109 @@
+"""Training executions (empirical static composition)."""
+
+import pytest
+
+from repro.apps import sgemm, spmv
+from repro.components.context import ContextInstance
+from repro.composer.static_comp import build_dispatch_table
+from repro.composer.ir import ComponentNode
+from repro.composer.training import train_dispatch_table
+from repro.errors import CompositionError
+from repro.hw.presets import cpu_only, platform_c2050
+
+
+def test_training_builds_entry_per_scenario():
+    report = train_dispatch_table(
+        sgemm.INTERFACE,
+        sgemm.IMPLEMENTATIONS,
+        platform_c2050,
+        sgemm.training_operands,
+        points_per_param=2,
+        repetitions=2,
+    )
+    assert report.table is not None
+    assert len(report.table.entries) == 8  # 2^3 scenarios
+    # every scenario measured all three variants
+    for entry in report.table.entries:
+        assert len(entry.all_predictions) == 3
+
+
+def test_training_agrees_with_predictions_on_extremes():
+    """Measured training runs and prediction functions must crown the
+    same winners at the extreme scenarios (the models they sample are
+    the same ground truth)."""
+    trained = train_dispatch_table(
+        sgemm.INTERFACE,
+        sgemm.IMPLEMENTATIONS,
+        platform_c2050,
+        sgemm.training_operands,
+        points_per_param=3,
+        repetitions=2,
+    ).table
+    predicted = build_dispatch_table(
+        ComponentNode(
+            interface=sgemm.INTERFACE, implementations=list(sgemm.IMPLEMENTATIONS)
+        ),
+        platform_c2050(),
+        points_per_param=3,
+    )
+    t_big = trained.lookup({"m": 4096, "n": 4096, "k": 4096})
+    p_big = predicted.lookup({"m": 4096, "n": 4096, "k": 4096})
+    assert t_big == p_big == "sgemm_cublas"
+
+
+def test_training_measures_transfers_that_predictions_ignore():
+    """Trained times for GPU variants include the PCIe transfers a cold
+    invocation pays; prediction functions only model the kernel.  The
+    measured GPU time must therefore exceed the predicted one."""
+    scenario = ContextInstance({"m": 1024, "n": 1024, "k": 1024})
+    report = train_dispatch_table(
+        sgemm.INTERFACE,
+        sgemm.IMPLEMENTATIONS,
+        platform_c2050,
+        sgemm.training_operands,
+        scenarios=[scenario],
+        repetitions=2,
+    )
+    measured = report.measurements[(scenario, "sgemm_cublas")]
+    from repro.hw.devices import tesla_c2050
+
+    predicted = sgemm.cost_cublas(scenario.as_dict(), tesla_c2050())
+    assert measured > predicted  # transfers + submit overhead included
+
+
+def test_training_skips_infeasible_variants():
+    report = train_dispatch_table(
+        spmv.INTERFACE,
+        spmv.IMPLEMENTATIONS,
+        lambda: cpu_only(4),
+        spmv.training_operands,
+        points_per_param=2,
+        repetitions=1,
+    )
+    skipped_variants = {name for _, name, reason in report.skipped}
+    assert "spmv_cuda_cusp" in skipped_variants  # no GPU on the machine
+    assert report.table is not None and report.table.entries
+
+
+def test_training_validates_repetitions():
+    with pytest.raises(CompositionError):
+        train_dispatch_table(
+            sgemm.INTERFACE,
+            sgemm.IMPLEMENTATIONS,
+            platform_c2050,
+            sgemm.training_operands,
+            repetitions=0,
+        )
+
+
+def test_training_report_describe():
+    report = train_dispatch_table(
+        sgemm.INTERFACE,
+        sgemm.IMPLEMENTATIONS,
+        platform_c2050,
+        sgemm.training_operands,
+        scenarios=[ContextInstance({"m": 64, "n": 64, "k": 64})],
+        repetitions=1,
+    )
+    text = report.describe()
+    assert "sgemm" in text and "ms" in text

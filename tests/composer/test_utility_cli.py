@@ -1,0 +1,176 @@
+"""Utility mode (skeleton generation) and the compose CLI."""
+
+import pytest
+
+from repro.composer.cli import main as cli_main
+from repro.composer.utility import generate_component_files
+from repro.components import load_descriptor
+from repro.errors import CDeclError
+
+HEADER = """\
+void spmv(const float* values, int nnz, int nrows, int ncols, int first,
+          const size_t* colidxs, const size_t* rowPtr, const float* x,
+          float* y);
+"""
+
+
+@pytest.fixture
+def header_file(tmp_path):
+    path = tmp_path / "spmv.h"
+    path.write_text(HEADER)
+    return path
+
+
+def test_generates_figure4_layout(tmp_path, header_file):
+    created = generate_component_files(header_file, tmp_path / "out")
+    rel = {str(p.relative_to(tmp_path / "out")) for p in created}
+    assert "spmv/interface.xml" in rel
+    for platform, suffix, ext in (
+        ("cpu_serial", "cpu", "py"),
+        ("openmp", "openmp", "py"),
+        ("cuda", "cuda", "py"),
+    ):
+        assert f"spmv/{platform}/spmv_{suffix}.xml" in rel
+        assert f"spmv/{platform}/spmv_{suffix}.{ext}" in rel
+    assert "main.xml" in rel and "main.py" in rel
+
+
+def test_generated_interface_prefills_access_and_context(tmp_path, header_file):
+    generate_component_files(header_file, tmp_path / "out")
+    iface = load_descriptor(tmp_path / "out" / "spmv" / "interface.xml")
+    assert iface.param("values").access.value == "r"
+    assert iface.param("y").access.value == "rw"  # conservative suggestion
+    assert {cp.name for cp in iface.context_params} >= {"nnz", "nrows"}
+
+
+def test_generated_impl_descriptors_reference_sources(tmp_path, header_file):
+    generate_component_files(header_file, tmp_path / "out")
+    impl = load_descriptor(tmp_path / "out" / "spmv" / "cuda" / "spmv_cuda.xml")
+    assert impl.provides == "spmv"
+    assert impl.sources == ("spmv_cuda.cu",)
+    assert impl.kernel_ref == "spmv_impls:spmv_cuda"
+
+
+def test_generated_source_skeletons_keep_signature(tmp_path, header_file):
+    generate_component_files(header_file, tmp_path / "out")
+    text = (tmp_path / "out" / "spmv" / "cuda" / "spmv_cuda.py").read_text()
+    assert "def spmv_cuda(values, nnz, nrows, ncols, first, colidxs, rowPtr, x, y):" in text
+    assert "def spmv_cuda_cost(ctx, device):" in text
+
+
+def test_missing_header_rejected(tmp_path):
+    with pytest.raises(CDeclError):
+        generate_component_files(tmp_path / "ghost.h", tmp_path)
+
+
+# -- CLI ------------------------------------------------------------------------
+
+def test_cli_generate_comp_files(tmp_path, header_file, capsys):
+    rc = cli_main([f"--generateCompFiles={header_file}", "--out", str(tmp_path / "o")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "generated" in out and "interface.xml" in out
+
+
+def test_cli_describe_machine(capsys):
+    assert cli_main(["--describe-machine", "c2050"]) == 0
+    assert "Tesla C2050" in capsys.readouterr().out
+
+
+def test_cli_requires_main_or_utility(capsys):
+    with pytest.raises(SystemExit):
+        cli_main([])
+
+
+def test_cli_compose_from_disk(tmp_path, capsys):
+    """End-to-end: save an app repository to disk, compose via the CLI."""
+    from repro.apps import spmv
+    from repro.components import MainDescriptor, Repository
+
+    repo = Repository()
+    spmv.register(repo)
+    repo.add_main(MainDescriptor(name="spmv_app", components=("spmv",)))
+    repo.save_to(tmp_path / "repo")
+    rc = cli_main(
+        [
+            str(tmp_path / "repo" / "spmv_app.xml"),
+            "--repo",
+            str(tmp_path / "repo"),
+            "--out",
+            str(tmp_path / "composed"),
+            "--verbose",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "composed application 'spmv_app'" in out
+    assert (tmp_path / "composed" / "peppher.py").exists()
+
+
+def test_cli_compose_bad_narrowing_fails_cleanly(tmp_path, capsys):
+    from repro.apps import spmv
+    from repro.components import MainDescriptor, Repository
+
+    repo = Repository()
+    spmv.register(repo)
+    repo.add_main(MainDescriptor(name="spmv_app", components=("spmv",)))
+    repo.save_to(tmp_path / "repo")
+    rc = cli_main(
+        [
+            str(tmp_path / "repo" / "spmv_app.xml"),
+            "--repo",
+            str(tmp_path / "repo"),
+            "--out",
+            str(tmp_path / "composed"),
+            "--disableImpls=not_a_variant",
+        ]
+    )
+    assert rc == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_wrong_descriptor_kind(tmp_path, capsys):
+    from repro.components import save_descriptor
+    from repro.apps import spmv as spmv_mod
+
+    path = save_descriptor(spmv_mod.INTERFACE, tmp_path / "iface.xml")
+    rc = cli_main([str(path), "--repo", str(tmp_path)])
+    assert rc == 2
+
+
+def test_cli_list_repository(tmp_path, capsys):
+    from repro.apps import spmv
+    from repro.components import MainDescriptor, Repository
+
+    repo = Repository()
+    spmv.register(repo)
+    repo.add_main(MainDescriptor(name="spmv_app", components=("spmv",)))
+    repo.save_to(tmp_path / "repo")
+    rc = cli_main(["--list", "--repo", str(tmp_path / "repo")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "spmv" in out
+    assert "spmv_cuda_cusp  [cuda]" in out
+    assert "main descriptors: spmv_app" in out
+
+
+def test_cli_list_flags_problems(tmp_path, capsys):
+    from repro.components import (
+        ImplementationDescriptor,
+        InterfaceDescriptor,
+        ParamDecl,
+        Repository,
+    )
+
+    repo = Repository()
+    repo.add_interface(InterfaceDescriptor("f", params=(ParamDecl("n", "int"),)))
+    repo.add_implementation(
+        ImplementationDescriptor(
+            name="f_x", provides="f", platform="no_such_platform",
+            kernel_ref="m:k", cost_ref="m:c",
+        )
+    )
+    repo.save_to(tmp_path / "repo")
+    rc = cli_main(["--list", "--repo", str(tmp_path / "repo")])
+    assert rc == 1
+    assert "problems:" in capsys.readouterr().out

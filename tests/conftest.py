@@ -1,0 +1,90 @@
+"""Shared fixtures: machines, simple codelets, runtime factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.devices import AccessPattern
+from repro.hw.presets import cpu_only, platform_c1060, platform_c2050
+from repro.runtime import Arch, Codelet, ImplVariant, Runtime
+
+
+@pytest.fixture
+def machine():
+    """Default 4-core + C2050 machine (3 CPU workers + 1 GPU)."""
+    return platform_c2050()
+
+
+@pytest.fixture
+def machine_c1060():
+    return platform_c1060()
+
+
+@pytest.fixture
+def machine_cpu_only():
+    return cpu_only(4)
+
+
+def make_axpy_codelet(archs=("cpu", "openmp", "cuda")) -> Codelet:
+    """y += a*x codelet with configurable backends (test workhorse)."""
+
+    def fn(ctx, y, x, a):
+        y += a * x
+
+    def cost_cpu(ctx, dev):
+        n = ctx["n"]
+        return dev.roofline_time(2 * n, 12 * n, AccessPattern.REGULAR)
+
+    def cost_openmp(ctx, dev):
+        n = ctx["n"]
+        k = ctx.get("ncores", 4)
+        return dev.roofline_time(2 * n / k, 12 * n / min(k, 3), AccessPattern.REGULAR)
+
+    def cost_cuda(ctx, dev):
+        n = ctx["n"]
+        return dev.roofline_time(2 * n, 12 * n, AccessPattern.REGULAR)
+
+    arch_map = {
+        "cpu": (Arch.CPU, cost_cpu),
+        "openmp": (Arch.OPENMP, cost_openmp),
+        "cuda": (Arch.CUDA, cost_cuda),
+    }
+    variants = [
+        ImplVariant(f"axpy_{name}", arch_map[name][0], fn, arch_map[name][1])
+        for name in archs
+    ]
+    return Codelet("axpy", variants)
+
+
+@pytest.fixture
+def axpy_codelet():
+    return make_axpy_codelet()
+
+
+@pytest.fixture
+def runtime(machine):
+    rt = Runtime(machine, scheduler="eager", seed=0, noise_sigma=0.0)
+    yield rt
+    try:
+        rt.shutdown()
+    except Exception:
+        pass
+
+
+@pytest.fixture
+def dmda_runtime(machine):
+    rt = Runtime(machine, scheduler="dmda", seed=0)
+    yield rt
+    try:
+        rt.shutdown()
+    except Exception:
+        pass
+
+
+def vecs(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal(n).astype(np.float32),
+        rng.standard_normal(n).astype(np.float32),
+    )

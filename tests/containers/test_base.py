@@ -1,0 +1,85 @@
+"""Smart-container core behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.containers import Vector
+from repro.errors import ContainerError
+from repro.runtime import Arch, Codelet, ImplVariant
+
+
+def test_local_mode_needs_no_runtime():
+    v = Vector([1.0, 2.0, 3.0])
+    assert not v.managed
+    assert v[1] == 2.0
+    v[1] = 9.0
+    assert v[1] == 9.0
+
+
+def test_local_mode_handle_access_rejected():
+    with pytest.raises(ContainerError):
+        Vector([1.0]).handle
+
+
+def test_managed_mode_registers(runtime):
+    v = Vector.zeros(10, runtime=runtime)
+    assert v.managed
+    assert v.handle.nbytes == 40
+
+
+def test_read_view_is_readonly(runtime):
+    v = Vector.zeros(10, runtime=runtime)
+    view = v.read()
+    with pytest.raises(ValueError):
+        view[0] = 1.0
+
+
+def test_write_view_is_writable(runtime):
+    v = Vector.zeros(10, runtime=runtime)
+    v.write()[0] = 5.0
+    assert v[0] == 5.0
+
+
+def test_to_numpy_detaches(runtime):
+    v = Vector.zeros(4, runtime=runtime)
+    copy = v.to_numpy()
+    copy[0] = 99.0
+    assert v[0] == 0.0
+
+
+def test_array_protocol_reads_coherently(runtime):
+    def fill(ctx, arr):
+        arr[:] = 3.0
+
+    cl = Codelet("f", [ImplVariant("f", Arch.CUDA, fill, lambda c, d: 1e-4)])
+    v = Vector.zeros(8, runtime=runtime)
+    runtime.submit(cl, [(v.handle, "w")])
+    assert np.asarray(v).sum() == 24.0  # implicit d2h before conversion
+
+
+def test_free_flushes_and_detaches(runtime):
+    def fill(ctx, arr):
+        arr[:] = 2.0
+
+    cl = Codelet("f", [ImplVariant("f", Arch.CUDA, fill, lambda c, d: 1e-4)])
+    v = Vector.zeros(8, runtime=runtime)
+    runtime.submit(cl, [(v.handle, "w")])
+    v.free()
+    assert not v.managed
+    assert v[0] == 2.0  # flushed home, still usable locally
+
+
+def test_free_idempotent(runtime):
+    v = Vector.zeros(4, runtime=runtime)
+    v.free()
+    v.free()
+
+
+def test_shape_dtype_size_nbytes(runtime):
+    v = Vector.zeros(6, runtime=runtime, dtype=np.float64)
+    assert v.shape == (6,) and v.size == 6
+    assert v.dtype == np.float64 and v.nbytes == 48
+
+
+def test_len():
+    assert len(Vector.zeros(5)) == 5

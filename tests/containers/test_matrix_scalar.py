@@ -1,0 +1,108 @@
+"""Matrix and Scalar containers."""
+
+import numpy as np
+import pytest
+
+from repro.containers import Matrix, Scalar
+from repro.errors import ContainerError
+from repro.runtime import Arch, Codelet, ImplVariant
+
+
+def _gpu_codelet(fn):
+    return Codelet("k", [ImplVariant("k", Arch.CUDA, fn, lambda c, d: 1e-4)])
+
+
+# -- Matrix ------------------------------------------------------------------
+
+def test_matrix_needs_2d():
+    with pytest.raises(ContainerError):
+        Matrix(np.zeros(4))
+
+
+def test_matrix_shape_accessors():
+    m = Matrix.zeros(3, 5)
+    assert (m.rows, m.cols) == (3, 5)
+
+
+def test_matrix_identity():
+    m = Matrix.identity(3)
+    assert m[0, 0] == 1.0 and m[0, 1] == 0.0
+
+
+def test_matrix_element_roundtrip():
+    m = Matrix.zeros(2, 2)
+    m[1, 0] = 4.5
+    assert m[1, 0] == 4.5
+
+
+def test_matrix_row_read_detached(runtime):
+    m = Matrix.zeros(4, 4, runtime=runtime)
+    row = m[1]
+    row[0] = 9.0
+    assert m[1, 0] == 0.0
+
+
+def test_matrix_gpu_write_then_host_read(runtime):
+    def fill(ctx, arr):
+        arr[:, :] = 2.0
+
+    m = Matrix.zeros(8, 8, runtime=runtime)
+    runtime.submit(_gpu_codelet(fill), [(m.handle, "w")])
+    assert m[7, 7] == 2.0
+    assert runtime.trace.n_d2h == 1
+
+
+def test_matrix_fill_write_only(runtime):
+    def fill(ctx, arr):
+        arr[:, :] = 2.0
+
+    m = Matrix.zeros(8, 8, runtime=runtime)
+    runtime.submit(_gpu_codelet(fill), [(m.handle, "w")])
+    m.fill(0.0)
+    assert runtime.trace.n_d2h == 0
+
+
+def test_matrix_partition_rows(runtime):
+    m = Matrix.zeros(8, 4, runtime=runtime)
+    children = m.partition_rows(2)
+    assert [c.array.shape for c in children] == [(4, 4), (4, 4)]
+    m.unpartition()
+
+
+def test_matrix_at_proxy():
+    m = Matrix.zeros(2, 2)
+    p = m.at(0, 1)
+    p.set(3.0)
+    assert m[0, 1] == 3.0
+
+
+# -- Scalar ------------------------------------------------------------------
+
+def test_scalar_local_value():
+    s = Scalar(2.5)
+    assert float(s) == 2.5
+    s.value = 4.0
+    assert s == 4.0
+
+
+def test_scalar_int_bool():
+    assert int(Scalar(3)) == 3
+    assert bool(Scalar(1.0)) and not bool(Scalar(0.0))
+
+
+def test_scalar_gpu_reduction(runtime):
+    def reduce_sum(ctx, out, data):
+        out[0] = data.sum()
+
+    cl = Codelet("sum", [ImplVariant("s", Arch.CUDA, reduce_sum, lambda c, d: 1e-4)])
+    from repro.containers import Vector
+
+    data = Vector(np.ones(100, dtype=np.float32), runtime=runtime)
+    result = Scalar(0.0, runtime=runtime, dtype=np.float32)
+    runtime.submit(cl, [(result.handle, "w"), (data.handle, "r")])
+    assert float(result) == 100.0  # lazy read-back of the reduction
+
+
+def test_scalar_equality_with_scalar():
+    assert Scalar(2.0) == Scalar(2.0)
+    assert Scalar(2.0) != Scalar(3.0)

@@ -1,0 +1,76 @@
+"""Element proxies: deferred read/write access detection."""
+
+import pytest
+
+from repro.containers import Vector
+from repro.containers.proxy import ElementProxy
+
+
+@pytest.fixture
+def vec():
+    return Vector([1.0, 2.0, 3.0])
+
+
+def test_value_reads_current_element(vec):
+    p = vec.at(1)
+    assert p.value == 2.0
+    vec[1] = 9.0
+    assert p.value == 9.0  # proxies reference locations, not snapshots
+
+
+def test_conversions(vec):
+    p = vec.at(2)
+    assert float(p) == 3.0 and int(p) == 3 and bool(p)
+
+
+def test_comparisons(vec):
+    p = vec.at(0)
+    assert p == 1.0 and p != 2.0
+    assert p < 2.0 and p <= 1.0 and p > 0.0 and p >= 1.0
+    assert vec.at(0) == vec.at(0)
+
+
+def test_arithmetic(vec):
+    p = vec.at(1)
+    assert p + 1 == 3.0 and 1 + p == 3.0
+    assert p - 1 == 1.0 and 5 - p == 3.0
+    assert p * 2 == 4.0 and 2 * p == 4.0
+    assert p / 2 == 1.0 and 4 / p == 2.0
+
+
+def test_set_writes(vec):
+    vec.at(0).set(7.5)
+    assert vec[0] == 7.5
+
+
+def test_inplace_ops(vec):
+    p = vec.at(0)
+    p += 2.0
+    assert vec[0] == 3.0
+    p -= 1.0
+    assert vec[0] == 2.0
+    p *= 3.0
+    assert vec[0] == 6.0
+
+
+def test_proxy_repr(vec):
+    assert "vector" in repr(vec.at(1))
+
+
+def test_proxy_coherence_actions_counted(runtime):
+    """Reading via a proxy is an R access; writing is RW (paper fn. 3)."""
+    import numpy as np
+
+    from repro.runtime import Arch, Codelet, ImplVariant
+
+    def fill(ctx, arr):
+        arr[:] = 5.0
+
+    cl = Codelet("f", [ImplVariant("f", Arch.CUDA, fill, lambda c, d: 1e-4)])
+    v = Vector.zeros(50, runtime=runtime)
+    runtime.submit(cl, [(v.handle, "w")])
+    p = v.at(0)
+    _ = float(p)  # read: one download
+    assert runtime.trace.n_d2h == 1
+    p.set(1.0)  # write: invalidates the device copy, no new transfer
+    assert runtime.trace.n_transfers == 1

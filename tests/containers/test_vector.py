@@ -1,0 +1,92 @@
+"""Vector container semantics and coherence actions."""
+
+import numpy as np
+import pytest
+
+from repro.containers import Vector
+from repro.errors import ContainerError
+from repro.runtime import Arch, Codelet, ImplVariant
+
+
+def _gpu_fill(value):
+    def fn(ctx, arr):
+        arr[:] = value
+
+    return Codelet(f"fill{value}", [ImplVariant(f"f{value}", Arch.CUDA, fn, lambda c, d: 1e-4)])
+
+
+def test_needs_1d():
+    with pytest.raises(ContainerError):
+        Vector(np.zeros((2, 2)))
+
+
+def test_constructor_copies_input():
+    src = np.array([1.0, 2.0], dtype=np.float32)
+    v = Vector(src)
+    src[0] = 99.0
+    assert v[0] == 1.0
+
+
+def test_from_iterable():
+    v = Vector.from_iterable(range(4), dtype=np.int64)
+    assert list(v) == [0, 1, 2, 3]
+
+
+def test_element_read_triggers_download(runtime):
+    v = Vector.zeros(100, runtime=runtime)
+    runtime.submit(_gpu_fill(7), [(v.handle, "w")])
+    assert v[3] == 7.0
+    assert runtime.trace.n_d2h == 1
+
+
+def test_slice_read_returns_detached_copy(runtime):
+    v = Vector.zeros(10, runtime=runtime)
+    s = v[2:5]
+    s[0] = 42.0
+    assert v[2] == 0.0
+
+
+def test_element_write_invalidates_device(runtime):
+    v = Vector.zeros(100, runtime=runtime)
+    runtime.submit(_gpu_fill(7), [(v.handle, "w")])
+    v[0] = 1.0  # host RW: d2h then invalidate
+    runtime.submit(_gpu_fill(8), [(v.handle, "r")])  # needs fresh upload
+    runtime.wait_for_all()
+    assert runtime.trace.n_h2d == 1
+
+
+def test_fill_is_write_only_no_download(runtime):
+    v = Vector.zeros(100, runtime=runtime)
+    runtime.submit(_gpu_fill(7), [(v.handle, "w")])
+    v.fill(0.0)  # write-only host access: no d2h needed
+    assert runtime.trace.n_d2h == 0
+    assert v[0] == 0.0
+
+
+def test_iteration_is_coherent(runtime):
+    v = Vector.zeros(5, runtime=runtime)
+    runtime.submit(_gpu_fill(3), [(v.handle, "w")])
+    assert [float(x) for x in v] == [3.0] * 5
+
+
+def test_partition_and_unpartition(runtime):
+    v = Vector.zeros(100, runtime=runtime)
+    children = v.partition(4)
+    assert len(children) == 4
+    for child in children:
+        runtime.submit(_gpu_fill(5), [(child, "w")])
+    v.unpartition()
+    assert v[99] == 5.0
+
+
+def test_unpartition_requires_runtime():
+    v = Vector.zeros(10)
+    with pytest.raises(ContainerError):
+        v.unpartition()
+
+
+def test_at_proxy_defers_access(runtime):
+    v = Vector.zeros(10, runtime=runtime)
+    ref = v.at(2)
+    runtime.submit(_gpu_fill(4), [(v.handle, "w")])
+    assert float(ref) == 4.0  # read resolved at use time, post-write

@@ -1,0 +1,63 @@
+"""Virtual clock semantics."""
+
+import pytest
+
+from repro.hw.clock import VirtualClock
+
+
+def test_starts_at_zero():
+    assert VirtualClock().now == 0.0
+
+
+def test_custom_start():
+    assert VirtualClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock(-1.0)
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now == 2.0
+
+
+def test_advance_returns_new_time():
+    assert VirtualClock().advance(3.0) == 3.0
+
+
+def test_advance_negative_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock().advance(-0.1)
+
+
+def test_advance_zero_is_noop():
+    clock = VirtualClock(1.0)
+    clock.advance(0.0)
+    assert clock.now == 1.0
+
+
+def test_advance_to_moves_forward():
+    clock = VirtualClock()
+    clock.advance_to(4.0)
+    assert clock.now == 4.0
+
+
+def test_advance_to_never_goes_backwards():
+    clock = VirtualClock(10.0)
+    clock.advance_to(3.0)
+    assert clock.now == 10.0
+
+
+def test_reset():
+    clock = VirtualClock(7.0)
+    clock.reset()
+    assert clock.now == 0.0
+
+
+def test_reset_negative_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock().reset(-2.0)

@@ -1,0 +1,118 @@
+"""Device model validation and roofline arithmetic."""
+
+import pytest
+
+from repro.hw.devices import (
+    AccessPattern,
+    DeviceKind,
+    DeviceSpec,
+    tesla_c1060,
+    tesla_c2050,
+    xeon_e5520_core,
+)
+
+
+def _spec(**overrides) -> DeviceSpec:
+    base = dict(
+        name="test",
+        kind=DeviceKind.CPU,
+        peak_gflops=10.0,
+        mem_bandwidth_gbs=5.0,
+        launch_overhead_s=1e-6,
+    )
+    base.update(overrides)
+    return DeviceSpec(**base)
+
+
+def test_rates_must_be_positive():
+    with pytest.raises(ValueError):
+        _spec(peak_gflops=0.0)
+    with pytest.raises(ValueError):
+        _spec(mem_bandwidth_gbs=-1.0)
+
+
+def test_negative_launch_overhead_rejected():
+    with pytest.raises(ValueError):
+        _spec(launch_overhead_s=-1e-9)
+
+
+@pytest.mark.parametrize("field", ["regular_efficiency", "irregular_efficiency", "branchy_efficiency"])
+@pytest.mark.parametrize("bad", [0.0, 1.5, -0.2])
+def test_efficiency_bounds(field, bad):
+    with pytest.raises(ValueError):
+        _spec(**{field: bad})
+
+
+def test_efficiency_lookup_matches_pattern():
+    spec = _spec(
+        regular_efficiency=0.9, irregular_efficiency=0.3, branchy_efficiency=0.5
+    )
+    assert spec.efficiency(AccessPattern.REGULAR) == 0.9
+    assert spec.efficiency(AccessPattern.IRREGULAR) == 0.3
+    assert spec.efficiency(AccessPattern.BRANCHY) == 0.5
+
+
+def test_effective_rates_scale_peak():
+    spec = _spec(regular_efficiency=0.5)
+    assert spec.effective_gflops(AccessPattern.REGULAR) == pytest.approx(5.0)
+    assert spec.effective_bandwidth_gbs(AccessPattern.REGULAR) == pytest.approx(2.5)
+
+
+def test_roofline_compute_bound():
+    spec = _spec(regular_efficiency=1.0)
+    # 1e10 flops at 10 GF/s = 1 s; memory side is negligible
+    t = spec.roofline_time(1e10, 8)
+    assert t == pytest.approx(1.0 + spec.launch_overhead_s, rel=1e-6)
+
+
+def test_roofline_memory_bound():
+    spec = _spec(regular_efficiency=1.0)
+    # 5e9 bytes at 5 GB/s = 1 s; compute side negligible
+    t = spec.roofline_time(8, 5e9)
+    assert t == pytest.approx(1.0 + spec.launch_overhead_s, rel=1e-6)
+
+
+def test_roofline_takes_max_of_both():
+    spec = _spec(regular_efficiency=1.0)
+    t_both = spec.roofline_time(1e10, 5e9)
+    assert t_both == pytest.approx(1.0 + spec.launch_overhead_s, rel=1e-6)
+
+
+def test_roofline_rejects_negative():
+    with pytest.raises(ValueError):
+        _spec().roofline_time(-1, 0)
+    with pytest.raises(ValueError):
+        _spec().roofline_time(0, -1)
+
+
+def test_roofline_zero_work_is_just_overhead():
+    spec = _spec()
+    assert spec.roofline_time(0, 0) == spec.launch_overhead_s
+
+
+# -- the paper's device catalogue ------------------------------------------
+
+def test_c2050_beats_c1060():
+    """The C2050 is the higher-end GPU on every axis the paper leans on."""
+    c2050, c1060 = tesla_c2050(), tesla_c1060()
+    assert c2050.peak_gflops > c1060.peak_gflops
+    assert c2050.mem_bandwidth_gbs > c1060.mem_bandwidth_gbs
+    assert c2050.has_cache and not c1060.has_cache
+    # caches make irregular access far less catastrophic
+    assert c2050.irregular_efficiency > 2 * c1060.irregular_efficiency
+
+
+def test_gpu_beats_cpu_on_regular_throughput():
+    cpu, gpu = xeon_e5520_core(), tesla_c2050()
+    assert gpu.effective_gflops(AccessPattern.REGULAR) > 20 * cpu.effective_gflops(
+        AccessPattern.REGULAR
+    )
+
+
+def test_cpu_launch_overhead_below_gpu():
+    assert xeon_e5520_core().launch_overhead_s < tesla_c2050().launch_overhead_s
+
+
+def test_kinds():
+    assert xeon_e5520_core().kind is DeviceKind.CPU
+    assert tesla_c2050().kind is DeviceKind.GPU

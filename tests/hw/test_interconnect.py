@@ -1,0 +1,38 @@
+"""PCIe link model."""
+
+import pytest
+
+from repro.hw.interconnect import LinkSpec, pcie2_x16
+
+
+def test_transfer_time_is_latency_plus_bandwidth_term():
+    link = LinkSpec(bandwidth_gbs=1.0, latency_s=1e-3)
+    assert link.transfer_time(1e9) == pytest.approx(1.0 + 1e-3)
+
+
+def test_zero_bytes_costs_nothing():
+    assert pcie2_x16().transfer_time(0) == 0.0
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ValueError):
+        pcie2_x16().transfer_time(-1)
+
+
+def test_monotone_in_size():
+    link = pcie2_x16()
+    assert link.transfer_time(2_000_000) > link.transfer_time(1_000_000)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LinkSpec(bandwidth_gbs=0.0)
+    with pytest.raises(ValueError):
+        LinkSpec(latency_s=-1e-9)
+
+
+def test_pcie2_defaults():
+    link = pcie2_x16()
+    assert link.bandwidth_gbs == pytest.approx(5.5)
+    assert not link.duplex
+    assert pcie2_x16(duplex=True).duplex

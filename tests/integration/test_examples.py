@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart_example():
+    out = _run("quickstart.py")
+    assert "utility mode generated" in out
+    assert "composed 'axpy_app'" in out
+    assert "variant selection" in out
+
+
+def test_spmv_hybrid_example():
+    out = _run("spmv_hybrid.py", "HB", "0.1")
+    assert "speedup" in out
+    assert "verified against the NumPy oracle" in out
+
+
+def test_ode_solver_example():
+    out = _run("ode_solver.py", "100", "20")
+    assert "composition tool" in out
+    assert "match the NumPy oracle" in out
+
+
+def test_utility_mode_example():
+    out = _run("utility_mode.py")
+    assert "interface.xml" in out
+    assert "peppherInterface" in out
+
+
+def test_dynamic_scheduling_example():
+    out = _run("dynamic_scheduling.py", "sgemm")
+    assert "Figure 6 (c2050)" in out and "Figure 6 (c1060)" in out
+
+
+def test_multi_gpu_example():
+    out = _run("multi_gpu.py", "0.1")
+    assert "2 GPU" in out and "Gantt" in out
+    assert "Chrome trace written" in out
+
+
+def test_reproduce_all_quick(tmp_path):
+    out = _run(
+        "reproduce_all.py", str(tmp_path / "report.txt"), "--quick", timeout=400
+    )
+    assert "full report written" in out
+    report = (tmp_path / "report.txt").read_text()
+    for heading in ("Table I", "Figure 3", "Figure 5", "Figure 6", "Figure 7",
+                    "ABL1", "ABL6"):
+        assert heading in report, heading

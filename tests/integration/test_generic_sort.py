@@ -1,0 +1,95 @@
+"""Generic component expansion end to end (paper section IV-B).
+
+The generic ``sort`` interface is instantiated for float and int via the
+composition recipe, generating one concrete component (with its own
+stubs and descriptors) per type binding — all sharing the same kernel
+sources.  The CUDA variant additionally expands its ``tile`` tunable
+into two variants and carries a selectability constraint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import sort
+from repro.components import MainDescriptor, Repository
+from repro.composer import Composer, Recipe
+from repro.containers import Vector
+
+
+@pytest.fixture
+def sort_app(tmp_path):
+    repo = Repository()
+    sort.register(repo)
+    main = MainDescriptor(name="sort_app", components=("sort",))
+    repo.add_main(main)
+    recipe = Recipe().with_bindings("sort", {"T": "float"}, {"T": "int"})
+    return Composer(repo, recipe).compose(main, tmp_path)
+
+
+def test_expansion_generates_one_component_per_binding(sort_app):
+    files = sort_app.artefact_files()
+    assert "sort_float_stub.py" in files
+    assert "sort_int_stub.py" in files
+    assert "descriptors/sort_float/interface.xml" in files
+    assert "descriptors/sort_int/cuda/sort_bitonic_cuda_int.xml" in files
+
+
+def test_instantiations_share_kernel_sources(sort_app):
+    from repro.components import load_descriptor
+
+    impl_f = load_descriptor(
+        sort_app.out_dir / "descriptors/sort_float/cpu_serial/sort_cpu_float.xml"
+    )
+    impl_i = load_descriptor(
+        sort_app.out_dir / "descriptors/sort_int/cpu_serial/sort_cpu_int.xml"
+    )
+    assert impl_f.kernel_ref == impl_i.kernel_ref == "repro.apps.sort:sort_cpu"
+
+
+def test_both_instantiations_sort_correctly(sort_app):
+    pep = sort_app.peppher
+    rt = pep.PEPPHER_INITIALIZE(seed=1)
+    rng = np.random.default_rng(0)
+    floats = Vector(rng.standard_normal(5000).astype(np.float32), runtime=rt)
+    ints = Vector(rng.integers(0, 10_000, 5000).astype(np.int64), runtime=rt)
+    pep.sort_float(floats, 5000)
+    pep.sort_int(ints, 5000)
+    f = floats.to_numpy()
+    i = ints.to_numpy()
+    pep.PEPPHER_SHUTDOWN()
+    assert (np.diff(f) >= 0).all()
+    assert (np.diff(i) >= 0).all()
+
+
+def test_tunable_expansion_creates_per_tile_variants(sort_app):
+    pkg = sort_app.import_generated()
+    import importlib
+
+    registry = importlib.import_module(f"{sort_app.package_name}._registry")
+    names = {v.name for v in registry.CODELETS["sort_float"].variants}
+    assert "sort_bitonic_cuda_float_tile256" in names
+    assert "sort_bitonic_cuda_float_tile1024" in names
+
+
+def test_constraint_keeps_gpu_off_small_arrays(sort_app):
+    """The CUDA variant declares n >= 1024 selectability."""
+    pep = sort_app.peppher
+    rt = pep.PEPPHER_INITIALIZE(seed=2)
+    small = Vector(np.random.default_rng(1).standard_normal(64).astype(np.float32), runtime=rt)
+    for _ in range(6):
+        pep.sort_float(small, 64)
+    rt.wait_for_all()
+    archs = {rec.arch for rec in rt.trace.tasks}
+    pep.PEPPHER_SHUTDOWN()
+    assert "cuda" not in archs
+
+
+def test_unbound_generic_fails_composition(tmp_path):
+    repo = Repository()
+    sort.register(repo)
+    main = MainDescriptor(name="sort_app", components=("sort",))
+    repo.add_main(main)
+    from repro.errors import CompositionError
+
+    with pytest.raises(CompositionError, match="type bindings"):
+        Composer(repo, Recipe()).compose(main, tmp_path)

@@ -1,0 +1,78 @@
+"""SEI-style logical LOC counting."""
+
+from repro.metrics.loc import count_file, count_files, count_logical_lines, count_object
+
+
+def test_counts_simple_statements():
+    assert count_logical_lines("a = 1\nb = 2\n") == 2
+
+
+def test_ignores_blank_lines():
+    assert count_logical_lines("a = 1\n\n\n\nb = 2\n") == 2
+
+
+def test_ignores_comments():
+    assert count_logical_lines("# comment\na = 1  # trailing\n# more\n") == 1
+
+
+def test_multiline_statement_counts_once():
+    src = "total = (1 +\n         2 +\n         3)\n"
+    assert count_logical_lines(src) == 1
+
+
+def test_multiline_call_counts_once():
+    src = "f(\n    a,\n    b,\n)\n"
+    assert count_logical_lines(src) == 1
+
+
+def test_docstrings_excluded():
+    src = '''def f():
+    """Documentation,
+    two lines."""
+    return 1
+'''
+    assert count_logical_lines(src) == 2  # def + return
+
+
+def test_module_docstring_excluded():
+    src = '"""Module docs."""\nx = 1\n'
+    assert count_logical_lines(src) == 1
+
+
+def test_string_assignment_is_code():
+    # unlike a bare docstring, an assigned string is a statement
+    assert count_logical_lines('x = """text"""\n') == 1
+
+
+def test_compound_statements():
+    src = "if a:\n    b = 1\nelse:\n    c = 2\n"
+    assert count_logical_lines(src) == 4
+
+
+def test_semicolons_count_as_one_physical_statement_line():
+    # SEI counts logical statements per NEWLINE; a; b on one line is one
+    # terminated logical line in the tokeniser's view
+    assert count_logical_lines("a = 1; b = 2\n") == 1
+
+
+def test_count_object_on_function():
+    def sample():
+        """Doc."""
+        x = 1
+        return x
+
+    assert count_object(sample) == 3  # def + x + return
+
+
+def test_count_file_and_files(tmp_path):
+    f1 = tmp_path / "a.py"
+    f1.write_text("a = 1\nb = 2\n")
+    f2 = tmp_path / "b.py"
+    f2.write_text("c = 3\n")
+    assert count_file(f1) == 2
+    assert count_files([f1, f2]) == 3
+
+
+def test_empty_source():
+    assert count_logical_lines("") == 0
+    assert count_logical_lines("# only a comment\n") == 0

@@ -1,0 +1,104 @@
+"""SVG figure rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.report.svg import BarChart, LineChart, save_svg
+
+
+def _bar():
+    return BarChart(
+        title="demo",
+        categories=["a", "b", "c"],
+        series={"one": [1.0, 2.0, 3.0], "two": [2.0, 1.0, 0.5]},
+        y_label="speedup",
+    )
+
+
+def test_bar_chart_is_valid_xml():
+    svg = _bar().to_svg()
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+
+
+def test_bar_chart_has_one_rect_per_bar():
+    svg = _bar().to_svg()
+    root = ET.fromstring(svg)
+    rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+    # 1 background + 6 bars + 2 legend swatches
+    assert len(rects) == 1 + 6 + 2
+
+
+def test_bar_chart_validates_lengths():
+    with pytest.raises(ValueError):
+        BarChart("t", ["a", "b"], {"s": [1.0]}).to_svg()
+    with pytest.raises(ValueError):
+        BarChart("t", [], {}).to_svg()
+
+
+def test_bar_heights_proportional():
+    svg = _bar().to_svg()
+    root = ET.fromstring(svg)
+    ns = "{http://www.w3.org/2000/svg}"
+    heights = [
+        float(r.get("height"))
+        for r in root.findall(f".//{ns}rect")
+        if r.find(f"{ns}title") is not None
+    ]
+    # series one: values 1, 2, 3 -> first three bars
+    assert heights[1] == pytest.approx(2 * heights[0], rel=1e-3)
+    assert heights[2] == pytest.approx(3 * heights[0], rel=1e-3)
+
+
+def _line(log=False):
+    return LineChart(
+        title="demo",
+        x_values=[1.0, 2.0, 4.0],
+        series={"s": [0.1, 1.0, 10.0]},
+        log_y=log,
+    )
+
+
+def test_line_chart_valid_xml_linear_and_log():
+    for log in (False, True):
+        root = ET.fromstring(_line(log).to_svg())
+        assert root.tag.endswith("svg")
+
+
+def test_log_chart_equal_decades_equally_spaced():
+    svg = _line(log=True).to_svg()
+    root = ET.fromstring(svg)
+    ns = "{http://www.w3.org/2000/svg}"
+    circles = root.findall(f".//{ns}circle")
+    ys = [float(c.get("cy")) for c in circles]
+    # 0.1 -> 1 -> 10: one decade apart each, so equal pixel steps
+    assert ys[0] - ys[1] == pytest.approx(ys[1] - ys[2], rel=1e-3)
+
+
+def test_log_chart_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        LineChart("t", [1, 2], {"s": [0.0, 1.0]}, log_y=True).to_svg()
+
+
+def test_line_chart_needs_two_points():
+    with pytest.raises(ValueError):
+        LineChart("t", [1.0], {"s": [1.0]}).to_svg()
+
+
+def test_save_svg(tmp_path):
+    path = save_svg(_bar().to_svg(), tmp_path / "charts" / "f.svg")
+    assert path.exists()
+    ET.parse(path)  # well-formed on disk
+
+
+def test_paper_figure_builders():
+    from repro.experiments import fig5, fig7
+    from repro.report import fig5_chart, fig7_chart
+
+    rows = fig5.run(matrices=("HB",), scale=0.05)
+    chart = fig5_chart(rows)
+    ET.fromstring(chart.to_svg())
+
+    points = fig7.run(sizes=(250, 500), steps=10)
+    ET.fromstring(fig7_chart(points).to_svg())

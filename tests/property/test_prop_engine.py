@@ -1,0 +1,208 @@
+"""Property-based invariants of the engine and coherence protocol."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.presets import platform_c2050
+from repro.runtime import Arch, Codelet, ImplVariant, Runtime
+from repro.runtime.data import CopyState
+
+# one operation = (kind, value) where kind selects host/CPU/GPU access
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["gpu_w", "gpu_rw", "gpu_r", "cpu_rw", "host_read", "host_write"]
+        ),
+        st.floats(min_value=-4.0, max_value=4.0, allow_nan=False, width=32),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+def _codelets():
+    def set_fn(ctx, arr, v):
+        arr[:] = v
+
+    def add_fn(ctx, arr, v):
+        arr += v
+
+    def read_fn(ctx, arr, v):
+        float(arr.sum())
+
+    cost = lambda ctx, dev: 1e-5
+    return {
+        "gpu_w": Codelet("gw", [ImplVariant("gw", Arch.CUDA, set_fn, cost)]),
+        "gpu_rw": Codelet("ga", [ImplVariant("ga", Arch.CUDA, add_fn, cost)]),
+        "gpu_r": Codelet("gr", [ImplVariant("gr", Arch.CUDA, read_fn, cost)]),
+        "cpu_rw": Codelet("ca", [ImplVariant("ca", Arch.CPU, add_fn, cost)]),
+    }
+
+
+_MODES = {"gpu_w": "w", "gpu_rw": "rw", "gpu_r": "r", "cpu_rw": "rw"}
+
+
+@given(ops=_OPS)
+@settings(max_examples=60, deadline=None)
+def test_any_access_sequence_matches_numpy_semantics(ops):
+    """Whatever interleaving of device tasks and host accesses happens,
+    the observable values equal a plain sequential NumPy execution, and
+    the coherence state stays legal throughout."""
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=1, noise_sigma=0.0)
+    codelets = _codelets()
+    n = 32
+    data = np.zeros(n, dtype=np.float32)
+    model = np.zeros(n, dtype=np.float32)  # the oracle
+    h = rt.register(data)
+    for kind, value in ops:
+        if kind == "host_read":
+            rt.acquire(h, "r")
+            assert np.array_equal(data, model)
+        elif kind == "host_write":
+            rt.acquire(h, "rw")
+            data[:] = value
+            model[:] = value
+        else:
+            rt.submit(
+                codelets[kind], [(h, _MODES[kind])], scalar_args=(value,)
+            )
+            if kind == "gpu_w":
+                model[:] = value
+            elif kind in ("gpu_rw", "cpu_rw"):
+                model += value
+        # protocol invariants hold after every step
+        assert h.valid_nodes(), "some copy must stay valid"
+        modified = [s for s in h._states if s is CopyState.MODIFIED]
+        assert len(modified) <= 1
+    rt.acquire(h, "r")
+    assert np.array_equal(data, model)
+    rt.shutdown()
+
+
+@given(ops=_OPS)
+@settings(max_examples=40, deadline=None)
+def test_writer_intervals_are_exclusive(ops):
+    """Sequential consistency: a writing task's [start, end) never
+    overlaps any other task's interval on the same handle."""
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=2, noise_sigma=0.0)
+    codelets = _codelets()
+    h = rt.register(np.zeros(16, dtype=np.float32))
+    intervals = []  # (start, end, writes)
+    for kind, value in ops:
+        if kind.startswith("host"):
+            continue
+        task = rt.submit(codelets[kind], [(h, _MODES[kind])], scalar_args=(value,))
+        intervals.append(task)
+    rt.wait_for_all()
+    spans = [
+        (t.start_time, t.end_time, _MODES_WRITES[_MODES_OF[t.codelet.name]])
+        for t in intervals
+    ]
+    for i, (s1, e1, w1) in enumerate(spans):
+        for s2, e2, w2 in spans[i + 1:]:
+            if w1 or w2:
+                assert e1 <= s2 or e2 <= s1, "writer overlapped another task"
+    rt.shutdown()
+
+
+_MODES_OF = {"gw": "gpu_w", "ga": "gpu_rw", "gr": "gpu_r", "ca": "cpu_rw"}
+_MODES_WRITES = {
+    "gpu_w": True,
+    "gpu_rw": True,
+    "gpu_r": False,
+    "cpu_rw": True,
+}
+
+
+@given(
+    n_tasks=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=10_000),
+    policy=st.sampled_from(["eager", "random", "ws", "dmda"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_every_task_runs_exactly_once(n_tasks, seed, policy):
+    rt = Runtime(platform_c2050(), scheduler=policy, seed=seed)
+    cl = _codelets()["cpu_rw"]
+    handles = [rt.register(np.zeros(8, dtype=np.float32)) for _ in range(3)]
+    for i in range(n_tasks):
+        rt.submit(cl, [(handles[i % 3], "rw")], scalar_args=(1.0,))
+    rt.wait_for_all()
+    assert rt.trace.n_tasks == n_tasks
+    # values: each handle accumulated its share of +1 increments
+    for j, h in enumerate(handles):
+        expected = len([i for i in range(n_tasks) if i % 3 == j])
+        rt.acquire(h, "r")
+        assert h.array[0] == expected
+    rt.shutdown()
+
+
+@given(
+    n_chunks=st.integers(min_value=1, max_value=16),
+    n=st.integers(min_value=16, max_value=512),
+)
+@settings(max_examples=30, deadline=None)
+def test_partition_roundtrip_preserves_values(n_chunks, n):
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=3, noise_sigma=0.0)
+
+    def bump(ctx, arr):
+        arr += 1.0
+
+    cl = Codelet("b", [ImplVariant("b", Arch.CUDA, bump, lambda c, d: 1e-5)])
+    data = np.arange(n, dtype=np.float32)
+    h = rt.register(data)
+    children = rt.partition_equal(h, n_chunks)
+    for child in children:
+        rt.submit(cl, [(child, "rw")])
+    rt.unpartition(h)
+    rt.acquire(h, "r")
+    assert np.array_equal(data, np.arange(n, dtype=np.float32) + 1.0)
+    rt.shutdown()
+
+
+@given(
+    n_tasks=st.integers(min_value=2, max_value=25),
+    seed=st.integers(min_value=0, max_value=5000),
+    policy=st.sampled_from(["eager", "random", "ws", "dmda"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_worker_intervals_never_overlap(n_tasks, seed, policy):
+    """A worker executes at most one task at a time, under any policy."""
+    rt = Runtime(platform_c2050(), scheduler=policy, seed=seed)
+    codelets = _codelets()
+    handles = [rt.register(np.zeros(64, dtype=np.float32)) for _ in range(4)]
+    kinds = ["gpu_rw", "cpu_rw", "gpu_r"]
+    for i in range(n_tasks):
+        kind = kinds[(i * 7 + seed) % 3]
+        rt.submit(codelets[kind], [(handles[i % 4], _MODES[kind])], scalar_args=(1.0,))
+    rt.wait_for_all()
+    per_worker: dict[int, list[tuple[float, float]]] = {}
+    for rec in rt.trace.tasks:
+        for w in rec.worker_ids:
+            per_worker.setdefault(w, []).append((rec.start_time, rec.end_time))
+    for spans in per_worker.values():
+        spans.sort()
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2 + 1e-12, "worker double-booked"
+    rt.shutdown()
+
+
+@given(
+    n_tasks=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=5000),
+)
+@settings(max_examples=30, deadline=None)
+def test_timeline_causality(n_tasks, seed):
+    """Submit <= ready <= start <= end for every task; transfers finish
+    before the task that needed them starts."""
+    rt = Runtime(platform_c2050(), scheduler="dmda", seed=seed)
+    codelets = _codelets()
+    h = rt.register(np.zeros(256, dtype=np.float32))
+    for i in range(n_tasks):
+        kind = ["gpu_rw", "cpu_rw"][i % 2]
+        rt.submit(codelets[kind], [(h, "rw")], scalar_args=(1.0,))
+    rt.wait_for_all()
+    for rec in rt.trace.tasks:
+        assert rec.submit_time <= rec.ready_time + 1e-12
+        assert rec.ready_time <= rec.start_time + 1e-12
+        assert rec.start_time <= rec.end_time
+    rt.shutdown()

@@ -1,0 +1,146 @@
+"""Property-based tests: perfmodel fits, LOC counting, workloads."""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.metrics.loc import count_logical_lines
+from repro.runtime.perfmodel import PerfModel, RegressionModel
+from repro.workloads.sparse import random_csr
+from repro.workloads.graphs import random_graph
+
+
+@given(
+    coeff=st.floats(min_value=1e-12, max_value=1e-6),
+    exponent=st.floats(min_value=0.5, max_value=3.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_regression_recovers_random_power_laws(coeff, exponent):
+    model = RegressionModel(min_samples=4)
+    for size in (1e3, 1e4, 1e5, 1e6):
+        model.record("v", size, coeff * size**exponent)
+    predicted = model.predict("v", 3.3e5)
+    expected = coeff * 3.3e5**exponent
+    assert predicted is not None
+    assert math.isclose(predicted, expected, rel_tol=1e-6)
+
+
+@given(
+    durations=st.lists(
+        st.floats(min_value=1e-9, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_history_mean_matches_numpy(durations):
+    model = PerfModel()
+    fp = ("c", (4,))
+    for d in durations:
+        model.record(fp, "v", 100.0, d)
+    assert model.predict(fp, "v", 100.0) == np.mean(durations).item() or math.isclose(
+        model.predict(fp, "v", 100.0), float(np.mean(durations)), rel_tol=1e-9
+    )
+
+
+_code_lines = st.lists(
+    st.sampled_from(
+        ["x = 1", "y = x + 2", "def f():", "    return 3", "z = [1, 2]",
+         "del x" ]
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(lines=_code_lines, n_comments=st.integers(min_value=0, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_loc_invariant_under_comments_and_blanks(lines, n_comments):
+    """Inserting comments and blank lines never changes logical LOC."""
+    # keep indentation valid: a "return" only follows a "def"
+    fixed = []
+    expecting_body = False
+    for line in lines:
+        if line.startswith("    "):
+            if not expecting_body:
+                continue
+            expecting_body = False
+        elif line.endswith(":"):
+            expecting_body = True
+        fixed.append(line)
+    if expecting_body:
+        fixed.append("    pass")
+    assume(fixed)
+    src = "\n".join(fixed) + "\n"
+    try:
+        base = count_logical_lines(src)
+    except Exception:
+        assume(False)
+    noisy_lines = []
+    for i, line in enumerate(fixed):
+        noisy_lines.append(line + "  # trailing comment")
+        if i < n_comments:
+            noisy_lines.append("# standalone comment")
+            noisy_lines.append("")
+    noisy = "\n".join(noisy_lines) + "\n"
+    assert count_logical_lines(noisy) == base
+
+
+@given(
+    nrows=st.integers(min_value=2, max_value=300),
+    deg=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_csr_always_wellformed(nrows, deg, seed):
+    mat = random_csr(nrows, nrows, deg, seed=seed)
+    assert mat.nnz == nrows * deg
+    assert mat.rowptr[0] == 0 and mat.rowptr[-1] == mat.nnz
+    assert (np.diff(mat.rowptr) == deg).all()
+    assert mat.colidxs.min() >= 0 and mat.colidxs.max() < nrows
+
+
+@given(
+    n=st.integers(min_value=2, max_value=300),
+    deg=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_graph_offsets_consistent(n, deg, seed):
+    nodes, edges = random_graph(n, deg, seed=seed)
+    assert len(nodes) == n + 1
+    assert nodes[-1] == len(edges)
+    assert (np.diff(nodes) >= 1).all()
+    assert edges.min() >= 0 and edges.max() < n
+
+
+@given(
+    labels=st.lists(
+        st.sampled_from(["cpu", "omp", "gpu"]), min_size=9, max_size=9
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_compacted_tree_reproduces_any_grid_labelling(labels):
+    """Whatever winner pattern a 3x3 scenario grid carries, the
+    compacted decision tree reproduces it exactly (axis-aligned grids
+    are always separable by threshold trees)."""
+    from repro.components.context import ContextInstance
+    from repro.composer.compaction import compact_dispatch_table
+    from repro.composer.static_comp import DispatchEntry, DispatchTable
+
+    sizes = (16, 256, 4096)
+    entries = []
+    for i, n in enumerate(sizes):
+        for j, m in enumerate(sizes):
+            entries.append(
+                DispatchEntry(
+                    scenario=ContextInstance({"n": n, "m": m}),
+                    variant=labels[i * 3 + j],
+                    predicted_time=1.0,
+                )
+            )
+    table = DispatchTable("grid", entries)
+    tree = compact_dispatch_table(table, max_depth=8)
+    for entry in entries:
+        assert tree.lookup(entry.scenario.as_dict()) == entry.variant

@@ -1,0 +1,40 @@
+"""Access-mode semantics and parsing."""
+
+import pytest
+
+from repro.runtime.access import AccessMode
+
+
+def test_reads_flags():
+    assert AccessMode.R.reads and AccessMode.RW.reads
+    assert not AccessMode.W.reads
+
+
+def test_writes_flags():
+    assert AccessMode.W.writes and AccessMode.RW.writes
+    assert not AccessMode.R.writes
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("r", AccessMode.R),
+        ("READ", AccessMode.R),
+        ("in", AccessMode.R),
+        ("w", AccessMode.W),
+        ("write", AccessMode.W),
+        ("out", AccessMode.W),
+        ("rw", AccessMode.RW),
+        ("readwrite", AccessMode.RW),
+        ("read-write", AccessMode.RW),
+        ("inout", AccessMode.RW),
+        ("  Rw ", AccessMode.RW),
+    ],
+)
+def test_parse_aliases(text, expected):
+    assert AccessMode.parse(text) is expected
+
+
+def test_parse_unknown():
+    with pytest.raises(ValueError):
+        AccessMode.parse("readonly-ish")

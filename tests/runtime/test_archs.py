@@ -1,0 +1,43 @@
+"""Backend-architecture mapping."""
+
+import pytest
+
+from repro.hw.presets import platform_c2050
+from repro.runtime.archs import Arch
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("cpu", Arch.CPU),
+        ("C++", Arch.CPU),
+        ("serial", Arch.CPU),
+        ("openmp", Arch.OPENMP),
+        ("CPU/OpenMP", Arch.OPENMP),
+        ("cuda", Arch.CUDA),
+        ("gpu", Arch.CUDA),
+        ("opencl", Arch.OPENCL),
+    ],
+)
+def test_parse(text, expected):
+    assert Arch.parse(text) is expected
+
+
+def test_parse_unknown():
+    with pytest.raises(ValueError):
+        Arch.parse("fpga")
+
+
+def test_runs_on_mapping():
+    m = platform_c2050()
+    cpu_unit = m.cpu_units[0]
+    gpu_unit = m.gpu_units[0]
+    assert Arch.CPU.runs_on(cpu_unit) and not Arch.CPU.runs_on(gpu_unit)
+    assert Arch.OPENMP.runs_on(cpu_unit) and not Arch.OPENMP.runs_on(gpu_unit)
+    assert Arch.CUDA.runs_on(gpu_unit) and not Arch.CUDA.runs_on(cpu_unit)
+    assert Arch.OPENCL.runs_on(gpu_unit) and not Arch.OPENCL.runs_on(cpu_unit)
+
+
+def test_only_openmp_is_gang():
+    assert Arch.OPENMP.is_gang
+    assert not any(a.is_gang for a in (Arch.CPU, Arch.CUDA, Arch.OPENCL))

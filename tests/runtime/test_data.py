@@ -1,0 +1,213 @@
+"""Data handles: MSI coherence, ordering bookkeeping, partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataConsistencyError
+from repro.hw.machine import HOST_NODE
+from repro.runtime.data import CopyState, DataHandle
+
+
+def _handle(n=64, nodes=2, name="h"):
+    return DataHandle(np.zeros(n, dtype=np.float32), nodes, name=name)
+
+
+def test_initial_state_host_owns():
+    h = _handle()
+    assert h.state(HOST_NODE) is CopyState.MODIFIED
+    assert h.state(1) is CopyState.INVALID
+    assert h.valid_nodes() == [HOST_NODE]
+
+
+def test_needs_host_node():
+    with pytest.raises(DataConsistencyError):
+        DataHandle(np.zeros(4), 0)
+
+
+def test_mark_shared_degrades_modified():
+    h = _handle()
+    h.mark_shared(1, ready_at=2.0)
+    assert h.state(HOST_NODE) is CopyState.SHARED
+    assert h.state(1) is CopyState.SHARED
+    assert h.ready_at(1) == 2.0
+
+
+def test_mark_modified_invalidates_everyone_else():
+    h = _handle()
+    h.mark_shared(1, 1.0)
+    h.mark_modified(1, 5.0)
+    assert h.state(1) is CopyState.MODIFIED
+    assert h.state(HOST_NODE) is CopyState.INVALID
+    assert h.valid_nodes() == [1]
+
+
+def test_pick_source_prefers_earliest_then_host():
+    h = _handle(nodes=3)
+    h.mark_shared(1, 4.0)
+    h.mark_shared(2, 1.0)
+    assert h.pick_source() == HOST_NODE  # host ready at 0
+    h.mark_modified(2, 1.0)
+    assert h.pick_source() == 2
+
+
+def test_ready_at_never_regresses_on_shared():
+    h = _handle()
+    h.mark_shared(1, 5.0)
+    h.mark_shared(1, 2.0)  # a later no-op transfer cannot rewind readiness
+    assert h.ready_at(1) == 5.0
+
+
+def test_dependencies_reader_waits_for_writer():
+    h = _handle()
+
+    class T:  # minimal task stand-in
+        def __init__(self):
+            from repro.runtime.task import TaskState
+
+            self.state = TaskState.SUBMITTED
+            self.task_id = id(self)
+
+    w = T()
+    h.record_access(w, writes=True)
+    assert h.dependencies_for(writes=False) == [w]
+
+
+def test_dependencies_writer_waits_for_readers_too():
+    h = _handle()
+
+    class T:
+        def __init__(self):
+            from repro.runtime.task import TaskState
+
+            self.state = TaskState.SUBMITTED
+            self.task_id = id(self)
+
+    w, r1, r2 = T(), T(), T()
+    h.record_access(w, writes=True)
+    h.record_access(r1, writes=False)
+    h.record_access(r2, writes=False)
+    assert h.dependencies_for(writes=True) == [w, r1, r2]
+
+
+def test_new_writer_clears_reader_list():
+    h = _handle()
+
+    class T:
+        def __init__(self):
+            from repro.runtime.task import TaskState
+
+            self.state = TaskState.SUBMITTED
+            self.task_id = id(self)
+
+    r, w = T(), T()
+    h.record_access(r, writes=False)
+    h.record_access(w, writes=True)
+    assert h.dependencies_for(writes=False) == [w]
+
+
+def test_reset_host_access_clears_ordering():
+    h = _handle()
+
+    class T:
+        def __init__(self):
+            from repro.runtime.task import TaskState
+
+            self.state = TaskState.SUBMITTED
+            self.task_id = id(self)
+
+    h.record_access(T(), writes=True)
+    h.reset_host_access()
+    assert h.dependencies_for(writes=True) == []
+
+
+# -- partitioning ---------------------------------------------------------
+
+def test_partition_equal_covers_payload():
+    h = _handle(100)
+    children = h.partition_equal(3)
+    assert sum(len(c.array) for c in children) == 100
+    assert h.partitioned
+
+
+def test_partition_children_are_views():
+    h = _handle(10)
+    children = h.partition_equal(2)
+    children[0].array[0] = 42.0
+    assert h.array[0] == 42.0
+
+
+def test_partition_children_inherit_state():
+    h = _handle(10, nodes=2)
+    h.mark_shared(1, 3.0)
+    children = h.partition_equal(2)
+    assert children[0].state(1) is CopyState.SHARED
+    assert children[0].ready_at(1) == 3.0
+
+
+def test_partition_children_inherit_ordering():
+    h = _handle(10)
+
+    class T:
+        def __init__(self):
+            from repro.runtime.task import TaskState
+
+            self.state = TaskState.SUBMITTED
+            self.task_id = id(self)
+
+    w = T()
+    h.record_access(w, writes=True)
+    children = h.partition_equal(2)
+    assert children[0].last_writer is w
+
+
+def test_double_partition_rejected():
+    h = _handle(10)
+    h.partition_equal(2)
+    with pytest.raises(DataConsistencyError):
+        h.partition_equal(2)
+
+
+def test_partition_needs_slices():
+    h = _handle(10)
+    with pytest.raises(DataConsistencyError):
+        h.partition_by_slices([])
+
+
+def test_partition_bad_chunk_count():
+    with pytest.raises(DataConsistencyError):
+        _handle(10).partition_equal(0)
+
+
+def test_drop_partition_unregisters_children():
+    h = _handle(10)
+    children = h.partition_equal(2)
+    h.drop_partition()
+    assert not h.partitioned
+    assert all(c.unregistered for c in children)
+
+
+def test_partition_matrix_rows():
+    h = DataHandle(np.zeros((8, 4), dtype=np.float32), 2)
+    children = h.partition_equal(2, axis=0)
+    assert children[0].array.shape == (4, 4)
+
+
+def test_invariant_no_two_modified():
+    h = _handle()
+    h._states[1] = CopyState.MODIFIED  # corrupt deliberately
+    with pytest.raises(DataConsistencyError):
+        h._check_invariants()
+
+
+def test_invariant_modified_excludes_shared():
+    h = _handle(nodes=3)
+    h._states[1] = CopyState.SHARED  # corrupt: MODIFIED@host + SHARED@1
+    with pytest.raises(DataConsistencyError):
+        h._check_invariants()
+
+
+def test_invariant_requires_some_valid_copy():
+    h = _handle()
+    h._states[HOST_NODE] = CopyState.INVALID
+    with pytest.raises(DataConsistencyError):
+        h._check_invariants()

@@ -1,0 +1,140 @@
+"""Energy accounting and the min_energy optimization goal."""
+
+import numpy as np
+import pytest
+
+from repro.hw.devices import DeviceKind, DeviceSpec, tesla_c2050, xeon_e5520_core
+from repro.hw.presets import platform_c2050
+from repro.runtime import Arch, Codelet, ImplVariant, Runtime
+from repro.runtime.schedulers import make_scheduler
+
+
+def test_device_power_validation():
+    with pytest.raises(ValueError):
+        DeviceSpec(
+            name="x", kind=DeviceKind.CPU, peak_gflops=1, mem_bandwidth_gbs=1,
+            launch_overhead_s=0, busy_watts=0.0,
+        )
+
+
+def test_catalogue_power_figures():
+    assert tesla_c2050().busy_watts == pytest.approx(238.0)
+    assert xeon_e5520_core().busy_watts < tesla_c2050().busy_watts / 5
+
+
+def test_task_energy_is_duration_times_power():
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=0, noise_sigma=0.0)
+    cl = Codelet(
+        "k", [ImplVariant("k_cuda", Arch.CUDA, lambda ctx, *a: None, lambda c, d: 1e-2)]
+    )
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    rt.submit(cl, [(h, "rw")])
+    rt.wait_for_all()
+    rec = rt.trace.tasks[0]
+    assert rec.energy_j == pytest.approx(rec.duration * 238.0)
+    assert rt.trace.total_energy_j == pytest.approx(rec.energy_j)
+    rt.shutdown()
+
+
+def test_gang_energy_sums_member_power():
+    from repro.hw.presets import cpu_only
+
+    rt = Runtime(cpu_only(4), scheduler="eager", seed=0, noise_sigma=0.0)
+    cl = Codelet(
+        "g", [ImplVariant("g_omp", Arch.OPENMP, lambda ctx, *a: None, lambda c, d: 1e-2)]
+    )
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    rt.submit(cl, [(h, "rw")])
+    rt.wait_for_all()
+    rec = rt.trace.tasks[0]
+    assert rec.energy_j == pytest.approx(rec.duration * 4 * 20.0)
+    rt.shutdown()
+
+
+def test_energy_by_arch_grouping():
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=0, noise_sigma=0.0)
+    cpu_cl = Codelet(
+        "c", [ImplVariant("c", Arch.CPU, lambda ctx, *a: None, lambda c, d: 1e-3)]
+    )
+    gpu_cl = Codelet(
+        "g", [ImplVariant("g", Arch.CUDA, lambda ctx, *a: None, lambda c, d: 1e-3)]
+    )
+    h1 = rt.register(np.zeros(4, dtype=np.float32))
+    h2 = rt.register(np.zeros(4, dtype=np.float32))
+    rt.submit(cpu_cl, [(h1, "rw")])
+    rt.submit(gpu_cl, [(h2, "rw")])
+    rt.wait_for_all()
+    by_arch = rt.trace.energy_by_arch()
+    assert by_arch["cuda"] > by_arch["cpu"]  # same duration, 238 W vs 20 W
+    rt.shutdown()
+
+
+def _two_variant_codelet():
+    """GPU is 3x faster but ~12x more power-hungry: energy prefers CPU."""
+    return Codelet(
+        "trade",
+        [
+            ImplVariant("t_cpu", Arch.CPU, lambda ctx, *a: None, lambda c, d: 3e-3),
+            ImplVariant("t_cuda", Arch.CUDA, lambda ctx, *a: None, lambda c, d: 1e-3),
+        ],
+    )
+
+
+def _run_with_objective(objective):
+    rt = Runtime(
+        platform_c2050(),
+        scheduler="dmda",
+        seed=0,
+        noise_sigma=0.0,
+        scheduler_options={"objective": objective},
+    )
+    cl = _two_variant_codelet()
+    h = rt.register(np.zeros(1000, dtype=np.float32))
+    for _ in range(20):
+        rt.submit(cl, [(h, "rw")])
+    rt.wait_for_all()
+    tail = [rec.arch for rec in rt.trace.tasks][-10:]
+    energy = rt.trace.total_energy_j
+    makespan = rt.trace.makespan
+    rt.shutdown()
+    return tail, energy, makespan
+
+
+def test_time_objective_picks_the_faster_gpu():
+    tail, _, _ = _run_with_objective("min_exec_time")
+    assert all(a == "cuda" for a in tail)
+
+
+def test_energy_objective_picks_the_frugal_cpu():
+    tail, _, _ = _run_with_objective("min_energy")
+    assert all(a == "cpu" for a in tail)
+
+
+def test_energy_objective_trades_time_for_joules():
+    _, e_time, m_time = _run_with_objective("min_exec_time")
+    _, e_energy, m_energy = _run_with_objective("min_energy")
+    assert e_energy < e_time  # saves energy...
+    assert m_energy > m_time  # ...by running longer
+
+
+def test_unknown_objective_rejected():
+    with pytest.raises(ValueError):
+        make_scheduler("dmda", objective="min_carbon")
+
+
+def test_optimization_goal_flows_through_generated_code(tmp_path):
+    """A main descriptor declaring min_energy configures the runtime."""
+    from repro.apps import spmv
+    from repro.components import MainDescriptor, Repository
+    from repro.composer import Composer, Recipe
+
+    repo = Repository()
+    spmv.register(repo)
+    main = MainDescriptor(
+        name="spmv_app", components=("spmv",), optimization_goal="min_energy"
+    )
+    repo.add_main(main)
+    app = Composer(repo, Recipe()).compose(main, tmp_path)
+    rt = app.initialize()
+    assert rt.scheduler.objective == "min_energy"
+    app.shutdown()

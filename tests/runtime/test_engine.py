@@ -1,0 +1,474 @@
+"""Discrete-event engine: dependencies, coherence actions, timelines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataConsistencyError, RuntimeSystemError, SchedulingError
+from repro.hw.machine import HOST_NODE
+from repro.hw.presets import cpu_only, platform_c2050
+from repro.runtime import Arch, Codelet, ImplVariant, Runtime
+
+from tests.conftest import make_axpy_codelet
+
+
+def _rt(machine=None, scheduler="eager", **kw):
+    kw.setdefault("noise_sigma", 0.0)
+    return Runtime(machine or platform_c2050(), scheduler=scheduler, seed=0, **kw)
+
+
+def _const_codelet(name="k", cost=1e-3, archs=(Arch.CPU,), fn=None):
+    fn = fn or (lambda ctx, *a: None)
+    return Codelet(
+        name,
+        [
+            ImplVariant(f"{name}_{a.value}", a, fn, lambda ctx, dev, c=cost: c)
+            for a in archs
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# dependency inference (sequential data consistency)
+# ---------------------------------------------------------------------------
+
+def test_raw_dependency_serialises():
+    rt = _rt(cpu_only(4))
+    cl = _const_codelet(cost=1e-3)
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    t1 = rt.submit(cl, [(h, "w")])
+    t2 = rt.submit(cl, [(h, "r")])
+    rt.wait_for_all()
+    assert t2.start_time >= t1.end_time
+
+
+def test_war_dependency_serialises():
+    rt = _rt(cpu_only(4))
+    cl = _const_codelet(cost=1e-3)
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    reader = rt.submit(cl, [(h, "r")])
+    writer = rt.submit(cl, [(h, "rw")])
+    rt.wait_for_all()
+    assert writer.start_time >= reader.end_time
+
+
+def test_waw_dependency_serialises():
+    rt = _rt(cpu_only(4))
+    cl = _const_codelet(cost=1e-3)
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    w1 = rt.submit(cl, [(h, "w")])
+    w2 = rt.submit(cl, [(h, "w")])
+    rt.wait_for_all()
+    assert w2.start_time >= w1.end_time
+
+
+def test_concurrent_readers_overlap():
+    rt = _rt(cpu_only(4))
+    cl = _const_codelet(cost=1e-2)
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    readers = [rt.submit(cl, [(h, "r")]) for _ in range(3)]
+    rt.wait_for_all()
+    starts = sorted(t.start_time for t in readers)
+    ends = sorted(t.end_time for t in readers)
+    assert starts[-1] < ends[0]  # all three run concurrently
+
+
+def test_independent_handles_run_in_parallel():
+    rt = _rt(cpu_only(4))
+    cl = _const_codelet(cost=1e-2)
+    h1 = rt.register(np.zeros(10, dtype=np.float32))
+    h2 = rt.register(np.zeros(10, dtype=np.float32))
+    t1 = rt.submit(cl, [(h1, "rw")])
+    t2 = rt.submit(cl, [(h2, "rw")])
+    rt.wait_for_all()
+    assert t2.start_time < t1.end_time
+
+
+def test_diamond_dependency_chain():
+    """w -> (r1 || r2) -> w2: the final writer waits for both readers."""
+    rt = _rt(cpu_only(4))
+    cl = _const_codelet(cost=1e-3)
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    w = rt.submit(cl, [(h, "w")])
+    r1 = rt.submit(cl, [(h, "r")])
+    r2 = rt.submit(cl, [(h, "r")])
+    w2 = rt.submit(cl, [(h, "rw")])
+    rt.wait_for_all()
+    assert r1.start_time >= w.end_time and r2.start_time >= w.end_time
+    assert w2.start_time >= max(r1.end_time, r2.end_time)
+
+
+def test_values_follow_dependency_order():
+    rt = _rt(cpu_only(2))
+
+    def add_one(ctx, arr):
+        arr += 1.0
+
+    def double(ctx, arr):
+        arr *= 2.0
+
+    cl_add = Codelet("add", [ImplVariant("add", Arch.CPU, add_one, lambda c, d: 1e-4)])
+    cl_dbl = Codelet("dbl", [ImplVariant("dbl", Arch.CPU, double, lambda c, d: 1e-4)])
+    data = np.zeros(4, dtype=np.float32)
+    h = rt.register(data)
+    rt.submit(cl_add, [(h, "rw")])
+    rt.submit(cl_dbl, [(h, "rw")])
+    rt.submit(cl_add, [(h, "rw")])
+    rt.wait_for_all()
+    rt.acquire(h, "r")
+    assert np.all(data == 3.0)  # ((0+1)*2)+1
+
+
+# ---------------------------------------------------------------------------
+# coherence and transfers
+# ---------------------------------------------------------------------------
+
+def test_cpu_only_tasks_never_transfer():
+    rt = _rt(cpu_only(4))
+    cl = _const_codelet()
+    h = rt.register(np.zeros(1000, dtype=np.float32))
+    for _ in range(5):
+        rt.submit(cl, [(h, "rw")])
+    rt.wait_for_all()
+    assert rt.trace.n_transfers == 0
+
+
+def test_gpu_read_triggers_single_upload():
+    rt = _rt()
+    cl = _const_codelet(archs=(Arch.CUDA,))
+    h = rt.register(np.zeros(1000, dtype=np.float32))
+    for _ in range(4):
+        rt.submit(cl, [(h, "r")])
+    rt.wait_for_all()
+    assert rt.trace.n_h2d == 1  # lazy: one upload serves all reads
+    assert rt.trace.n_d2h == 0
+
+
+def test_write_only_gpu_task_skips_upload():
+    rt = _rt()
+    cl = _const_codelet(archs=(Arch.CUDA,))
+    h = rt.register(np.zeros(1000, dtype=np.float32))
+    rt.submit(cl, [(h, "w")])
+    rt.wait_for_all()
+    assert rt.trace.n_transfers == 0  # allocation only, per Figure 3
+
+
+def test_host_read_after_gpu_write_downloads_once():
+    rt = _rt()
+    cl = _const_codelet(archs=(Arch.CUDA,))
+    h = rt.register(np.zeros(1000, dtype=np.float32))
+    rt.submit(cl, [(h, "w")])
+    rt.acquire(h, "r")
+    rt.acquire(h, "r")  # second host read: copy already valid
+    assert rt.trace.n_d2h == 1
+
+
+def test_host_write_invalidates_device_copy():
+    rt = _rt()
+    cl = _const_codelet(archs=(Arch.CUDA,))
+    h = rt.register(np.zeros(1000, dtype=np.float32))
+    rt.submit(cl, [(h, "w")])
+    rt.acquire(h, "rw")  # host write: download + invalidate device
+    rt.submit(cl, [(h, "r")])  # needs a fresh upload
+    rt.wait_for_all()
+    assert rt.trace.n_d2h == 1 and rt.trace.n_h2d == 1
+
+
+def test_transfer_time_appears_in_makespan():
+    rt = _rt()
+    cl = _const_codelet(archs=(Arch.CUDA,), cost=1e-6)
+    big = rt.register(np.zeros(10_000_000, dtype=np.float32))  # 40 MB
+    task = rt.submit(cl, [(big, "r")])
+    rt.wait_for_all()
+    expected_transfer = rt.machine.transfer_time(HOST_NODE, 1, 40_000_000)
+    assert task.start_time >= expected_transfer
+
+
+def test_acquire_blocks_until_writer_finishes():
+    rt = _rt()
+    cl = _const_codelet(archs=(Arch.CUDA,), cost=5e-3)
+    h = rt.register(np.zeros(100, dtype=np.float32))
+    task = rt.submit(cl, [(h, "w")])
+    before = rt.now
+    rt.acquire(h, "r")
+    assert before < task.end_time <= rt.now
+
+
+def test_host_overlaps_with_async_tasks():
+    rt = _rt()
+    cl = _const_codelet(archs=(Arch.CUDA,), cost=1e-2)
+    h = rt.register(np.zeros(100, dtype=np.float32))
+    rt.submit(cl, [(h, "w")])
+    # submission returns immediately: host time is far below task time
+    assert rt.now < 1e-3
+
+
+def test_unregister_flushes_home():
+    rt = _rt()
+    cl = _const_codelet(archs=(Arch.CUDA,))
+
+    def fill(ctx, arr):
+        arr[:] = 7.0
+
+    cl = Codelet("fill", [ImplVariant("f", Arch.CUDA, fill, lambda c, d: 1e-4)])
+    data = np.zeros(100, dtype=np.float32)
+    h = rt.register(data)
+    rt.submit(cl, [(h, "w")])
+    rt.unregister(h)
+    assert np.all(data == 7.0)
+    assert rt.trace.n_d2h == 1
+
+
+def test_unregistered_handle_rejected():
+    rt = _rt()
+    cl = _const_codelet()
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    rt.unregister(h)
+    with pytest.raises(RuntimeSystemError):
+        rt.submit(cl, [(h, "r")])
+
+
+# ---------------------------------------------------------------------------
+# scheduling mechanics
+# ---------------------------------------------------------------------------
+
+def test_no_feasible_variant_raises():
+    rt = _rt(cpu_only(2))
+    cuda_only = _const_codelet(archs=(Arch.CUDA,))
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    with pytest.raises(SchedulingError):
+        rt.submit(cuda_only, [(h, "r")])
+
+
+def test_guard_rejecting_all_variants_raises():
+    guarded = Codelet(
+        "g",
+        [
+            ImplVariant(
+                "g_cpu",
+                Arch.CPU,
+                lambda ctx, *a: None,
+                lambda ctx, dev: 1e-6,
+                guard=lambda ctx: False,
+            )
+        ],
+    )
+    rt = _rt(cpu_only(2))
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    with pytest.raises(SchedulingError):
+        rt.submit(guarded, [(h, "r")])
+
+
+def test_gang_task_occupies_all_cpu_workers():
+    rt = _rt(cpu_only(4))
+    gang = _const_codelet(archs=(Arch.OPENMP,), cost=1e-2)
+    solo = _const_codelet(name="s", archs=(Arch.CPU,), cost=1e-2)
+    h1 = rt.register(np.zeros(10, dtype=np.float32))
+    h2 = rt.register(np.zeros(10, dtype=np.float32))
+    g = rt.submit(gang, [(h1, "rw")])
+    s = rt.submit(solo, [(h2, "rw")])
+    rt.wait_for_all()
+    assert len(g.workers) == 4
+    assert s.start_time >= g.end_time  # no core left while the gang runs
+
+
+def test_gang_ctx_receives_ncores():
+    rt = _rt(cpu_only(4))
+    gang = _const_codelet(archs=(Arch.OPENMP,))
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    task = rt.submit(gang, [(h, "rw")])
+    rt.wait_for_all()
+    assert task.ctx["ncores"] == 4
+
+
+def test_sync_submit_blocks_host():
+    rt = _rt()
+    cl = _const_codelet(cost=2e-3)
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    task = rt.submit(cl, [(h, "rw")], sync=True)
+    assert rt.now >= task.end_time
+
+
+def test_submit_overhead_charged_to_host():
+    rt = Runtime(
+        cpu_only(2), scheduler="eager", seed=0, noise_sigma=0.0,
+        submit_overhead_s=1e-5,
+    )
+    cl = _const_codelet()
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    for _ in range(10):
+        rt.submit(cl, [(h, "r")])
+    assert rt.now == pytest.approx(1e-4)
+
+
+def test_same_seed_same_schedule():
+    def run():
+        rt = Runtime(platform_c2050(), scheduler="dmda", seed=42)
+        cl = make_axpy_codelet()
+        y = np.zeros(100_000, dtype=np.float32)
+        x = np.ones(100_000, dtype=np.float32)
+        hy, hx = rt.register(y), rt.register(x)
+        for _ in range(12):
+            rt.submit(cl, [(hy, "rw"), (hx, "r")], ctx={"n": 100_000},
+                      scalar_args=(1.0,))
+        makespan = rt.wait_for_all()
+        variants = rt.trace.tasks_by_variant()
+        rt.shutdown()
+        return makespan, variants
+
+    assert run() == run()
+
+
+def test_run_kernels_false_skips_computation():
+    rt = _rt(run_kernels=False)
+
+    def boom(ctx, *a):
+        raise AssertionError("kernel must not run")
+
+    cl = Codelet("b", [ImplVariant("b", Arch.CPU, boom, lambda c, d: 1e-6)])
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    rt.submit(cl, [(h, "rw")])
+    rt.wait_for_all()
+
+
+# ---------------------------------------------------------------------------
+# partitioning through the engine
+# ---------------------------------------------------------------------------
+
+def test_partitioned_parent_rejected_as_operand():
+    rt = _rt()
+    cl = _const_codelet()
+    h = rt.register(np.zeros(100, dtype=np.float32))
+    rt.partition_equal(h, 4)
+    with pytest.raises(RuntimeSystemError):
+        rt.submit(cl, [(h, "r")])
+
+
+def test_partitioned_parent_host_access_rejected():
+    rt = _rt()
+    h = rt.register(np.zeros(100, dtype=np.float32))
+    rt.partition_equal(h, 4)
+    with pytest.raises(DataConsistencyError):
+        rt.acquire(h, "r")
+
+
+def test_unpartition_gathers_children():
+    rt = _rt()
+
+    def fill(ctx, arr):
+        arr[:] = 5.0
+
+    cl = Codelet("fill", [ImplVariant("f", Arch.CUDA, fill, lambda c, d: 1e-4)])
+    data = np.zeros(100, dtype=np.float32)
+    h = rt.register(data)
+    children = rt.partition_equal(h, 4)
+    for child in children:
+        rt.submit(cl, [(child, "w")])
+    rt.unpartition(h)
+    assert np.all(data == 5.0)
+    assert not h.partitioned
+    # gathered home: parent usable again
+    cl2 = _const_codelet()
+    rt.submit(cl2, [(h, "r")])
+    rt.wait_for_all()
+
+
+def test_unpartition_without_partition_is_noop():
+    rt = _rt()
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    t = rt.now
+    assert rt.unpartition(h) == t
+
+
+# ---------------------------------------------------------------------------
+# lifecycle
+# ---------------------------------------------------------------------------
+
+def test_shutdown_drains_and_blocks_further_use():
+    rt = _rt()
+    cl = _const_codelet()
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    rt.submit(cl, [(h, "rw")])
+    rt.shutdown()
+    with pytest.raises(RuntimeSystemError):
+        rt.submit(cl, [(h, "rw")])
+    with pytest.raises(RuntimeSystemError):
+        rt.register(np.zeros(4))
+
+
+def test_shutdown_idempotent():
+    rt = _rt()
+    assert rt.shutdown() == rt.shutdown()
+
+
+def test_context_manager_shuts_down():
+    with _rt() as rt:
+        cl = _const_codelet()
+        h = rt.register(np.zeros(10, dtype=np.float32))
+        rt.submit(cl, [(h, "rw")])
+    with pytest.raises(RuntimeSystemError):
+        rt.register(np.zeros(4))
+
+
+def test_wait_for_all_returns_makespan():
+    rt = _rt(cpu_only(1))
+    cl = _const_codelet(cost=1e-3)
+    h = rt.register(np.zeros(10, dtype=np.float32))
+    for _ in range(3):
+        rt.submit(cl, [(h, "rw")])
+    makespan = rt.wait_for_all()
+    assert makespan == pytest.approx(3e-3, rel=0.05)
+
+
+def test_host_write_only_access_skips_download():
+    """acquire(W): the old contents are irrelevant, so an outdated host
+    copy is NOT refreshed before the host overwrites it."""
+    rt = _rt()
+    cl = _const_codelet(archs=(Arch.CUDA,))
+    h = rt.register(np.zeros(1000, dtype=np.float32))
+    rt.submit(cl, [(h, "w")])  # device now owns the data
+    rt.acquire(h, "w")  # host will overwrite: no transfer needed
+    assert rt.trace.n_transfers == 0
+    h.array[:] = 1.0
+    # device copy was invalidated: the next device read re-uploads
+    rt.submit(cl, [(h, "r")])
+    rt.wait_for_all()
+    assert rt.trace.n_h2d == 1
+    rt.shutdown()
+
+
+def test_unregister_twice_rejected():
+    rt = _rt()
+    h = rt.register(np.zeros(8, dtype=np.float32))
+    rt.unregister(h)
+    with pytest.raises(RuntimeSystemError):
+        rt.unregister(h)
+
+
+def test_zero_length_operands_supported():
+    rt = _rt()
+    cl = _const_codelet(archs=(Arch.CUDA,))
+    h = rt.register(np.zeros(0, dtype=np.float32))
+    rt.submit(cl, [(h, "r")], sync=True)
+    rt.acquire(h, "r")
+    rt.shutdown()
+
+
+def test_submission_continues_after_barrier():
+    rt = _rt(cpu_only(2))
+    cl = _const_codelet(cost=1e-3)
+    h = rt.register(np.zeros(8, dtype=np.float32))
+    rt.submit(cl, [(h, "rw")])
+    t_barrier = rt.wait_for_all()
+    task = rt.submit(cl, [(h, "rw")], sync=True)
+    assert task.start_time >= t_barrier
+    rt.shutdown()
+
+
+def test_acquire_on_unregistered_handle_rejected():
+    rt = _rt()
+    h = rt.register(np.zeros(8, dtype=np.float32))
+    rt.unregister(h)
+    # unregister flushed home: local data stays usable, but runtime
+    # accesses are gone
+    with pytest.raises(RuntimeSystemError):
+        rt.submit(_const_codelet(), [(h, "r")])

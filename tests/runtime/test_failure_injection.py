@@ -1,0 +1,99 @@
+"""Failure injection: the engine stays consistent when things go wrong."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelExecutionError, SchedulingError
+from repro.hw.presets import cpu_only, platform_c2050
+from repro.runtime import Arch, Codelet, ImplVariant, Runtime
+
+
+def _good_codelet():
+    return Codelet(
+        "good",
+        [ImplVariant("good", Arch.CPU, lambda ctx, *a: None, lambda c, d: 1e-5)],
+    )
+
+
+def _bomb_codelet(exc=ValueError("kernel bug")):
+    def bomb(ctx, *a):
+        raise exc
+
+    return Codelet("bomb", [ImplVariant("bomb", Arch.CPU, bomb, lambda c, d: 1e-5)])
+
+
+def test_kernel_exception_is_wrapped_and_chained():
+    rt = Runtime(cpu_only(2), scheduler="eager", seed=0, noise_sigma=0.0)
+    h = rt.register(np.zeros(4, dtype=np.float32))
+    with pytest.raises(KernelExecutionError, match="kernel bug") as info:
+        rt.submit(_bomb_codelet(), [(h, "rw")])
+    assert isinstance(info.value.__cause__, ValueError)
+    rt.shutdown()
+
+
+def test_engine_usable_after_kernel_failure():
+    rt = Runtime(cpu_only(2), scheduler="eager", seed=0, noise_sigma=0.0)
+    h = rt.register(np.zeros(4, dtype=np.float32))
+    with pytest.raises(KernelExecutionError):
+        rt.submit(_bomb_codelet(), [(h, "rw")])
+    # the session keeps working: counters are consistent, new tasks run
+    task = rt.submit(_good_codelet(), [(h, "rw")], sync=True)
+    assert task.end_time > 0
+    rt.wait_for_all()
+    rt.shutdown()
+
+
+def test_scheduling_failure_keeps_dependents_released():
+    rt = Runtime(cpu_only(2), scheduler="eager", seed=0, noise_sigma=0.0)
+    cuda_only = Codelet(
+        "gpuonly",
+        [ImplVariant("g", Arch.CUDA, lambda ctx, *a: None, lambda c, d: 1e-5)],
+    )
+    h = rt.register(np.zeros(4, dtype=np.float32))
+    with pytest.raises(SchedulingError):
+        rt.submit(cuda_only, [(h, "w")])
+    # a dependent on the aborted writer still completes
+    rt.submit(_good_codelet(), [(h, "r")], sync=True)
+    rt.wait_for_all()
+    rt.shutdown()
+
+
+def test_failed_task_not_recorded_in_trace_or_perfmodel():
+    rt = Runtime(cpu_only(2), scheduler="eager", seed=0, noise_sigma=0.0)
+    h = rt.register(np.zeros(4, dtype=np.float32))
+    with pytest.raises(KernelExecutionError):
+        rt.submit(_bomb_codelet(), [(h, "rw")])
+    assert rt.trace.n_tasks == 0
+    rt.shutdown()
+
+
+def test_peppher_error_from_kernel_not_double_wrapped():
+    from repro.errors import ContainerError
+
+    def bomb(ctx, *a):
+        raise ContainerError("inner")
+
+    cl = Codelet("b", [ImplVariant("b", Arch.CPU, bomb, lambda c, d: 1e-5)])
+    rt = Runtime(cpu_only(2), scheduler="eager", seed=0, noise_sigma=0.0)
+    h = rt.register(np.zeros(4, dtype=np.float32))
+    with pytest.raises(ContainerError, match="inner"):
+        rt.submit(cl, [(h, "rw")])
+    rt.shutdown()
+
+
+def test_gpu_failure_leaves_coherence_valid():
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=0, noise_sigma=0.0)
+
+    def bomb(ctx, *a):
+        raise RuntimeError("gpu kernel fault")
+
+    cl = Codelet("b", [ImplVariant("b", Arch.CUDA, bomb, lambda c, d: 1e-5)])
+    data = np.arange(8, dtype=np.float32)
+    h = rt.register(data)
+    with pytest.raises(KernelExecutionError):
+        rt.submit(cl, [(h, "r")])
+    # the handle still has a valid copy somewhere and is host-readable
+    assert h.valid_nodes()
+    rt.acquire(h, "r")
+    assert (data == np.arange(8)).all()
+    rt.shutdown()

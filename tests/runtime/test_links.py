@@ -1,0 +1,77 @@
+"""PCIe link contention and duplex (dual-DMA) behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.hw.presets import platform_c1060, platform_c2050
+from repro.runtime import Arch, Codelet, ImplVariant, Runtime
+
+
+def _noop_codelet(name="k", arch=Arch.CUDA, cost=1e-6):
+    return Codelet(
+        name, [ImplVariant(name, arch, lambda ctx, *a: None, lambda c, d: cost)]
+    )
+
+
+NBYTES = 40_000_000  # 40 MB -> ~7.3 ms per PCIe leg
+
+
+def test_same_direction_transfers_serialise_on_the_dma_engine():
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=0, noise_sigma=0.0)
+    cl = _noop_codelet()
+    h1 = rt.register(np.zeros(NBYTES // 4, dtype=np.float32))
+    h2 = rt.register(np.zeros(NBYTES // 4, dtype=np.float32))
+    rt.submit(cl, [(h1, "r")])
+    rt.submit(cl, [(h2, "r")])
+    rt.wait_for_all()
+    uploads = sorted(rt.trace.transfers, key=lambda t: t.start_time)
+    assert len(uploads) == 2
+    # the second upload waits for the first DMA to finish
+    assert uploads[1].start_time >= uploads[0].end_time
+    rt.shutdown()
+
+
+def _h2d_d2h_overlap(machine):
+    """Upload for one handle while downloading another; do they overlap?"""
+    rt = Runtime(machine, scheduler="eager", seed=0, noise_sigma=0.0)
+    write_cl = Codelet(
+        "w", [ImplVariant("w", Arch.CUDA, lambda ctx, a: None, lambda c, d: 1e-6)]
+    )
+    read_cl = _noop_codelet("r")
+    h_out = rt.register(np.zeros(NBYTES // 4, dtype=np.float32), "out")
+    h_in = rt.register(np.zeros(NBYTES // 4, dtype=np.float32), "in")
+    rt.submit(write_cl, [(h_out, "w")])  # device-resident result
+    # trigger d2h (acquire the result) and h2d (a read task) together
+    rt.submit(read_cl, [(h_in, "r")])
+    rt.acquire(h_out, "r")
+    rt.wait_for_all()
+    h2d = next(t for t in rt.trace.transfers if t.is_h2d)
+    d2h = next(t for t in rt.trace.transfers if t.is_d2h)
+    overlap = (
+        h2d.start_time < d2h.end_time and d2h.start_time < h2d.end_time
+    )
+    rt.shutdown()
+    return overlap
+
+
+def test_fermi_dual_dma_overlaps_directions():
+    assert _h2d_d2h_overlap(platform_c2050())  # duplex link
+
+
+def test_gt200_single_dma_serialises_directions():
+    assert not _h2d_d2h_overlap(platform_c1060())  # half-duplex link
+
+
+def test_transfers_overlap_with_gpu_compute():
+    """DMA is a separate resource: a long kernel on one handle must not
+    delay an unrelated upload."""
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=0, noise_sigma=0.0)
+    slow_cl = _noop_codelet("slow", cost=50e-3)
+    h_busy = rt.register(np.zeros(16, dtype=np.float32))
+    task = rt.submit(slow_cl, [(h_busy, "rw")])
+    h_data = rt.register(np.zeros(NBYTES // 4, dtype=np.float32))
+    rt.submit(_noop_codelet("r2"), [(h_data, "r")])
+    rt.wait_for_all()
+    upload = next(t for t in rt.trace.transfers if t.is_h2d)
+    assert upload.end_time < task.end_time  # streamed in during compute
+    rt.shutdown()

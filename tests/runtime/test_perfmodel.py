@@ -1,0 +1,108 @@
+"""Performance models: history, regression and persistence."""
+
+import math
+
+import pytest
+
+from repro.errors import RuntimeSystemError
+from repro.runtime.perfmodel import (
+    HistoryModel,
+    PerfModel,
+    RegressionModel,
+    RunningStats,
+)
+
+
+def test_running_stats_mean_and_variance():
+    st = RunningStats()
+    for x in (1.0, 2.0, 3.0, 4.0):
+        st.add(x)
+    assert st.mean == pytest.approx(2.5)
+    assert st.variance == pytest.approx(5.0 / 3.0)
+    assert st.stddev == pytest.approx(math.sqrt(5.0 / 3.0))
+
+
+def test_running_stats_rejects_negative():
+    with pytest.raises(RuntimeSystemError):
+        RunningStats().add(-1.0)
+
+
+def test_history_predict_requires_min_samples():
+    model = HistoryModel(min_samples=3)
+    fp = ("c", (10,))
+    model.record(fp, "v", 1.0)
+    model.record(fp, "v", 1.0)
+    assert model.predict(fp, "v") is None
+    model.record(fp, "v", 1.0)
+    assert model.predict(fp, "v") == pytest.approx(1.0)
+
+
+def test_history_separates_variants_and_footprints():
+    model = HistoryModel()
+    model.record(("c", (10,)), "a", 1.0)
+    model.record(("c", (20,)), "a", 9.0)
+    model.record(("c", (10,)), "b", 5.0)
+    assert model.predict(("c", (10,)), "a") == 1.0
+    assert model.predict(("c", (20,)), "a") == 9.0
+    assert model.predict(("c", (10,)), "b") == 5.0
+
+
+def test_history_min_samples_validation():
+    with pytest.raises(ValueError):
+        HistoryModel(min_samples=0)
+
+
+def test_regression_recovers_power_law():
+    model = RegressionModel(min_samples=4)
+    for size in (1e3, 1e4, 1e5, 1e6):
+        model.record("v", size, 2e-9 * size**1.5)
+    predicted = model.predict("v", 1e7)
+    assert predicted == pytest.approx(2e-9 * 1e7**1.5, rel=1e-6)
+
+
+def test_regression_needs_size_spread():
+    model = RegressionModel(min_samples=2, min_size_ratio=2.0)
+    model.record("v", 1000, 1.0)
+    model.record("v", 1100, 1.1)
+    assert model.predict("v", 5000) is None  # sizes too close to trust
+
+
+def test_regression_ignores_nonpositive_samples():
+    model = RegressionModel(min_samples=1)
+    model.record("v", 0.0, 1.0)
+    model.record("v", 10.0, 0.0)
+    assert model.n_samples("v") == 0
+
+
+def test_perfmodel_prefers_history_over_regression():
+    model = PerfModel(history_min_samples=1)
+    fp = ("c", (12,))
+    for size in (1e3, 1e4, 1e5, 1e6):
+        model.record(("c", (999,)), "v", size, 1e-9 * size)
+    model.record(fp, "v", 5e4, 42.0)  # exact-bucket history says 42
+    assert model.predict(fp, "v", 5e4) == pytest.approx(42.0)
+
+
+def test_perfmodel_falls_back_to_regression():
+    model = PerfModel()
+    for size in (1e3, 1e4, 1e5, 1e6):
+        model.record(("c", (int(size),)), "v", size, 1e-9 * size)
+    unseen = ("c", (777,))
+    est = model.predict(unseen, "v", 1e7)
+    assert est == pytest.approx(1e-2, rel=0.05)
+
+
+def test_perfmodel_unknown_returns_none():
+    assert PerfModel().predict(("c", (1,)), "v", 100.0) is None
+
+
+def test_persistence_roundtrip(tmp_path):
+    model = PerfModel()
+    fp = ("c", (10, 12))
+    model.record(fp, "v", 1e4, 3.0)
+    model.record(fp, "v", 1e4, 5.0)
+    path = tmp_path / "perf.json"
+    model.save(path)
+    loaded = PerfModel.load(path)
+    assert loaded.predict(fp, "v", 1e4) == pytest.approx(4.0)
+    assert loaded.n_samples(fp, "v") == 2

@@ -1,0 +1,126 @@
+"""Resource requirements gate variant selectability (paper section II)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.apps import sgemm
+from repro.components import ImplementationDescriptor, ResourceRequirement
+from repro.composer.glue import lower_component
+from repro.errors import SchedulingError
+from repro.hw.devices import tesla_c2050, xeon_e5520_core
+from repro.hw.machine import make_machine
+from repro.hw.presets import cpu_only
+from repro.runtime import Runtime
+
+
+def _machine_with_gpu_memory(memory_mb):
+    gpu = replace(tesla_c2050(), memory_bytes=memory_mb * 1024 * 1024)
+    return make_machine("m", cpu=xeon_e5520_core(), n_cpu_cores=4, gpus=[gpu])
+
+
+def _impls_with_gpu_requirement(min_gpu_mb):
+    out = []
+    for impl in sgemm.IMPLEMENTATIONS:
+        if impl.platform == "cuda":
+            impl = replace(
+                impl,
+                resources=(ResourceRequirement("gpu_memory_mb", min_gpu_mb),),
+            )
+        out.append(impl)
+    return out
+
+
+def test_gpu_memory_requirement_lowered():
+    cl = lower_component(sgemm.INTERFACE, _impls_with_gpu_requirement(512))
+    cuda = next(v for v in cl.variants if v.name == "sgemm_cublas")
+    assert cuda.min_device_memory_bytes == 512 * 1024 * 1024
+    assert cuda.fits_device(tesla_c2050())  # 3 GB >= 512 MB
+    small = replace(tesla_c2050(), memory_bytes=256 * 1024 * 1024)
+    assert not cuda.fits_device(small)
+
+
+def test_undersized_gpu_excluded_from_candidates():
+    rt = Runtime(
+        _machine_with_gpu_memory(256), scheduler="eager", seed=0, noise_sigma=0.0
+    )
+    cl = lower_component(sgemm.INTERFACE, _impls_with_gpu_requirement(512))
+    a = rt.register(np.zeros((32, 32), dtype=np.float32))
+    b = rt.register(np.zeros((32, 32), dtype=np.float32))
+    c = rt.register(np.zeros((32, 32), dtype=np.float32))
+    task = rt.submit(
+        cl,
+        [(a, "r"), (b, "r"), (c, "rw")],
+        ctx={"m": 32, "n": 32, "k": 32},
+        scalar_args=(32, 32, 32, 1.0, 0.0),
+        sync=True,
+    )
+    assert task.chosen_variant.arch.value != "cuda"
+    rt.shutdown()
+
+
+def test_big_enough_gpu_still_eligible():
+    rt = Runtime(
+        _machine_with_gpu_memory(2048), scheduler="eager", seed=0, noise_sigma=0.0
+    )
+    cl = lower_component(
+        sgemm.INTERFACE, _impls_with_gpu_requirement(512)
+    ).restricted(["sgemm_cublas"])
+    a = rt.register(np.zeros((32, 32), dtype=np.float32))
+    b = rt.register(np.zeros((32, 32), dtype=np.float32))
+    c = rt.register(np.zeros((32, 32), dtype=np.float32))
+    task = rt.submit(
+        cl,
+        [(a, "r"), (b, "r"), (c, "rw")],
+        ctx={"m": 32, "n": 32, "k": 32},
+        scalar_args=(32, 32, 32, 1.0, 0.0),
+        sync=True,
+    )
+    assert task.chosen_variant.name == "sgemm_cublas"
+    rt.shutdown()
+
+
+def test_cores_requirement_blocks_small_gangs():
+    impls = []
+    for impl in sgemm.IMPLEMENTATIONS:
+        if impl.platform == "openmp":
+            impl = replace(
+                impl, resources=(ResourceRequirement("cores", 8),)
+            )
+        impls.append(impl)
+    cl = lower_component(sgemm.INTERFACE, impls).restricted(["sgemm_openmp"])
+    rt = Runtime(cpu_only(4), scheduler="eager", seed=0, noise_sigma=0.0)
+    a = rt.register(np.zeros((8, 8), dtype=np.float32))
+    b = rt.register(np.zeros((8, 8), dtype=np.float32))
+    c = rt.register(np.zeros((8, 8), dtype=np.float32))
+    with pytest.raises(SchedulingError):
+        rt.submit(
+            cl,
+            [(a, "r"), (b, "r"), (c, "rw")],
+            ctx={"m": 8, "n": 8, "k": 8},
+            scalar_args=(8, 8, 8, 1.0, 0.0),
+        )
+    rt.shutdown()
+
+
+def test_cores_requirement_met_by_large_gang():
+    impls = []
+    for impl in sgemm.IMPLEMENTATIONS:
+        if impl.platform == "openmp":
+            impl = replace(impl, resources=(ResourceRequirement("cores", 4),))
+        impls.append(impl)
+    cl = lower_component(sgemm.INTERFACE, impls).restricted(["sgemm_openmp"])
+    rt = Runtime(cpu_only(4), scheduler="eager", seed=0, noise_sigma=0.0)
+    a = rt.register(np.zeros((8, 8), dtype=np.float32))
+    b = rt.register(np.zeros((8, 8), dtype=np.float32))
+    c = rt.register(np.zeros((8, 8), dtype=np.float32))
+    task = rt.submit(
+        cl,
+        [(a, "r"), (b, "r"), (c, "rw")],
+        ctx={"m": 8, "n": 8, "k": 8},
+        scalar_args=(8, 8, 8, 1.0, 0.0),
+        sync=True,
+    )
+    assert len(task.workers) == 4
+    rt.shutdown()

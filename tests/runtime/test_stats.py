@@ -1,0 +1,96 @@
+"""Execution-trace aggregation."""
+
+import pytest
+
+from repro.runtime.stats import ExecutionTrace, TaskRecord, TransferRecord
+
+
+def _task(tid=0, worker=(0,), start=0.0, end=1.0, arch="cpu", variant="v"):
+    return TaskRecord(
+        task_id=tid, name=f"t{tid}", codelet="c", variant=variant, arch=arch,
+        worker_ids=worker, submit_time=0.0, ready_time=0.0,
+        start_time=start, end_time=end,
+    )
+
+
+def _transfer(src=0, dst=1, nbytes=100, start=0.0, end=0.5, hid=0):
+    return TransferRecord(
+        handle_id=hid, handle_name=f"h{hid}", src_node=src, dst_node=dst,
+        nbytes=nbytes, start_time=start, end_time=end,
+    )
+
+
+def test_empty_trace():
+    trace = ExecutionTrace()
+    assert trace.makespan == 0.0
+    assert trace.n_tasks == 0 and trace.n_transfers == 0
+    assert trace.tasks_by_arch() == {}
+
+
+def test_direction_classification():
+    assert _transfer(0, 1).is_h2d and not _transfer(0, 1).is_d2h
+    assert _transfer(1, 0).is_d2h and not _transfer(1, 0).is_h2d
+    assert not _transfer(1, 2).is_h2d and not _transfer(1, 2).is_d2h
+
+
+def test_counts_and_bytes():
+    trace = ExecutionTrace()
+    trace.record_transfer(_transfer(0, 1, 100))
+    trace.record_transfer(_transfer(1, 0, 200))
+    assert trace.n_h2d == 1 and trace.n_d2h == 1
+    assert trace.bytes_transferred == 300
+
+
+def test_makespan_includes_transfers():
+    trace = ExecutionTrace()
+    trace.record_task(_task(end=1.0))
+    trace.record_transfer(_transfer(end=2.5))
+    assert trace.makespan == 2.5
+
+
+def test_busy_time_and_utilisation():
+    trace = ExecutionTrace()
+    trace.record_task(_task(0, worker=(0,), start=0.0, end=1.0))
+    trace.record_task(_task(1, worker=(0,), start=1.0, end=3.0))
+    trace.record_task(_task(2, worker=(1,), start=0.0, end=1.0))
+    assert trace.busy_time(0) == pytest.approx(3.0)
+    assert trace.utilisation(0) == pytest.approx(1.0)
+    assert trace.utilisation(1) == pytest.approx(1.0 / 3.0)
+
+
+def test_gang_task_counts_for_every_member():
+    trace = ExecutionTrace()
+    trace.record_task(_task(0, worker=(0, 1, 2), end=2.0))
+    assert trace.busy_time(2) == pytest.approx(2.0)
+
+
+def test_groupings():
+    trace = ExecutionTrace()
+    trace.record_task(_task(0, arch="cpu", variant="a"))
+    trace.record_task(_task(1, arch="cuda", variant="b"))
+    trace.record_task(_task(2, arch="cuda", variant="b"))
+    assert trace.tasks_by_arch() == {"cpu": 1, "cuda": 2}
+    assert trace.tasks_by_variant() == {"a": 1, "b": 2}
+
+
+def test_transfers_for_handle():
+    trace = ExecutionTrace()
+    trace.record_transfer(_transfer(hid=1))
+    trace.record_transfer(_transfer(hid=2))
+    trace.record_transfer(_transfer(hid=1))
+    assert len(trace.transfers_for_handle(1)) == 2
+
+
+def test_summary_mentions_key_numbers():
+    trace = ExecutionTrace()
+    trace.record_task(_task())
+    trace.record_transfer(_transfer())
+    text = trace.summary()
+    assert "1 tasks" in text and "1 transfers" in text
+
+
+def test_clear():
+    trace = ExecutionTrace()
+    trace.record_task(_task())
+    trace.clear()
+    assert trace.n_tasks == 0

@@ -1,0 +1,88 @@
+"""Trace export: Chrome trace-event JSON and text Gantt."""
+
+import json
+
+import numpy as np
+
+from repro.hw.presets import platform_c2050
+from repro.runtime import Arch, Codelet, ImplVariant, Runtime
+from repro.runtime.trace_export import gantt_text, save_chrome_trace, to_chrome_trace
+
+
+def _traced_run():
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=0, noise_sigma=0.0)
+    cpu_cl = Codelet(
+        "c", [ImplVariant("work_cpu", Arch.CPU, lambda ctx, *a: None, lambda c, d: 1e-3)]
+    )
+    gpu_cl = Codelet(
+        "g", [ImplVariant("work_cuda", Arch.CUDA, lambda ctx, *a: None, lambda c, d: 1e-3)]
+    )
+    h1 = rt.register(np.zeros(1000, dtype=np.float32), "h1")
+    h2 = rt.register(np.zeros(1000, dtype=np.float32), "h2")
+    rt.submit(cpu_cl, [(h1, "rw")])
+    rt.submit(gpu_cl, [(h2, "r")])  # forces one h2d transfer
+    rt.wait_for_all()
+    return rt
+
+
+def test_chrome_trace_structure():
+    rt = _traced_run()
+    doc = to_chrome_trace(rt.trace, rt.machine)
+    events = doc["traceEvents"]
+    names = {e["args"].get("name") for e in events if e["ph"] == "M"}
+    assert any("Tesla C2050" in (n or "") for n in names)
+    assert any("DMA" in (n or "") for n in names)
+    task_events = [e for e in events if e["ph"] == "X" and "task" in e.get("cat", "")]
+    assert {e["name"] for e in task_events} == {"work_cpu", "work_cuda"}
+    transfer_events = [e for e in events if e.get("cat") == "transfer"]
+    assert len(transfer_events) == 1
+    assert transfer_events[0]["name"].startswith("h2d:")
+    rt.shutdown()
+
+
+def test_chrome_trace_json_roundtrips(tmp_path):
+    rt = _traced_run()
+    path = save_chrome_trace(rt.trace, rt.machine, tmp_path / "trace.json")
+    loaded = json.loads(path.read_text())
+    assert loaded["displayTimeUnit"] == "ms"
+    assert len(loaded["traceEvents"]) >= 4
+    rt.shutdown()
+
+
+def test_chrome_trace_records_evictions(tmp_path):
+    from dataclasses import replace
+
+    from repro.hw.devices import tesla_c2050, xeon_e5520_core
+    from repro.hw.machine import make_machine
+
+    gpu = replace(tesla_c2050(), memory_bytes=8 * 1024 * 1024)
+    machine = make_machine("tiny", cpu=xeon_e5520_core(), n_cpu_cores=4, gpus=[gpu])
+    rt = Runtime(machine, scheduler="eager", seed=0, noise_sigma=0.0)
+    cl = Codelet(
+        "k", [ImplVariant("k", Arch.CUDA, lambda ctx, *a: None, lambda c, d: 1e-4)]
+    )
+    a = rt.register(np.zeros(5 * 1024 * 256, dtype=np.float32), "a")  # 5 MB
+    b = rt.register(np.zeros(5 * 1024 * 256, dtype=np.float32), "b")
+    rt.submit(cl, [(a, "r")], sync=True)
+    rt.submit(cl, [(b, "r")], sync=True)
+    doc = to_chrome_trace(rt.trace, rt.machine)
+    assert any(e.get("cat") == "eviction" for e in doc["traceEvents"])
+    rt.shutdown()
+
+
+def test_gantt_text_shape():
+    rt = _traced_run()
+    text = gantt_text(rt.trace, rt.machine, width=40)
+    lines = text.splitlines()
+    # one row per unit plus header, DMA row and legend
+    assert len(lines) == 1 + len(rt.machine.units) + 1 + 1
+    assert "@" in text  # cuda work visible
+    assert "#" in text  # cpu work visible
+    assert "^" in text  # the upload visible
+    rt.shutdown()
+
+
+def test_gantt_empty_trace():
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=0)
+    assert gantt_text(rt.trace, rt.machine) == "(empty trace)"
+    rt.shutdown()

@@ -1,0 +1,61 @@
+"""Package hygiene: public modules are importable and documented."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.split(".")[-1].startswith("_")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_imports_and_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module_name} is missing a module docstring"
+    )
+
+
+def test_package_version():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for pkg_name in (
+        "repro.hw",
+        "repro.runtime",
+        "repro.containers",
+        "repro.components",
+        "repro.composer",
+        "repro.workloads",
+        "repro.metrics",
+        "repro.report",
+    ):
+        pkg = importlib.import_module(pkg_name)
+        for name in getattr(pkg, "__all__", ()):
+            assert getattr(pkg, name, None) is not None, f"{pkg_name}.{name}"
+
+
+def test_expected_subsystem_count():
+    """DESIGN.md's inventory: every subsystem package exists."""
+    top = {name.split(".")[1] for name in MODULES if name.count(".") >= 1}
+    assert {
+        "hw",
+        "runtime",
+        "containers",
+        "components",
+        "composer",
+        "apps",
+        "direct",
+        "workloads",
+        "experiments",
+        "metrics",
+        "report",
+        "errors",
+    } <= top
