@@ -47,6 +47,40 @@ class KernelExecutionError(RuntimeSystemError):
     """A component implementation raised while executing its kernel."""
 
 
+class HardwareFault(PeppherError):
+    """An injected hardware fault (see :mod:`repro.hw.faults`).
+
+    Instances carry the virtual ``time`` at which the fault surfaced so
+    the engine's recovery layer can charge the lost time and schedule
+    the retry after it.
+    """
+
+    def __init__(self, message: str, time: float = 0.0) -> None:
+        super().__init__(message)
+        self.time = float(time)
+
+
+class TransientKernelFault(HardwareFault):
+    """A kernel execution attempt failed transiently (ECC error, launch
+    failure, ...); retrying — possibly on another variant/worker — may
+    succeed."""
+
+
+class TransferFault(HardwareFault):
+    """A data transfer was corrupted or aborted and its retransmissions
+    were exhausted."""
+
+
+class DeviceLostError(HardwareFault):
+    """A device dropped off the bus permanently; its workers are dead
+    and its memory content is gone."""
+
+
+class UnrecoverableTaskError(RuntimeSystemError):
+    """A task kept faulting after exhausting the recovery policy's
+    retry budget."""
+
+
 class ContainerError(PeppherError):
     """Smart container misuse (e.g. access after shutdown)."""
 

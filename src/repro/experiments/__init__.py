@@ -15,11 +15,13 @@ module                    paper artefact
 ``fig7``                  Figure 7 (ODE solver runtime overhead)
 ``overhead``              section V-E (per-task runtime overhead)
 ``ablations``             scheduler / container / narrowing studies
+``faults``                fault-injection / recovery resilience study
 ========================  =====================================
 """
 
 __all__ = [
     "ablations",
+    "faults",
     "fig3",
     "fig5",
     "fig6",

@@ -7,6 +7,7 @@ substitution preserves the behaviour the paper measures.
 """
 
 from repro.hw.clock import VirtualClock
+from repro.hw.faults import FaultModel
 from repro.hw.devices import (
     AccessPattern,
     DeviceKind,
@@ -30,6 +31,7 @@ __all__ = [
     "AccessPattern",
     "DeviceKind",
     "DeviceSpec",
+    "FaultModel",
     "HOST_NODE",
     "LinkSpec",
     "Machine",

@@ -1,0 +1,152 @@
+"""Deterministic fault injection for the simulated hardware.
+
+Real StarPU-class runtimes must survive transient kernel failures (ECC
+errors, launch timeouts), PCIe transfer corruption, and outright device
+loss.  This module decides *when* such faults happen; the recovery policy
+in :mod:`repro.runtime.engine` decides what to do about them.  Keeping
+the two separate means fault schedules are a property of the (simulated)
+hardware while retries, fallbacks and blacklisting stay runtime policy —
+the same split StarPU draws between drivers and scheduling.
+
+Determinism: every draw is keyed by a stable event identity (the task's
+per-engine submission index and attempt number, a per-engine transfer
+sequence number, a unit id) and hashed together with the model seed into
+a private :class:`numpy.random.Generator`.  Two runs of the same
+workload under the same seed therefore see the *identical* fault
+schedule, and a draw for one event never shifts the draws for another.
+A model with all rates zero and no loss schedule never consumes
+randomness at all, so enabling the subsystem with zero rates is
+bit-identical to running without it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+# stream tags keep the hashed draw streams for different fault classes
+# disjoint even when their event keys collide
+_KERNEL = 1
+_KERNEL_WHEN = 2
+_TRANSFER = 3
+_LOSS = 4
+_LOSS_WHEN = 5
+
+
+class FaultModel:
+    """Seeded, deterministic fault schedule for one simulated machine.
+
+    Parameters
+    ----------
+    kernel_fault_rate:
+        Probability that one kernel execution attempt fails transiently
+        (the failure surfaces partway through the modeled execution, and
+        the time spent until then is lost).
+    transfer_fault_rate:
+        Probability that one PCIe transfer attempt is corrupted or
+        aborted; the wire time is spent and the copy must be resent.
+    device_loss_rate:
+        Probability, per execution attempt on a GPU, that the device is
+        permanently lost during that attempt.
+    device_loss_at:
+        Explicit loss schedule: ``{unit_id: virtual_time_s}``.  The named
+        units die at the given virtual times regardless of the rates —
+        the deterministic way to script "GPU dies mid-run" scenarios.
+    seed:
+        Non-negative seed for the hashed draw streams.
+    """
+
+    def __init__(
+        self,
+        kernel_fault_rate: float = 0.0,
+        transfer_fault_rate: float = 0.0,
+        device_loss_rate: float = 0.0,
+        device_loss_at: Mapping[int, float] | None = None,
+        seed: int = 0,
+    ) -> None:
+        for name, rate in (
+            ("kernel_fault_rate", kernel_fault_rate),
+            ("transfer_fault_rate", transfer_fault_rate),
+            ("device_loss_rate", device_loss_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        self.kernel_fault_rate = float(kernel_fault_rate)
+        self.transfer_fault_rate = float(transfer_fault_rate)
+        self.device_loss_rate = float(device_loss_rate)
+        self.device_loss_at = dict(device_loss_at or {})
+        for unit_id, t in self.device_loss_at.items():
+            if t < 0:
+                raise ValueError(
+                    f"device_loss_at[{unit_id}] must be non-negative, got {t}"
+                )
+        self.seed = int(seed)
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault can ever be injected."""
+        return bool(
+            self.kernel_fault_rate
+            or self.transfer_fault_rate
+            or self.device_loss_rate
+            or self.device_loss_at
+        )
+
+    # -- hashed draw streams -------------------------------------------------
+
+    def _uniform(self, stream: int, *key: int) -> float:
+        """One uniform [0, 1) sample keyed by (seed, stream, *key)."""
+        rng = np.random.default_rng((self.seed, stream) + key)
+        return float(rng.random())
+
+    # -- draws (called by the engine at commit points) -----------------------
+
+    def kernel_fault(self, task_seq: int, attempt: int) -> float | None:
+        """Does execution attempt ``attempt`` of task ``task_seq`` fault?
+
+        Returns the fraction of the modeled execution time at which the
+        failure surfaces (in [0.05, 0.95]), or ``None`` for no fault.
+        """
+        if self.kernel_fault_rate <= 0.0:
+            return None
+        if self._uniform(_KERNEL, task_seq, attempt) >= self.kernel_fault_rate:
+            return None
+        return 0.05 + 0.9 * self._uniform(_KERNEL_WHEN, task_seq, attempt)
+
+    def transfer_fault(self, transfer_seq: int) -> bool:
+        """Is the ``transfer_seq``-th committed transfer attempt corrupted?"""
+        if self.transfer_fault_rate <= 0.0:
+            return False
+        return self._uniform(_TRANSFER, transfer_seq) < self.transfer_fault_rate
+
+    def device_lost_at(self, unit_id: int) -> float | None:
+        """Scripted loss time for ``unit_id`` (None = not scheduled)."""
+        return self.device_loss_at.get(unit_id)
+
+    def device_loss(
+        self, unit_id: int, task_seq: int, attempt: int
+    ) -> float | None:
+        """Does the device die during this execution attempt?
+
+        Returns the fraction of the attempt's execution time at which
+        the device drops off the bus, or ``None``.
+        """
+        if self.device_loss_rate <= 0.0:
+            return None
+        if (
+            self._uniform(_LOSS, unit_id, task_seq, attempt)
+            >= self.device_loss_rate
+        ):
+            return None
+        return 0.05 + 0.9 * self._uniform(_LOSS_WHEN, unit_id, task_seq, attempt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultModel(kernel={self.kernel_fault_rate}, "
+            f"transfer={self.transfer_fault_rate}, "
+            f"loss={self.device_loss_rate}, "
+            f"loss_at={self.device_loss_at}, seed={self.seed})"
+        )

@@ -34,7 +34,10 @@ class NoiseModel:
         """Return ``duration`` scaled by one lognormal sample.
 
         The mean of the lognormal is corrected to 1.0 so that the noise is
-        unbiased (``E[perturb(d)] == d``).
+        unbiased (``E[perturb(d)] == d``).  This is the single validation
+        path for all noise models: negative durations are rejected here,
+        and ``sigma == 0`` (including :class:`NullNoise`) short-circuits
+        to the identity without consuming randomness.
         """
         if duration < 0:
             raise ValueError(f"duration must be non-negative, got {duration}")
@@ -45,12 +48,12 @@ class NoiseModel:
 
 
 class NullNoise(NoiseModel):
-    """No-op noise model for fully analytic experiments."""
+    """No-op noise model for fully analytic experiments.
 
-    def __init__(self) -> None:
-        super().__init__(sigma=0.0, seed=0)
+    A plain ``sigma=0`` alias of :class:`NoiseModel`: ``isinstance``
+    checks and subclass overrides see one consistent class hierarchy and
+    one ``perturb`` implementation.
+    """
 
-    def perturb(self, duration: float) -> float:
-        if duration < 0:
-            raise ValueError(f"duration must be non-negative, got {duration}")
-        return duration
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(sigma=0.0, seed=seed)

@@ -13,13 +13,14 @@ from repro.runtime.access import AccessMode
 from repro.runtime.archs import Arch
 from repro.runtime.codelet import Codelet, ImplVariant
 from repro.runtime.data import CopyState, DataHandle
-from repro.runtime.engine import Engine
+from repro.runtime.engine import Engine, RecoveryPolicy
 from repro.runtime.perfmodel import HistoryModel, PerfModel, RegressionModel
 from repro.runtime.runtime import Runtime
 from repro.runtime.schedulers import Scheduler, make_scheduler, policy_names
 from repro.runtime.stats import (
     EvictionRecord,
     ExecutionTrace,
+    FaultRecord,
     TaskRecord,
     TransferRecord,
 )
@@ -35,10 +36,12 @@ __all__ = [
     "Engine",
     "EvictionRecord",
     "ExecutionTrace",
+    "FaultRecord",
     "HistoryModel",
     "ImplVariant",
     "Operand",
     "PerfModel",
+    "RecoveryPolicy",
     "RegressionModel",
     "Runtime",
     "Scheduler",

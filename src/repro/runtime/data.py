@@ -151,6 +151,41 @@ class DataHandle:
             self._states[valid[0]] = CopyState.MODIFIED
         self._check_invariants()
 
+    def recover_from_node_loss(self, node: int, t: float) -> bool:
+        """Drop the copy at ``node`` after its device was lost.
+
+        Unlike :meth:`invalidate` (a policy decision that refuses to lose
+        the only valid copy), device loss is involuntary: the replica is
+        gone no matter what.  When another node still holds a valid copy
+        the loss degenerates to a plain invalidation.  When the lost node
+        was the *sole owner*, the handle is re-sourced from the host
+        shadow: kernels compute on the host-resident ground-truth payload
+        and device copies are placement/timing model state, so the engine
+        recovers by re-validating the host copy at the loss time — the
+        modeled equivalent of a runtime that lazily write-backs device
+        data and replays from the last host checkpoint.
+
+        Returns True when sole-owner recovery was needed (callers record
+        a ``replica_lost`` fault for it), False for a plain invalidation,
+        and False without side effects when the node held no valid copy.
+        """
+        if node == HOST_NODE:
+            raise DataConsistencyError("the host memory node cannot be lost")
+        if self._states[node] is CopyState.INVALID:
+            return False
+        if any(
+            s is not CopyState.INVALID
+            for n, s in enumerate(self._states)
+            if n != node
+        ):
+            self.invalidate(node)
+            return False
+        self._states[node] = CopyState.INVALID
+        self._states[HOST_NODE] = CopyState.MODIFIED
+        self._ready_at[HOST_NODE] = max(self._ready_at[HOST_NODE], t)
+        self._check_invariants()
+        return True
+
     def mark_shared(self, node: int, ready_at: float) -> None:
         """A valid copy appears at ``node`` (via transfer); any MODIFIED
         copy elsewhere degrades to SHARED — both are now up to date."""

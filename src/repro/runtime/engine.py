@@ -23,6 +23,7 @@ are checkable), in dependency order; only the *durations* are modeled.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from itertools import count
 from typing import Iterable
 
@@ -30,11 +31,17 @@ import numpy as np
 
 from repro.errors import (
     DataConsistencyError,
+    DeviceLostError,
+    HardwareFault,
     KernelExecutionError,
     PeppherError,
     RuntimeSystemError,
+    TransferFault,
+    TransientKernelFault,
+    UnrecoverableTaskError,
 )
 from repro.hw.clock import VirtualClock
+from repro.hw.faults import FaultModel
 from repro.hw.machine import HOST_NODE, Machine, ProcessingUnit
 from repro.hw.noise import NoiseModel
 from repro.runtime.access import AccessMode
@@ -45,10 +52,58 @@ from repro.runtime.schedulers.base import Decision, Scheduler
 from repro.runtime.stats import (
     EvictionRecord,
     ExecutionTrace,
+    FaultRecord,
     TaskRecord,
     TransferRecord,
 )
 from repro.runtime.task import Task, TaskState
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the engine reacts to injected hardware faults.
+
+    The policy is deliberately StarPU-shaped: a failed execution attempt
+    is retried a bounded number of times with exponential backoff *in
+    virtual time*, preferring placements (variant, worker) that have not
+    faulted yet for that task — which is what makes multi-variant
+    codelets cheap to recover (a failed CUDA attempt falls back to the
+    CPU/OpenMP variant).  Workers accumulating faults are blacklisted,
+    and transfers get their own small retransmission budget because a
+    corrupted copy is repaired on the wire, not by rescheduling.
+    """
+
+    #: failed execution attempts tolerated per task before giving up
+    max_retries: int = 3
+    #: first retry is delayed by this much virtual time...
+    backoff_base_s: float = 1e-4
+    #: ...growing by this factor per subsequent attempt...
+    backoff_factor: float = 2.0
+    #: ...up to this cap
+    backoff_cap_s: float = 1e-2
+    #: transient faults on one worker before it is blacklisted
+    blacklist_after: int = 8
+    #: retransmissions tolerated per committed transfer
+    max_transfer_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.max_transfer_retries < 0:
+            raise ValueError("max_transfer_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.blacklist_after < 1:
+            raise ValueError("blacklist_after must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Virtual-time delay before retry number ``attempt`` (1-based)."""
+        return min(
+            self.backoff_cap_s,
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+        )
 
 
 class _WorkerState:
@@ -74,6 +129,8 @@ class Engine:
         submit_overhead_s: float = 1e-6,
         seed: int = 0,
         run_kernels: bool = True,
+        faults: FaultModel | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         """
         Parameters
@@ -85,11 +142,22 @@ class Engine:
             When False, skip the real NumPy computation and only model
             time — used by pure scheduling experiments where values are
             irrelevant and kernels would be wasted work.
+        faults:
+            Optional :class:`~repro.hw.faults.FaultModel` injecting
+            transient kernel failures, transfer corruption and device
+            loss.  ``None`` (the default) disables the whole fault path
+            with zero overhead; a model with all rates zero behaves
+            bit-identically.
+        recovery:
+            Retry/backoff/blacklist policy applied when ``faults`` is
+            active (defaults to :class:`RecoveryPolicy`).
         """
         self.machine = machine
         self.scheduler = scheduler
         self.perf = perfmodel or PerfModel()
         self.noise = noise or NoiseModel(seed=seed)
+        self.faults = faults
+        self.recovery = recovery or RecoveryPolicy()
         self.clock = VirtualClock()
         self.trace = ExecutionTrace()
         self.submit_overhead_s = float(submit_overhead_s)
@@ -115,6 +183,15 @@ class Engine:
         self._n_submitted = 0
         self._n_completed = 0
         self._shutdown = False
+        # fault-recovery state
+        #: workers whose device is permanently gone
+        self._lost_workers: set[int] = set()
+        #: workers disabled after repeated transient faults
+        self._blacklisted: set[int] = set()
+        #: transient-fault tally per worker (blacklist trigger)
+        self._worker_faults: dict[int, int] = {}
+        #: stable per-engine key stream for committed-transfer fault draws
+        self._transfer_draws = count()
 
     # ------------------------------------------------------------------
     # EngineView protocol (what schedulers may see)
@@ -176,10 +253,19 @@ class Engine:
         return self.perf.n_samples(task.footprint(), variant.name)
 
     def cpu_gang(self) -> tuple[ProcessingUnit, ...]:
-        return self._gang
+        if not self._lost_workers and not self._blacklisted:
+            return self._gang
+        # graceful degradation: the gang shrinks around unusable cores
+        return tuple(u for u in self._gang if self.worker_usable(u.unit_id))
 
     def random(self) -> float:
         return float(self._rng.random())
+
+    def worker_usable(self, unit_id: int) -> bool:
+        return unit_id not in self._lost_workers and unit_id not in self._blacklisted
+
+    def failed_placements(self, task: Task) -> set[tuple[str, int]]:
+        return task.failed_on
 
     # ------------------------------------------------------------------
     # data registration
@@ -237,6 +323,7 @@ class Engine:
             op.handle.record_access(task, op.mode.writes)
         for dep in deps:
             task.add_dependency(dep)
+        task.submit_seq = self._n_submitted
         self._n_submitted += 1
         if task.n_pending_deps == 0:
             self._make_ready(task, max(task.submit_time, task.earliest_start))
@@ -297,6 +384,7 @@ class Engine:
         if mode.writes:
             for reader in handle.readers_since_write:
                 t = max(t, reader.end_time)
+        self._fire_due_losses(t)
         if mode.reads:
             t = max(t, self._commit_copy(handle, HOST_NODE, earliest=t))
         if mode.writes:
@@ -335,6 +423,7 @@ class Engine:
                 t = max(t, child.last_writer.end_time)
             for reader in child.readers_since_write:
                 t = max(t, reader.end_time)
+        self._fire_due_losses(t)
         ready = t
         for child in handle.children:
             ready = max(ready, self._commit_copy(child, HOST_NODE, earliest=t))
@@ -369,14 +458,56 @@ class Engine:
         task.state = TaskState.READY
         task.ready_time = t
         try:
-            decision = self.scheduler.choose(task, self)
-            self._schedule(task, decision)
+            self._place_with_recovery(task)
         except PeppherError:
             # keep the engine consistent when a task cannot be placed
             # (no feasible variant, device out of memory, ...): abort the
             # task, release its dependents, and let the error propagate
             self._abort(task, t)
             raise
+
+    def _place_with_recovery(self, task: Task) -> None:
+        """Schedule ``task``, retrying around injected hardware faults.
+
+        Each failed attempt records a fault, charges the lost virtual
+        time to the occupied workers, remembers the placement so the
+        next attempt prefers a different variant/worker, and delays the
+        retry by the policy's exponential backoff.  The retry budget is
+        bounded; exhaustion surfaces as UnrecoverableTaskError.
+        """
+        attempt = 0
+        while True:
+            self._fire_due_losses(task.ready_time)
+            decision = self.scheduler.choose(task, self)
+            try:
+                self._schedule(task, decision, attempt)
+                if attempt > 0:
+                    self.trace.n_tasks_recovered += 1
+                    if (
+                        task.first_fault_arch is not None
+                        and decision.variant.arch.value != task.first_fault_arch
+                    ):
+                        self.trace.n_fallbacks += 1
+                return
+            except HardwareFault as fault:
+                task.n_faults += 1
+                task.failed_on.add(
+                    (decision.variant.name, decision.anchor.unit_id)
+                )
+                if task.first_fault_arch is None:
+                    task.first_fault_arch = decision.variant.arch.value
+                attempt += 1
+                if attempt > self.recovery.max_retries:
+                    self.trace.n_tasks_lost += 1
+                    raise UnrecoverableTaskError(
+                        f"task {task.name}: giving up after {attempt} failed "
+                        f"attempts (last fault: {fault})"
+                    ) from fault
+                self.trace.n_task_retries += 1
+                task.state = TaskState.READY
+                task.ready_time = max(
+                    task.ready_time, fault.time + self.recovery.backoff(attempt)
+                )
 
     def _abort(self, task: Task, t: float) -> None:
         """Mark an unplaceable task as terminated without executing it."""
@@ -389,7 +520,7 @@ class Engine:
             if dependent.dep_satisfied():
                 self._make_ready(dependent, max(t, dependent.earliest_start))
 
-    def _schedule(self, task: Task, decision: Decision) -> None:
+    def _schedule(self, task: Task, decision: Decision, attempt: int = 0) -> None:
         variant = decision.variant
         workers = decision.workers
         node = decision.anchor.memory_node
@@ -400,25 +531,44 @@ class Engine:
         # task's own operands are pinned against eviction
         pinned = frozenset(op.handle.handle_id for op in task.operands)
         data_ready = task.ready_time
-        for op in task.operands:
-            if op.mode.reads:
-                data_ready = max(
-                    data_ready,
-                    self._commit_copy(
-                        op.handle, node, earliest=task.ready_time, pinned=pinned
-                    ),
+        try:
+            for op in task.operands:
+                if op.mode.reads:
+                    data_ready = max(
+                        data_ready,
+                        self._commit_copy(
+                            op.handle, node, earliest=task.ready_time, pinned=pinned
+                        ),
+                    )
+                elif node != HOST_NODE:
+                    # write-only outputs still need an allocation on the device
+                    data_ready = max(
+                        data_ready,
+                        self._ensure_capacity(node, op.handle, task.ready_time, pinned),
+                    )
+        except TransferFault as fault:
+            # staging for this placement is a lost cause: attribute the
+            # abort to the task so the recovery loop can place it where
+            # the failing link is not needed
+            self.trace.record_fault(
+                FaultRecord(
+                    kind="transfer_abort",
+                    time=fault.time,
+                    task_id=task.task_id,
+                    task_name=task.name,
+                    node=node,
+                    attempt=attempt,
+                    detail=str(fault),
                 )
-            elif node != HOST_NODE:
-                # write-only outputs still need an allocation on the device
-                data_ready = max(
-                    data_ready,
-                    self._ensure_capacity(node, op.handle, task.ready_time, pinned),
-                )
+            )
+            raise
         worker_free = max(self._workers[u.unit_id].available_at for u in workers)
         start = max(task.ready_time, data_ready, worker_free)
         raw = variant.predict(task.ctx, decision.anchor.device)
         exec_time = self.noise.perturb(raw)
         end = start + exec_time
+        if self.faults is not None:
+            self._inject_exec_fault(task, decision, attempt, start, exec_time)
         # run the real computation now: dependency order is respected
         # because dependents are only scheduled after this completes
         task.chosen_variant = variant
@@ -449,6 +599,146 @@ class Engine:
         task.start_time = start
         task.end_time = end
         heapq.heappush(self._events, (end, next(self._event_seq), task))
+
+    # -- fault injection and recovery ----------------------------------------
+
+    def _inject_exec_fault(
+        self,
+        task: Task,
+        decision: Decision,
+        attempt: int,
+        start: float,
+        exec_time: float,
+    ) -> None:
+        """Draw faults for one execution attempt; raise if one strikes.
+
+        Permanent device loss dominates transient kernel faults.  A
+        scripted loss before the attempt's start is detected at dispatch
+        (``start``); a loss inside the window surfaces when it happens.
+        """
+        assert self.faults is not None
+        end = start + exec_time
+        for unit in decision.workers:
+            t_loss = self.faults.device_lost_at(unit.unit_id)
+            if t_loss is None and unit.is_gpu:
+                frac = self.faults.device_loss(
+                    unit.unit_id, task.submit_seq, attempt
+                )
+                if frac is not None:
+                    t_loss = start + frac * exec_time
+            if t_loss is None or t_loss >= end:
+                continue
+            fail_time = max(start, t_loss)
+            self._charge_failed_attempt(decision.workers, fail_time)
+            self._mark_device_lost(unit, fail_time)
+            self.trace.record_fault(
+                FaultRecord(
+                    kind="device_lost",
+                    time=fail_time,
+                    task_id=task.task_id,
+                    task_name=task.name,
+                    worker_ids=(unit.unit_id,),
+                    node=unit.memory_node,
+                    attempt=attempt,
+                    detail=f"unit {unit.unit_id} ({unit.device.name}) lost",
+                )
+            )
+            raise DeviceLostError(
+                f"unit {unit.unit_id} ({unit.device.name}) lost at "
+                f"t={fail_time:.6f}s during task {task.name}",
+                time=fail_time,
+            )
+        frac = self.faults.kernel_fault(task.submit_seq, attempt)
+        if frac is not None:
+            fail_time = start + frac * exec_time
+            self._charge_failed_attempt(decision.workers, fail_time)
+            self._note_worker_fault(decision.anchor)
+            self.trace.record_fault(
+                FaultRecord(
+                    kind="kernel",
+                    time=fail_time,
+                    task_id=task.task_id,
+                    task_name=task.name,
+                    worker_ids=tuple(u.unit_id for u in decision.workers),
+                    node=decision.anchor.memory_node,
+                    attempt=attempt,
+                    detail=f"variant {decision.variant.name!r}",
+                )
+            )
+            raise TransientKernelFault(
+                f"task {task.name}: variant {decision.variant.name!r} faulted "
+                f"on unit {decision.anchor.unit_id} at t={fail_time:.6f}s",
+                time=fail_time,
+            )
+
+    def _charge_failed_attempt(
+        self, workers: tuple[ProcessingUnit, ...], fail_time: float
+    ) -> None:
+        """The failed attempt occupied its workers until the fault."""
+        for u in workers:
+            ws = self._workers[u.unit_id]
+            ws.available_at = max(ws.available_at, fail_time)
+            ws.assigned_count += 1
+
+    def _note_worker_fault(self, unit: ProcessingUnit) -> None:
+        """Tally a transient fault; blacklist chronically faulty workers
+        (never the last usable one — degraded progress beats none)."""
+        n = self._worker_faults.get(unit.unit_id, 0) + 1
+        self._worker_faults[unit.unit_id] = n
+        if (
+            n >= self.recovery.blacklist_after
+            and unit.unit_id not in self._blacklisted
+            and any(
+                u.unit_id != unit.unit_id and self.worker_usable(u.unit_id)
+                for u in self.machine.units
+            )
+        ):
+            self._blacklisted.add(unit.unit_id)
+            self.trace.blacklisted_workers.add(unit.unit_id)
+
+    def _mark_device_lost(self, unit: ProcessingUnit, t: float) -> None:
+        """Graceful degradation after permanent device loss: retire the
+        worker and invalidate the dead node's replicas (sole-owner copies
+        re-source from the host shadow via the coherence protocol)."""
+        self._lost_workers.add(unit.unit_id)
+        self.trace.lost_workers.add(unit.unit_id)
+        node = unit.memory_node
+        if node == HOST_NODE:
+            return
+        for handle in list(self._resident[node].values()):
+            for h in [handle, *handle.children]:
+                if h.recover_from_node_loss(node, t):
+                    self.trace.record_fault(
+                        FaultRecord(
+                            kind="replica_lost",
+                            time=t,
+                            node=node,
+                            handle_id=h.handle_id,
+                            handle_name=h.name,
+                            detail="sole replica on lost device; "
+                            "re-sourced from host",
+                        )
+                    )
+            self._sync_residency(handle)
+
+    def _fire_due_losses(self, now: float) -> None:
+        """Apply scripted device losses whose time has passed, so neither
+        scheduling nor host-side transfers use a dead device."""
+        if self.faults is None or not self.faults.device_loss_at:
+            return
+        for unit_id, t_loss in sorted(self.faults.device_loss_at.items()):
+            if t_loss <= now and unit_id not in self._lost_workers:
+                unit = self.machine.unit(unit_id)
+                self._mark_device_lost(unit, t_loss)
+                self.trace.record_fault(
+                    FaultRecord(
+                        kind="device_lost",
+                        time=t_loss,
+                        worker_ids=(unit_id,),
+                        node=unit.memory_node,
+                        detail=f"unit {unit_id} ({unit.device.name}) lost",
+                    )
+                )
 
     def _process_events(self) -> None:
         while self._events:
@@ -517,10 +807,40 @@ class Engine:
         earliest = self._ensure_capacity(node, handle, earliest, pinned)
         direction = "d2h" if node == HOST_NODE else "h2d"
         link_node = src if node == HOST_NODE else node
-        link_free = self._link_available(link_node, direction)
-        start = max(earliest, handle.ready_at(src), link_free)
         dur = self.machine.transfer_time(src, node, handle.nbytes)
-        end = start + dur
+        resend = 0
+        while True:
+            link_free = self._link_available(link_node, direction)
+            start = max(earliest, handle.ready_at(src), link_free)
+            end = start + dur
+            if (
+                self.faults is None
+                or handle.nbytes == 0
+                or not self.faults.transfer_fault(next(self._transfer_draws))
+            ):
+                break
+            # corrupted on the wire: the attempt's time is spent and the
+            # copy must be resent
+            self._occupy_link(link_node, direction, end)
+            self.trace.record_fault(
+                FaultRecord(
+                    kind="transfer",
+                    time=end,
+                    node=node,
+                    handle_id=handle.handle_id,
+                    handle_name=handle.name,
+                    attempt=resend,
+                    detail=f"{direction} copy node {src} -> {node} corrupted",
+                )
+            )
+            resend += 1
+            if resend > self.recovery.max_transfer_retries:
+                raise TransferFault(
+                    f"handle {handle.name!r}: {direction} copy to node {node} "
+                    f"still failing after {resend} attempts",
+                    time=end,
+                )
+            earliest = end
         self._occupy_link(link_node, direction, end)
         handle.mark_shared(node, end)
         handle.touch(node, end)

@@ -13,13 +13,14 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import RuntimeSystemError
+from repro.errors import PeppherError, RuntimeSystemError
+from repro.hw.faults import FaultModel
 from repro.hw.machine import Machine
 from repro.hw.noise import NoiseModel, NullNoise
 from repro.runtime.access import AccessMode
 from repro.runtime.codelet import Codelet
 from repro.runtime.data import DataHandle
-from repro.runtime.engine import Engine
+from repro.runtime.engine import Engine, RecoveryPolicy
 from repro.runtime.perfmodel import PerfModel
 from repro.runtime.schedulers import Scheduler, make_scheduler
 from repro.runtime.stats import ExecutionTrace
@@ -53,6 +54,13 @@ class Runtime:
         Persistent calibration file (StarPU keeps per-machine perfmodel
         files under ``~/.starpu``): loaded at start-up when it exists,
         written back at shutdown, so later sessions skip calibration.
+    faults:
+        Optional :class:`~repro.hw.faults.FaultModel` injecting transient
+        kernel failures, transfer corruption and device loss.  ``None``
+        disables fault injection entirely (zero overhead).
+    recovery:
+        :class:`~repro.runtime.engine.RecoveryPolicy` governing retries,
+        backoff, and worker blacklisting under faults.
 
     Example
     -------
@@ -73,6 +81,8 @@ class Runtime:
         perfmodel: PerfModel | None = None,
         scheduler_options: Mapping[str, object] | None = None,
         perfmodel_path: "str | None" = None,
+        faults: FaultModel | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         if perfmodel_path is not None:
             if perfmodel is not None:
@@ -103,6 +113,8 @@ class Runtime:
             submit_overhead_s=submit_overhead_s,
             seed=seed,
             run_kernels=run_kernels,
+            faults=faults,
+            recovery=recovery,
         )
 
     # -- data ---------------------------------------------------------------
@@ -203,5 +215,16 @@ class Runtime:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is None:
+        """Close the session on both the clean and the error path.
+
+        When the ``with`` body raised, shutdown still runs (so the
+        session never leaks half-open state), but any secondary error it
+        produces — e.g. ``wait_for_all`` complaining about the very tasks
+        the in-flight exception interrupted — is swallowed rather than
+        masking the original exception.
+        """
+        try:
             self.shutdown()
+        except PeppherError:
+            if exc_type is None:
+                raise

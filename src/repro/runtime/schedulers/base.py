@@ -76,6 +76,16 @@ class EngineView(Protocol):
         """Uniform sample in [0, 1) from the engine's seeded stream."""
         ...
 
+    def worker_usable(self, unit_id: int) -> bool:
+        """False for workers whose device was lost or that the recovery
+        layer blacklisted after repeated faults."""
+        ...
+
+    def failed_placements(self, task: "Task") -> set[tuple[str, int]]:
+        """(variant name, anchor unit id) placements that already faulted
+        for this task; retries prefer placements outside this set."""
+        ...
+
 
 def enumerate_candidates(
     task: "Task", view: EngineView
@@ -84,7 +94,12 @@ def enumerate_candidates(
 
     CPU variants may run on any CPU worker; OpenMP variants occupy the
     whole CPU gang; CUDA/OpenCL variants run on any GPU worker.  Variants
-    whose selectability guard rejects the call context are skipped.
+    whose selectability guard rejects the call context are skipped, as
+    are workers that are dead (device lost) or blacklisted.  When the
+    task already faulted on some placements, those are filtered out so
+    every policy retries *elsewhere* first (GPU -> CPU fallback); they
+    come back only if no untried placement remains (bounded same-place
+    retry is better than giving up).
     """
     decisions: list[Decision] = []
     gang = view.cpu_gang()
@@ -94,6 +109,8 @@ def enumerate_candidates(
                 decisions.append(Decision(variant=variant, workers=gang))
             continue
         for unit in view.machine.units:
+            if not view.worker_usable(unit.unit_id):
+                continue
             if variant.arch.runs_on(unit) and variant.fits_device(unit.device):
                 decisions.append(Decision(variant=variant, workers=(unit,)))
     if not decisions:
@@ -103,6 +120,15 @@ def enumerate_candidates(
             f"{[v.name for v in task.codelet.variants]}, context rejected: "
             f"{[v.name for v in task.codelet.variants if not v.selectable(task.ctx)]})"
         )
+    failed = view.failed_placements(task)
+    if failed:
+        untried = [
+            d
+            for d in decisions
+            if (d.variant.name, d.anchor.unit_id) not in failed
+        ]
+        if untried:
+            return untried
     return decisions
 
 

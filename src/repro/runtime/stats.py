@@ -69,6 +69,37 @@ class EvictionRecord:
     flushed: bool  # True when the copy had to be written home first
 
 
+#: fault-record kinds (see :mod:`repro.hw.faults` for injection and the
+#: engine's recovery layer for handling)
+FAULT_KINDS = (
+    "kernel",  # transient kernel failure during one execution attempt
+    "transfer",  # one corrupted transfer attempt (retransmitted in place)
+    "transfer_abort",  # transfer retransmissions exhausted; task attempt failed
+    "device_lost",  # a device dropped off the bus permanently
+    "replica_lost",  # sole-owner replica on a lost device, re-sourced from host
+)
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault (and how far recovery had to go)."""
+
+    kind: str
+    time: float
+    #: failed task attempt (None for pure transfer/replica events)
+    task_id: int | None = None
+    task_name: str = ""
+    #: workers occupied by the failed attempt
+    worker_ids: tuple[int, ...] = ()
+    #: memory node involved (transfers, device loss, replica recovery)
+    node: int | None = None
+    handle_id: int | None = None
+    handle_name: str = ""
+    #: retry attempt index this fault struck (0 = first try)
+    attempt: int = 0
+    detail: str = ""
+
+
 @dataclass
 class ExecutionTrace:
     """Accumulates task and transfer records for one runtime session."""
@@ -76,6 +107,21 @@ class ExecutionTrace:
     tasks: list[TaskRecord] = field(default_factory=list)
     transfers: list[TransferRecord] = field(default_factory=list)
     evictions: list[EvictionRecord] = field(default_factory=list)
+    faults: list[FaultRecord] = field(default_factory=list)
+    #: task-level retries the recovery layer performed (one per failed
+    #: execution attempt that was rescheduled)
+    n_task_retries: int = 0
+    #: tasks that faulted at least once but eventually completed
+    n_tasks_recovered: int = 0
+    #: tasks abandoned after exhausting the retry budget
+    n_tasks_lost: int = 0
+    #: recovered tasks whose final placement used a different backend
+    #: architecture than the first failed attempt (e.g. GPU -> CPU)
+    n_fallbacks: int = 0
+    #: workers disabled after repeated transient faults
+    blacklisted_workers: set[int] = field(default_factory=set)
+    #: workers whose device was permanently lost
+    lost_workers: set[int] = field(default_factory=set)
 
     def record_task(self, rec: TaskRecord) -> None:
         self.tasks.append(rec)
@@ -86,9 +132,51 @@ class ExecutionTrace:
     def record_eviction(self, rec: EvictionRecord) -> None:
         self.evictions.append(rec)
 
+    def record_fault(self, rec: FaultRecord) -> None:
+        self.faults.append(rec)
+
     @property
     def n_evictions(self) -> int:
         return len(self.evictions)
+
+    # -- fault views --------------------------------------------------------
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.faults)
+
+    @property
+    def n_kernel_faults(self) -> int:
+        return sum(1 for f in self.faults if f.kind == "kernel")
+
+    @property
+    def n_transfer_faults(self) -> int:
+        return sum(1 for f in self.faults if f.kind == "transfer")
+
+    @property
+    def n_devices_lost(self) -> int:
+        return sum(1 for f in self.faults if f.kind == "device_lost")
+
+    @property
+    def n_replicas_recovered(self) -> int:
+        return sum(1 for f in self.faults if f.kind == "replica_lost")
+
+    def faults_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.faults:
+            out[f.kind] = out.get(f.kind, 0) + 1
+        return out
+
+    def faults_by_worker(self) -> dict[int, int]:
+        """Transient faults attributed to each worker (blacklist basis)."""
+        out: dict[int, int] = {}
+        for f in self.faults:
+            for w in f.worker_ids:
+                out[w] = out.get(w, 0) + 1
+        return out
+
+    def faults_for_task(self, task_id: int) -> list[FaultRecord]:
+        return [f for f in self.faults if f.task_id == task_id]
 
     # -- aggregate views ----------------------------------------------------
 
@@ -164,15 +252,32 @@ class ExecutionTrace:
         by_arch = ", ".join(
             f"{arch}: {n}" for arch, n in sorted(self.tasks_by_arch().items())
         )
-        return (
+        text = (
             f"{self.n_tasks} tasks ({by_arch or 'none'}), "
             f"{self.n_transfers} transfers "
             f"({self.n_h2d} h2d / {self.n_d2h} d2h, "
             f"{self.bytes_transferred / 1e6:.2f} MB), "
             f"makespan {self.makespan * 1e3:.3f} ms"
         )
+        if self.faults:
+            by_kind = ", ".join(
+                f"{kind}: {n}" for kind, n in sorted(self.faults_by_kind().items())
+            )
+            text += (
+                f"; {self.n_faults} faults ({by_kind}), "
+                f"{self.n_task_retries} retries, "
+                f"{self.n_tasks_recovered} recovered / {self.n_tasks_lost} lost"
+            )
+        return text
 
     def clear(self) -> None:
         self.tasks.clear()
         self.transfers.clear()
         self.evictions.clear()
+        self.faults.clear()
+        self.n_task_retries = 0
+        self.n_tasks_recovered = 0
+        self.n_tasks_lost = 0
+        self.n_fallbacks = 0
+        self.blacklisted_workers.clear()
+        self.lost_workers.clear()

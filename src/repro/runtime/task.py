@@ -98,6 +98,18 @@ class Task:
         self.end_time: float = float("nan")
         self.chosen_variant: ImplVariant | None = None
         self.workers: tuple["ProcessingUnit", ...] = ()
+        # fault-recovery bookkeeping, maintained by the engine
+        #: per-engine submission index (stable fault-draw key; the global
+        #: ``task_id`` counter differs between runs in one process)
+        self.submit_seq: int = -1
+        #: number of execution attempts that faulted
+        self.n_faults: int = 0
+        #: (variant name, anchor unit id) placements that already faulted;
+        #: retries prefer placements not in this set
+        self.failed_on: set[tuple[str, int]] = set()
+        #: backend architecture of the first failed attempt (fallback
+        #: accounting: recovery on a different arch counts as a fallback)
+        self.first_fault_arch: str | None = None
 
     # -- dependency graph ---------------------------------------------------
 

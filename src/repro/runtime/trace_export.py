@@ -95,6 +95,62 @@ def to_chrome_trace(trace: ExecutionTrace, machine: Machine) -> dict:
                 "args": {"bytes": ev.nbytes, "flushed": ev.flushed},
             }
         )
+    # faults: instant events where they struck (worker row for execution
+    # faults, DMA row for transfer corruption), plus flow arrows chaining
+    # each task's failed attempts to the execution that finally succeeded
+    final_start = {rec.task_id: rec for rec in trace.tasks}
+    flow_open: dict[int, bool] = {}
+    for fl in trace.faults:
+        if fl.worker_ids:
+            tid = fl.worker_ids[0]
+        else:
+            tid = dma_tid.get(fl.node, dma_tid_base) if fl.node else dma_tid_base
+        events.append(
+            {
+                "name": f"fault:{fl.kind}",
+                "cat": "fault",
+                "ph": "i",
+                "s": "t" if fl.worker_ids else "g",
+                "pid": 0,
+                "tid": tid,
+                "ts": fl.time * _US,
+                "args": {
+                    "kind": fl.kind,
+                    "task": fl.task_name,
+                    "handle": fl.handle_name,
+                    "attempt": fl.attempt,
+                    "detail": fl.detail,
+                },
+            }
+        )
+        if fl.task_id is None or fl.task_id not in final_start:
+            continue
+        events.append(
+            {
+                "name": "retry",
+                "cat": "fault",
+                "ph": "t" if flow_open.get(fl.task_id) else "s",
+                "pid": 0,
+                "tid": tid,
+                "ts": fl.time * _US,
+                "id": fl.task_id,
+            }
+        )
+        flow_open[fl.task_id] = True
+    for task_id in flow_open:
+        rec = final_start[task_id]
+        events.append(
+            {
+                "name": "retry",
+                "cat": "fault",
+                "ph": "f",
+                "bp": "e",
+                "pid": 0,
+                "tid": rec.worker_ids[0],
+                "ts": rec.start_time * _US,
+                "id": task_id,
+            }
+        )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -52,6 +52,21 @@ def test_null_noise_is_identity():
     assert null.perturb(3.25) == 3.25
 
 
+def test_null_noise_is_sigma_zero_alias():
+    """NullNoise shares NoiseModel's perturb (single validation path)."""
+    assert NullNoise().sigma == 0.0
+    assert isinstance(NullNoise(), NoiseModel)
+    assert "perturb" not in vars(NullNoise)  # no duplicated override
+    assert NullNoise().perturb(1.5) == NoiseModel(sigma=0.0).perturb(1.5)
+
+
+def test_sigma_zero_consumes_no_randomness():
+    model = NoiseModel(sigma=0.0, seed=9)
+    state_before = model._rng.bit_generator.state
+    model.perturb(2.0)
+    assert model._rng.bit_generator.state == state_before
+
+
 def test_perturbed_stays_positive():
     noise = NoiseModel(sigma=0.3, seed=3)
     assert all(noise.perturb(1e-6) > 0 for _ in range(1000))

@@ -70,9 +70,46 @@ def test_context_manager_propagates_exceptions():
     with pytest.raises(ValueError):
         with Runtime(cpu_only(2)) as rt:
             raise ValueError("boom")
-    # runtime was NOT shut down on the error path (caller may inspect it)
-    rt.register(np.zeros(2, dtype=np.float32))
-    rt.shutdown()
+    # the session was closed on the error path (no half-open state leaks)
+    with pytest.raises(RuntimeSystemError):
+        rt.register(np.zeros(2, dtype=np.float32))
+
+
+def test_context_manager_shuts_down_on_error_without_masking():
+    """__exit__ runs shutdown after a body exception and the original
+    exception — not any secondary shutdown error — reaches the caller."""
+    cl = make_axpy_codelet(archs=("cpu",))
+    with pytest.raises(ValueError, match="boom"):
+        with Runtime(cpu_only(2), scheduler="eager", noise_sigma=0.0) as rt:
+            y = rt.register(np.zeros(8, dtype=np.float32))
+            x = rt.register(np.ones(8, dtype=np.float32))
+            rt.submit(cl, [(y, "rw"), (x, "r")], ctx={"n": 8}, scalar_args=(1.0,))
+            raise ValueError("boom")
+    assert rt.engine._shutdown
+
+
+def test_context_manager_shutdown_error_does_not_mask_body_error(monkeypatch):
+    rt = Runtime(cpu_only(2))
+
+    def broken_shutdown():
+        raise RuntimeSystemError("shutdown exploded")
+
+    monkeypatch.setattr(rt.engine, "shutdown", broken_shutdown)
+    with pytest.raises(ValueError, match="boom"):  # not RuntimeSystemError
+        with rt:
+            raise ValueError("boom")
+
+
+def test_context_manager_clean_path_raises_shutdown_errors(monkeypatch):
+    rt = Runtime(cpu_only(2))
+
+    def broken_shutdown():
+        raise RuntimeSystemError("shutdown exploded")
+
+    monkeypatch.setattr(rt.engine, "shutdown", broken_shutdown)
+    with pytest.raises(RuntimeSystemError, match="shutdown exploded"):
+        with rt:
+            pass  # no body error: a shutdown failure must surface
 
 
 def test_noise_sigma_zero_gives_exact_costs():
