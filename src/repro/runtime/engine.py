@@ -25,7 +25,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from itertools import count
-from typing import Iterable
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -192,6 +192,56 @@ class Engine:
         self._worker_faults: dict[int, int] = {}
         #: stable per-engine key stream for committed-transfer fault draws
         self._transfer_draws = count()
+        # observability for layers above the engine (the serving front-end)
+        #: end times of scheduled tasks still running in the virtual
+        #: future; lazily pruned against the query time by n_inflight
+        self._inflight_ends: list[float] = []
+        #: callbacks observing every accepted submission / completion
+        self._submit_hooks: list[Callable[[Task], None]] = []
+        self._complete_hooks: list[Callable[[Task], None]] = []
+
+    # ------------------------------------------------------------------
+    # load introspection and hooks (serving front-end support)
+    # ------------------------------------------------------------------
+
+    def add_submit_hook(self, fn: Callable[[Task], None]) -> None:
+        """Call ``fn(task)`` on every accepted task submission."""
+        self._submit_hooks.append(fn)
+
+    def add_complete_hook(self, fn: Callable[[Task], None]) -> None:
+        """Call ``fn(task)`` when a task's completion event is processed."""
+        self._complete_hooks.append(fn)
+
+    def n_inflight(self, at: float | None = None) -> int:
+        """Tasks scheduled but not yet finished at virtual time ``at``.
+
+        The engine computes task timelines eagerly, so bookkeeping-wise
+        tasks complete immediately; *virtually* they occupy workers until
+        their modeled end time.  This is the queue depth an admission
+        controller sees.
+        """
+        t = self.clock.now if at is None else at
+        ends = self._inflight_ends
+        while ends and ends[0] <= t:
+            heapq.heappop(ends)
+        return len(ends)
+
+    def backlog_seconds(self, at: float | None = None) -> float:
+        """Committed work (seconds) ahead of the most loaded usable worker.
+
+        Zero when every worker is idle at ``at``; the admission layer
+        combines this with :class:`~repro.runtime.perfmodel.PerfModel`
+        estimates of queued-but-undispatched requests to predict backlog.
+        """
+        t = self.clock.now if at is None else at
+        free = [
+            ws.available_at
+            for ws in self._workers
+            if self.worker_usable(ws.unit.unit_id)
+        ]
+        if not free:
+            return 0.0
+        return max(0.0, max(free) - t)
 
     # ------------------------------------------------------------------
     # EngineView protocol (what schedulers may see)
@@ -325,6 +375,8 @@ class Engine:
             task.add_dependency(dep)
         task.submit_seq = self._n_submitted
         self._n_submitted += 1
+        for hook in self._submit_hooks:
+            hook(task)
         if task.n_pending_deps == 0:
             self._make_ready(task, max(task.submit_time, task.earliest_start))
         self._process_events()
@@ -599,6 +651,7 @@ class Engine:
         task.start_time = start
         task.end_time = end
         heapq.heappush(self._events, (end, next(self._event_seq), task))
+        heapq.heappush(self._inflight_ends, end)
 
     # -- fault injection and recovery ----------------------------------------
 
@@ -772,6 +825,8 @@ class Engine:
                 energy_j=energy,
             )
         )
+        for hook in self._complete_hooks:
+            hook(task)
         for dependent in task.dependents:
             if dependent.dep_satisfied():
                 self._make_ready(dependent, max(end, dependent.earliest_start))

@@ -115,14 +115,23 @@ class RegressionModel:
         fit: tuple[float, float] | None = None
         if len(samples) >= self.min_samples:
             sizes = [s for s, _ in samples]
-            if max(sizes) / min(sizes) >= self.min_size_ratio:
+            # a single footprint size cannot anchor a slope, whatever
+            # min_size_ratio allows; without the explicit spread check a
+            # rounding-noise sxx (~1e-31) would fabricate one
+            if (
+                max(sizes) > min(sizes)
+                and max(sizes) / min(sizes) >= self.min_size_ratio
+            ):
                 xs = [math.log(s) for s, _ in samples]
                 ys = [math.log(t) for _, t in samples]
                 n = len(xs)
                 mx = sum(xs) / n
                 my = sum(ys) / n
                 sxx = sum((x - mx) ** 2 for x in xs)
-                if sxx > 0:
+                # noise floor: legitimate fits (size ratio >= 2) give
+                # sxx of order n*(ln 2 / 2)^2 ~ 0.1; float rounding of
+                # equal log-sizes gives ~1e-30
+                if sxx > 1e-12:
                     b = sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / sxx
                     log_a = my - b * mx
                     fit = (log_a, b)

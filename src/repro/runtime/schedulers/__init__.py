@@ -1,9 +1,10 @@
 """Scheduling policies for the task runtime.
 
 ``eager`` (greedy first-free), ``random`` (speed-weighted random), ``ws``
-(queue-length balancing), ``dm`` (performance-model driven) and ``dmda``
+(queue-length balancing), ``dm`` (performance-model driven), ``dmda``
 (performance-model + data-transfer aware — the default, and the policy
-the paper's evaluation relies on).
+the paper's evaluation relies on) and ``fair`` (per-tenant weighted fair
+serving; placement delegates to an inner policy).
 """
 
 from __future__ import annotations
@@ -11,6 +12,7 @@ from __future__ import annotations
 from repro.runtime.schedulers.base import Decision, EngineView, Scheduler, enumerate_candidates
 from repro.runtime.schedulers.dmda import DmdaScheduler, DmScheduler
 from repro.runtime.schedulers.eager import EagerScheduler
+from repro.runtime.schedulers.fair import FairShareScheduler
 from repro.runtime.schedulers.random_sched import RandomWeightedScheduler
 from repro.runtime.schedulers.ws import WorkStealingScheduler
 
@@ -20,6 +22,7 @@ _POLICIES: dict[str, type[Scheduler]] = {
     WorkStealingScheduler.name: WorkStealingScheduler,
     DmScheduler.name: DmScheduler,
     DmdaScheduler.name: DmdaScheduler,
+    FairShareScheduler.name: FairShareScheduler,
 }
 
 
@@ -44,6 +47,7 @@ __all__ = [
     "DmdaScheduler",
     "EagerScheduler",
     "EngineView",
+    "FairShareScheduler",
     "RandomWeightedScheduler",
     "Scheduler",
     "WorkStealingScheduler",

@@ -1,0 +1,71 @@
+"""Tenant-fair scheduling policy (``fair``).
+
+Multi-tenant serving needs two decisions per request: *when* it is
+dispatched relative to other tenants' requests, and *where* it executes.
+The weighted fair queueing that orders dispatches lives in the serving
+layer (:mod:`repro.serve.fairness`) because only the front-end sees
+requests before they become tasks; this policy is the placement half and
+the switch that turns the fair dispatch path on.  The
+:class:`~repro.serve.server.CompositionServer` detects ``fair`` and
+orders its dispatch queue by per-tenant weighted virtual time instead of
+throughput-greedy batch selection.
+
+Placement itself delegates to an inner policy (``dmda`` by default):
+fairness between tenants is a queueing property, not a placement one, so
+the fair policy composes with any placement strategy rather than
+re-implementing one.  The policy additionally tracks per-tenant service
+consumption from the tasks it places (tasks carry their tenant in
+``ctx["tenant"]``), which the serving layer reads back for accounting.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.runtime.schedulers.base import Decision, EngineView, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.task import Task
+
+
+class FairShareScheduler(Scheduler):
+    """Weighted-fair serving policy; placement delegates to ``inner``."""
+
+    name = "fair"
+
+    def __init__(
+        self,
+        inner: str | Scheduler = "dmda",
+        weights: Mapping[str, float] | None = None,
+        **inner_options,
+    ) -> None:
+        # deferred import: the policy registry imports this module
+        from repro.runtime.schedulers import make_scheduler
+
+        if isinstance(inner, str):
+            inner = make_scheduler(inner, **inner_options)
+        elif inner_options:
+            raise ValueError(
+                "inner_options only apply when inner is given by name"
+            )
+        if inner.name == self.name:
+            raise ValueError("fair cannot delegate placement to itself")
+        self.inner = inner
+        self.weights = {str(k): float(v) for k, v in (weights or {}).items()}
+        for tenant, w in self.weights.items():
+            if w <= 0:
+                raise ValueError(
+                    f"tenant {tenant!r} weight must be positive, got {w}"
+                )
+        #: seconds of execution time placed per tenant (unweighted)
+        self.service_s: dict[str, float] = {}
+
+    def weight_of(self, tenant: str) -> float:
+        return self.weights.get(tenant, 1.0)
+
+    def note_service(self, tenant: str, seconds: float) -> None:
+        """Credit executed seconds to a tenant (engine complete hook)."""
+        self.service_s[tenant] = self.service_s.get(tenant, 0.0) + seconds
+
+    def choose(self, task: "Task", view: EngineView) -> Decision:
+        return self.inner.choose(task, view)

@@ -100,6 +100,62 @@ class FaultRecord:
     detail: str = ""
 
 
+@dataclass(frozen=True)
+class RequestRecord:
+    """One client request served (or shed) by the composition service.
+
+    Requests are the serving layer's unit of accounting: a tenant's
+    component invocation travels arrival -> admission -> batch queue ->
+    dispatch (task submission) -> execution.  The record decomposes the
+    end-to-end latency into queue wait (arrival to dispatch), pending
+    time (dispatch to execution start: staging transfers plus waiting
+    for a worker) and execution time, which is what the per-tenant SLO
+    report aggregates.
+    """
+
+    tenant: str
+    req_id: int
+    codelet: str
+    arrival_time: float
+    #: request rejected by admission control (never dispatched)
+    shed: bool = False
+    #: request was held back by a delaying admission controller
+    delayed: bool = False
+    #: dispatched but abandoned (unrecoverable injected fault)
+    failed: bool = False
+    dispatch_time: float = float("nan")
+    start_time: float = float("nan")
+    end_time: float = float("nan")
+    #: seconds of staging transfers committed while dispatching this task
+    transfer_s: float = 0.0
+    #: size of the coalesced batch this request was dispatched in
+    batch_size: int = 1
+    task_id: int | None = None
+
+    @property
+    def completed(self) -> bool:
+        return not self.shed and not self.failed
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency: arrival to completion."""
+        return self.end_time - self.arrival_time
+
+    @property
+    def queue_wait(self) -> float:
+        """Admission plus batch-queue wait before dispatch."""
+        return self.dispatch_time - self.arrival_time
+
+    @property
+    def pending_wait(self) -> float:
+        """Dispatch to execution start (staging + worker queueing)."""
+        return self.start_time - self.dispatch_time
+
+    @property
+    def exec_s(self) -> float:
+        return self.end_time - self.start_time
+
+
 @dataclass
 class ExecutionTrace:
     """Accumulates task and transfer records for one runtime session."""
@@ -108,6 +164,7 @@ class ExecutionTrace:
     transfers: list[TransferRecord] = field(default_factory=list)
     evictions: list[EvictionRecord] = field(default_factory=list)
     faults: list[FaultRecord] = field(default_factory=list)
+    requests: list[RequestRecord] = field(default_factory=list)
     #: task-level retries the recovery layer performed (one per failed
     #: execution attempt that was rescheduled)
     n_task_retries: int = 0
@@ -134,6 +191,33 @@ class ExecutionTrace:
 
     def record_fault(self, rec: FaultRecord) -> None:
         self.faults.append(rec)
+
+    def record_request(self, rec: RequestRecord) -> None:
+        self.requests.append(rec)
+
+    # -- serving views -------------------------------------------------------
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def n_shed(self) -> int:
+        return sum(1 for r in self.requests if r.shed)
+
+    @property
+    def n_failed_requests(self) -> int:
+        return sum(1 for r in self.requests if r.failed)
+
+    def tenants(self) -> list[str]:
+        """Tenant names seen, in first-arrival order."""
+        seen: dict[str, None] = {}
+        for r in self.requests:
+            seen.setdefault(r.tenant, None)
+        return list(seen)
+
+    def requests_for(self, tenant: str) -> list[RequestRecord]:
+        return [r for r in self.requests if r.tenant == tenant]
 
     @property
     def n_evictions(self) -> int:
@@ -268,6 +352,11 @@ class ExecutionTrace:
                 f"{self.n_task_retries} retries, "
                 f"{self.n_tasks_recovered} recovered / {self.n_tasks_lost} lost"
             )
+        if self.requests:
+            text += (
+                f"; {self.n_requests} requests over {len(self.tenants())} "
+                f"tenants ({self.n_shed} shed, {self.n_failed_requests} failed)"
+            )
         return text
 
     def clear(self) -> None:
@@ -275,6 +364,7 @@ class ExecutionTrace:
         self.transfers.clear()
         self.evictions.clear()
         self.faults.clear()
+        self.requests.clear()
         self.n_task_retries = 0
         self.n_tasks_recovered = 0
         self.n_tasks_lost = 0

@@ -6,7 +6,9 @@ This module exports an :class:`~repro.runtime.stats.ExecutionTrace` as:
 
 - **Chrome trace-event JSON** — one row per worker plus one per DMA
   direction, tasks and transfers as duration events with variant /
-  operand metadata;
+  operand metadata, queue-depth and per-worker utilization counter
+  tracks, and (for serving runs) one row per tenant with request
+  lifecycle spans and shed/failure instants;
 - **text Gantt** — a quick terminal rendering for examples and debugging.
 """
 
@@ -151,7 +153,154 @@ def to_chrome_trace(trace: ExecutionTrace, machine: Machine) -> dict:
                 "id": task_id,
             }
         )
+    events.extend(_counter_events(trace, machine))
+    if trace.requests:
+        events.extend(_request_events(trace))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _counter_events(trace: ExecutionTrace, machine: Machine) -> list[dict]:
+    """Queue-depth and per-worker utilization counter tracks.
+
+    Derived from the task records: at every task boundary we emit the
+    number of submitted-but-not-started (pending) and running tasks, the
+    count of busy workers, and each worker's own 0/1 busy state.
+    """
+    deltas: dict[float, dict] = {}
+
+    def at(t: float) -> dict:
+        return deltas.setdefault(
+            t, {"pending": 0, "running": 0, "busy": 0, "workers": {}}
+        )
+
+    for rec in trace.tasks:
+        at(rec.submit_time)["pending"] += 1
+        start = at(rec.start_time)
+        start["pending"] -= 1
+        start["running"] += 1
+        end = at(rec.end_time)
+        end["running"] -= 1
+        for wid in rec.worker_ids:
+            start["busy"] += 1
+            start["workers"][wid] = start["workers"].get(wid, 0) + 1
+            end["busy"] -= 1
+            end["workers"][wid] = end["workers"].get(wid, 0) - 1
+
+    events: list[dict] = []
+    pending = running = busy = 0
+    worker_busy = {u.unit_id: 0 for u in machine.units}
+    for t in sorted(deltas):
+        d = deltas[t]
+        pending += d["pending"]
+        running += d["running"]
+        busy += d["busy"]
+        events.append(
+            {
+                "name": "queue depth",
+                "cat": "counter",
+                "ph": "C",
+                "pid": 0,
+                "tid": 0,
+                "ts": t * _US,
+                "args": {"pending": pending, "running": running},
+            }
+        )
+        events.append(
+            {
+                "name": "workers busy",
+                "cat": "counter",
+                "ph": "C",
+                "pid": 0,
+                "tid": 0,
+                "ts": t * _US,
+                "args": {"busy": busy},
+            }
+        )
+        for wid, delta in d["workers"].items():
+            worker_busy[wid] = worker_busy.get(wid, 0) + delta
+            events.append(
+                {
+                    "name": f"util u{wid}",
+                    "cat": "counter",
+                    "ph": "C",
+                    "pid": 0,
+                    "tid": wid,
+                    "ts": t * _US,
+                    "args": {"busy": worker_busy[wid]},
+                }
+            )
+    return events
+
+
+#: serving rows live in their own trace process, below the engine's
+_SERVE_PID = 1
+
+
+def _request_events(trace: ExecutionTrace) -> list[dict]:
+    """Per-tenant request rows for serving runs.
+
+    Each tenant gets one thread row: completed requests are duration
+    spans from arrival to completion (latency decomposition in args),
+    shed and failed requests are instant markers.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _SERVE_PID,
+            "tid": 0,
+            "args": {"name": "serving"},
+        }
+    ]
+    tenant_tid = {name: i for i, name in enumerate(trace.tenants())}
+    for name, tid in tenant_tid.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _SERVE_PID,
+                "tid": tid,
+                "args": {"name": f"tenant {name}"},
+            }
+        )
+    for rec in trace.requests:
+        tid = tenant_tid[rec.tenant]
+        if rec.completed:
+            events.append(
+                {
+                    "name": rec.codelet,
+                    "cat": "request",
+                    "ph": "X",
+                    "pid": _SERVE_PID,
+                    "tid": tid,
+                    "ts": rec.arrival_time * _US,
+                    "dur": rec.latency * _US,
+                    "args": {
+                        "req": rec.req_id,
+                        "batch": rec.batch_size,
+                        "queue_wait_ms": rec.queue_wait * 1e3,
+                        "pending_wait_ms": rec.pending_wait * 1e3,
+                        "exec_ms": rec.exec_s * 1e3,
+                        "transfer_ms": rec.transfer_s * 1e3,
+                        "delayed": rec.delayed,
+                    },
+                }
+            )
+        else:
+            kind = "shed" if rec.shed else "failed"
+            events.append(
+                {
+                    "name": f"{kind}:{rec.codelet}",
+                    "cat": "request",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _SERVE_PID,
+                    "tid": tid,
+                    "ts": rec.arrival_time * _US,
+                    "args": {"req": rec.req_id, "delayed": rec.delayed},
+                }
+            )
+    return events
 
 
 def save_chrome_trace(

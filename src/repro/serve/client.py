@@ -1,0 +1,331 @@
+"""Client generators: tenant sessions producing component invocations.
+
+Each tenant owns a *session* against the composition server.  A session
+pins the tenant's workload (one of the :mod:`repro.apps` registry
+components at a fixed problem size), pre-registers the read-only inputs
+once (clients resend the same model/graph/wall on every call, so the
+runtime's coherence layer may cache device copies across requests) and
+mints one fresh output buffer per request so requests of one tenant do
+not serialize on write-write dependencies.
+
+Two load shapes, both with seeded determinism:
+
+- **open loop** (:class:`OpenLoopClient`): requests arrive by a Poisson
+  process at ``rate_hz``, independent of completions — the load shape
+  that exposes queueing collapse and motivates admission control;
+- **closed loop** (:class:`ClosedLoopClient`): ``concurrency`` logical
+  users each issue the next request ``think_time_s`` after the previous
+  one completes — load self-limits, the classic benchmark-client shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.composer.glue import lower_component
+from repro.errors import PeppherError
+from repro.runtime.codelet import Codelet
+from repro.workloads import gemm_inputs, pathfinder_wall, random_graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import Runtime
+    from repro.runtime.task import Task
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Configuration of one tenant of the composition service."""
+
+    name: str
+    #: workload key (see :data:`WORKLOADS`)
+    workload: str = "sgemm"
+    #: problem size forwarded to the workload builder
+    size: int = 96
+    #: weighted-fair-queueing share (only the ratio between tenants matters)
+    weight: float = 1.0
+    #: open-loop Poisson arrival rate; ``None`` selects the closed loop
+    rate_hz: float | None = 200.0
+    #: total requests the tenant offers over the run
+    n_requests: int = 100
+    #: closed-loop concurrent logical users
+    concurrency: int = 1
+    #: closed-loop think time between completion and the next request
+    think_time_s: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PeppherError("tenant name must be non-empty")
+        if self.size < 1:
+            raise PeppherError(f"tenant {self.name!r}: size must be >= 1")
+        if self.workload not in WORKLOADS:
+            raise PeppherError(
+                f"tenant {self.name!r}: unknown workload {self.workload!r}; "
+                f"known: {sorted(WORKLOADS)}"
+            )
+        if self.n_requests < 1:
+            raise PeppherError(
+                f"tenant {self.name!r}: n_requests must be >= 1"
+            )
+        if self.rate_hz is not None and self.rate_hz <= 0:
+            raise PeppherError(f"tenant {self.name!r}: rate_hz must be > 0")
+        if self.weight <= 0:
+            raise PeppherError(f"tenant {self.name!r}: weight must be > 0")
+        if self.concurrency < 1:
+            raise PeppherError(
+                f"tenant {self.name!r}: concurrency must be >= 1"
+            )
+
+
+@dataclass
+class Request:
+    """One component invocation traveling through the serving pipeline."""
+
+    tenant: str
+    req_id: int
+    arrival_s: float
+    codelet_name: str
+    #: coalescing key: requests sharing it may be fused into one batch
+    shape_key: tuple
+    #: submits the invocation's task; called at dispatch time
+    submit: Callable[["Runtime"], "Task"]
+    #: filled by the server
+    delayed: bool = False
+
+
+# ---------------------------------------------------------------------------
+# workload sessions (shared read-only inputs, fresh output per request)
+# ---------------------------------------------------------------------------
+
+class _Session:
+    """Base session: lazily registers shared inputs on first request."""
+
+    def __init__(self, runtime: "Runtime", spec: TenantSpec) -> None:
+        self.runtime = runtime
+        self.spec = spec
+        self.codelet = self._make_codelet()
+        self._inputs = None
+
+    def _make_codelet(self) -> Codelet:
+        raise NotImplementedError
+
+    def _register_inputs(self):
+        raise NotImplementedError
+
+    @property
+    def inputs(self):
+        if self._inputs is None:
+            self._inputs = self._register_inputs()
+        return self._inputs
+
+    def make_request(self, req_id: int, arrival_s: float) -> Request:
+        raise NotImplementedError
+
+
+class SgemmSession(_Session):
+    """``C = A @ B`` at a fixed square size; A and B shared read-only."""
+
+    def _make_codelet(self) -> Codelet:
+        from repro.apps import sgemm
+
+        return lower_component(sgemm.INTERFACE, sgemm.IMPLEMENTATIONS)
+
+    def _register_inputs(self):
+        s = self.spec.size
+        a, b, _ = gemm_inputs(s, s, s, seed=self.spec.seed)
+        rt = self.runtime
+        return (
+            rt.register(a, f"{self.spec.name}:A"),
+            rt.register(b, f"{self.spec.name}:B"),
+        )
+
+    def make_request(self, req_id: int, arrival_s: float) -> Request:
+        s = self.spec.size
+        h_a, h_b = self.inputs
+        tenant = self.spec.name
+
+        def submit(rt: "Runtime") -> "Task":
+            c = np.zeros((s, s), dtype=np.float32)
+            h_c = rt.register(c, f"{tenant}:C{req_id}")
+            return rt.submit(
+                self.codelet,
+                [(h_a, "r"), (h_b, "r"), (h_c, "rw")],
+                ctx={"m": s, "n": s, "k": s, "tenant": tenant},
+                scalar_args=(s, s, s, 1.0, 0.0),
+                name=f"{tenant}/sgemm#{req_id}",
+            )
+
+        return Request(
+            tenant=tenant,
+            req_id=req_id,
+            arrival_s=arrival_s,
+            codelet_name=self.codelet.name,
+            shape_key=("sgemm", s),
+            submit=submit,
+        )
+
+
+class PathfinderSession(_Session):
+    """Grid DP over a shared wall; fresh result row per request."""
+
+    ROWS = 50
+
+    def _make_codelet(self) -> Codelet:
+        from repro.apps import pathfinder
+
+        return lower_component(pathfinder.INTERFACE, pathfinder.IMPLEMENTATIONS)
+
+    def _register_inputs(self):
+        wall = pathfinder_wall(self.ROWS, self.spec.size, seed=self.spec.seed)
+        return (self.runtime.register(wall, f"{self.spec.name}:wall"),)
+
+    def make_request(self, req_id: int, arrival_s: float) -> Request:
+        cols = self.spec.size
+        (h_wall,) = self.inputs
+        tenant = self.spec.name
+
+        def submit(rt: "Runtime") -> "Task":
+            result = np.zeros(cols, dtype=np.int32)
+            h_res = rt.register(result, f"{tenant}:res{req_id}")
+            return rt.submit(
+                self.codelet,
+                [(h_wall, "r"), (h_res, "w")],
+                ctx={"rows": self.ROWS, "cols": cols, "tenant": tenant},
+                scalar_args=(self.ROWS, cols),
+                name=f"{tenant}/pathfinder#{req_id}",
+            )
+
+        return Request(
+            tenant=tenant,
+            req_id=req_id,
+            arrival_s=arrival_s,
+            codelet_name=self.codelet.name,
+            shape_key=("pathfinder", self.ROWS, cols),
+            submit=submit,
+        )
+
+
+class BfsSession(_Session):
+    """BFS over a shared random graph; fresh cost vector per request."""
+
+    DEGREE = 8
+
+    def _make_codelet(self) -> Codelet:
+        from repro.apps import bfs
+
+        return lower_component(bfs.INTERFACE, bfs.IMPLEMENTATIONS)
+
+    def _register_inputs(self):
+        nodes, edges = random_graph(
+            self.spec.size, self.DEGREE, seed=self.spec.seed
+        )
+        rt = self.runtime
+        return (
+            rt.register(nodes, f"{self.spec.name}:nodes"),
+            rt.register(edges, f"{self.spec.name}:edges"),
+            len(edges),
+        )
+
+    def make_request(self, req_id: int, arrival_s: float) -> Request:
+        n = self.spec.size
+        h_nodes, h_edges, n_edges = self.inputs
+        tenant = self.spec.name
+
+        def submit(rt: "Runtime") -> "Task":
+            costs = np.zeros(n, dtype=np.int32)
+            h_costs = rt.register(costs, f"{tenant}:costs{req_id}")
+            return rt.submit(
+                self.codelet,
+                [(h_nodes, "r"), (h_edges, "r"), (h_costs, "w")],
+                ctx={"n_nodes": n, "n_edges": n_edges, "tenant": tenant},
+                scalar_args=(n, n_edges, 0),
+                name=f"{tenant}/bfs#{req_id}",
+            )
+
+        return Request(
+            tenant=tenant,
+            req_id=req_id,
+            arrival_s=arrival_s,
+            codelet_name=self.codelet.name,
+            shape_key=("bfs", n),
+            submit=submit,
+        )
+
+
+#: workload name -> session class (all reuse repro.apps registry kernels)
+WORKLOADS: dict[str, type[_Session]] = {
+    "sgemm": SgemmSession,
+    "pathfinder": PathfinderSession,
+    "bfs": BfsSession,
+}
+
+
+# ---------------------------------------------------------------------------
+# load generators
+# ---------------------------------------------------------------------------
+
+class OpenLoopClient:
+    """Poisson arrivals at ``spec.rate_hz``, independent of completions."""
+
+    def __init__(self, runtime: "Runtime", spec: TenantSpec) -> None:
+        if spec.rate_hz is None:
+            raise PeppherError(
+                f"tenant {spec.name!r}: open-loop client needs rate_hz"
+            )
+        self.spec = spec
+        self.session = WORKLOADS[spec.workload](runtime, spec)
+        self._rng = np.random.default_rng(spec.seed + 0xC11E)
+
+    def arrivals(self) -> list[Request]:
+        """The full seeded arrival schedule (exponential interarrivals)."""
+        gaps = self._rng.exponential(
+            1.0 / self.spec.rate_hz, size=self.spec.n_requests
+        )
+        times = np.cumsum(gaps)
+        return [
+            self.session.make_request(i, float(t)) for i, t in enumerate(times)
+        ]
+
+    def on_complete(self, request: Request, end_s: float) -> Request | None:
+        return None  # open loop: completions do not generate load
+
+
+class ClosedLoopClient:
+    """``concurrency`` users; each reissues ``think_time_s`` after completion."""
+
+    def __init__(self, runtime: "Runtime", spec: TenantSpec) -> None:
+        self.spec = spec
+        self.session = WORKLOADS[spec.workload](runtime, spec)
+        self._rng = np.random.default_rng(spec.seed + 0xC105ED)
+        self._issued = 0
+
+    def arrivals(self) -> list[Request]:
+        """Initial wave: one request per logical user, with seeded jitter
+        so users do not arrive in lockstep."""
+        n = min(self.spec.concurrency, self.spec.n_requests)
+        out = []
+        for _ in range(n):
+            jitter = float(self._rng.exponential(1e-4))
+            out.append(self.session.make_request(self._issued, jitter))
+            self._issued += 1
+        return out
+
+    def on_complete(self, request: Request, end_s: float) -> Request | None:
+        """The finishing user's next request, or None when spent."""
+        if self._issued >= self.spec.n_requests:
+            return None
+        req = self.session.make_request(
+            self._issued, end_s + self.spec.think_time_s
+        )
+        self._issued += 1
+        return req
+
+
+def make_client(runtime: "Runtime", spec: TenantSpec):
+    """Open-loop when the spec carries a rate, closed-loop otherwise."""
+    if spec.rate_hz is not None:
+        return OpenLoopClient(runtime, spec)
+    return ClosedLoopClient(runtime, spec)

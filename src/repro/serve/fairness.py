@@ -1,0 +1,79 @@
+"""Weighted fair queueing across tenants (start-time fair queueing).
+
+The dispatch-order half of the ``fair`` policy (its placement half is
+:class:`~repro.runtime.schedulers.fair.FairShareScheduler`).  Each
+tenant carries a *virtual time*: its consumed service seconds divided by
+its weight.  Dispatch always picks the backlogged tenant with the least
+virtual time, so a tenant flooding the queue only runs ahead of others
+in proportion to its weight, while a light tenant's occasional request
+is served almost immediately — its virtual time trails the heavy
+tenant's by construction.
+
+Two classic subtleties are handled the standard SFQ way:
+
+- **no banked credit**: an idle tenant's virtual time is floored to the
+  minimum over backlogged tenants when it next becomes active, so a
+  tenant cannot hoard service by staying quiet and then monopolize the
+  machine;
+- **work conservation**: the queue never idles capacity to enforce
+  shares — when only one tenant is backlogged it gets everything.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+class WeightedFairQueue:
+    """Per-tenant weighted virtual-time accounting."""
+
+    def __init__(self, weights: Mapping[str, float] | None = None) -> None:
+        self._weights = {str(k): float(v) for k, v in (weights or {}).items()}
+        for tenant, w in self._weights.items():
+            if w <= 0:
+                raise ValueError(
+                    f"tenant {tenant!r} weight must be positive, got {w}"
+                )
+        self._vtime: dict[str, float] = {}
+        #: high-water mark of virtual time among tenants that ever ran;
+        #: newly-active tenants are floored against the *active* minimum
+        self._active: set[str] = set()
+
+    def weight_of(self, tenant: str) -> float:
+        return self._weights.get(tenant, 1.0)
+
+    def vtime_of(self, tenant: str) -> float:
+        return self._vtime.get(tenant, 0.0)
+
+    def activate(self, tenant: str) -> None:
+        """Tenant has queued work again: floor its virtual time so idle
+        periods do not bank credit."""
+        if tenant in self._active:
+            return
+        if self._active:
+            floor = min(self._vtime.get(t, 0.0) for t in self._active)
+            self._vtime[tenant] = max(self._vtime.get(tenant, 0.0), floor)
+        self._active.add(tenant)
+
+    def deactivate(self, tenant: str) -> None:
+        """Tenant's queue drained (its accumulated vtime is retained)."""
+        self._active.discard(tenant)
+
+    def pick(self, backlogged: Iterable[str]) -> str | None:
+        """The backlogged tenant with least virtual time (tie: name)."""
+        best: str | None = None
+        for tenant in backlogged:
+            self.activate(tenant)
+            if best is None or (
+                (self.vtime_of(tenant), tenant) < (self.vtime_of(best), best)
+            ):
+                best = tenant
+        return best
+
+    def charge(self, tenant: str, service_s: float) -> None:
+        """Debit ``service_s`` seconds of machine time to ``tenant``."""
+        if service_s < 0:
+            raise ValueError(f"service_s must be >= 0, got {service_s}")
+        self._vtime[tenant] = (
+            self._vtime.get(tenant, 0.0) + service_s / self.weight_of(tenant)
+        )

@@ -1,0 +1,203 @@
+"""Per-tenant SLO accounting: latency percentiles, goodput, shed rate.
+
+Aggregates the :class:`~repro.runtime.stats.RequestRecord` stream of a
+serving run into the report operators actually look at: per tenant, the
+p50/p95/p99 of end-to-end latency with its decomposition into queue
+wait, pending (staging/worker) wait and execution time, plus goodput
+(completed requests per offered second) and the shed/failure rates that
+admission control and fault recovery trade latency against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.runtime.stats import ExecutionTrace, RequestRecord
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Deterministic linear-interpolation percentile (q in [0, 100])."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if not values:
+        return float("nan")
+    xs = sorted(values)
+    if len(xs) == 1:
+        return xs[0]
+    pos = (len(xs) - 1) * q / 100.0
+    lo = math.floor(pos)
+    frac = pos - lo
+    if lo + 1 >= len(xs):
+        return xs[-1]
+    return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac
+
+
+@dataclass(frozen=True)
+class TenantSlo:
+    """One tenant's service-level summary over a run."""
+
+    tenant: str
+    n_offered: int
+    n_completed: int
+    n_shed: int
+    n_failed: int
+    #: completed requests per second of the offered-load window
+    goodput_rps: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    mean_queue_wait_s: float
+    mean_pending_wait_s: float
+    mean_exec_s: float
+    mean_transfer_s: float
+    mean_batch_size: float
+
+    @property
+    def shed_rate(self) -> float:
+        return self.n_shed / self.n_offered if self.n_offered else 0.0
+
+
+@dataclass
+class SloReport:
+    """Per-tenant SLO summaries plus run-level aggregates."""
+
+    window_s: float
+    tenants: list[TenantSlo] = field(default_factory=list)
+
+    def for_tenant(self, name: str) -> TenantSlo:
+        for t in self.tenants:
+            if t.tenant == name:
+                return t
+        raise KeyError(name)
+
+    @property
+    def total_offered(self) -> int:
+        return sum(t.n_offered for t in self.tenants)
+
+    @property
+    def total_completed(self) -> int:
+        return sum(t.n_completed for t in self.tenants)
+
+    @property
+    def total_shed(self) -> int:
+        return sum(t.n_shed for t in self.tenants)
+
+    @property
+    def goodput_rps(self) -> float:
+        return self.total_completed / self.window_s if self.window_s > 0 else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.total_shed / self.total_offered if self.total_offered else 0.0
+
+    def p99_spread(self) -> float:
+        """max/min per-tenant p99 — the fairness headline (1.0 = equal)."""
+        p99s = [t.p99_s for t in self.tenants if not math.isnan(t.p99_s)]
+        if len(p99s) < 2 or min(p99s) <= 0:
+            return float("nan")
+        return max(p99s) / min(p99s)
+
+    def to_dict(self) -> dict:
+        return {
+            "window_s": self.window_s,
+            "goodput_rps": self.goodput_rps,
+            "shed_rate": self.shed_rate,
+            "p99_spread": self.p99_spread(),
+            "tenants": [
+                {
+                    "tenant": t.tenant,
+                    "offered": t.n_offered,
+                    "completed": t.n_completed,
+                    "shed": t.n_shed,
+                    "failed": t.n_failed,
+                    "goodput_rps": t.goodput_rps,
+                    "p50_ms": t.p50_s * 1e3,
+                    "p95_ms": t.p95_s * 1e3,
+                    "p99_ms": t.p99_s * 1e3,
+                    "mean_queue_wait_ms": t.mean_queue_wait_s * 1e3,
+                    "mean_pending_wait_ms": t.mean_pending_wait_s * 1e3,
+                    "mean_exec_ms": t.mean_exec_s * 1e3,
+                    "mean_transfer_ms": t.mean_transfer_s * 1e3,
+                    "mean_batch_size": t.mean_batch_size,
+                }
+                for t in self.tenants
+            ],
+        }
+
+
+def _mean(xs: list[float]) -> float:
+    return sum(xs) / len(xs) if xs else float("nan")
+
+
+def tenant_slo(
+    tenant: str, records: list[RequestRecord], window_s: float
+) -> TenantSlo:
+    done = [r for r in records if r.completed]
+    latencies = [r.latency for r in done]
+    return TenantSlo(
+        tenant=tenant,
+        n_offered=len(records),
+        n_completed=len(done),
+        n_shed=sum(1 for r in records if r.shed),
+        n_failed=sum(1 for r in records if r.failed),
+        goodput_rps=len(done) / window_s if window_s > 0 else 0.0,
+        p50_s=percentile(latencies, 50),
+        p95_s=percentile(latencies, 95),
+        p99_s=percentile(latencies, 99),
+        mean_queue_wait_s=_mean([r.queue_wait for r in done]),
+        mean_pending_wait_s=_mean([r.pending_wait for r in done]),
+        mean_exec_s=_mean([r.exec_s for r in done]),
+        mean_transfer_s=_mean([r.transfer_s for r in done]),
+        mean_batch_size=_mean([float(r.batch_size) for r in done]),
+    )
+
+
+def slo_report(trace: ExecutionTrace, window_s: float | None = None) -> SloReport:
+    """Build the per-tenant report from a serving run's trace.
+
+    ``window_s`` defaults to the offered-load window: first arrival to
+    the later of last arrival and last completion.
+    """
+    if window_s is None:
+        if trace.requests:
+            t0 = min(r.arrival_time for r in trace.requests)
+            t1 = max(
+                [r.arrival_time for r in trace.requests]
+                + [r.end_time for r in trace.requests if r.completed]
+            )
+            window_s = max(t1 - t0, 0.0)
+        else:
+            window_s = 0.0
+    report = SloReport(window_s=window_s)
+    for tenant in trace.tenants():
+        report.tenants.append(
+            tenant_slo(tenant, trace.requests_for(tenant), window_s)
+        )
+    return report
+
+
+def format_slo_report(report: SloReport, title: str = "SLO report") -> str:
+    lines = [
+        f"{title}: window {report.window_s * 1e3:.1f} ms, "
+        f"goodput {report.goodput_rps:.1f} req/s, "
+        f"shed {report.shed_rate:.1%}, p99 spread "
+        + (
+            "n/a"
+            if math.isnan(report.p99_spread())
+            else f"{report.p99_spread():.2f}x"
+        ),
+        f"{'tenant':<12s} {'offered':>8s} {'done':>6s} {'shed':>6s} "
+        f"{'fail':>5s} {'p50':>9s} {'p95':>9s} {'p99':>9s} "
+        f"{'queue':>9s} {'pend':>9s} {'exec':>9s} {'batch':>6s}",
+    ]
+    for t in report.tenants:
+        lines.append(
+            f"{t.tenant:<12s} {t.n_offered:8d} {t.n_completed:6d} "
+            f"{t.n_shed:6d} {t.n_failed:5d} "
+            f"{t.p50_s * 1e3:7.2f}ms {t.p95_s * 1e3:7.2f}ms "
+            f"{t.p99_s * 1e3:7.2f}ms {t.mean_queue_wait_s * 1e3:7.2f}ms "
+            f"{t.mean_pending_wait_s * 1e3:7.2f}ms "
+            f"{t.mean_exec_s * 1e3:7.2f}ms {t.mean_batch_size:6.2f}"
+        )
+    return "\n".join(lines)

@@ -67,6 +67,24 @@ def test_regression_needs_size_spread():
     assert model.predict("v", 5000) is None  # sizes too close to trust
 
 
+def test_regression_degenerate_single_size_returns_none():
+    # all samples at one footprint size: no slope is anchorable even
+    # when min_size_ratio allows a ratio of 1.0.  Before the explicit
+    # spread check, float rounding in the log-space mean produced a
+    # ~1e-31 sxx and a garbage power-law fit whose extrapolations were
+    # absurd (predict(1e9) ~ 1e13 seconds).
+    model = RegressionModel(min_samples=4, min_size_ratio=1.0)
+    for i in range(5):
+        model.record("v", 7.0, 10.0 ** (-4 + 2 * i))
+    assert model.predict("v", 7.0) is None
+    assert model.predict("v", 1e9) is None
+    # a genuine spread at the same ratio threshold still fits
+    spread = RegressionModel(min_samples=4, min_size_ratio=1.0)
+    for size in (1e3, 1e4, 1e5, 1e6):
+        spread.record("v", size, 2e-9 * size)
+    assert spread.predict("v", 1e7) == pytest.approx(2e-2, rel=1e-6)
+
+
 def test_regression_ignores_nonpositive_samples():
     model = RegressionModel(min_samples=1)
     model.record("v", 0.0, 1.0)

@@ -11,14 +11,30 @@ from tests.conftest import make_axpy_codelet
 
 
 def test_factory_knows_all_policies():
-    assert policy_names() == ["dm", "dmda", "eager", "random", "ws"]
+    assert policy_names() == ["dm", "dmda", "eager", "fair", "random", "ws"]
     for name in policy_names():
         assert make_scheduler(name).name == name
 
 
-def test_factory_unknown_policy():
-    with pytest.raises(KeyError):
+def test_factory_unknown_policy_lists_all_registered_names():
+    with pytest.raises(KeyError) as excinfo:
         make_scheduler("heft9000")
+    message = str(excinfo.value)
+    assert "heft9000" in message
+    for name in policy_names():
+        assert f"'{name}'" in message
+
+
+def test_fair_delegates_placement_and_validates():
+    sched = make_scheduler("fair")
+    assert sched.inner.name == "dmda"
+    sched = make_scheduler("fair", inner="eager", weights={"a": 2.0})
+    assert sched.inner.name == "eager" and sched.weight_of("a") == 2.0
+    assert sched.weight_of("unknown-tenant") == 1.0
+    with pytest.raises(ValueError):
+        make_scheduler("fair", inner="fair")
+    with pytest.raises(ValueError):
+        make_scheduler("fair", weights={"a": 0.0})
 
 
 def test_factory_forwards_options():

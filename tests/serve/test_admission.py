@@ -1,0 +1,77 @@
+"""Admission controller: thresholds, shedding and backpressure."""
+
+import pytest
+
+from repro.serve import AdmissionController, AdmissionOutcome, AdmissionPolicy
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        AdmissionPolicy(on_overload="panic")
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_queue_depth=0)
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_queue_per_tenant=0)
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_backlog_s=0.0)
+    with pytest.raises(ValueError):
+        AdmissionPolicy(max_delay_s=-1.0)
+    assert not AdmissionPolicy().bounded
+    assert AdmissionPolicy(max_queue_depth=1).bounded
+    assert AdmissionPolicy(max_backlog_s=1.0).bounded
+
+
+def test_default_policy_admits_everything():
+    ctl = AdmissionController()
+    for i in range(100):
+        assert ctl.decide("t", 0.0, 0.0, 1e9) is AdmissionOutcome.ADMIT
+        ctl.note_admitted("t")
+    assert ctl.queue_depth() == 100
+    assert ctl.n_admitted == 100
+
+
+def test_depth_threshold_sheds():
+    ctl = AdmissionController(AdmissionPolicy(max_queue_depth=2))
+    for _ in range(2):
+        assert ctl.decide("t", 0.0, 0.0, 0.0) is AdmissionOutcome.ADMIT
+        ctl.note_admitted("t")
+    assert ctl.decide("t", 0.0, 0.0, 0.0) is AdmissionOutcome.SHED
+    ctl.note_shed()
+    # a completion frees a slot
+    ctl.note_finished("t")
+    assert ctl.decide("t", 0.0, 0.0, 0.0) is AdmissionOutcome.ADMIT
+    assert ctl.n_shed == 1
+
+
+def test_per_tenant_quota_is_isolated():
+    ctl = AdmissionController(AdmissionPolicy(max_queue_per_tenant=1))
+    assert ctl.decide("heavy", 0.0, 0.0, 0.0) is AdmissionOutcome.ADMIT
+    ctl.note_admitted("heavy")
+    # heavy is at quota, light is not
+    assert ctl.decide("heavy", 0.0, 0.0, 0.0) is AdmissionOutcome.SHED
+    assert ctl.decide("light", 0.0, 0.0, 0.0) is AdmissionOutcome.ADMIT
+    ctl.note_admitted("light")
+    assert ctl.queue_depth("heavy") == 1
+    assert ctl.queue_depth("light") == 1
+    assert ctl.queue_depth() == 2
+
+
+def test_backlog_threshold():
+    ctl = AdmissionController(AdmissionPolicy(max_backlog_s=0.5))
+    assert ctl.decide("t", 0.0, 0.0, 0.4) is AdmissionOutcome.ADMIT
+    assert ctl.decide("t", 0.0, 0.0, 0.6) is AdmissionOutcome.SHED
+
+
+def test_delay_mode_buffers_then_sheds_after_patience():
+    ctl = AdmissionController(
+        AdmissionPolicy(
+            max_queue_depth=1, on_overload="delay", max_delay_s=0.010
+        )
+    )
+    ctl.note_admitted("t")
+    # within patience: buffered, not shed
+    assert ctl.decide("t", 0.005, 0.0, 0.0) is AdmissionOutcome.DELAY
+    # patience exhausted: shed
+    assert ctl.decide("t", 0.011, 0.0, 0.0) is AdmissionOutcome.SHED
+    ctl.note_delayed()
+    assert ctl.n_delayed == 1

@@ -1,0 +1,60 @@
+"""Weighted fair queueing: virtual time, weights, no banked credit."""
+
+import pytest
+
+from repro.serve import WeightedFairQueue
+
+
+def test_weight_validation_and_default():
+    with pytest.raises(ValueError):
+        WeightedFairQueue({"t": 0.0})
+    q = WeightedFairQueue({"a": 2.0})
+    assert q.weight_of("a") == 2.0
+    assert q.weight_of("unknown") == 1.0
+
+
+def test_charge_divides_by_weight():
+    q = WeightedFairQueue({"a": 2.0, "b": 1.0})
+    q.charge("a", 1.0)
+    q.charge("b", 1.0)
+    assert q.vtime_of("a") == pytest.approx(0.5)
+    assert q.vtime_of("b") == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        q.charge("a", -1.0)
+
+
+def test_pick_least_vtime_work_conserving():
+    q = WeightedFairQueue()
+    q.pick(["heavy", "light"])  # both become active at vtime 0
+    q.charge("heavy", 5.0)
+    # both backlogged: the lighter-consumption tenant wins
+    assert q.pick(["heavy", "light"]) == "light"
+    # only the heavy tenant backlogged: it still runs (work conservation)
+    assert q.pick(["heavy"]) == "heavy"
+    assert q.pick([]) is None
+
+
+def test_pick_breaks_ties_by_name():
+    q = WeightedFairQueue()
+    assert q.pick(["b", "a"]) == "a"
+
+
+def test_idle_tenant_cannot_bank_credit():
+    q = WeightedFairQueue()
+    # heavy runs for a long time while "sleeper" is idle
+    q.pick(["heavy"])
+    q.charge("heavy", 100.0)
+    # sleeper wakes: floored to the active minimum, not to 0
+    q.pick(["heavy", "sleeper"])
+    assert q.vtime_of("sleeper") >= 100.0 - 1e-9
+    # so heavy is not starved for 100 virtual seconds afterwards
+    q.charge("sleeper", 1.0)
+    assert q.pick(["heavy", "sleeper"]) == "heavy"
+
+
+def test_deactivate_retains_vtime():
+    q = WeightedFairQueue()
+    q.pick(["a"])
+    q.charge("a", 3.0)
+    q.deactivate("a")
+    assert q.vtime_of("a") == pytest.approx(3.0)

@@ -1,0 +1,153 @@
+"""CompositionServer end-to-end behaviour on the simulated machine."""
+
+import math
+
+import pytest
+
+from repro.errors import PeppherError
+from repro.hw.faults import FaultModel
+from repro.hw.presets import platform_c2050
+from repro.runtime.engine import RecoveryPolicy
+from repro.runtime.trace_export import to_chrome_trace
+from repro.serve import (
+    AdmissionPolicy,
+    BatchPolicy,
+    CompositionServer,
+    TenantSpec,
+)
+
+TENANTS = [
+    TenantSpec("a", workload="sgemm", size=96, rate_hz=2000.0, n_requests=40, seed=1),
+    TenantSpec("b", workload="pathfinder", size=64, rate_hz=500.0, n_requests=10, seed=2),
+]
+
+
+def make_server(**kw):
+    defaults = dict(tenants=TENANTS, scheduler="fair")
+    defaults.update(kw)
+    return CompositionServer(platform_c2050(), **defaults)
+
+
+def test_constructor_validation():
+    with pytest.raises(PeppherError):
+        CompositionServer(platform_c2050(), tenants=[])
+    with pytest.raises(PeppherError):
+        CompositionServer(
+            platform_c2050(),
+            tenants=[TENANTS[0], TENANTS[0]],  # duplicate names
+        )
+    with pytest.raises(PeppherError):
+        make_server(max_inflight=0)
+
+
+def test_run_completes_every_request():
+    server = make_server()
+    report = server.run()
+    assert report.total_offered == 50
+    assert report.total_completed == 50
+    assert report.total_shed == 0
+    assert [t.tenant for t in report.tenants] == ["a", "b"]
+    # every record's decomposition is coherent
+    for rec in server.trace.requests:
+        assert rec.completed
+        assert rec.dispatch_time >= rec.arrival_time
+        assert rec.start_time >= rec.dispatch_time - 1e-12
+        assert rec.end_time > rec.start_time
+        assert rec.latency >= rec.exec_s - 1e-12
+
+
+def test_run_is_deterministic():
+    r1 = make_server().run()
+    r2 = make_server().run()
+    assert r1.to_dict() == r2.to_dict()
+
+
+def test_admission_sheds_are_recorded():
+    server = make_server(
+        admission=AdmissionPolicy(max_queue_depth=2), max_inflight=1
+    )
+    report = server.run()
+    assert report.total_shed > 0
+    assert report.total_shed == server.admission.n_shed
+    assert report.total_completed + report.total_shed == 50
+    shed = [r for r in server.trace.requests if r.shed]
+    assert all(math.isnan(r.latency) for r in shed)
+
+
+def test_delay_mode_backpressure():
+    server = make_server(
+        admission=AdmissionPolicy(
+            max_queue_depth=2, on_overload="delay", max_delay_s=1.0
+        ),
+        max_inflight=1,
+    )
+    report = server.run()
+    # ample patience: everything eventually admitted, nothing shed
+    assert report.total_shed == 0
+    assert report.total_completed == 50
+    assert server.admission.n_delayed > 0
+    assert any(r.delayed for r in server.trace.requests)
+
+
+def test_batches_fuse_same_shape_requests():
+    heavy = [
+        TenantSpec(
+            "a", workload="sgemm", size=96, rate_hz=50000.0,
+            n_requests=60, seed=3,
+        )
+    ]
+    server = make_server(
+        tenants=heavy, batching=BatchPolicy(max_batch=4), max_inflight=2
+    )
+    server.run()
+    assert server.coalescer.mean_batch_size > 1.0
+    assert max(r.batch_size for r in server.trace.requests) > 1
+
+
+def test_faults_surface_as_failed_requests_not_crashes():
+    server = make_server(
+        faults=FaultModel(kernel_fault_rate=0.9, seed=11),
+        recovery=RecoveryPolicy(max_retries=1, blacklist_after=10**6),
+    )
+    report = server.run()  # must not raise
+    failed = sum(t.n_failed for t in report.tenants)
+    assert failed > 0
+    assert report.total_completed + failed == 50
+    for rec in server.trace.requests:
+        if rec.failed:
+            assert not rec.completed
+            assert not math.isnan(rec.dispatch_time)
+
+
+def test_chrome_trace_gets_counters_and_request_rows():
+    server = make_server()
+    server.run()
+    obj = to_chrome_trace(server.trace, server.runtime.machine)
+    events = obj["traceEvents"]
+    counters = {e["name"] for e in events if e["ph"] == "C"}
+    assert "queue depth" in counters
+    assert "workers busy" in counters
+    assert any(name.startswith("util u") for name in counters)
+    # counters never go negative
+    for e in events:
+        if e["ph"] == "C":
+            assert all(
+                v >= 0 for v in e["args"].values() if isinstance(v, int)
+            )
+    rows = [e for e in events if e.get("cat") == "request"]
+    assert sum(1 for e in rows if e["ph"] == "X") == 50
+    tenant_rows = {
+        e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] == 1
+    }
+    assert tenant_rows == {"tenant a", "tenant b"}
+
+
+def test_context_manager_shutdown():
+    with make_server() as server:
+        server.run()
+    import numpy as np
+
+    with pytest.raises(PeppherError):
+        server.runtime.register(np.zeros(4, dtype=np.float32), "late")
