@@ -36,16 +36,20 @@ from repro.composer import ComposedApplication, Composer, Recipe
 from repro.containers import Matrix, Scalar, Vector
 from repro.hw import by_name, platform_c1060, platform_c2050
 from repro.runtime import Runtime
+from repro.session import Session
+from repro.tuning import PerfModelStore
 
 __all__ = [
     "ComposedApplication",
     "Composer",
     "Matrix",
     "MainDescriptor",
+    "PerfModelStore",
     "Recipe",
     "Repository",
     "Runtime",
     "Scalar",
+    "Session",
     "Vector",
     "__version__",
     "by_name",

@@ -143,14 +143,26 @@ def build_dispatch_table(
     points_per_param: int = 4,
     training_repetitions: int = 1,
     noise: NoiseModel | None = None,
+    store=None,
 ) -> DispatchTable:
     """Evaluate predictions over training scenarios and record winners.
 
     ``training_repetitions > 1`` emulates *training executions*: each
     prediction is sampled that many times under timing noise and
     averaged, as a real off-line training run would.
+
+    With ``store`` (a :class:`~repro.tuning.store.PerfModelStore`), a
+    dispatch table previously *trained from measurements* on this
+    machine (see :func:`~repro.composer.training.train_dispatch_table`)
+    is preferred over evaluating analytic predictions — measured data
+    beats expert estimates, and the winners reflect the actual machine.
     """
     from repro.components.platform_desc import standard_platforms
+
+    if store is not None:
+        stored = store.load_dispatch_table(machine, node.name)
+        if stored is not None and stored.entries:
+            return stored
 
     platforms = {p.name: p for p in standard_platforms()}
     decls = node.interface.context_params
@@ -200,7 +212,7 @@ def build_dispatch_table(
 
 
 def apply_static_composition(
-    tree: ComponentTree, machine: Machine
+    tree: ComponentTree, machine: Machine, store=None
 ) -> ComponentTree:
     """Run static composition over the IR (multi-stage narrowing).
 
@@ -208,10 +220,15 @@ def apply_static_composition(
     dispatch table, attach it to the node, and narrow the candidate set
     to the scenario winners.  Components without metadata keep their
     full candidate set and are composed dynamically (the default).
+    ``store`` lets nodes with previously trained tables reuse them (see
+    :func:`build_dispatch_table`).
     """
     for node in tree.nodes:
         table = build_dispatch_table(
-            node, machine, points_per_param=tree.recipe.training_points_per_param
+            node,
+            machine,
+            points_per_param=tree.recipe.training_points_per_param,
+            store=store,
         )
         if not table.entries:
             continue

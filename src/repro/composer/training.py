@@ -15,7 +15,7 @@ it knows how to materialise realistic inputs for a context instance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.components.context import ContextInstance, training_scenarios
 from repro.components.implementation import ImplementationDescriptor
@@ -24,7 +24,11 @@ from repro.composer.glue import lower_component
 from repro.composer.static_comp import DispatchEntry, DispatchTable
 from repro.errors import CompositionError, SchedulingError
 from repro.hw.machine import Machine
+from repro.runtime.perfmodel import PerfModel
 from repro.runtime.runtime import Runtime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tuning.store import PerfModelStore
 
 #: operand factory: (ctx, runtime) -> (operands [(handle, mode)], scalar_args)
 OperandFactory = Callable[[Mapping[str, object], Runtime], tuple[list, tuple]]
@@ -78,6 +82,7 @@ def train_dispatch_table(
     repetitions: int = 3,
     seed: int = 0,
     run_kernels: bool = False,
+    store: "PerfModelStore | None" = None,
 ) -> TrainingReport:
     """Run training executions and build an empirical dispatch table.
 
@@ -85,10 +90,22 @@ def train_dispatch_table(
     training scenario on a fresh runtime (cold data: the measurement
     includes the transfers a single invocation pays).  The per-scenario
     winner is the variant with the lowest mean measured time.
+
+    With ``store``, every training execution's observations accumulate
+    into one shared performance model that is merged back into the
+    machine's store entry, and the finished dispatch table is persisted
+    alongside it — later sessions warm-start from both.
     """
     if repetitions < 1:
         raise CompositionError("training needs at least one repetition")
     codelet_all = lower_component(interface, implementations)
+    shared_model: PerfModel | None = None
+    store_machine: Machine | None = None
+    if store is not None:
+        store_machine = machine_factory()
+        shared_model = store.warm_model(
+            store_machine, codelets=[codelet_all.name]
+        )
     if scenarios is None:
         scenarios = training_scenarios(
             interface.context_params, points_per_param
@@ -111,6 +128,7 @@ def train_dispatch_table(
                         scheduler="eager",
                         seed=seed + rep,
                         run_kernels=run_kernels,
+                        perfmodel=shared_model,
                     )
                     operands, scalar_args = make_operands(ctx, rt)
                     start = rt.now
@@ -143,4 +161,18 @@ def train_dispatch_table(
             )
         )
     report.table = table
+    if store is not None and store_machine is not None and shared_model is not None:
+        store.save(
+            store_machine,
+            shared_model,
+            provenance={
+                codelet_all.name: {
+                    "driver": "train-dispatch-table",
+                    "interface": interface.name,
+                    "repetitions": repetitions,
+                    "scenarios": [dict(s) for s in scenarios],
+                }
+            },
+        )
+        store.save_dispatch_table(store_machine, table)
     return report

@@ -81,6 +81,12 @@ class UnrecoverableTaskError(RuntimeSystemError):
     retry budget."""
 
 
+class StaleModelError(RuntimeSystemError):
+    """A persisted performance model does not match the current machine
+    description or model-format version; it must be recalibrated, never
+    silently reused (see :mod:`repro.tuning.store`)."""
+
+
 class ContainerError(PeppherError):
     """Smart container misuse (e.g. access after shutdown)."""
 

@@ -302,6 +302,17 @@ class Engine:
     def n_samples(self, task: Task, variant: ImplVariant) -> int:
         return self.perf.n_samples(task.footprint(), variant.name)
 
+    def is_calibrated(
+        self, task: Task, variant: ImplVariant, min_history: int
+    ) -> bool:
+        size = float(sum(h.nbytes for h in task.handles))
+        return self.perf.calibrated(
+            task.footprint(), variant.name, size, min_history=min_history
+        )
+
+    def note_exploration(self, task: Task) -> None:
+        self.trace.n_exploration_decisions += 1
+
     def cpu_gang(self) -> tuple[ProcessingUnit, ...]:
         if not self._lost_workers and not self._blacklisted:
             return self._gang

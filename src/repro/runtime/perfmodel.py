@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -111,7 +113,13 @@ class RegressionModel:
         """Return (log_a, b) of ``t = a * s^b``, or None if unfit-able."""
         if variant_name in self._fits:
             return self._fits[variant_name]
-        samples = self._samples.get(variant_name, ())
+        fit = self._fit_samples(self._samples.get(variant_name, ()))
+        self._fits[variant_name] = fit
+        return fit
+
+    def _fit_samples(
+        self, samples: list[tuple[float, float]]
+    ) -> tuple[float, float] | None:
         fit: tuple[float, float] | None = None
         if len(samples) >= self.min_samples:
             sizes = [s for s, _ in samples]
@@ -135,7 +143,6 @@ class RegressionModel:
                     b = sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / sxx
                     log_a = my - b * mx
                     fit = (log_a, b)
-        self._fits[variant_name] = fit
         return fit
 
     def predict(self, variant_name: str, size: float) -> float | None:
@@ -146,6 +153,24 @@ class RegressionModel:
             return None
         log_a, b = fit
         return math.exp(log_a + b * math.log(size))
+
+    def predict_from(
+        self, samples: list[tuple[float, float]], size: float
+    ) -> float | None:
+        """Prediction from an explicit sample list under this model's fit
+        rules, without touching recorded state — e.g. for out-of-sample
+        validation of a fit against a measurement it has not seen."""
+        if size <= 0:
+            return None
+        fit = self._fit_samples(samples)
+        if fit is None:
+            return None
+        log_a, b = fit
+        return math.exp(log_a + b * math.log(size))
+
+    def samples(self, variant_name: str) -> list[tuple[float, float]]:
+        """Copy of the recorded (size, duration) samples for a variant."""
+        return list(self._samples.get(variant_name, ()))
 
     def n_samples(self, variant_name: str) -> int:
         return len(self._samples.get(variant_name, ()))
@@ -161,11 +186,17 @@ class PerfModel:
     ) -> None:
         self.history = HistoryModel(min_samples=history_min_samples)
         self.regression = RegressionModel(min_samples=regression_min_samples)
+        #: variant name -> codelet name, learned from footprints at record
+        #: time (footprints lead with the codelet name); lets the
+        #: per-machine model store group entries per codelet
+        self._variant_codelet: dict[str, str] = {}
 
     def record(
         self, footprint: tuple, variant_name: str, size: float, duration: float
     ) -> None:
         """Feed one observation (called by the engine at task completion)."""
+        if footprint and isinstance(footprint[0], str):
+            self._variant_codelet.setdefault(variant_name, footprint[0])
         self.history.record(footprint, variant_name, duration)
         self.regression.record(variant_name, size, duration)
 
@@ -180,6 +211,38 @@ class PerfModel:
 
     def n_samples(self, footprint: tuple, variant_name: str) -> int:
         return self.history.n_samples(footprint, variant_name)
+
+    def calibrated(
+        self,
+        footprint: tuple,
+        variant_name: str,
+        size: float,
+        min_history: int = 1,
+    ) -> bool:
+        """Whether the model can be *trusted* for this (footprint, size).
+
+        Calibrated means either enough exact history for the footprint
+        bucket, or a usable regression fit covering the size — StarPU's
+        regression models likewise serve sizes never observed directly
+        once the fit exists.  Schedulers explore while this is False.
+        """
+        if self.history.n_samples(footprint, variant_name) >= min_history:
+            return True
+        return self.regression.predict(variant_name, size) is not None
+
+    def codelet_of(self, variant_name: str) -> str:
+        """Codelet a variant's observations belong to ('' if unknown)."""
+        return self._variant_codelet.get(variant_name, "")
+
+    def codelets(self) -> set[str]:
+        """All codelet names with at least one recorded observation."""
+        return set(self._variant_codelet.values())
+
+    def unmapped_variants(self) -> set[str]:
+        """Variants observed without a codelet-naming footprint."""
+        out = {var for _, var in self.history._table}
+        out |= set(self.regression._samples)
+        return out - set(self._variant_codelet)
 
     # -- persistence (StarPU stores per-machine perfmodel files) -----------
 
@@ -198,18 +261,101 @@ class PerfModel:
             "regression": {
                 var: samples for var, samples in self.regression._samples.items()
             },
+            "codelets": dict(self._variant_codelet),
         }
 
-    def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
-
     @classmethod
-    def load(cls, path: str | Path) -> "PerfModel":
-        raw = json.loads(Path(path).read_text())
+    def from_dict(cls, raw: dict) -> "PerfModel":
         model = cls()
         for entry in raw.get("history", []):
             st = RunningStats(n=entry["n"], mean=entry["mean"], m2=entry["m2"])
             model.history._table[(entry["footprint"], entry["variant"])] = st
         for var, samples in raw.get("regression", {}).items():
             model.regression._samples[var] = [tuple(s) for s in samples]
+        model._variant_codelet = dict(raw.get("codelets", {}))
         return model
+
+    def save(self, path: str | Path) -> None:
+        """Atomically persist the model as JSON.
+
+        A plain ``write_text`` interrupted mid-write leaves truncated
+        JSON behind that poisons every later session; writing to a
+        sibling temp file and ``os.replace``-ing guarantees readers see
+        either the old or the new model, never a torn one.
+        """
+        path = Path(path)
+        payload = json.dumps(self.to_dict(), indent=1)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PerfModel":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # -- merging (the model store combines concurrent sessions) ------------
+
+    def merge_from(self, other: "PerfModel") -> None:
+        """Fold ``other``'s observations into this model, key by key.
+
+        Sessions warm-started from the same store hold overlapping
+        sample sets, so summing statistics would double-count the shared
+        baseline.  Per key the *larger* sample set wins (it is a
+        superset of the shared baseline in the common sequential case);
+        keys only one side knows are always kept.  Concurrent
+        experiments therefore never clobber each other's keys, at worst
+        one side's extra samples for a shared key are dropped.
+        """
+        for key, theirs in other.history._table.items():
+            ours = self.history._table.get(key)
+            if ours is None or theirs.n > ours.n:
+                self.history._table[key] = RunningStats(
+                    n=theirs.n, mean=theirs.mean, m2=theirs.m2
+                )
+        for var, samples in other.regression._samples.items():
+            ours_s = self.regression._samples.get(var)
+            if ours_s is None or len(samples) > len(ours_s):
+                self.regression._samples[var] = [tuple(s) for s in samples]
+                self.regression._fits.pop(var, None)
+        for var, codelet in other._variant_codelet.items():
+            self._variant_codelet.setdefault(var, codelet)
+
+    def subset_for_codelets(self, codelets: "set[str]") -> "PerfModel":
+        """A new model holding only entries belonging to ``codelets``.
+
+        The empty string selects observations whose footprint named no
+        codelet (hand-fed models; production footprints always do).
+        """
+        out = PerfModel(
+            history_min_samples=self.history.min_samples,
+            regression_min_samples=self.regression.min_samples,
+        )
+        keep = {
+            var
+            for var, cl in self._variant_codelet.items()
+            if cl in codelets
+        }
+        if "" in codelets:
+            keep |= self.unmapped_variants()
+        for (fp, var), st in self.history._table.items():
+            if var in keep:
+                out.history._table[(fp, var)] = RunningStats(
+                    n=st.n, mean=st.mean, m2=st.m2
+                )
+        for var, samples in self.regression._samples.items():
+            if var in keep:
+                out.regression._samples[var] = [tuple(s) for s in samples]
+        out._variant_codelet = {
+            var: cl for var, cl in self._variant_codelet.items() if var in keep
+        }
+        return out

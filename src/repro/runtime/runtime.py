@@ -9,7 +9,7 @@ data from the application program, and a task barrier.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -22,9 +22,16 @@ from repro.runtime.codelet import Codelet
 from repro.runtime.data import DataHandle
 from repro.runtime.engine import Engine, RecoveryPolicy
 from repro.runtime.perfmodel import PerfModel
-from repro.runtime.schedulers import Scheduler, make_scheduler
+from repro.runtime.schedulers import (
+    Scheduler,
+    make_scheduler,
+    warn_scheduler_instance,
+)
 from repro.runtime.stats import ExecutionTrace
 from repro.runtime.task import Operand, Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tuning.store import PerfModelStore
 
 
 class Runtime:
@@ -54,6 +61,12 @@ class Runtime:
         Persistent calibration file (StarPU keeps per-machine perfmodel
         files under ``~/.starpu``): loaded at start-up when it exists,
         written back at shutdown, so later sessions skip calibration.
+    store:
+        A :class:`~repro.tuning.store.PerfModelStore`: the machine's
+        calibrated model is loaded at start-up (stale entries raise
+        :class:`~repro.errors.StaleModelError` instead of being reused)
+        and the updated model is merged back at shutdown.  Mutually
+        exclusive with ``perfmodel`` / ``perfmodel_path``.
     faults:
         Optional :class:`~repro.hw.faults.FaultModel` injecting transient
         kernel failures, transfer corruption and device loss.  ``None``
@@ -81,9 +94,16 @@ class Runtime:
         perfmodel: PerfModel | None = None,
         scheduler_options: Mapping[str, object] | None = None,
         perfmodel_path: "str | None" = None,
+        store: "PerfModelStore | None" = None,
         faults: FaultModel | None = None,
         recovery: RecoveryPolicy | None = None,
     ) -> None:
+        if store is not None and (
+            perfmodel is not None or perfmodel_path is not None
+        ):
+            raise RuntimeSystemError(
+                "pass either store or perfmodel/perfmodel_path, not both"
+            )
         if perfmodel_path is not None:
             if perfmodel is not None:
                 raise RuntimeSystemError(
@@ -93,13 +113,18 @@ class Runtime:
 
             if Path(perfmodel_path).exists():
                 perfmodel = PerfModel.load(perfmodel_path)
+        if store is not None:
+            perfmodel = store.warm_model(machine)
         self._perfmodel_path = perfmodel_path
+        self._store = store
         if isinstance(scheduler, str):
             scheduler = make_scheduler(scheduler, **dict(scheduler_options or {}))
-        elif scheduler_options:
-            raise RuntimeSystemError(
-                "scheduler_options only apply when scheduler is given by name"
-            )
+        else:
+            warn_scheduler_instance("Runtime")
+            if scheduler_options:
+                raise RuntimeSystemError(
+                    "scheduler_options only apply when scheduler is given by name"
+                )
         noise: NoiseModel = (
             NullNoise() if noise_sigma == 0 else NoiseModel(sigma=noise_sigma, seed=seed)
         )
@@ -188,12 +213,14 @@ class Runtime:
     def shutdown(self) -> float:
         """Drain and close the session; returns the final virtual time.
 
-        When a persistent calibration file was configured, the (now
-        updated) performance model is written back to it.
+        When a persistent calibration file or a model store was
+        configured, the (now updated) performance model is written back.
         """
         t = self.engine.shutdown()
         if self._perfmodel_path is not None:
             self.engine.perf.save(self._perfmodel_path)
+        if self._store is not None:
+            self._store.save(self.machine, self.engine.perf)
         return t
 
     # -- introspection ----------------------------------------------------------

@@ -68,6 +68,19 @@ class EngineView(Protocol):
         """Performance-history sample count for this (task-size, variant)."""
         ...
 
+    def is_calibrated(
+        self, task: "Task", variant: ImplVariant, min_history: int
+    ) -> bool:
+        """True once the model is trustworthy for this (task, variant):
+        enough exact history for the size bucket, or a regression fit
+        that covers the size (warm-started models count)."""
+        ...
+
+    def note_exploration(self, task: "Task") -> None:
+        """Tell the engine this placement was an uncalibrated
+        (exploration) decision, for the trace's exploration counter."""
+        ...
+
     def cpu_gang(self) -> tuple["ProcessingUnit", ...]:
         """The CPU worker set an OpenMP (gang) variant occupies."""
         ...

@@ -88,12 +88,17 @@ class DmdaScheduler(Scheduler):
             )
 
         # --- calibration: explore least-sampled variants first ------------
+        # A variant counts as calibrated with either enough exact history
+        # for this size bucket or a regression fit covering the size —
+        # warm-started models therefore skip exploration entirely.
         undersampled = [
             d
             for d in candidates
-            if view.n_samples(task, d.variant) < self.calibration_samples
+            if not view.is_calibrated(task, d.variant, self.calibration_samples)
         ]
         if undersampled:
+            view.note_exploration(task)
+
             # among undersampled variants prefer the globally least
             # sampled one, then the earliest-starting worker for it
             def calib_key(d: Decision) -> tuple:

@@ -175,6 +175,10 @@ class ExecutionTrace:
     #: recovered tasks whose final placement used a different backend
     #: architecture than the first failed attempt (e.g. GPU -> CPU)
     n_fallbacks: int = 0
+    #: placement decisions made while the performance model was still
+    #: uncalibrated for the task (scheduler exploration / calibration
+    #: phase); a warm-started run should keep this at zero
+    n_exploration_decisions: int = 0
     #: workers disabled after repeated transient faults
     blacklisted_workers: set[int] = field(default_factory=set)
     #: workers whose device was permanently lost
@@ -369,5 +373,6 @@ class ExecutionTrace:
         self.n_tasks_recovered = 0
         self.n_tasks_lost = 0
         self.n_fallbacks = 0
+        self.n_exploration_decisions = 0
         self.blacklisted_workers.clear()
         self.lost_workers.clear()

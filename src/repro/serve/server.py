@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.errors import PeppherError, UnrecoverableTaskError
 from repro.hw.faults import FaultModel
@@ -34,7 +34,14 @@ from repro.hw.machine import Machine
 from repro.runtime.engine import RecoveryPolicy
 from repro.runtime.perfmodel import PerfModel
 from repro.runtime.runtime import Runtime
-from repro.runtime.schedulers import FairShareScheduler, Scheduler, make_scheduler
+from repro.runtime.schedulers import (
+    FairShareScheduler,
+    Scheduler,
+    warn_scheduler_instance,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tuning.store import PerfModelStore
 from repro.runtime.stats import RequestRecord
 from repro.serve.admission import (
     AdmissionController,
@@ -62,9 +69,15 @@ class CompositionServer:
         One :class:`~repro.serve.client.TenantSpec` per tenant; names
         must be unique.  Weights feed the ``fair`` dispatch path.
     scheduler:
-        Placement policy name or instance.  ``"fair"`` additionally
-        switches dispatch ordering from throughput-greedy batching to
-        per-tenant weighted fair queueing.
+        Placement policy name (resolved via
+        :func:`~repro.runtime.schedulers.make_scheduler` together with
+        ``scheduler_options``).  ``"fair"`` additionally switches
+        dispatch ordering from throughput-greedy batching to per-tenant
+        weighted fair queueing, and receives the tenants' weights
+        automatically.  Passing a pre-built :class:`Scheduler` instance
+        is deprecated (one-shot ``DeprecationWarning``).
+    scheduler_options:
+        Extra keyword arguments for the named policy.
     admission:
         The :class:`~repro.serve.admission.AdmissionPolicy`; the default
         admits everything (unbounded baseline).
@@ -93,6 +106,8 @@ class CompositionServer:
         max_inflight: int | None = None,
         dispatch_overhead_s: float = 5e-6,
         perfmodel: PerfModel | None = None,
+        scheduler_options: Mapping[str, object] | None = None,
+        store: "PerfModelStore | None" = None,
     ) -> None:
         if not tenants:
             raise PeppherError("a composition server needs at least one tenant")
@@ -102,20 +117,34 @@ class CompositionServer:
         self.tenants = list(tenants)
         weights = {t.name: t.weight for t in self.tenants}
         if isinstance(scheduler, str):
+            # resolve by name so the hand-off to Runtime stays on the
+            # unified string + options form
+            opts = dict(scheduler_options or {})
             if scheduler == "fair":
-                scheduler = FairShareScheduler(weights=weights)
-            else:
-                scheduler = make_scheduler(scheduler)
-        self.fair_dispatch = scheduler.name == "fair"
+                opts.setdefault("weights", weights)
+            self.fair_dispatch = scheduler == "fair"
+            sched_kwargs: dict = {
+                "scheduler": scheduler,
+                "scheduler_options": opts,
+            }
+        else:
+            warn_scheduler_instance("CompositionServer")
+            if scheduler_options:
+                raise PeppherError(
+                    "scheduler_options only apply when scheduler is given by name"
+                )
+            self.fair_dispatch = scheduler.name == "fair"
+            sched_kwargs = {"scheduler": scheduler}
         self.runtime = Runtime(
             machine,
-            scheduler=scheduler,
             seed=seed,
             noise_sigma=noise_sigma,
             run_kernels=run_kernels,
             faults=faults,
             recovery=recovery,
             perfmodel=perfmodel,
+            store=store,
+            **sched_kwargs,
         )
         self.engine = self.runtime.engine
         self.admission = AdmissionController(admission)

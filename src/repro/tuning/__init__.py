@@ -1,0 +1,26 @@
+"""Persistent performance tuning: the model store and calibration driver.
+
+StarPU persists calibrated per-codelet performance models per machine
+(under ``~/.starpu``) so later runs skip the exploration phase; the
+"Optimized Composition" follow-up builds static dispatch tables from the
+same offline training data.  This package reproduces that layer:
+
+- :mod:`repro.tuning.store` — a per-machine repository of calibrated
+  :class:`~repro.runtime.perfmodel.PerfModel` data keyed by (machine,
+  codelet, variant, format version), with atomic writes, staleness
+  invalidation and merge-on-save;
+- :mod:`repro.tuning.calibrate` — an adaptive calibration driver that
+  replaces brute-force size sweeps with a log-spaced size ladder,
+  per-variant early stopping and budgeted exploration of dominated
+  variants.
+"""
+
+from repro.tuning.calibrate import CalibrationReport, calibrate_component
+from repro.tuning.store import PerfModelStore, machine_fingerprint
+
+__all__ = [
+    "CalibrationReport",
+    "PerfModelStore",
+    "calibrate_component",
+    "machine_fingerprint",
+]

@@ -124,3 +124,106 @@ def test_persistence_roundtrip(tmp_path):
     loaded = PerfModel.load(path)
     assert loaded.predict(fp, "v", 1e4) == pytest.approx(4.0)
     assert loaded.n_samples(fp, "v") == 2
+
+
+def test_atomic_save_leaves_no_temp_files(tmp_path):
+    model = PerfModel()
+    model.record(("c", (10,)), "v", 1e4, 3.0)
+    path = tmp_path / "perf.json"
+    model.save(path)
+    model.save(path)  # overwrite an existing file, same guarantees
+    assert [p.name for p in tmp_path.iterdir()] == ["perf.json"]
+
+
+def test_interrupted_save_keeps_old_file(tmp_path, monkeypatch):
+    import repro.runtime.perfmodel as pm
+
+    model = PerfModel()
+    model.record(("c", (10,)), "v", 1e4, 3.0)
+    path = tmp_path / "perf.json"
+    model.save(path)
+    before = path.read_text()
+
+    def broken_replace(src, dst):
+        raise OSError("disk full")
+
+    model.record(("c", (10,)), "v", 1e4, 9.0)
+    monkeypatch.setattr(pm.os, "replace", broken_replace)
+    with pytest.raises(OSError):
+        model.save(path)
+    # the old model survives untouched and no temp file is left behind
+    assert path.read_text() == before
+    assert [p.name for p in tmp_path.iterdir()] == ["perf.json"]
+
+
+def test_calibrated_by_history_or_regression():
+    model = PerfModel()
+    fp = ("c", (10,))
+    assert not model.calibrated(fp, "v", 1e4)
+    model.record(fp, "v", 1e4, 3.0)
+    assert model.calibrated(fp, "v", 1e4)  # exact history
+    assert not model.calibrated(fp, "v", 1e4, min_history=2)
+    # a regression fit covers sizes (and footprints) never observed
+    for size in (1e3, 1e4, 1e5, 1e6):
+        model.record(("c", (int(size),)), "w", size, 1e-9 * size)
+    assert model.calibrated(("c", (777,)), "w", 5e7, min_history=3)
+
+
+def test_variant_codelet_mapping_from_footprints():
+    model = PerfModel()
+    model.record(("axpy", (8,)), "axpy_cpu", 1e3, 1.0)
+    model.record(((1, 2),), "orphan", 1e3, 1.0)  # footprint names nothing
+    assert model.codelet_of("axpy_cpu") == "axpy"
+    assert model.codelet_of("orphan") == ""
+    assert model.codelets() == {"axpy"}
+    assert model.unmapped_variants() == {"orphan"}
+
+
+def test_from_dict_roundtrips_to_dict():
+    model = PerfModel()
+    model.record(("c", (10,)), "v", 1e4, 3.0)
+    model.record(("c", (10,)), "v", 1e4, 5.0)
+    clone = PerfModel.from_dict(model.to_dict())
+    assert clone.to_dict() == model.to_dict()
+    assert clone.predict(("c", (10,)), "v", 1e4) == pytest.approx(4.0)
+
+
+def test_merge_from_larger_sample_set_wins():
+    a, b = PerfModel(), PerfModel()
+    fp = ("c", (10,))
+    for t in (1.0, 2.0):
+        a.record(fp, "v", 1e4, t)
+    for t in (10.0, 20.0, 30.0):  # superset: more samples win
+        b.record(fp, "v", 1e4, t)
+    b.record(("c", (20,)), "w", 2e4, 7.0)  # only b knows this key
+    a.merge_from(b)
+    assert a.predict(fp, "v", 1e4) == pytest.approx(20.0)
+    assert a.n_samples(fp, "v") == 3
+    assert a.predict(("c", (20,)), "w", 2e4) == pytest.approx(7.0)
+    # the other direction: a's smaller set does not clobber b's
+    b2 = PerfModel.from_dict(b.to_dict())
+    small = PerfModel()
+    small.record(fp, "v", 1e4, 99.0)
+    b2.merge_from(small)
+    assert b2.n_samples(fp, "v") == 3
+
+
+def test_subset_for_codelets_splits_and_keeps_unmapped():
+    model = PerfModel()
+    model.record(("axpy", (8,)), "axpy_cpu", 1e3, 1.0)
+    model.record(("gemm", (8,)), "gemm_cpu", 1e3, 2.0)
+    model.record(((1,),), "orphan", 1e3, 3.0)
+    only_axpy = model.subset_for_codelets({"axpy"})
+    assert only_axpy.codelets() == {"axpy"}
+    assert only_axpy.predict(("gemm", (8,)), "gemm_cpu", 1e3) is None
+    with_orphans = model.subset_for_codelets({"axpy", ""})
+    assert with_orphans.predict(((1,),), "orphan", 1e3) == pytest.approx(3.0)
+
+
+def test_regression_predict_from_is_out_of_sample():
+    model = RegressionModel(min_samples=4)
+    samples = [(s, 2e-9 * s**1.5) for s in (1e3, 1e4, 1e5, 1e6)]
+    est = model.predict_from(samples, 1e7)
+    assert est == pytest.approx(2e-9 * 1e7**1.5, rel=1e-6)
+    assert model.predict_from(samples[:3], 1e7) is None  # under min_samples
+    assert model.n_samples("v") == 0  # recorded state untouched

@@ -1,0 +1,104 @@
+"""Deprecation shims: old entry points keep working and warn exactly once."""
+
+import warnings
+
+import pytest
+
+from repro.errors import PeppherError
+from repro.hw.presets import platform_c2050
+from repro.runtime import Runtime
+from repro.runtime.schedulers import (
+    DmdaScheduler,
+    EagerScheduler,
+    reset_instance_warning,
+)
+from repro.serve import CompositionServer, TenantSpec
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    reset_instance_warning()
+    yield
+    reset_instance_warning()
+
+
+def _tenants():
+    return [
+        TenantSpec(
+            "t0", workload="sgemm", size=48, rate_hz=None, n_requests=2
+        )
+    ]
+
+
+def test_runtime_scheduler_instance_warns_exactly_once():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        rt1 = Runtime(platform_c2050(), scheduler=DmdaScheduler())
+        rt2 = Runtime(platform_c2050(), scheduler=EagerScheduler())
+        rt1.shutdown()
+        rt2.shutdown()
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    message = str(deprecations[0].message)
+    assert "Runtime" in message and "make_scheduler" in message
+
+
+def test_old_instance_form_still_works():
+    sched = DmdaScheduler(calibration_samples=3)
+    with pytest.warns(DeprecationWarning):
+        rt = Runtime(platform_c2050(), scheduler=sched)
+    assert rt.scheduler is sched
+    rt.shutdown()
+
+
+def test_server_scheduler_instance_warns_and_works():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        server = CompositionServer(
+            platform_c2050(), tenants=_tenants(), scheduler=EagerScheduler()
+        )
+        server.run()
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    # exactly one warning, attributed to the server entry point — the
+    # server's internal Runtime construction must not warn again
+    assert len(deprecations) == 1
+    assert "CompositionServer" in str(deprecations[0].message)
+
+
+def test_server_instance_rejects_scheduler_options():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(PeppherError):
+            CompositionServer(
+                platform_c2050(),
+                tenants=_tenants(),
+                scheduler=EagerScheduler(),
+                scheduler_options={"beta": 2.0},
+            )
+
+
+def test_string_scheduler_paths_never_warn():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        rt = Runtime(
+            platform_c2050(), scheduler="dmda", scheduler_options={"beta": 2.0}
+        )
+        assert rt.scheduler.beta == 2.0
+        rt.shutdown()
+        server = CompositionServer(
+            platform_c2050(), tenants=_tenants(), scheduler="fair"
+        )
+        server.run()
+        server2 = CompositionServer(
+            platform_c2050(),
+            tenants=_tenants(),
+            scheduler="dmda",
+            scheduler_options={"beta": 1.5},
+        )
+        server2.run()
+    assert not [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]

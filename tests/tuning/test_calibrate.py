@@ -1,0 +1,134 @@
+"""Adaptive calibration driver: ladder, early-stop, budgets, store wiring."""
+
+import pytest
+
+from repro.apps import sgemm
+from repro.components.context import ContextParamDecl
+from repro.errors import CompositionError
+from repro.hw.presets import platform_c2050
+from repro.tuning import PerfModelStore, calibrate_component
+from repro.tuning.calibrate import size_ladder
+
+VARIANTS = ("sgemm_cpu", "sgemm_openmp", "sgemm_cublas")
+
+
+def _calibrate(store=None, rungs=6, **kw):
+    return calibrate_component(
+        sgemm.INTERFACE,
+        sgemm.IMPLEMENTATIONS,
+        platform_c2050,
+        sgemm.training_operands,
+        store=store,
+        rungs=rungs,
+        **kw,
+    )
+
+
+def test_size_ladder_is_diagonal_not_cross_product():
+    decls = (
+        ContextParamDecl("m", "int", minimum=16, maximum=4096),
+        ContextParamDecl("n", "int", minimum=16, maximum=4096),
+    )
+    ladder = size_ladder(decls, 5)
+    assert len(ladder) == 5  # not 25
+    ms = [s["m"] for s in ladder]
+    assert ms == sorted(ms) and ms[0] == 16 and ms[-1] == 4096
+    for s in ladder:
+        assert s["m"] == s["n"]  # parameters scale together
+
+
+def test_size_ladder_collapses_duplicate_rungs():
+    decls = (ContextParamDecl("n", "int", minimum=4, maximum=8),)
+    ladder = size_ladder(decls, 10)  # int rounding collapses most rungs
+    values = [s["n"] for s in ladder]
+    assert values == sorted(set(values))
+
+
+def test_calibration_fits_every_variant():
+    report = _calibrate()
+    assert set(report.variants) == set(VARIANTS)
+    for vc in report.variants.values():
+        assert vc.fitted
+    # the model serves predictions for arbitrary production sizes
+    for variant in VARIANTS:
+        assert report.model.regression.predict(variant, 4.2e6) is not None
+
+
+def test_early_stop_spends_less_than_brute_force():
+    repetitions = 2
+    report = _calibrate(repetitions=repetitions)
+    brute_force = len(report.ladder) * len(VARIANTS) * repetitions
+    assert report.total_runs < brute_force
+
+
+def test_early_stop_converges_in_the_power_law_region():
+    # over the full context range sgemm's cost is curved (launch
+    # overheads dominate small sizes) and the out-of-sample check
+    # rightly refuses to converge; confined to the compute-bound region
+    # the cost is a clean power law and every variant early-stops
+    decls = tuple(
+        ContextParamDecl(p, "int", minimum=512, maximum=4096)
+        for p in ("m", "n", "k")
+    )
+    ladder = size_ladder(decls, 6)
+    report = _calibrate(ladder=ladder)
+    converged = [
+        v for v in report.variants.values() if v.converged_at is not None
+    ]
+    assert converged
+    assert report.total_runs < len(ladder) * len(VARIANTS) * 2
+    for vc in report.variants.values():
+        assert vc.fitted
+
+
+def test_converged_variants_still_anchor_the_top_rung():
+    # without the top anchor, a variant converging in the small-size
+    # region extrapolates its fit far beyond its data — the failure mode
+    # that made store-warmed runs mis-place large tasks
+    report = _calibrate()
+    spans = {
+        v: max(s for s, _ in report.model.regression.samples(v))
+        for v in VARIANTS
+    }
+    top = max(spans.values())
+    for variant, largest in spans.items():
+        assert largest == pytest.approx(top), variant
+
+
+def test_calibration_saves_to_store_with_provenance(tmp_path):
+    store = PerfModelStore(tmp_path)
+    report = _calibrate(store=store)
+    machine = platform_c2050()
+    warm = store.load(machine)
+    assert warm is not None and warm.codelets() == {"sgemm"}
+    prov = store.provenance(machine)["sgemm"]
+    assert prov["driver"] == "adaptive-ladder"
+    assert prov["total_runs"] == report.total_runs
+    assert set(prov["variants"]) == set(VARIANTS)
+    # warm predictions match the in-memory calibrated model
+    for variant in VARIANTS:
+        assert warm.regression.predict(variant, 1e6) == pytest.approx(
+            report.model.regression.predict(variant, 1e6)
+        )
+
+
+def test_calibration_warm_starts_from_existing_store(tmp_path):
+    store = PerfModelStore(tmp_path)
+    first = _calibrate(store=store)
+    second = _calibrate(store=store)
+    # the second campaign starts from fitted models: every variant's
+    # out-of-sample check passes immediately
+    assert second.total_runs < first.total_runs
+
+
+def test_calibration_validates_arguments():
+    with pytest.raises(CompositionError):
+        _calibrate(repetitions=0)
+    with pytest.raises(CompositionError):
+        _calibrate(rel_tol=0.0)
+
+
+def test_explicit_ladder_overrides_rungs():
+    ladder = size_ladder(sgemm.INTERFACE.context_params, 3)
+    report = _calibrate(ladder=ladder)
+    assert report.ladder == ladder
