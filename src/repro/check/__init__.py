@@ -1,0 +1,46 @@
+"""repro.check — trace invariant checking and deterministic replay.
+
+Three layers of run validation:
+
+- :mod:`repro.check.invariants` replays a finished execution trace
+  against the machine description and asserts physical/causal legality
+  (worker and DMA exclusivity, coherence, dependencies, conservation);
+- :mod:`repro.check.replay` records every scheduling decision and
+  re-executes the log, asserting the replayed trace is bit-identical;
+- :mod:`repro.check.differential` (imported explicitly — it pulls in the
+  whole composer stack) compares composed applications against their
+  hand-written direct references under every scheduling policy.
+
+Enable shutdown-time checking per session (``Runtime(check=True)`` /
+``Session(check=True)``), process-wide
+(:func:`repro.check.config.set_default_check` or ``REPRO_CHECK=1``), or
+offline over a saved trace: ``python -m repro.check trace.json``.
+"""
+
+from repro.check.config import default_check, set_default_check
+from repro.errors import InvariantViolation, ReplayDivergence
+from repro.check.invariants import TraceChecker, assert_trace_legal, check_trace
+from repro.check.replay import (
+    DecisionLog,
+    DecisionRecord,
+    RecordingScheduler,
+    ReplayScheduler,
+    assert_traces_identical,
+    record_and_replay,
+)
+
+__all__ = [
+    "DecisionLog",
+    "DecisionRecord",
+    "InvariantViolation",
+    "ReplayDivergence",
+    "RecordingScheduler",
+    "ReplayScheduler",
+    "TraceChecker",
+    "assert_trace_legal",
+    "assert_traces_identical",
+    "check_trace",
+    "default_check",
+    "record_and_replay",
+    "set_default_check",
+]

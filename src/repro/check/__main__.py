@@ -1,0 +1,73 @@
+"""``python -m repro.check`` — validate saved traces offline.
+
+Reads one or more lossless trace JSON files (written by
+``Session.save_trace_json`` / ``repro.runtime.trace_export
+.save_trace_json``; the machine summary travels inside the file) and
+reports every invariant violation.  Exit status 0 when all traces are
+legal, 1 when any violation is found, 2 on unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.check.invariants import check_trace
+from repro.errors import PeppherError
+from repro.runtime.trace_export import load_trace_json
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="check saved execution traces against run invariants",
+    )
+    parser.add_argument(
+        "traces", nargs="+", metavar="TRACE.json",
+        help="lossless trace JSON file(s) to validate",
+    )
+    parser.add_argument(
+        "--max-violations", type=int, default=20, metavar="N",
+        help="print at most N violations per trace (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    status = 0
+    for path in args.traces:
+        try:
+            trace, info = load_trace_json(path)
+        except (OSError, ValueError, KeyError, PeppherError) as exc:
+            print(f"{path}: unreadable trace: {exc}", file=sys.stderr)
+            return 2
+        violations = check_trace(trace, info)
+        n_records = (
+            len(trace.tasks)
+            + len(trace.transfers)
+            + len(trace.evictions)
+            + len(trace.accesses)
+            + len(trace.faults)
+            + len(trace.requests)
+        )
+        if not violations:
+            print(
+                f"{path}: OK — {n_records} records on machine "
+                f"{info.name!r}, no invariant violations"
+            )
+            continue
+        status = 1
+        print(
+            f"{path}: {len(violations)} invariant violation(s) in "
+            f"{n_records} records on machine {info.name!r}:",
+            file=sys.stderr,
+        )
+        for v in violations[: args.max_violations]:
+            print(f"  - {v}", file=sys.stderr)
+        if len(violations) > args.max_violations:
+            print(
+                f"  ... and {len(violations) - args.max_violations} more",
+                file=sys.stderr,
+            )
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Process-wide default for shutdown-time invariant checking.
+
+A leaf module (no imports from the rest of the package) so the runtime
+can resolve ``Runtime(check=None)`` lazily without pulling the checker
+in on the hot path.  The default is off; it can be turned on for a whole
+process (the pytest ``--check-invariants`` fixture does this) or via the
+``REPRO_CHECK`` environment variable (any value but ``0``/``false``/
+``no``/empty enables it).
+"""
+
+from __future__ import annotations
+
+import os
+
+_default: bool | None = None
+
+
+def set_default_check(value: bool | None) -> None:
+    """Set (or with ``None`` reset) the process-wide check default."""
+    global _default
+    _default = value
+
+
+def default_check() -> bool:
+    """Whether sessions without an explicit ``check=`` should check."""
+    if _default is not None:
+        return _default
+    return os.environ.get("REPRO_CHECK", "").lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+    )

@@ -1,0 +1,196 @@
+"""Differential testing: composed applications vs. direct references.
+
+The composed path (composition tool -> generated wrappers -> runtime)
+and the hand-written direct path implement the same numerics, so for
+every Table-I application the final payload must agree to floating-point
+tolerance *whatever* the scheduler decides.  This module runs one app
+through the generated entry-wrappers under each scheduling policy (and
+optionally under static variant narrowing) with invariant checking
+enabled, and compares the result against the direct reference.
+
+Kept out of ``repro.check.__init__`` on purpose: it imports the whole
+composer/apps stack, which the lightweight invariant checker and the
+``python -m repro.check`` CLI do not need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.mains import TOOL_MAINS, compose_app
+from repro.composer.recipe import Recipe
+from repro.direct import DIRECT_MODULES
+
+#: keyword naming each app's problem size in both mains
+SIZE_KWARGS = {
+    "spmv": "nrows",
+    "sgemm": "size",
+    "bfs": "n_nodes",
+    "cfd": "ncells",
+    "hotspot": "size",
+    "lud": "n",
+    "nw": "n",
+    "particlefilter": "n_particles",
+    "pathfinder": "cols",
+    "odesolver": "n",
+}
+
+#: small problem sizes keeping a full differential sweep fast
+SMALL_SIZES = {
+    "spmv": 256,
+    "sgemm": 48,
+    "bfs": 300,
+    "cfd": 200,
+    "hotspot": 24,
+    "lud": 96,
+    "nw": 40,
+    "particlefilter": 500,
+    "pathfinder": 500,
+    "odesolver": 64,
+}
+
+#: per-app comparison tolerances (defaults elsewhere); LU factorization
+#: amplifies rounding differences between variant orderings
+TOLERANCES: dict[str, tuple[float, float]] = {
+    "lud": (2e-2, 2e-2),
+    "cfd": (1e-3, 1e-5),
+}
+
+
+@dataclass
+class DifferentialResult:
+    """Outcome of one composed-vs-direct comparison."""
+
+    app: str
+    scheduler: str
+    size: int
+    max_abs_diff: float
+    ok: bool
+    detail: str = ""
+    narrowed: tuple[str, ...] = field(default_factory=tuple)
+
+
+def _payload(value):
+    """The comparable array of a main's return value.
+
+    ``odesolver`` mains return ``(state, elapsed, calls)``; every other
+    app returns the result array directly.
+    """
+    if isinstance(value, tuple):
+        return np.asarray(value[0])
+    return np.asarray(value)
+
+
+def reference_result(app: str, size: int | None = None, seed: int = 0):
+    """The direct (hand-written) implementation's result payload."""
+    size = SMALL_SIZES[app] if size is None else size
+    kwargs = {SIZE_KWARGS[app]: size, "seed": seed}
+    if app == "odesolver":
+        kwargs["steps"] = 6
+    return _payload(DIRECT_MODULES[app].main(**kwargs))
+
+
+def composed_result(
+    app: str,
+    scheduler: str = "dmda",
+    size: int | None = None,
+    seed: int = 0,
+    recipe: Recipe | None = None,
+    check: bool = True,
+    composed=None,
+):
+    """Run one app through the composition tool and return its payload.
+
+    The generated ``PEPPHER_INITIALIZE`` receives the scheduler override
+    plus ``check=True`` / ``noise_sigma=0.0`` so every differential run
+    is deterministic and invariant-checked at shutdown.  Pass a
+    pre-built ``composed`` application to amortize composition across
+    schedulers.
+    """
+    size = SMALL_SIZES[app] if size is None else size
+    if composed is None:
+        composed = compose_app(app, scheduler=scheduler, recipe=recipe)
+    kwargs = {SIZE_KWARGS[app]: size, "seed": seed}
+    if app == "odesolver":
+        kwargs["steps"] = 6
+    value = TOOL_MAINS[app](
+        app=composed,
+        scheduler=scheduler,
+        check=check,
+        noise_sigma=0.0,
+        **kwargs,
+    )
+    return _payload(value)
+
+
+def compare_app(
+    app: str,
+    scheduler: str = "dmda",
+    size: int | None = None,
+    seed: int = 0,
+    recipe: Recipe | None = None,
+    composed=None,
+    reference=None,
+) -> DifferentialResult:
+    """Composed-vs-direct comparison for one (app, scheduler) pair."""
+    size = SMALL_SIZES[app] if size is None else size
+    if reference is None:
+        reference = reference_result(app, size=size, seed=seed)
+    got = composed_result(
+        app,
+        scheduler=scheduler,
+        size=size,
+        seed=seed,
+        recipe=recipe,
+        composed=composed,
+    )
+    rtol, atol = TOLERANCES.get(app, (1e-5, 1e-6))
+    narrowed: tuple[str, ...] = ()
+    if recipe is not None:
+        narrowed = tuple(sorted(getattr(recipe, "enable_only", ()) or ()))
+    if got.shape != reference.shape:
+        return DifferentialResult(
+            app=app,
+            scheduler=scheduler,
+            size=size,
+            max_abs_diff=float("inf"),
+            ok=False,
+            detail=f"shape {got.shape} != reference {reference.shape}",
+            narrowed=narrowed,
+        )
+    diff = float(
+        np.max(np.abs(got.astype(np.float64) - reference.astype(np.float64)))
+    ) if got.size else 0.0
+    ok = bool(np.allclose(got, reference, rtol=rtol, atol=atol))
+    return DifferentialResult(
+        app=app,
+        scheduler=scheduler,
+        size=size,
+        max_abs_diff=diff,
+        ok=ok,
+        detail="" if ok else f"max |diff| {diff:.3e} over rtol={rtol} atol={atol}",
+        narrowed=narrowed,
+    )
+
+
+def run_differential(
+    apps=None, schedulers=("eager", "dmda"), seed: int = 0
+) -> list[DifferentialResult]:
+    """Sweep (app x scheduler) comparisons; returns every result."""
+    results: list[DifferentialResult] = []
+    for app in apps or sorted(TOOL_MAINS):
+        reference = reference_result(app, seed=seed)
+        composed = compose_app(app)
+        for scheduler in schedulers:
+            results.append(
+                compare_app(
+                    app,
+                    scheduler=scheduler,
+                    seed=seed,
+                    composed=composed,
+                    reference=reference,
+                )
+            )
+    return results

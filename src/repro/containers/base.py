@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.errors import ContainerError
+from repro.hw.machine import HOST_NODE
 from repro.runtime.access import AccessMode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -81,6 +82,22 @@ class SmartContainer:
                 "construct it with runtime=... to use it in component calls"
             )
         return self._handle
+
+    # -- coherence introspection ----------------------------------------------
+
+    def valid_nodes(self) -> list[int]:
+        """Memory nodes currently holding a valid copy of the payload.
+
+        Local (unmanaged) containers live only in host memory, so they
+        always report ``[HOST_NODE]``.
+        """
+        if self._handle is None:
+            return [HOST_NODE]
+        return self._handle.valid_nodes()
+
+    def host_is_valid(self) -> bool:
+        """True when reading on the host would need no implicit transfer."""
+        return HOST_NODE in self.valid_nodes()
 
     # -- coherent host access ---------------------------------------------------
 

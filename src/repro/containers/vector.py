@@ -77,7 +77,13 @@ class Vector(SmartContainer):
     # -- partitioning (for hybrid / multi-device execution) -------------------
 
     def partition(self, n_chunks: int) -> "list[DataHandle]":
-        """Split the handle into ``n_chunks`` row-block children."""
+        """Split the handle into ``n_chunks`` row-block children.
+
+        Managed containers partition through the runtime so the access
+        is traced (and checkable); detached handles split directly.
+        """
+        if self._runtime is not None:
+            return self._runtime.partition_equal(self.handle, n_chunks, axis=0)
         return self.handle.partition_equal(n_chunks, axis=0)
 
     def unpartition(self) -> None:

@@ -87,6 +87,33 @@ class StaleModelError(RuntimeSystemError):
     silently reused (see :mod:`repro.tuning.store`)."""
 
 
+class InvariantViolation(PeppherError):
+    """A finished execution trace breaks a physical or causal invariant
+    (see :mod:`repro.check.invariants`).
+
+    Instances carry the name of the violated ``rule`` and the ids of the
+    trace events involved (task ids, handle ids, transfer indices, ...)
+    so a violation pinpoints the exact records to look at.
+    """
+
+    def __init__(
+        self,
+        rule: str,
+        detail: str,
+        events: tuple = (),
+    ) -> None:
+        ev = f" [events: {', '.join(map(str, events))}]" if events else ""
+        super().__init__(f"{rule}: {detail}{ev}")
+        self.rule = rule
+        self.detail = detail
+        self.events = tuple(events)
+
+
+class ReplayDivergence(InvariantViolation):
+    """A replayed run did not reproduce the recorded run bit-for-bit
+    (see :mod:`repro.check.replay`)."""
+
+
 class ContainerError(PeppherError):
     """Smart container misuse (e.g. access after shutdown)."""
 

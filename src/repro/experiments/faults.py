@@ -19,11 +19,13 @@ number is reproducible.
 
 from __future__ import annotations
 
+import argparse
+import sys
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import PeppherError, UnrecoverableTaskError
+from repro.errors import InvariantViolation, PeppherError, UnrecoverableTaskError
 from repro.experiments.fig6 import SCENARIOS, AppScenario
 from repro.hw.faults import FaultModel
 from repro.hw.presets import platform_c2050
@@ -79,6 +81,7 @@ def _run_once(
     size: int,
     recovery: RecoveryPolicy,
     calls: int = 1,
+    check: bool | None = None,
 ) -> tuple[float | None, dict[str, int]]:
     """One repetition (``calls`` invocations in one session); returns
     (makespan or None on failure, fault tallies)."""
@@ -88,6 +91,7 @@ def _run_once(
         seed=seed,
         faults=faults,
         recovery=recovery,
+        check=check,
     )
     stats = {"faults": 0, "retries": 0, "fallbacks": 0, "recovered": 0, "lost": 0}
     try:
@@ -95,6 +99,9 @@ def _run_once(
         for _ in range(calls):
             scenario.run_once(rt, codelets, size, seed)
         makespan = rt.shutdown()
+    except InvariantViolation:
+        # an illegal trace is a checker finding, never a "failed rep"
+        raise
     except (UnrecoverableTaskError, PeppherError):
         makespan = None
     stats["faults"] = rt.trace.n_faults
@@ -115,6 +122,7 @@ def fault_study(
     seed: int = 0,
     transfer_rate_scale: float = 0.2,
     recovery: RecoveryPolicy | None = None,
+    check: bool | None = None,
 ) -> FaultStudyResult:
     """Makespan and success rate vs. fault rate across schedulers.
 
@@ -147,7 +155,7 @@ def fault_study(
                 )
                 makespan, stats = _run_once(
                     scenario, policy, faults, seed + rep, size, recovery,
-                    calls=calls,
+                    calls=calls, check=check,
                 )
                 if makespan is not None:
                     makespans.append(makespan)
@@ -217,6 +225,7 @@ def device_loss_study(
     loss_fractions: tuple[float, ...] = (0.25, 0.5, 0.75),
     size_index: int = 0,
     seed: int = 0,
+    check: bool | None = None,
 ) -> list[DeviceLossRow]:
     """Kill the GPU partway through the run; measure graceful degradation.
 
@@ -229,7 +238,7 @@ def device_loss_study(
     rows: list[DeviceLossRow] = []
     for policy in policies:
         base, _ = _run_once(
-            scenario, policy, None, seed, size, RecoveryPolicy()
+            scenario, policy, None, seed, size, RecoveryPolicy(), check=check
         )
         assert base is not None  # fault-free run must succeed
         for frac in loss_fractions:
@@ -239,12 +248,15 @@ def device_loss_study(
                 device_loss_at={gpu_unit: base * frac}, seed=seed
             )
             rt = Runtime(
-                platform_c2050(), scheduler=policy, seed=seed, faults=faults
+                platform_c2050(), scheduler=policy, seed=seed, faults=faults,
+                check=check,
             )
             completed = True
             try:
                 scenario.run_once(rt, scenario.make_codelets(), size, seed)
                 makespan = rt.shutdown()
+            except InvariantViolation:
+                raise
             except PeppherError:
                 completed = False
                 makespan = float("nan")
@@ -263,6 +275,55 @@ def device_loss_study(
     return rows
 
 
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.faults",
+        description="fault-injection ablation (virtual time, seeded)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sweep for CI: two policies, two rates, one rep, "
+        "with trace invariant checking on",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate every run's trace at shutdown (implied by --smoke)",
+    )
+    parser.add_argument("--app", default="sgemm", choices=sorted(SCENARIOS))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    check = True if (args.check or args.smoke) else None
+    if args.smoke:
+        study = fault_study(
+            app=args.app,
+            policies=("eager", "dmda"),
+            rates=(0.0, 0.05),
+            reps=1,
+            calls=2,
+            seed=args.seed,
+            check=check,
+        )
+        rows = device_loss_study(
+            app=args.app,
+            policies=("eager", "dmda"),
+            loss_fractions=(0.5,),
+            seed=args.seed,
+            check=check,
+        )
+    else:
+        study = fault_study(app=args.app, seed=args.seed, check=check)
+        rows = device_loss_study(app=args.app, seed=args.seed, check=check)
+    print(format_fault_study(study))
+    print()
+    print(format_device_loss_study(rows))
+    if check:
+        print("\ntrace invariant checking: every run validated at shutdown")
+    return 0
+
+
 def format_device_loss_study(rows: list[DeviceLossRow]) -> str:
     lines = [
         "ABL-F2: scripted GPU loss mid-run (inflation vs. fault-free makespan)",
@@ -278,3 +339,7 @@ def format_device_loss_study(rows: list[DeviceLossRow]) -> str:
             f"{r.n_replicas_recovered:9d} {r.n_retries:8d}  {arch}"
         )
     return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

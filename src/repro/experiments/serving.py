@@ -119,6 +119,7 @@ def calibrate_perfmodel(
     ]
     server = CompositionServer(machine, tenants=warm, scheduler="dmda")
     server.run()
+    server.shutdown()
     return server.engine.perf
 
 
@@ -140,7 +141,11 @@ def _serve(
         # calibration between compared cells
         perfmodel=copy.deepcopy(perfmodel),
     )
-    return server.run(), server
+    report = server.run()
+    # close the session so shutdown-time hooks (trace invariant
+    # checking, store merges) actually run for every measured cell
+    server.shutdown()
+    return report, server
 
 
 # ---------------------------------------------------------------------------
@@ -448,7 +453,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny sweep for CI: one tenant count, short runs",
+        help="tiny sweep for CI: one tenant count, short runs, "
+        "with trace invariant checking on",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate every run's trace at shutdown (implied by --smoke)",
     )
     parser.add_argument(
         "--outdir",
@@ -458,6 +469,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.check or args.smoke:
+        # every Runtime the study builds (including calibration) then
+        # validates its trace at shutdown
+        from repro.check.config import set_default_check
+
+        set_default_check(True)
     if args.smoke:
         study = run_serving_study(
             rates=(4000.0, 16000.0), tenant_counts=(2,), n_requests=120

@@ -245,7 +245,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny stream for CI: fewer sizes, tasks and cold batches",
+        help="tiny stream for CI: fewer sizes, tasks and cold batches, "
+        "with trace invariant checking on",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate every run's trace at shutdown (implied by --smoke)",
     )
     parser.add_argument(
         "--outdir",
@@ -262,6 +268,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.check or args.smoke:
+        # every Session/Runtime the ablation builds then validates its
+        # trace at shutdown
+        from repro.check.config import set_default_check
+
+        set_default_check(True)
     if args.smoke:
         result = run_tuning_ablation(
             sizes=(96, 256), tasks_per_size=6, n_cold_batches=3,

@@ -50,6 +50,7 @@ from repro.runtime.data import DataHandle
 from repro.runtime.perfmodel import PerfModel
 from repro.runtime.schedulers.base import Decision, Scheduler
 from repro.runtime.stats import (
+    AccessRecord,
     EvictionRecord,
     ExecutionTrace,
     FaultRecord,
@@ -351,6 +352,7 @@ class Engine:
         handle.mark_modified(HOST_NODE, t)
         handle.unregistered = True
         self._sync_residency(handle)
+        self._record_access("unregister", handle, "", t)
         return t
 
     # ------------------------------------------------------------------
@@ -382,10 +384,12 @@ class Engine:
                     deps.append(dep)
         for op in task.operands:
             op.handle.record_access(task, op.mode.writes)
+        task.dep_ids = tuple(d.task_id for d in deps)
         for dep in deps:
             task.add_dependency(dep)
         task.submit_seq = self._n_submitted
         self._n_submitted += 1
+        self.trace.n_submitted += 1
         for hook in self._submit_hooks:
             hook(task)
         if task.n_pending_deps == 0:
@@ -454,8 +458,28 @@ class Engine:
             handle.mark_modified(HOST_NODE, t)
             handle.reset_host_access()
             self._sync_residency(handle)
+        self._record_access("acquire", handle, str(mode.value), t)
         self.clock.advance_to(t)
         return t
+
+    def _record_access(
+        self,
+        kind: str,
+        handle: DataHandle,
+        mode: str,
+        t: float,
+        related: tuple[int, ...] = (),
+    ) -> None:
+        self.trace.record_access(
+            AccessRecord(
+                kind=kind,
+                handle_id=handle.handle_id,
+                handle_name=handle.name,
+                mode=mode,
+                time=t,
+                related=related,
+            )
+        )
 
     # ------------------------------------------------------------------
     # partitioning (intra-component parallelism, paper section IV-F)
@@ -466,13 +490,29 @@ class Engine:
     ) -> list[DataHandle]:
         """Split a handle into chunk children usable as task operands."""
         self._check_alive()
-        return handle.partition_by_slices(list(slices))
+        children = handle.partition_by_slices(list(slices))
+        self._record_access(
+            "partition",
+            handle,
+            "",
+            self.clock.now,
+            related=tuple(c.handle_id for c in children),
+        )
+        return children
 
     def partition_equal(
         self, handle: DataHandle, n_chunks: int, axis: int = 0
     ) -> list[DataHandle]:
         self._check_alive()
-        return handle.partition_equal(n_chunks, axis=axis)
+        children = handle.partition_equal(n_chunks, axis=axis)
+        self._record_access(
+            "partition",
+            handle,
+            "",
+            self.clock.now,
+            related=tuple(c.handle_id for c in children),
+        )
+        return children
 
     def unpartition(self, handle: DataHandle) -> float:
         """Gather all chunk children back into a consistent host copy."""
@@ -490,10 +530,12 @@ class Engine:
         ready = t
         for child in handle.children:
             ready = max(ready, self._commit_copy(child, HOST_NODE, earliest=t))
+        children = tuple(c.handle_id for c in handle.children)
         handle.mark_modified(HOST_NODE, ready)
         handle.reset_host_access()
         handle.drop_partition()
         self._sync_residency(handle)
+        self._record_access("unpartition", handle, "", ready, related=children)
         self.clock.advance_to(ready)
         return ready
 
@@ -578,6 +620,7 @@ class Engine:
         task.start_time = t
         task.end_time = t
         self._n_completed += 1
+        self.trace.n_tasks_aborted += 1
         self._last_end = max(self._last_end, t)
         for dependent in task.dependents:
             if dependent.dep_satisfied():
@@ -834,6 +877,15 @@ class Engine:
                 start_time=task.start_time,
                 end_time=task.end_time,
                 energy_j=energy,
+                node=task.workers[0].memory_node,
+                reads=tuple(
+                    op.handle.handle_id for op in task.operands if op.mode.reads
+                ),
+                writes=tuple(
+                    op.handle.handle_id for op in task.operands if op.mode.writes
+                ),
+                deps=task.dep_ids,
+                submit_seq=task.submit_seq,
             )
         )
         for hook in self._complete_hooks:

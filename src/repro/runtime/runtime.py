@@ -74,6 +74,17 @@ class Runtime:
     recovery:
         :class:`~repro.runtime.engine.RecoveryPolicy` governing retries,
         backoff, and worker blacklisting under faults.
+    check:
+        Run the :mod:`repro.check.invariants` trace checker when the
+        session shuts down cleanly; the first violation raises
+        :class:`~repro.errors.InvariantViolation`.  ``None`` (default)
+        defers to the process-wide default
+        (:func:`repro.check.config.default_check` / ``REPRO_CHECK=1``).
+    record:
+        Record every scheduling decision into a
+        :class:`~repro.check.replay.DecisionLog` (see
+        :attr:`decision_log`) for deterministic replay via the
+        ``"replay"`` policy.
 
     Example
     -------
@@ -97,6 +108,8 @@ class Runtime:
         store: "PerfModelStore | None" = None,
         faults: FaultModel | None = None,
         recovery: RecoveryPolicy | None = None,
+        check: bool | None = None,
+        record: bool = False,
     ) -> None:
         if store is not None and (
             perfmodel is not None or perfmodel_path is not None
@@ -125,6 +138,13 @@ class Runtime:
                 raise RuntimeSystemError(
                     "scheduler_options only apply when scheduler is given by name"
                 )
+        self._check = check
+        self._checked = False
+        self._recorder = None
+        if record:
+            from repro.check.replay import RecordingScheduler
+
+            scheduler = self._recorder = RecordingScheduler(scheduler)
         noise: NoiseModel = (
             NullNoise() if noise_sigma == 0 else NoiseModel(sigma=noise_sigma, seed=seed)
         )
@@ -215,13 +235,29 @@ class Runtime:
 
         When a persistent calibration file or a model store was
         configured, the (now updated) performance model is written back.
+        With checking enabled (``check=True`` or the process default),
+        the finished trace is validated against the run invariants and
+        the first violation raises
+        :class:`~repro.errors.InvariantViolation`.
         """
         t = self.engine.shutdown()
         if self._perfmodel_path is not None:
             self.engine.perf.save(self._perfmodel_path)
         if self._store is not None:
             self._store.save(self.machine, self.engine.perf)
+        if not self._checked and self._resolve_check():
+            self._checked = True
+            from repro.check.invariants import assert_trace_legal
+
+            assert_trace_legal(self.trace, self.machine)
         return t
+
+    def _resolve_check(self) -> bool:
+        if self._check is not None:
+            return self._check
+        from repro.check.config import default_check
+
+        return default_check()
 
     # -- introspection ----------------------------------------------------------
 
@@ -237,6 +273,12 @@ class Runtime:
     @property
     def perfmodel(self) -> PerfModel:
         return self.engine.perf
+
+    @property
+    def decision_log(self):
+        """The recorded :class:`~repro.check.replay.DecisionLog`, or
+        ``None`` unless the session was built with ``record=True``."""
+        return self._recorder.log if self._recorder is not None else None
 
     def __enter__(self) -> "Runtime":
         return self

@@ -28,6 +28,20 @@ _POLICIES: dict[str, type[Scheduler]] = {
 }
 
 
+def _register_replay() -> None:
+    """Add the decision-replay policy (lives in :mod:`repro.check`).
+
+    Deferred to a function so the import stays obviously one-way:
+    ``repro.check.replay`` depends only on ``schedulers.base``.
+    """
+    from repro.check.replay import ReplayScheduler
+
+    _POLICIES[ReplayScheduler.name] = ReplayScheduler
+
+
+_register_replay()
+
+
 def make_scheduler(name: str, **kwargs) -> Scheduler:
     """Instantiate a policy by its short name."""
     try:

@@ -8,7 +8,7 @@ communication bottleneck), and per-task timelines for debugging.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.hw.machine import HOST_NODE
 
@@ -30,6 +30,18 @@ class TaskRecord:
     #: modeled energy spent executing this task (duration x the busy
     #: power of every occupied worker), in joules
     energy_j: float = 0.0
+    #: memory node the task computed from (its anchor worker's node)
+    node: int = -1
+    #: handle ids the task read / wrote
+    reads: tuple[int, ...] = ()
+    writes: tuple[int, ...] = ()
+    #: task ids this task depended on (sequential data consistency)
+    deps: tuple[int, ...] = ()
+    #: per-engine submission index (dense, unlike the global task_id)
+    submit_seq: int = -1
+    #: causal recording order shared with transfers/evictions/accesses;
+    #: the invariant checker replays records in this order
+    seq: int = -1
 
     @property
     def duration(self) -> float:
@@ -47,6 +59,7 @@ class TransferRecord:
     nbytes: int
     start_time: float
     end_time: float
+    seq: int = -1
 
     @property
     def is_h2d(self) -> bool:
@@ -67,6 +80,38 @@ class EvictionRecord:
     nbytes: int
     time: float
     flushed: bool  # True when the copy had to be written home first
+    seq: int = -1
+
+
+#: host-access kinds (see :meth:`ExecutionTrace.record_access`)
+ACCESS_KINDS = (
+    "acquire",  # application program touched the data on the host
+    "unregister",  # handle flushed home and released
+    "partition",  # handle split into chunk children (``related`` ids)
+    "unpartition",  # children gathered back into the parent
+)
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One host-side data-management event (container/application access).
+
+    The coherence half of the invariant checker needs these to replay
+    the container state machine: a host read is only legal over a valid
+    (or just-transferred) host copy, a host write makes the host the
+    sole owner, and partitioning hands the parent's coherence state to
+    its children.
+    """
+
+    kind: str
+    handle_id: int
+    handle_name: str
+    #: access mode ("r"/"w"/"rw") for acquire events, "" otherwise
+    mode: str
+    time: float
+    #: child handle ids for partition/unpartition events
+    related: tuple[int, ...] = ()
+    seq: int = -1
 
 
 #: fault-record kinds (see :mod:`repro.hw.faults` for injection and the
@@ -98,6 +143,7 @@ class FaultRecord:
     #: retry attempt index this fault struck (0 = first try)
     attempt: int = 0
     detail: str = ""
+    seq: int = -1
 
 
 @dataclass(frozen=True)
@@ -165,6 +211,15 @@ class ExecutionTrace:
     evictions: list[EvictionRecord] = field(default_factory=list)
     faults: list[FaultRecord] = field(default_factory=list)
     requests: list[RequestRecord] = field(default_factory=list)
+    accesses: list[AccessRecord] = field(default_factory=list)
+    #: tasks accepted by ``Engine.submit`` (conservation basis:
+    #: ``n_submitted == n_tasks + n_tasks_aborted``)
+    n_submitted: int = 0
+    #: tasks aborted without executing (unplaceable, retries exhausted)
+    n_tasks_aborted: int = 0
+    #: monotone recording sequence shared by task/transfer/eviction/
+    #: access/fault records — the trace's causal order
+    next_seq: int = 0
     #: task-level retries the recovery layer performed (one per failed
     #: execution attempt that was rescheduled)
     n_task_retries: int = 0
@@ -184,20 +239,51 @@ class ExecutionTrace:
     #: workers whose device was permanently lost
     lost_workers: set[int] = field(default_factory=set)
 
-    def record_task(self, rec: TaskRecord) -> None:
+    def _stamp(self, rec):
+        rec = replace(rec, seq=self.next_seq)
+        self.next_seq += 1
+        return rec
+
+    def record_task(self, rec: TaskRecord) -> TaskRecord:
+        rec = self._stamp(rec)
         self.tasks.append(rec)
+        return rec
 
-    def record_transfer(self, rec: TransferRecord) -> None:
+    def record_transfer(self, rec: TransferRecord) -> TransferRecord:
+        rec = self._stamp(rec)
         self.transfers.append(rec)
+        return rec
 
-    def record_eviction(self, rec: EvictionRecord) -> None:
+    def record_eviction(self, rec: EvictionRecord) -> EvictionRecord:
+        rec = self._stamp(rec)
         self.evictions.append(rec)
+        return rec
 
-    def record_fault(self, rec: FaultRecord) -> None:
+    def record_fault(self, rec: FaultRecord) -> FaultRecord:
+        rec = self._stamp(rec)
         self.faults.append(rec)
+        return rec
 
-    def record_request(self, rec: RequestRecord) -> None:
+    def record_access(self, rec: AccessRecord) -> AccessRecord:
+        rec = self._stamp(rec)
+        self.accesses.append(rec)
+        return rec
+
+    def record_request(self, rec: RequestRecord) -> RequestRecord:
         self.requests.append(rec)
+        return rec
+
+    def records_in_seq_order(self) -> list:
+        """Task/transfer/eviction/access/fault records, causal order."""
+        out = [
+            *self.tasks,
+            *self.transfers,
+            *self.evictions,
+            *self.accesses,
+            *self.faults,
+        ]
+        out.sort(key=lambda r: r.seq)
+        return out
 
     # -- serving views -------------------------------------------------------
 
@@ -363,12 +449,155 @@ class ExecutionTrace:
             )
         return text
 
+    # -- canonical form -----------------------------------------------------
+
+    def canonicalized(self) -> "ExecutionTrace":
+        """A copy with dense, first-appearance task/handle numbering.
+
+        Task ids and handle ids come from process-global counters, so
+        two identical runs in one process carry different raw ids.  The
+        canonical form renumbers both by order of first appearance in
+        the causal record stream — and rewrites the auto-generated
+        names that embed those ids (``codelet#<id>``, ``data<id>``) —
+        so equal runs compare equal.  This is the basis of replay
+        bit-identity and byte-identical canonical trace JSON.
+        """
+        task_map: dict[int, int] = {}
+        handle_map: dict[int, int] = {}
+
+        def tid(old: int) -> int:
+            return task_map.setdefault(old, len(task_map))
+
+        def hid(old: int) -> int:
+            return handle_map.setdefault(old, len(handle_map))
+
+        for rec in self.records_in_seq_order():
+            if isinstance(rec, TaskRecord):
+                tid(rec.task_id)
+                for h in (*rec.reads, *rec.writes):
+                    hid(h)
+            elif isinstance(rec, (TransferRecord, EvictionRecord)):
+                hid(rec.handle_id)
+            elif isinstance(rec, AccessRecord):
+                hid(rec.handle_id)
+                for h in rec.related:
+                    hid(h)
+            elif isinstance(rec, FaultRecord):
+                if rec.task_id is not None:
+                    tid(rec.task_id)
+                if rec.handle_id is not None:
+                    hid(rec.handle_id)
+        # references that may point outside the record stream (aborted
+        # dependencies, request task ids) get ids too, in stable order
+        for trec in self.tasks:
+            for d in trec.deps:
+                tid(d)
+        for rrec in self.requests:
+            if rrec.task_id is not None:
+                tid(rrec.task_id)
+
+        def task_name(name: str, old: int) -> str:
+            suffix = f"#{old}"
+            if name.endswith(suffix):
+                return name[: -len(suffix)] + f"#{task_map[old]}"
+            return name
+
+        def handle_name(name: str, old: int) -> str:
+            return f"data{handle_map[old]}" if name == f"data{old}" else name
+
+        out = ExecutionTrace(
+            n_submitted=self.n_submitted,
+            n_tasks_aborted=self.n_tasks_aborted,
+            next_seq=self.next_seq,
+            n_task_retries=self.n_task_retries,
+            n_tasks_recovered=self.n_tasks_recovered,
+            n_tasks_lost=self.n_tasks_lost,
+            n_fallbacks=self.n_fallbacks,
+            n_exploration_decisions=self.n_exploration_decisions,
+            blacklisted_workers=set(self.blacklisted_workers),
+            lost_workers=set(self.lost_workers),
+        )
+        for trec in self.tasks:
+            out.tasks.append(
+                replace(
+                    trec,
+                    task_id=task_map[trec.task_id],
+                    name=task_name(trec.name, trec.task_id),
+                    reads=tuple(handle_map[h] for h in trec.reads),
+                    writes=tuple(handle_map[h] for h in trec.writes),
+                    deps=tuple(task_map[d] for d in trec.deps),
+                )
+            )
+        for xrec in self.transfers:
+            out.transfers.append(
+                replace(
+                    xrec,
+                    handle_id=handle_map[xrec.handle_id],
+                    handle_name=handle_name(xrec.handle_name, xrec.handle_id),
+                )
+            )
+        for erec in self.evictions:
+            out.evictions.append(
+                replace(
+                    erec,
+                    handle_id=handle_map[erec.handle_id],
+                    handle_name=handle_name(erec.handle_name, erec.handle_id),
+                )
+            )
+        for arec in self.accesses:
+            out.accesses.append(
+                replace(
+                    arec,
+                    handle_id=handle_map[arec.handle_id],
+                    handle_name=handle_name(arec.handle_name, arec.handle_id),
+                    related=tuple(handle_map[h] for h in arec.related),
+                )
+            )
+        for frec in self.faults:
+            out.faults.append(
+                replace(
+                    frec,
+                    task_id=(
+                        None if frec.task_id is None else task_map[frec.task_id]
+                    ),
+                    task_name=(
+                        frec.task_name
+                        if frec.task_id is None
+                        else task_name(frec.task_name, frec.task_id)
+                    ),
+                    handle_id=(
+                        None
+                        if frec.handle_id is None
+                        else handle_map[frec.handle_id]
+                    ),
+                    handle_name=(
+                        frec.handle_name
+                        if frec.handle_id is None
+                        else handle_name(frec.handle_name, frec.handle_id)
+                    ),
+                )
+            )
+        for rrec in self.requests:
+            out.requests.append(
+                replace(
+                    rrec,
+                    task_id=(
+                        None if rrec.task_id is None else task_map[rrec.task_id]
+                    ),
+                )
+            )
+        return out
+
     def clear(self) -> None:
         self.tasks.clear()
         self.transfers.clear()
         self.evictions.clear()
         self.faults.clear()
         self.requests.clear()
+        self.accesses.clear()
+        self.n_submitted = 0
+        self.n_tasks_aborted = 0
+        self.next_seq = 0
         self.n_task_retries = 0
         self.n_tasks_recovered = 0
         self.n_tasks_lost = 0

@@ -102,6 +102,9 @@ class Task:
         #: per-engine submission index (stable fault-draw key; the global
         #: ``task_id`` counter differs between runs in one process)
         self.submit_seq: int = -1
+        #: ids of the tasks this one was made to depend on at submission
+        #: (recorded in the trace for the dependency invariant check)
+        self.dep_ids: tuple[int, ...] = ()
         #: number of execution attempts that faulted
         self.n_faults: int = 0
         #: (variant name, anchor unit id) placements that already faulted;

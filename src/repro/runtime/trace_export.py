@@ -15,13 +15,180 @@ This module exports an :class:`~repro.runtime.stats.ExecutionTrace` as:
 from __future__ import annotations
 
 import json
+from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 
+from repro.errors import RuntimeSystemError
 from repro.hw.machine import HOST_NODE, Machine
-from repro.runtime.stats import ExecutionTrace
+from repro.runtime.stats import (
+    AccessRecord,
+    EvictionRecord,
+    ExecutionTrace,
+    FaultRecord,
+    RequestRecord,
+    TaskRecord,
+    TransferRecord,
+)
 
 #: microseconds per virtual second in the exported timestamps
 _US = 1e6
+
+#: format version of the lossless trace JSON (bumped on schema changes)
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class UnitInfo:
+    """One processing unit, as much as trace checking needs to know."""
+
+    unit_id: int
+    memory_node: int
+    name: str
+
+
+@dataclass(frozen=True)
+class MachineInfo:
+    """Minimal machine description embedded in saved traces.
+
+    The invariant checker accepts either a live
+    :class:`~repro.hw.machine.Machine` or this summary, so
+    ``python -m repro.check trace.json`` needs nothing but the file.
+    """
+
+    name: str
+    units: tuple[UnitInfo, ...]
+    n_memory_nodes: int
+    #: per link node: True when h2d/d2h have independent DMA engines
+    duplex: dict[int, bool]
+
+    @classmethod
+    def of(cls, machine: "Machine | MachineInfo") -> "MachineInfo":
+        if isinstance(machine, MachineInfo):
+            return machine
+        return cls(
+            name=machine.name,
+            units=tuple(
+                UnitInfo(
+                    unit_id=u.unit_id,
+                    memory_node=u.memory_node,
+                    name=u.device.name,
+                )
+                for u in machine.units
+            ),
+            n_memory_nodes=machine.n_memory_nodes,
+            duplex={
+                node: bool(link.duplex) for node, link in machine.links.items()
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# lossless trace JSON (the ``python -m repro.check`` input format)
+# ---------------------------------------------------------------------------
+
+_RECORD_TYPES = {
+    "tasks": TaskRecord,
+    "transfers": TransferRecord,
+    "evictions": EvictionRecord,
+    "faults": FaultRecord,
+    "requests": RequestRecord,
+    "accesses": AccessRecord,
+}
+
+_COUNTER_FIELDS = (
+    "n_submitted",
+    "n_tasks_aborted",
+    "next_seq",
+    "n_task_retries",
+    "n_tasks_recovered",
+    "n_tasks_lost",
+    "n_fallbacks",
+    "n_exploration_decisions",
+)
+
+
+def trace_to_dict(trace: ExecutionTrace, machine: Machine | MachineInfo) -> dict:
+    """Lossless JSON-able form of the trace plus the machine summary."""
+    info = MachineInfo.of(machine)
+    doc: dict = {
+        "format": "repro-trace",
+        "version": TRACE_FORMAT_VERSION,
+        "machine": {
+            "name": info.name,
+            "units": [asdict(u) for u in info.units],
+            "n_memory_nodes": info.n_memory_nodes,
+            "duplex": {str(k): v for k, v in info.duplex.items()},
+        },
+    }
+    for key, _cls in _RECORD_TYPES.items():
+        doc[key] = [asdict(rec) for rec in getattr(trace, key)]
+    for key in _COUNTER_FIELDS:
+        doc[key] = getattr(trace, key)
+    doc["blacklisted_workers"] = sorted(trace.blacklisted_workers)
+    doc["lost_workers"] = sorted(trace.lost_workers)
+    return doc
+
+
+def trace_from_dict(doc: dict) -> tuple[ExecutionTrace, MachineInfo]:
+    """Rebuild (trace, machine summary) from :func:`trace_to_dict` output."""
+    if doc.get("format") != "repro-trace":
+        raise RuntimeSystemError(
+            "not a repro trace document (missing format marker); expected "
+            "the output of save_trace_json, not a Chrome trace"
+        )
+    if doc.get("version") != TRACE_FORMAT_VERSION:
+        raise RuntimeSystemError(
+            f"trace format version {doc.get('version')!r} not supported "
+            f"(this build reads version {TRACE_FORMAT_VERSION})"
+        )
+    m = doc["machine"]
+    info = MachineInfo(
+        name=m["name"],
+        units=tuple(UnitInfo(**u) for u in m["units"]),
+        n_memory_nodes=int(m["n_memory_nodes"]),
+        duplex={int(k): bool(v) for k, v in m.get("duplex", {}).items()},
+    )
+    trace = ExecutionTrace()
+    for key, cls in _RECORD_TYPES.items():
+        names = {f.name for f in fields(cls)}
+        for raw in doc.get(key, []):
+            kwargs = {k: v for k, v in raw.items() if k in names}
+            for tup in ("worker_ids", "reads", "writes", "deps", "related"):
+                if tup in kwargs and kwargs[tup] is not None:
+                    kwargs[tup] = tuple(kwargs[tup])
+            getattr(trace, key).append(cls(**kwargs))
+    for key in _COUNTER_FIELDS:
+        setattr(trace, key, int(doc.get(key, 0)))
+    trace.blacklisted_workers = set(doc.get("blacklisted_workers", []))
+    trace.lost_workers = set(doc.get("lost_workers", []))
+    return trace, info
+
+
+def save_trace_json(
+    trace: ExecutionTrace, machine: Machine | MachineInfo, path: str | Path
+) -> Path:
+    """Write the lossless trace JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace_to_dict(trace, machine), indent=1))
+    return path
+
+
+def load_trace_json(path: str | Path) -> tuple[ExecutionTrace, MachineInfo]:
+    """Read a lossless trace JSON back into (trace, machine summary)."""
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+def canonical_chrome_json(trace: ExecutionTrace, machine: Machine) -> str:
+    """Chrome trace JSON of the *canonicalized* trace, byte-stable.
+
+    Two runs that made identical decisions produce identical strings
+    even though task/handle ids come from process-global counters: the
+    trace is renumbered (:meth:`ExecutionTrace.canonicalized`) and the
+    JSON is dumped with sorted keys and no incidental whitespace.
+    """
+    doc = to_chrome_trace(trace.canonicalized(), machine)
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
 
 def to_chrome_trace(trace: ExecutionTrace, machine: Machine) -> dict:

@@ -11,10 +11,13 @@ tenant's by construction.
 
 Two classic subtleties are handled the standard SFQ way:
 
-- **no banked credit**: an idle tenant's virtual time is floored to the
-  minimum over backlogged tenants when it next becomes active, so a
-  tenant cannot hoard service by staying quiet and then monopolize the
-  machine;
+- **no banked credit**: an idle tenant's virtual time is floored when it
+  next becomes active — against the minimum over currently backlogged
+  tenants, or against the queue's monotone virtual clock (the largest
+  virtual time ever dispatched or charged) when nobody is backlogged —
+  so a tenant
+  cannot hoard service by staying quiet (or by having every request
+  shed at admission) and then monopolize the machine;
 - **work conservation**: the queue never idles capacity to enforce
   shares — when only one tenant is backlogged it gets everything.
 """
@@ -35,9 +38,12 @@ class WeightedFairQueue:
                     f"tenant {tenant!r} weight must be positive, got {w}"
                 )
         self._vtime: dict[str, float] = {}
-        #: high-water mark of virtual time among tenants that ever ran;
-        #: newly-active tenants are floored against the *active* minimum
         self._active: set[str] = set()
+        #: monotone queue virtual clock — the largest virtual time any
+        #: tenant has been dispatched at or charged to; the activation
+        #: floor when nobody is backlogged, so credit cannot be banked
+        #: across a fully-idle queue
+        self._vclock = 0.0
 
     def weight_of(self, tenant: str) -> float:
         return self._weights.get(tenant, 1.0)
@@ -52,7 +58,9 @@ class WeightedFairQueue:
             return
         if self._active:
             floor = min(self._vtime.get(t, 0.0) for t in self._active)
-            self._vtime[tenant] = max(self._vtime.get(tenant, 0.0), floor)
+        else:
+            floor = self._vclock
+        self._vtime[tenant] = max(self._vtime.get(tenant, 0.0), floor)
         self._active.add(tenant)
 
     def deactivate(self, tenant: str) -> None:
@@ -68,6 +76,8 @@ class WeightedFairQueue:
                 (self.vtime_of(tenant), tenant) < (self.vtime_of(best), best)
             ):
                 best = tenant
+        if best is not None:
+            self._vclock = max(self._vclock, self.vtime_of(best))
         return best
 
     def charge(self, tenant: str, service_s: float) -> None:
@@ -77,3 +87,7 @@ class WeightedFairQueue:
         self._vtime[tenant] = (
             self._vtime.get(tenant, 0.0) + service_s / self.weight_of(tenant)
         )
+        # charges land after the pick, so the clock must follow them too:
+        # otherwise a queue that drains right after a long dispatch would
+        # let the next arrival restart from the stale pre-charge clock
+        self._vclock = max(self._vclock, self._vtime[tenant])

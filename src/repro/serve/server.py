@@ -89,6 +89,10 @@ class CompositionServer:
     dispatch_overhead_s:
         Host virtual time per *batch* dispatched — the per-request
         overhead batching amortizes.
+    check:
+        Validate the finished trace against the run invariants at
+        shutdown (see :mod:`repro.check`); ``None`` defers to the
+        process-wide default.
     """
 
     def __init__(
@@ -108,6 +112,7 @@ class CompositionServer:
         perfmodel: PerfModel | None = None,
         scheduler_options: Mapping[str, object] | None = None,
         store: "PerfModelStore | None" = None,
+        check: bool | None = None,
     ) -> None:
         if not tenants:
             raise PeppherError("a composition server needs at least one tenant")
@@ -144,6 +149,7 @@ class CompositionServer:
             recovery=recovery,
             perfmodel=perfmodel,
             store=store,
+            check=check,
             **sched_kwargs,
         )
         self.engine = self.runtime.engine

@@ -32,7 +32,11 @@ from repro.hw.machine import Machine
 from repro.hw.presets import by_name
 from repro.runtime.engine import RecoveryPolicy
 from repro.runtime.runtime import Runtime
-from repro.runtime.trace_export import gantt_text, save_chrome_trace
+from repro.runtime.trace_export import (
+    gantt_text,
+    save_chrome_trace,
+    save_trace_json,
+)
 from repro.tuning.store import PerfModelStore
 
 
@@ -56,6 +60,13 @@ class Session:
         calibrated models and merges its observations back at shutdown.
     faults / recovery:
         Fault-injection model and recovery policy, forwarded verbatim.
+    check:
+        Validate the finished trace against the run invariants at
+        shutdown (see :mod:`repro.check`); ``None`` defers to the
+        process-wide default.
+    record:
+        Record scheduling decisions for deterministic replay (see
+        :attr:`~repro.runtime.runtime.Runtime.decision_log`).
     trace_dir:
         Default directory for :meth:`save_trace` outputs.
 
@@ -75,6 +86,8 @@ class Session:
         run_kernels: bool = True,
         faults: FaultModel | None = None,
         recovery: RecoveryPolicy | None = None,
+        check: bool | None = None,
+        record: bool = False,
         trace_dir: str | Path | None = None,
         machine_options: Mapping[str, object] | None = None,
     ) -> None:
@@ -112,6 +125,8 @@ class Session:
             "run_kernels": run_kernels,
             "faults": faults,
             "recovery": recovery,
+            "check": check,
+            "record": record,
         }
         self._seed = seed
         self.runtime = self._make_runtime(seed)
@@ -231,9 +246,31 @@ class Session:
             path = self.trace_dir / path
         return save_chrome_trace(self.trace, self.machine, path)
 
+    def save_trace_json(self, path: str | Path) -> Path:
+        """Write the *lossless* trace JSON (machine summary included),
+        the input format of ``python -m repro.check``."""
+        path = Path(path)
+        if self.trace_dir is not None and not path.is_absolute():
+            path = self.trace_dir / path
+        return save_trace_json(self.trace, self.machine, path)
+
     def gantt(self, width: int = 72) -> str:
         """Terminal Gantt chart of the current trace."""
         return gantt_text(self.trace, self.machine, width=width)
+
+    # -- checking shortcuts --------------------------------------------------
+
+    @property
+    def decision_log(self):
+        """Recorded decisions (``record=True`` sessions), else ``None``."""
+        return self.runtime.decision_log
+
+    def check_now(self) -> None:
+        """Validate the trace-so-far against the run invariants,
+        raising the first :class:`~repro.errors.InvariantViolation`."""
+        from repro.check.invariants import assert_trace_legal
+
+        assert_trace_legal(self.trace, self.machine)
 
     # -- tuning shortcuts ----------------------------------------------------
 

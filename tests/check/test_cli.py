@@ -1,0 +1,86 @@
+"""``python -m repro.check`` CLI: exit codes and reporting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.check.__main__ import main
+from repro.hw.presets import platform_c2050
+from repro.runtime import Runtime
+from repro.runtime.trace_export import save_trace_json
+
+from tests.conftest import make_axpy_codelet
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    """A saved, legal trace from a small real run."""
+    rt = Runtime(platform_c2050(), scheduler="dmda", seed=0)
+    cl = make_axpy_codelet()
+    n = 200_000
+    hy = rt.register(np.zeros(n, dtype=np.float32), "y")
+    hx = rt.register(np.ones(n, dtype=np.float32), "x")
+    for _ in range(5):
+        rt.submit(cl, [(hy, "rw"), (hx, "r")], ctx={"n": n}, scalar_args=(1.0,))
+    rt.wait_for_all()
+    path = save_trace_json(rt.trace, rt.machine, tmp_path / "run.json")
+    rt.shutdown()
+    return path
+
+
+def test_legal_trace_exits_zero(trace_file, capsys):
+    assert main([str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "no invariant violations" in out
+
+
+def test_corrupted_trace_exits_one_and_names_the_rule(trace_file, capsys):
+    doc = json.loads(trace_file.read_text())
+    # swap one task's interval: end before start
+    task = doc["tasks"][0]
+    task["start_time"], task["end_time"] = task["end_time"], task["start_time"]
+    bad = trace_file.with_name("bad.json")
+    bad.write_text(json.dumps(doc))
+    assert main([str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert "timeline.task-order" in err
+    assert f"task#{task['task_id']}" in err
+
+
+def test_violation_listing_is_capped(trace_file, capsys):
+    doc = json.loads(trace_file.read_text())
+    for task in doc["tasks"]:
+        task["start_time"], task["end_time"] = (
+            task["end_time"],
+            task["start_time"],
+        )
+    bad = trace_file.with_name("bad.json")
+    bad.write_text(json.dumps(doc))
+    assert main([str(bad), "--max-violations", "2"]) == 1
+    err = capsys.readouterr().err
+    assert err.count("timeline.task-order") == 2
+    assert "more" in err
+
+
+def test_missing_file_exits_two(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.json")]) == 2
+    assert "unreadable" in capsys.readouterr().err
+
+
+def test_foreign_document_exits_two(tmp_path, capsys):
+    chrome = tmp_path / "chrome.json"
+    chrome.write_text(json.dumps({"traceEvents": []}))
+    assert main([str(chrome)]) == 2
+    assert "unreadable" in capsys.readouterr().err
+
+
+def test_multiple_traces_one_bad_exits_one(trace_file, capsys):
+    doc = json.loads(trace_file.read_text())
+    doc["n_submitted"] += 1
+    bad = trace_file.with_name("bad.json")
+    bad.write_text(json.dumps(doc))
+    assert main([str(trace_file), str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "OK" in captured.out  # the good trace still reports success
+    assert "conservation.tasks" in captured.err

@@ -1,0 +1,92 @@
+"""Lossless trace JSON round-trip and canonical renumbering."""
+
+import numpy as np
+import pytest
+
+from repro.check.replay import _comparable
+from repro.errors import PeppherError
+from repro.hw.faults import FaultModel
+from repro.hw.presets import platform_c2050
+from repro.runtime import Runtime
+from repro.runtime.trace_export import (
+    load_trace_json,
+    save_trace_json,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+from tests.conftest import make_axpy_codelet
+
+
+def _faulty_run(seed=0):
+    """A run with tasks, transfers, faults and retries — every stream."""
+    rt = Runtime(
+        platform_c2050(),
+        scheduler="eager",
+        seed=seed,
+        faults=FaultModel(kernel_fault_rate=0.3, seed=seed),
+    )
+    cl = make_axpy_codelet()
+    n = 400_000
+    hy = rt.register(np.zeros(n, dtype=np.float32), "y")
+    hx = rt.register(np.ones(n, dtype=np.float32), "x")
+    for _ in range(8):
+        rt.submit(cl, [(hy, "rw"), (hx, "r")], ctx={"n": n}, scalar_args=(1.0,))
+    rt.wait_for_all()
+    rt.acquire(hy, "r")
+    trace, machine = rt.trace, rt.machine
+    rt.shutdown()
+    return trace, machine
+
+
+def test_round_trip_is_lossless(tmp_path):
+    trace, machine = _faulty_run()
+    assert trace.n_faults > 0  # the run must exercise the fault stream
+    path = save_trace_json(trace, machine, tmp_path / "t.json")
+    loaded, info = load_trace_json(path)
+    assert loaded.tasks == trace.tasks
+    assert loaded.transfers == trace.transfers
+    assert loaded.evictions == trace.evictions
+    assert loaded.faults == trace.faults
+    assert loaded.accesses == trace.accesses
+    assert loaded.requests == trace.requests
+    assert loaded.n_submitted == trace.n_submitted
+    assert loaded.next_seq == trace.next_seq
+    assert loaded.n_task_retries == trace.n_task_retries
+    assert loaded.blacklisted_workers == trace.blacklisted_workers
+    assert info.name == machine.name
+    assert len(info.units) == len(machine.units)
+
+
+def test_trace_dict_rejects_foreign_and_future_formats():
+    trace, machine = _faulty_run()
+    doc = trace_to_dict(trace, machine)
+    with pytest.raises(PeppherError):
+        trace_from_dict({"traceEvents": []})
+    doc["version"] = 99
+    with pytest.raises(PeppherError):
+        trace_from_dict(doc)
+
+
+def test_canonicalization_makes_equal_runs_compare_equal():
+    # two identical runs draw different process-global task/handle ids,
+    # so the raw traces differ; the canonical forms must not
+    t1, _ = _faulty_run(seed=5)
+    t2, _ = _faulty_run(seed=5)
+    raw_ids_1 = [rec.task_id for rec in t1.tasks]
+    raw_ids_2 = [rec.task_id for rec in t2.tasks]
+    assert raw_ids_1 != raw_ids_2
+    assert _comparable(t1, ignore=()) == _comparable(t2, ignore=())
+
+
+def test_canonical_ids_are_dense_first_appearance():
+    trace, _ = _faulty_run()
+    canon = trace.canonicalized()
+    task_ids = [rec.task_id for rec in canon.tasks]
+    assert sorted(task_ids) == list(range(len(task_ids)))
+    handle_ids = {h for rec in canon.tasks for h in (*rec.reads, *rec.writes)}
+    handle_ids |= {rec.handle_id for rec in canon.transfers}
+    assert handle_ids and handle_ids == set(range(len(handle_ids)))
+    # auto-generated names embedding ids are rewritten consistently
+    for rec in canon.tasks:
+        assert rec.name.endswith(f"#{rec.task_id}")

@@ -10,6 +10,30 @@ from repro.hw.presets import cpu_only, platform_c1060, platform_c2050
 from repro.runtime import Arch, Codelet, ImplVariant, Runtime
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--check-invariants",
+        action="store_true",
+        default=False,
+        help="run the repro.check trace invariant checker at every "
+        "Runtime/Session shutdown (also enabled by REPRO_CHECK=1)",
+    )
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _invariant_checking(request):
+    """Turn shutdown-time trace checking on for the whole suite when
+    ``--check-invariants`` (or ``REPRO_CHECK=1``) is given."""
+    from repro.check.config import set_default_check
+
+    if request.config.getoption("--check-invariants"):
+        set_default_check(True)
+        yield
+        set_default_check(None)
+    else:
+        yield
+
+
 @pytest.fixture
 def machine():
     """Default 4-core + C2050 machine (3 CPU workers + 1 GPU)."""

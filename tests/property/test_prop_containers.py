@@ -1,0 +1,177 @@
+"""Property-based tests: smart containers vs a plain NumPy oracle.
+
+Random interleavings of host element accesses, bulk fills and device
+tasks must leave a runtime-managed Vector/Matrix observably equal to the
+same operations applied to a local NumPy array.  Every runtime is built
+with ``check=True``, so each example also validates its trace against
+the run invariants at shutdown.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.containers import Matrix, Vector
+from repro.hw.machine import HOST_NODE
+from repro.hw.presets import platform_c2050
+from repro.runtime import Arch, Codelet, ImplVariant, Runtime
+
+
+def _rt():
+    return Runtime(
+        platform_c2050(), scheduler="eager", seed=1, noise_sigma=0.0,
+        check=True,
+    )
+
+
+def _add_codelets():
+    def add_fn(ctx, arr, v):
+        arr += v
+
+    cost = lambda ctx, dev: 1e-5
+    return {
+        "cuda": Codelet("ac", [ImplVariant("ac", Arch.CUDA, add_fn, cost)]),
+        "cpu": Codelet("ah", [ImplVariant("ah", Arch.CPU, add_fn, cost)]),
+    }
+
+
+_VEC_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["set", "get", "fill", "add_cuda", "add_cpu", "read_all"]
+        ),
+        st.integers(min_value=0, max_value=15),
+        st.floats(min_value=-4.0, max_value=4.0, allow_nan=False, width=32),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+@given(ops=_VEC_OPS)
+@settings(max_examples=50, deadline=None)
+def test_vector_sequence_matches_numpy_oracle(ops):
+    rt = _rt()
+    codelets = _add_codelets()
+    n = 16
+    v = Vector.zeros(n, runtime=rt)
+    model = np.zeros(n, dtype=np.float32)
+    for kind, i, value in ops:
+        if kind == "set":
+            v[i] = value
+            model[i] = value
+        elif kind == "get":
+            assert v[i] == model[i]
+        elif kind == "fill":
+            v.fill(value)
+            model[:] = value
+        elif kind == "read_all":
+            assert np.array_equal(np.asarray(v), model)
+        else:
+            rt.submit(
+                codelets[kind.split("_")[1]],
+                [(v.handle, "rw")],
+                scalar_args=(value,),
+            )
+            model += np.float32(value)
+    assert np.array_equal(v.to_numpy(), model)
+    rt.shutdown()  # validates the trace (check=True)
+
+
+@given(ops=_VEC_OPS)
+@settings(max_examples=30, deadline=None)
+def test_matrix_sequence_matches_numpy_oracle(ops):
+    rt = _rt()
+    codelets = _add_codelets()
+    rows, cols = 4, 4
+    m = Matrix.zeros(rows, cols, runtime=rt)
+    model = np.zeros((rows, cols), dtype=np.float32)
+    for kind, flat, value in ops:
+        i, j = divmod(flat, cols)
+        if kind == "set":
+            m[i, j] = value
+            model[i, j] = value
+        elif kind == "get":
+            assert m[i, j] == model[i, j]
+        elif kind == "fill":
+            m.fill(value)
+            model[:, :] = value
+        elif kind == "read_all":
+            assert np.array_equal(np.asarray(m), model)
+        else:
+            rt.submit(
+                codelets[kind.split("_")[1]],
+                [(m.handle, "rw")],
+                scalar_args=(value,),
+            )
+            model += np.float32(value)
+    assert np.array_equal(m.to_numpy(), model)
+    rt.shutdown()
+
+
+@given(
+    n=st.integers(min_value=8, max_value=128),
+    n_chunks=st.integers(min_value=1, max_value=8),
+    bump=st.floats(min_value=-2.0, max_value=2.0, allow_nan=False, width=32),
+)
+@settings(max_examples=30, deadline=None)
+def test_vector_partition_roundtrip_matches_oracle(n, n_chunks, bump):
+    """Partitioned device updates gather back to the exact oracle state,
+    and the traced partition/unpartition accesses pass the checker."""
+    rt = _rt()
+    codelets = _add_codelets()
+    v = Vector(np.arange(n, dtype=np.float32), runtime=rt)
+    model = np.arange(n, dtype=np.float32)
+    children = v.partition(n_chunks)
+    assert len(children) == n_chunks
+    for child in children:
+        rt.submit(codelets["cuda"], [(child, "rw")], scalar_args=(bump,))
+    v.unpartition()
+    model += np.float32(bump)
+    assert np.array_equal(v.to_numpy(), model)
+    rt.shutdown()
+
+
+@given(
+    rows=st.integers(min_value=2, max_value=32),
+    n_chunks=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_matrix_row_partition_roundtrip(rows, n_chunks):
+    rt = _rt()
+    codelets = _add_codelets()
+    m = Matrix(np.ones((rows, 3), dtype=np.float32), runtime=rt)
+    children = m.partition_rows(n_chunks)
+    for child in children:
+        rt.submit(codelets["cpu"], [(child, "rw")], scalar_args=(1.0,))
+    m.unpartition()
+    assert np.array_equal(
+        m.to_numpy(), np.full((rows, 3), 2.0, dtype=np.float32)
+    )
+    rt.shutdown()
+
+
+@given(value=st.floats(min_value=-4.0, max_value=4.0, allow_nan=False,
+                       width=32))
+@settings(max_examples=20, deadline=None)
+def test_coherence_flush_reports_valid_host_copy(value):
+    """After a device write the host copy is stale; any host read flushes
+    it home and the introspection API agrees at every step."""
+    rt = _rt()
+    codelets = _add_codelets()
+    v = Vector.zeros(8, runtime=rt)
+    assert v.host_is_valid()
+    rt.submit(codelets["cuda"], [(v.handle, "rw")], scalar_args=(value,))
+    rt.wait_for_all()
+    assert not v.host_is_valid()  # GPU owns the only fresh copy
+    assert v[0] == np.float32(value)  # implicit flush on element read
+    assert v.host_is_valid()
+    rt.shutdown()
+
+
+def test_local_containers_need_no_runtime():
+    v = Vector.zeros(4)
+    v[1] = 3.0
+    assert v.valid_nodes() == [HOST_NODE] and v.host_is_valid()
+    m = Matrix.zeros(2, 2)
+    m[0, 1] = 2.0
+    assert m[0, 1] == 2.0 and m.valid_nodes() == [HOST_NODE]

@@ -11,7 +11,9 @@ from tests.conftest import make_axpy_codelet
 
 
 def test_factory_knows_all_policies():
-    assert policy_names() == ["dm", "dmda", "eager", "fair", "random", "ws"]
+    assert policy_names() == [
+        "dm", "dmda", "eager", "fair", "random", "replay", "ws",
+    ]
     for name in policy_names():
         assert make_scheduler(name).name == name
 

@@ -1,12 +1,29 @@
 """Trace export: Chrome trace-event JSON and text Gantt."""
 
 import json
+from pathlib import Path
 
 import numpy as np
+import pytest
 
+from repro.hw.machine import HOST_NODE
 from repro.hw.presets import platform_c2050
 from repro.runtime import Arch, Codelet, ImplVariant, Runtime
-from repro.runtime.trace_export import gantt_text, save_chrome_trace, to_chrome_trace
+from repro.runtime.stats import (
+    ExecutionTrace,
+    RequestRecord,
+    TaskRecord,
+    TransferRecord,
+)
+from repro.runtime.trace_export import (
+    _counter_events,
+    _request_events,
+    _SERVE_PID,
+    canonical_chrome_json,
+    gantt_text,
+    save_chrome_trace,
+    to_chrome_trace,
+)
 
 
 def _traced_run():
@@ -86,3 +103,152 @@ def test_gantt_empty_trace():
     rt = Runtime(platform_c2050(), scheduler="eager", seed=0)
     assert gantt_text(rt.trace, rt.machine) == "(empty trace)"
     rt.shutdown()
+
+
+# -- counter tracks -----------------------------------------------------------
+
+
+def test_counter_tracks_balance_to_zero():
+    rt = _traced_run()
+    counters = _counter_events(rt.trace, rt.machine)
+    assert counters and all(e["ph"] == "C" for e in counters)
+    ts = [e["ts"] for e in counters]
+    assert ts == sorted(ts)
+    queue = [e for e in counters if e["name"] == "queue depth"]
+    busy = [e for e in counters if e["name"] == "workers busy"]
+    # the run drained: the last sample of every aggregate track is zero
+    assert queue[-1]["args"] == {"pending": 0, "running": 0}
+    assert busy[-1]["args"] == {"busy": 0}
+    # and while tasks ran, something was pending/busy at some point
+    assert max(e["args"]["running"] for e in queue) >= 1
+    assert max(e["args"]["busy"] for e in busy) >= 1
+    # every sample is a legal occupancy count
+    for e in queue:
+        assert e["args"]["pending"] >= 0 and e["args"]["running"] >= 0
+    rt.shutdown()
+
+
+def test_counter_per_worker_util_tracks():
+    rt = _traced_run()
+    counters = _counter_events(rt.trace, rt.machine)
+    used = {w for rec in rt.trace.tasks for w in rec.worker_ids}
+    util = {}
+    for e in counters:
+        if e["name"].startswith("util u"):
+            util.setdefault(e["tid"], []).append(e["args"]["busy"])
+    assert set(util) == used
+    for samples in util.values():
+        assert set(samples) <= {0, 1}  # one task at a time per worker
+        assert samples[-1] == 0  # drained
+    rt.shutdown()
+
+
+def test_counters_ride_along_in_chrome_trace():
+    rt = _traced_run()
+    doc = to_chrome_trace(rt.trace, rt.machine)
+    assert any(e.get("cat") == "counter" for e in doc["traceEvents"])
+    rt.shutdown()
+
+
+# -- serving request rows -----------------------------------------------------
+
+
+def _serving_trace():
+    trace = ExecutionTrace()
+    trace.requests.extend(
+        [
+            RequestRecord(
+                tenant="alpha", req_id=0, codelet="sgemm", arrival_time=0.0,
+                dispatch_time=0.01, start_time=0.02, end_time=0.05,
+                batch_size=2, task_id=1,
+            ),
+            RequestRecord(
+                tenant="beta", req_id=1, codelet="spmv", arrival_time=0.01,
+                shed=True,
+            ),
+            RequestRecord(
+                tenant="alpha", req_id=2, codelet="sgemm", arrival_time=0.02,
+                failed=True,
+            ),
+        ]
+    )
+    return trace
+
+
+def test_request_events_per_tenant_rows():
+    events = _request_events(_serving_trace())
+    assert all(e["pid"] == _SERVE_PID for e in events)
+    thread_names = {
+        e["args"]["name"] for e in events if e["name"] == "thread_name"
+    }
+    assert thread_names == {"tenant alpha", "tenant beta"}
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(spans) == 1 and spans[0]["name"] == "sgemm"
+    args = spans[0]["args"]
+    assert args["batch"] == 2
+    assert args["queue_wait_ms"] == pytest.approx(10.0)  # arrival -> dispatch
+    assert args["exec_ms"] == pytest.approx(30.0)
+    instants = {e["name"] for e in events if e["ph"] == "i"}
+    assert instants == {"shed:spmv", "failed:sgemm"}
+
+
+def test_request_rows_ride_along_in_chrome_trace():
+    trace = _serving_trace()
+    doc = to_chrome_trace(trace, platform_c2050())
+    assert any(e.get("cat") == "request" for e in doc["traceEvents"])
+
+
+# -- golden file --------------------------------------------------------------
+
+_GOLDEN = Path(__file__).parent.parent / "data" / "golden_gantt.txt"
+
+
+def _golden_trace():
+    """A small hand-built trace: stable across runs by construction."""
+    machine = platform_c2050()
+    gpu = machine.gpu_units[0]
+    trace = ExecutionTrace()
+    trace.tasks.append(
+        TaskRecord(
+            task_id=0, name="prep#0", codelet="prep", variant="prep_cpu",
+            arch="cpu", worker_ids=(0,), submit_time=0.0, ready_time=0.0,
+            start_time=0.0, end_time=0.004, node=HOST_NODE, submit_seq=0,
+            seq=0,
+        )
+    )
+    trace.transfers.append(
+        TransferRecord(
+            handle_id=0, handle_name="data0", src_node=HOST_NODE,
+            dst_node=gpu.memory_node, nbytes=4096, start_time=0.004,
+            end_time=0.006, seq=1,
+        )
+    )
+    trace.tasks.append(
+        TaskRecord(
+            task_id=1, name="kernel#1", codelet="kernel",
+            variant="kernel_cuda", arch="cuda", worker_ids=(gpu.unit_id,),
+            submit_time=0.0, ready_time=0.004, start_time=0.006,
+            end_time=0.010, node=gpu.memory_node, submit_seq=1, seq=2,
+            reads=(0,), deps=(0,),
+        )
+    )
+    trace.n_submitted = 2
+    trace.next_seq = 3
+    return trace, machine
+
+
+def test_golden_gantt_is_stable():
+    trace, machine = _golden_trace()
+    assert gantt_text(trace, machine, width=48) == _GOLDEN.read_text()
+
+
+def test_golden_trace_canonical_json_is_stable():
+    # the canonical Chrome JSON of the same trace is byte-stable too
+    trace, machine = _golden_trace()
+    a = canonical_chrome_json(trace, machine)
+    b = canonical_chrome_json(trace, machine)
+    assert a == b
+    doc = json.loads(a)
+    assert {e.get("cat") for e in doc["traceEvents"]} >= {
+        "task,cpu", "task,cuda", "transfer",
+    }

@@ -58,3 +58,39 @@ def test_deactivate_retains_vtime():
     q.charge("a", 3.0)
     q.deactivate("a")
     assert q.vtime_of("a") == pytest.approx(3.0)
+
+
+def test_tenant_arriving_to_empty_queue_cannot_bank_credit():
+    """A tenant whose every request was shed (so it was never activated)
+    must not accumulate virtual-time credit while the queue sits empty.
+
+    Regression: activation used to floor to 0 when no tenant was active,
+    letting a late (or always-shed) tenant monopolize workers for as much
+    virtual time as the system had already dispatched.
+    """
+    q = WeightedFairQueue()
+    # an established tenant runs for a long time, then its queue drains
+    q.pick(["heavy"])
+    q.charge("heavy", 100.0)
+    q.deactivate("heavy")
+    # the queue is now fully idle; a newcomer (e.g. a tenant whose every
+    # earlier request was shed by admission control) becomes backlogged
+    q.pick(["late"])
+    # floored to the largest virtual time ever dispatched, not to 0
+    assert q.vtime_of("late") >= 100.0 - 1e-9
+    # so when heavy returns, service alternates instead of starving heavy
+    q.charge("late", 1.0)
+    assert q.pick(["heavy", "late"]) == "heavy"
+
+
+def test_vclock_floor_does_not_inflate_active_tenants():
+    """The idle-queue floor only applies to *newly activated* tenants;
+    an already-active tenant keeps its earned virtual time."""
+    q = WeightedFairQueue()
+    q.pick(["a", "b"])
+    q.charge("a", 10.0)
+    q.charge("b", 2.0)
+    assert q.pick(["a", "b"]) == "b"
+    # re-activation of an active tenant is a no-op
+    q.activate("b")
+    assert q.vtime_of("b") == pytest.approx(2.0)
