@@ -35,15 +35,23 @@ from repro.components import MainDescriptor, Repository
 from repro.composer import ComposedApplication, Composer, Recipe
 from repro.containers import Matrix, Scalar, Vector
 from repro.hw import by_name, platform_c1060, platform_c2050
+from repro.obs import MetricsRegistry, MetricsSuite
 from repro.runtime import Runtime
+from repro.runtime.events import EngineEvents
 from repro.session import Session
 from repro.tuning import PerfModelStore
+
+# entry-point subpackages, imported last (they consume the core above)
+from repro import check, serve  # noqa: E402  isort: skip
 
 __all__ = [
     "ComposedApplication",
     "Composer",
+    "EngineEvents",
     "Matrix",
     "MainDescriptor",
+    "MetricsRegistry",
+    "MetricsSuite",
     "PerfModelStore",
     "Recipe",
     "Repository",
@@ -53,6 +61,8 @@ __all__ = [
     "Vector",
     "__version__",
     "by_name",
+    "check",
     "platform_c1060",
     "platform_c2050",
+    "serve",
 ]

@@ -23,6 +23,7 @@ from repro.check.invariants import TraceChecker, assert_trace_legal, check_trace
 from repro.check.replay import (
     DecisionLog,
     DecisionRecord,
+    DecisionRecorder,
     RecordingScheduler,
     ReplayScheduler,
     assert_traces_identical,
@@ -32,6 +33,7 @@ from repro.check.replay import (
 __all__ = [
     "DecisionLog",
     "DecisionRecord",
+    "DecisionRecorder",
     "InvariantViolation",
     "ReplayDivergence",
     "RecordingScheduler",

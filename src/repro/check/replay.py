@@ -114,6 +114,36 @@ class RecordingScheduler(Scheduler):
         return decision
 
 
+class DecisionRecorder:
+    """Record scheduling decisions from the engine's typed event stream.
+
+    The engine emits one ``schedule`` event per ``Scheduler.choose``
+    call (fault-recovery retries included), so subscribing this observer
+    yields exactly the decision stream :class:`RecordingScheduler` used
+    to capture by wrapping the policy — without touching the scheduler
+    object at all.  ``Runtime(record=True)`` attaches one automatically.
+    """
+
+    def __init__(self, log: DecisionLog | None = None) -> None:
+        self.log = log if log is not None else DecisionLog()
+
+    def on_schedule(self, event) -> None:
+        self.log.append(
+            DecisionRecord(
+                codelet=event.task.codelet.name,
+                variant=event.decision.variant.name,
+                worker_ids=tuple(
+                    u.unit_id for u in event.decision.workers
+                ),
+            )
+        )
+
+    def attach(self, engine) -> "DecisionRecorder":
+        """Subscribe to ``engine``'s event stream; returns self."""
+        engine.events.attach(self)
+        return self
+
+
 class ReplayScheduler(Scheduler):
     """Re-execute a recorded decision log, one entry per ``choose``.
 

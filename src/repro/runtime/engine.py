@@ -47,6 +47,7 @@ from repro.hw.noise import NoiseModel
 from repro.runtime.access import AccessMode
 from repro.runtime.codelet import ImplVariant
 from repro.runtime.data import DataHandle
+from repro.runtime.events import EngineEvents, warn_hook_api
 from repro.runtime.perfmodel import PerfModel
 from repro.runtime.schedulers.base import Decision, Scheduler
 from repro.runtime.stats import (
@@ -197,21 +198,34 @@ class Engine:
         #: end times of scheduled tasks still running in the virtual
         #: future; lazily pruned against the query time by n_inflight
         self._inflight_ends: list[float] = []
-        #: callbacks observing every accepted submission / completion
-        self._submit_hooks: list[Callable[[Task], None]] = []
-        self._complete_hooks: list[Callable[[Task], None]] = []
+        #: typed event stream every observing layer subscribes to
+        #: (serving front-end, decision recorder, obs metrics/tracing)
+        self.events = EngineEvents()
+        #: task whose operand staging is currently committing transfers
+        #: (attributes TransferEvents to their invocation)
+        self._staging_task: Task | None = None
 
     # ------------------------------------------------------------------
-    # load introspection and hooks (serving front-end support)
+    # load introspection and events (serving front-end support)
     # ------------------------------------------------------------------
 
     def add_submit_hook(self, fn: Callable[[Task], None]) -> None:
-        """Call ``fn(task)`` on every accepted task submission."""
-        self._submit_hooks.append(fn)
+        """Deprecated: use ``engine.events.subscribe("submit", fn)``.
+
+        Delegates to the typed event stream (``fn`` receives the task,
+        as before) and warns once per process.
+        """
+        warn_hook_api("Engine.add_submit_hook")
+        self.events.subscribe("submit", lambda event: fn(event.task))
 
     def add_complete_hook(self, fn: Callable[[Task], None]) -> None:
-        """Call ``fn(task)`` when a task's completion event is processed."""
-        self._complete_hooks.append(fn)
+        """Deprecated: use ``engine.events.subscribe("complete", fn)``.
+
+        Delegates to the typed event stream (``fn`` receives the task,
+        as before) and warns once per process.
+        """
+        warn_hook_api("Engine.add_complete_hook")
+        self.events.subscribe("complete", lambda event: fn(event.task))
 
     def n_inflight(self, at: float | None = None) -> int:
         """Tasks scheduled but not yet finished at virtual time ``at``.
@@ -226,6 +240,13 @@ class Engine:
         while ends and ends[0] <= t:
             heapq.heappop(ends)
         return len(ends)
+
+    def resident_bytes(self, node: int | None = None) -> int:
+        """Container bytes resident at one device memory node (or the
+        sum over all device nodes; the host is unlimited and untracked)."""
+        if node is not None:
+            return self._node_usage[node]
+        return sum(self._node_usage[1:])
 
     def backlog_seconds(self, at: float | None = None) -> float:
         """Committed work (seconds) ahead of the most loaded usable worker.
@@ -390,8 +411,10 @@ class Engine:
         task.submit_seq = self._n_submitted
         self._n_submitted += 1
         self.trace.n_submitted += 1
-        for hook in self._submit_hooks:
-            hook(task)
+        sbc = self.trace.submitted_by_codelet
+        name = task.codelet.name
+        sbc[name] = sbc.get(name, 0) + 1
+        self.events.emit_submit(task.submit_time, task)
         if task.n_pending_deps == 0:
             self._make_ready(task, max(task.submit_time, task.earliest_start))
         self._process_events()
@@ -544,11 +567,19 @@ class Engine:
     # ------------------------------------------------------------------
 
     def shutdown(self) -> float:
-        """Drain all tasks and stop accepting work."""
+        """Drain all tasks and stop accepting work.
+
+        Emits the ``flush`` event *after* draining but before returning,
+        so event subscribers (samplers, span tracers, recorders) finalize
+        their buffered state before any shutdown-time consumer — trace
+        invariant checking, trace export, model persistence — observes
+        the run.
+        """
         if self._shutdown:
             return self.clock.now
         t = self.wait_for_all()
         self._shutdown = True
+        self.events.emit_flush(t)
         return t
 
     def _check_alive(self) -> None:
@@ -584,6 +615,13 @@ class Engine:
         while True:
             self._fire_due_losses(task.ready_time)
             decision = self.scheduler.choose(task, self)
+            dbc = self.trace.decisions_by_codelet
+            name = task.codelet.name
+            dbc[name] = dbc.get(name, 0) + 1
+            if attempt:
+                rbc = self.trace.retries_by_codelet
+                rbc[name] = rbc.get(name, 0) + 1
+            self.events.emit_schedule(task.ready_time, task, decision, attempt)
             try:
                 self._schedule(task, decision, attempt)
                 if attempt > 0:
@@ -637,6 +675,7 @@ class Engine:
         # task's own operands are pinned against eviction
         pinned = frozenset(op.handle.handle_id for op in task.operands)
         data_ready = task.ready_time
+        self._staging_task = task
         try:
             for op in task.operands:
                 if op.mode.reads:
@@ -656,7 +695,7 @@ class Engine:
             # staging for this placement is a lost cause: attribute the
             # abort to the task so the recovery loop can place it where
             # the failing link is not needed
-            self.trace.record_fault(
+            self._fault(
                 FaultRecord(
                     kind="transfer_abort",
                     time=fault.time,
@@ -668,6 +707,8 @@ class Engine:
                 )
             )
             raise
+        finally:
+            self._staging_task = None
         worker_free = max(self._workers[u.unit_id].available_at for u in workers)
         start = max(task.ready_time, data_ready, worker_free)
         raw = variant.predict(task.ctx, decision.anchor.device)
@@ -706,8 +747,15 @@ class Engine:
         task.end_time = end
         heapq.heappush(self._events, (end, next(self._event_seq), task))
         heapq.heappush(self._inflight_ends, end)
+        self.events.emit_start(start, task)
 
     # -- fault injection and recovery ----------------------------------------
+
+    def _fault(self, rec: FaultRecord) -> FaultRecord:
+        """Record one injected fault and emit the matching event."""
+        rec = self.trace.record_fault(rec)
+        self.events.emit_fault(rec.time, rec)
+        return rec
 
     def _inject_exec_fault(
         self,
@@ -738,7 +786,7 @@ class Engine:
             fail_time = max(start, t_loss)
             self._charge_failed_attempt(decision.workers, fail_time)
             self._mark_device_lost(unit, fail_time)
-            self.trace.record_fault(
+            self._fault(
                 FaultRecord(
                     kind="device_lost",
                     time=fail_time,
@@ -760,7 +808,7 @@ class Engine:
             fail_time = start + frac * exec_time
             self._charge_failed_attempt(decision.workers, fail_time)
             self._note_worker_fault(decision.anchor)
-            self.trace.record_fault(
+            self._fault(
                 FaultRecord(
                     kind="kernel",
                     time=fail_time,
@@ -815,7 +863,7 @@ class Engine:
         for handle in list(self._resident[node].values()):
             for h in [handle, *handle.children]:
                 if h.recover_from_node_loss(node, t):
-                    self.trace.record_fault(
+                    self._fault(
                         FaultRecord(
                             kind="replica_lost",
                             time=t,
@@ -837,7 +885,7 @@ class Engine:
             if t_loss <= now and unit_id not in self._lost_workers:
                 unit = self.machine.unit(unit_id)
                 self._mark_device_lost(unit, t_loss)
-                self.trace.record_fault(
+                self._fault(
                     FaultRecord(
                         kind="device_lost",
                         time=t_loss,
@@ -864,7 +912,7 @@ class Engine:
         )
         duration = task.end_time - task.start_time
         energy = duration * sum(u.device.busy_watts for u in task.workers)
-        self.trace.record_task(
+        rec = self.trace.record_task(
             TaskRecord(
                 task_id=task.task_id,
                 name=task.name,
@@ -888,8 +936,7 @@ class Engine:
                 submit_seq=task.submit_seq,
             )
         )
-        for hook in self._complete_hooks:
-            hook(task)
+        self.events.emit_complete(end, task, rec)
         for dependent in task.dependents:
             if dependent.dep_satisfied():
                 self._make_ready(dependent, max(end, dependent.earliest_start))
@@ -940,7 +987,7 @@ class Engine:
             # corrupted on the wire: the attempt's time is spent and the
             # copy must be resent
             self._occupy_link(link_node, direction, end)
-            self.trace.record_fault(
+            self._fault(
                 FaultRecord(
                     kind="transfer",
                     time=end,
@@ -963,7 +1010,7 @@ class Engine:
         handle.mark_shared(node, end)
         handle.touch(node, end)
         self._sync_residency(handle)
-        self.trace.record_transfer(
+        rec = self.trace.record_transfer(
             TransferRecord(
                 handle_id=handle.handle_id,
                 handle_name=handle.name,
@@ -974,6 +1021,7 @@ class Engine:
                 end_time=end,
             )
         )
+        self.events.emit_transfer(end, rec, self._staging_task)
         return end
 
     # -- device-memory management (LRU eviction) -----------------------------
@@ -1037,7 +1085,7 @@ class Engine:
                 flushed = True
             victim.invalidate(node)
             self._sync_residency(victim)
-            self.trace.record_eviction(
+            rec = self.trace.record_eviction(
                 EvictionRecord(
                     handle_id=victim.handle_id,
                     handle_name=victim.name,
@@ -1047,6 +1095,7 @@ class Engine:
                     flushed=flushed,
                 )
             )
+            self.events.emit_evict(t, rec)
         return t
 
     def _link_key(self, link_node: int, direction: str) -> tuple[int, str]:

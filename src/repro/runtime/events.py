@@ -1,0 +1,319 @@
+"""Typed engine event subscription API (`EngineEvents`).
+
+One subscription surface replaces the ad-hoc ``add_submit_hook`` /
+``add_complete_hook`` pair: every layer that needs to observe the engine
+— the serving front-end, :mod:`repro.check`'s decision recorder, the
+:mod:`repro.obs` metrics/tracing stack — subscribes to the same stream
+of typed events:
+
+==========  ==============================================================
+kind        emitted when
+==========  ==============================================================
+submit      a task was accepted by :meth:`Engine.submit`
+schedule    the scheduling policy returned a decision for a ready task
+            (one event per ``Scheduler.choose`` call, so fault-recovery
+            retries each produce their own event)
+start       a placement was committed and the task's timeline is known
+complete    the task's completion event was processed
+transfer    a data copy between memory nodes was committed
+evict       a device-resident copy was dropped to make room
+fault       an injected hardware fault was recorded
+flush       the engine drained at shutdown; subscribers must finalize
+            any buffered state *now*, before shutdown-time consumers
+            (invariant checking, trace export, model persistence) run
+==========  ==============================================================
+
+Payloads are slim ``slots`` dataclasses — treat them as immutable
+(they are not frozen only because plain attribute assignment constructs
+measurably faster on the per-task hot path).  Emission is zero-cost for
+kinds nobody subscribed to (an empty-list check), which keeps the
+metrics-off engine at its old speed.
+
+Delivery is synchronous and in emission order.  Subscribers must not
+submit tasks or otherwise re-enter the engine from a callback.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.schedulers.base import Decision
+    from repro.runtime.stats import (
+        EvictionRecord,
+        FaultRecord,
+        TaskRecord,
+        TransferRecord,
+    )
+    from repro.runtime.task import Task
+
+
+@dataclass(slots=True)
+class SubmitEvent:
+    """A task was accepted for execution."""
+
+    time: float
+    task: "Task"
+
+
+@dataclass(slots=True)
+class ScheduleEvent:
+    """The policy chose (variant, workers) for a ready task.
+
+    Emitted once per ``Scheduler.choose`` call — a task that faults and
+    is retried produces one event per attempt (``attempt`` counts them,
+    0 = first try), which is exactly the stream deterministic replay
+    must record.
+    """
+
+    time: float
+    task: "Task"
+    decision: "Decision"
+    attempt: int
+
+
+@dataclass(slots=True)
+class StartEvent:
+    """A placement was committed; the task timeline is now known.
+
+    ``time`` is the task's (virtual) start time; ``task.end_time`` is
+    already valid because the engine computes timelines eagerly.
+    """
+
+    time: float
+    task: "Task"
+
+
+@dataclass(slots=True)
+class CompleteEvent:
+    """A task's completion event was processed."""
+
+    time: float
+    task: "Task"
+    record: "TaskRecord"
+
+
+@dataclass(slots=True)
+class TransferEvent:
+    """A data copy between memory nodes was committed.
+
+    ``task`` is the task whose staging caused the copy, or ``None`` for
+    host-initiated transfers (container acquire, unregister, eviction
+    flush).
+    """
+
+    time: float
+    record: "TransferRecord"
+    task: "Task | None"
+
+
+@dataclass(slots=True)
+class EvictEvent:
+    """A device-resident copy was dropped to make room."""
+
+    time: float
+    record: "EvictionRecord"
+
+
+@dataclass(slots=True)
+class FaultEvent:
+    """An injected hardware fault was recorded."""
+
+    time: float
+    record: "FaultRecord"
+
+
+@dataclass(slots=True)
+class FlushEvent:
+    """The engine drained at shutdown; finalize buffered state now."""
+
+    time: float
+
+
+#: subscription kinds, in rough lifecycle order
+EVENT_KINDS = (
+    "submit",
+    "schedule",
+    "start",
+    "complete",
+    "transfer",
+    "evict",
+    "fault",
+    "flush",
+)
+
+
+class EngineEvents:
+    """Per-engine registry of typed event subscribers.
+
+    Subscribe either one callback per kind::
+
+        unsubscribe = engine.events.subscribe("complete", on_complete)
+
+    or a whole observer object whose ``on_<kind>`` methods are bound in
+    one call::
+
+        detach = engine.events.attach(observer)   # binds on_submit, ...
+
+    Both forms return a zero-argument detach callable.
+    """
+
+    __slots__ = ("_subs", "_live")
+
+    def __init__(self) -> None:
+        self._subs: dict[str, list[Callable]] = {k: [] for k in EVENT_KINDS}
+        # emission-side snapshots: a tuple per kind, rebuilt on
+        # (un)subscribe, so delivery never copies and unsubscribing from
+        # inside a callback cannot corrupt an in-flight dispatch
+        self._live: dict[str, tuple[Callable, ...]] = {
+            k: () for k in EVENT_KINDS
+        }
+
+    # -- subscription --------------------------------------------------------
+
+    def subscribe(self, kind: str, fn: Callable) -> Callable[[], None]:
+        """Register ``fn`` for one event kind; returns an unsubscriber."""
+        try:
+            subs = self._subs[kind]
+        except KeyError:
+            raise KeyError(
+                f"unknown engine event kind {kind!r}; known: {EVENT_KINDS}"
+            ) from None
+        subs.append(fn)
+        self._live[kind] = tuple(subs)
+
+        def unsubscribe() -> None:
+            try:
+                subs.remove(fn)
+            except ValueError:
+                return
+            self._live[kind] = tuple(subs)
+
+        return unsubscribe
+
+    def attach(self, observer: object) -> Callable[[], None]:
+        """Bind every ``on_<kind>`` method ``observer`` defines.
+
+        Returns a detach callable undoing all of them.  Raises
+        ``TypeError`` when the object defines none (almost certainly a
+        misspelled method name).
+        """
+        undos = [
+            self.subscribe(kind, fn)
+            for kind in EVENT_KINDS
+            if callable(fn := getattr(observer, f"on_{kind}", None))
+        ]
+        if not undos:
+            raise TypeError(
+                f"{type(observer).__name__} defines no on_<kind> methods "
+                f"(kinds: {EVENT_KINDS})"
+            )
+
+        def detach() -> None:
+            for undo in undos:
+                undo()
+
+        return detach
+
+    def n_subscribers(self, kind: str | None = None) -> int:
+        if kind is not None:
+            return len(self._subs[kind])
+        return sum(len(v) for v in self._subs.values())
+
+    # -- emission (engine-internal) ------------------------------------------
+    #
+    # Each emitter early-outs on "no subscribers" before building the
+    # payload, so an unobserved engine pays one dict lookup and a
+    # truthiness check per potential event.
+
+    def emit_submit(self, time: float, task: "Task") -> None:
+        subs = self._live["submit"]
+        if subs:
+            event = SubmitEvent(time, task)
+            for fn in subs:
+                fn(event)
+
+    def emit_schedule(
+        self, time: float, task: "Task", decision: "Decision", attempt: int
+    ) -> None:
+        subs = self._live["schedule"]
+        if subs:
+            event = ScheduleEvent(time, task, decision, attempt)
+            for fn in subs:
+                fn(event)
+
+    def emit_start(self, time: float, task: "Task") -> None:
+        subs = self._live["start"]
+        if subs:
+            event = StartEvent(time, task)
+            for fn in subs:
+                fn(event)
+
+    def emit_complete(self, time: float, task: "Task", record) -> None:
+        subs = self._live["complete"]
+        if subs:
+            event = CompleteEvent(time, task, record)
+            for fn in subs:
+                fn(event)
+
+    def emit_transfer(self, time: float, record, task: "Task | None") -> None:
+        subs = self._live["transfer"]
+        if subs:
+            event = TransferEvent(time, record, task)
+            for fn in subs:
+                fn(event)
+
+    def emit_evict(self, time: float, record) -> None:
+        subs = self._live["evict"]
+        if subs:
+            event = EvictEvent(time, record)
+            for fn in subs:
+                fn(event)
+
+    def emit_fault(self, time: float, record) -> None:
+        subs = self._live["fault"]
+        if subs:
+            event = FaultEvent(time, record)
+            for fn in subs:
+                fn(event)
+
+    def emit_flush(self, time: float) -> None:
+        subs = self._live["flush"]
+        if subs:
+            event = FlushEvent(time)
+            for fn in subs:
+                fn(event)
+
+
+#: one-shot guard for the hook-pair deprecation below
+_hook_warned = False
+
+
+def warn_hook_api(entry: str, stacklevel: int = 3) -> None:
+    """Emit the hook-pair `DeprecationWarning` at most once per process.
+
+    Mirrors :func:`repro.runtime.schedulers.warn_scheduler_instance`:
+    the old ``add_submit_hook``/``add_complete_hook`` methods keep
+    working as shims over :class:`EngineEvents`, but internal code paths
+    must use the subscription API (the test suite escalates this warning
+    to an error for them).
+    """
+    global _hook_warned
+    if _hook_warned:
+        return
+    _hook_warned = True
+    warnings.warn(
+        f"the add_submit_hook/add_complete_hook pair is deprecated; "
+        f"subscribe to the typed event stream instead — {entry} delegates "
+        f'to Engine.events.subscribe("submit"/"complete", fn)',
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset_hook_warning() -> None:
+    """Re-arm the one-shot deprecation (for tests)."""
+    global _hook_warned
+    _hook_warned = False

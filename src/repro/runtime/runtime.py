@@ -141,10 +141,6 @@ class Runtime:
         self._check = check
         self._checked = False
         self._recorder = None
-        if record:
-            from repro.check.replay import RecordingScheduler
-
-            scheduler = self._recorder = RecordingScheduler(scheduler)
         noise: NoiseModel = (
             NullNoise() if noise_sigma == 0 else NoiseModel(sigma=noise_sigma, seed=seed)
         )
@@ -161,6 +157,12 @@ class Runtime:
             faults=faults,
             recovery=recovery,
         )
+        if record:
+            # decisions are captured from the typed event stream, not by
+            # wrapping the scheduler: one schedule event per choose call
+            from repro.check.replay import DecisionRecorder
+
+            self._recorder = DecisionRecorder().attach(self.engine)
 
     # -- data ---------------------------------------------------------------
 

@@ -202,6 +202,117 @@ class RequestRecord:
         return self.end_time - self.start_time
 
 
+class _DerivedStats:
+    """Incrementally maintained aggregates over a trace's record lists.
+
+    The derived-stat properties of :class:`ExecutionTrace` (``n_h2d``,
+    ``makespan``, ``faults_by_kind``, ...) used to rescan the full
+    record lists on every call — O(n) per query, which a live obs layer
+    polls constantly.  This cache folds records in exactly once, lazily:
+    each accessor first consumes whatever was appended since the last
+    query (records are immutable and lists append-only), so direct list
+    appends (``canonicalized()``, ``trace_from_dict``) are folded in
+    like ``record_*`` calls.  A list that *shrank* (``clear()``, tests
+    replacing a list wholesale) triggers a full recompute.
+
+    Deliberately not a dataclass field: ``repro.check.replay`` compares
+    traces by iterating ``fields(ExecutionTrace)`` and the cache must
+    stay invisible to that.
+    """
+
+    __slots__ = (
+        "_seen_tasks",
+        "_seen_transfers",
+        "_seen_faults",
+        "_seen_requests",
+        "n_h2d",
+        "n_d2h",
+        "bytes_transferred",
+        "max_end",
+        "total_energy_j",
+        "energy_by_arch",
+        "busy_time",
+        "tasks_by_arch",
+        "tasks_by_variant",
+        "faults_by_kind",
+        "faults_by_worker",
+        "n_shed",
+        "n_failed_requests",
+        "tenants",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._seen_tasks = 0
+        self._seen_transfers = 0
+        self._seen_faults = 0
+        self._seen_requests = 0
+        self.n_h2d = 0
+        self.n_d2h = 0
+        self.bytes_transferred = 0
+        self.max_end = 0.0
+        self.total_energy_j = 0.0
+        self.energy_by_arch: dict[str, float] = {}
+        self.busy_time: dict[int, float] = {}
+        self.tasks_by_arch: dict[str, int] = {}
+        self.tasks_by_variant: dict[str, int] = {}
+        self.faults_by_kind: dict[str, int] = {}
+        self.faults_by_worker: dict[int, int] = {}
+        self.n_shed = 0
+        self.n_failed_requests = 0
+        #: insertion-ordered tenant-name set (dict used as such)
+        self.tenants: dict[str, None] = {}
+
+    def catch_up(self, trace: "ExecutionTrace") -> "_DerivedStats":
+        if (
+            len(trace.tasks) < self._seen_tasks
+            or len(trace.transfers) < self._seen_transfers
+            or len(trace.faults) < self._seen_faults
+            or len(trace.requests) < self._seen_requests
+        ):
+            self.reset()
+        for rec in trace.tasks[self._seen_tasks :]:
+            self.max_end = max(self.max_end, rec.end_time)
+            self.total_energy_j += rec.energy_j
+            self.energy_by_arch[rec.arch] = (
+                self.energy_by_arch.get(rec.arch, 0.0) + rec.energy_j
+            )
+            self.tasks_by_arch[rec.arch] = (
+                self.tasks_by_arch.get(rec.arch, 0) + 1
+            )
+            self.tasks_by_variant[rec.variant] = (
+                self.tasks_by_variant.get(rec.variant, 0) + 1
+            )
+            for w in rec.worker_ids:
+                self.busy_time[w] = self.busy_time.get(w, 0.0) + rec.duration
+        self._seen_tasks = len(trace.tasks)
+        for xrec in trace.transfers[self._seen_transfers :]:
+            if xrec.is_h2d:
+                self.n_h2d += 1
+            elif xrec.is_d2h:
+                self.n_d2h += 1
+            self.bytes_transferred += xrec.nbytes
+            self.max_end = max(self.max_end, xrec.end_time)
+        self._seen_transfers = len(trace.transfers)
+        for frec in trace.faults[self._seen_faults :]:
+            self.faults_by_kind[frec.kind] = (
+                self.faults_by_kind.get(frec.kind, 0) + 1
+            )
+            for w in frec.worker_ids:
+                self.faults_by_worker[w] = self.faults_by_worker.get(w, 0) + 1
+        self._seen_faults = len(trace.faults)
+        for rrec in trace.requests[self._seen_requests :]:
+            if rrec.shed:
+                self.n_shed += 1
+            if rrec.failed:
+                self.n_failed_requests += 1
+            self.tenants.setdefault(rrec.tenant, None)
+        self._seen_requests = len(trace.requests)
+        return self
+
+
 @dataclass
 class ExecutionTrace:
     """Accumulates task and transfer records for one runtime session."""
@@ -215,6 +326,16 @@ class ExecutionTrace:
     #: tasks accepted by ``Engine.submit`` (conservation basis:
     #: ``n_submitted == n_tasks + n_tasks_aborted``)
     n_submitted: int = 0
+    #: tasks accepted per codelet name — native bookkeeping kept by the
+    #: engine itself (submit-time facts are not in any record until the
+    #: task completes); the obs metric catalogue reads these by diffing
+    #: rather than subscribing to per-task events
+    submitted_by_codelet: dict[str, int] = field(default_factory=dict)
+    #: ``Scheduler.choose`` calls per codelet name (one per placement
+    #: attempt, so fault-recovery retries count again)
+    decisions_by_codelet: dict[str, int] = field(default_factory=dict)
+    #: placement attempts after a fault (attempt > 0) per codelet name
+    retries_by_codelet: dict[str, int] = field(default_factory=dict)
     #: tasks aborted without executing (unplaceable, retries exhausted)
     n_tasks_aborted: int = 0
     #: monotone recording sequence shared by task/transfer/eviction/
@@ -238,6 +359,14 @@ class ExecutionTrace:
     blacklisted_workers: set[int] = field(default_factory=set)
     #: workers whose device was permanently lost
     lost_workers: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        # derived-stat cache; deliberately NOT a dataclass field (replay
+        # trace comparison iterates fields() and must not see it)
+        self._stats = _DerivedStats()
+
+    def _derived(self) -> _DerivedStats:
+        return self._stats.catch_up(self)
 
     def _stamp(self, rec):
         rec = replace(rec, seq=self.next_seq)
@@ -293,18 +422,15 @@ class ExecutionTrace:
 
     @property
     def n_shed(self) -> int:
-        return sum(1 for r in self.requests if r.shed)
+        return self._derived().n_shed
 
     @property
     def n_failed_requests(self) -> int:
-        return sum(1 for r in self.requests if r.failed)
+        return self._derived().n_failed_requests
 
     def tenants(self) -> list[str]:
         """Tenant names seen, in first-arrival order."""
-        seen: dict[str, None] = {}
-        for r in self.requests:
-            seen.setdefault(r.tenant, None)
-        return list(seen)
+        return list(self._derived().tenants)
 
     def requests_for(self, tenant: str) -> list[RequestRecord]:
         return [r for r in self.requests if r.tenant == tenant]
@@ -321,33 +447,26 @@ class ExecutionTrace:
 
     @property
     def n_kernel_faults(self) -> int:
-        return sum(1 for f in self.faults if f.kind == "kernel")
+        return self._derived().faults_by_kind.get("kernel", 0)
 
     @property
     def n_transfer_faults(self) -> int:
-        return sum(1 for f in self.faults if f.kind == "transfer")
+        return self._derived().faults_by_kind.get("transfer", 0)
 
     @property
     def n_devices_lost(self) -> int:
-        return sum(1 for f in self.faults if f.kind == "device_lost")
+        return self._derived().faults_by_kind.get("device_lost", 0)
 
     @property
     def n_replicas_recovered(self) -> int:
-        return sum(1 for f in self.faults if f.kind == "replica_lost")
+        return self._derived().faults_by_kind.get("replica_lost", 0)
 
     def faults_by_kind(self) -> dict[str, int]:
-        out: dict[str, int] = {}
-        for f in self.faults:
-            out[f.kind] = out.get(f.kind, 0) + 1
-        return out
+        return dict(self._derived().faults_by_kind)
 
     def faults_by_worker(self) -> dict[int, int]:
         """Transient faults attributed to each worker (blacklist basis)."""
-        out: dict[int, int] = {}
-        for f in self.faults:
-            for w in f.worker_ids:
-                out[w] = out.get(w, 0) + 1
-        return out
+        return dict(self._derived().faults_by_worker)
 
     def faults_for_task(self, task_id: int) -> list[FaultRecord]:
         return [f for f in self.faults if f.task_id == task_id]
@@ -364,41 +483,33 @@ class ExecutionTrace:
 
     @property
     def n_h2d(self) -> int:
-        return sum(1 for t in self.transfers if t.is_h2d)
+        return self._derived().n_h2d
 
     @property
     def n_d2h(self) -> int:
-        return sum(1 for t in self.transfers if t.is_d2h)
+        return self._derived().n_d2h
 
     @property
     def bytes_transferred(self) -> int:
-        return sum(t.nbytes for t in self.transfers)
+        return self._derived().bytes_transferred
 
     @property
     def makespan(self) -> float:
         """Virtual time from first task start to last task/transfer end."""
-        ends = [t.end_time for t in self.tasks] + [
-            t.end_time for t in self.transfers
-        ]
-        return max(ends, default=0.0)
+        return self._derived().max_end
 
     @property
     def total_energy_j(self) -> float:
         """Modeled execution energy over all tasks, in joules (basis of
         the ``min_energy`` optimization goal)."""
-        return sum(rec.energy_j for rec in self.tasks)
+        return self._derived().total_energy_j
 
     def energy_by_arch(self) -> dict[str, float]:
-        out: dict[str, float] = {}
-        for rec in self.tasks:
-            out[rec.arch] = out.get(rec.arch, 0.0) + rec.energy_j
-        return out
+        return dict(self._derived().energy_by_arch)
 
     def busy_time(self, worker_id: int) -> float:
         """Total virtual time ``worker_id`` spent executing tasks."""
-        return sum(
-            rec.duration for rec in self.tasks if worker_id in rec.worker_ids
-        )
+        return self._derived().busy_time.get(worker_id, 0.0)
 
     def utilisation(self, worker_id: int) -> float:
         """Busy fraction of the makespan for one worker."""
@@ -407,16 +518,10 @@ class ExecutionTrace:
 
     def tasks_by_arch(self) -> dict[str, int]:
         """How many tasks each backend architecture executed."""
-        out: dict[str, int] = {}
-        for rec in self.tasks:
-            out[rec.arch] = out.get(rec.arch, 0) + 1
-        return out
+        return dict(self._derived().tasks_by_arch)
 
     def tasks_by_variant(self) -> dict[str, int]:
-        out: dict[str, int] = {}
-        for rec in self.tasks:
-            out[rec.variant] = out.get(rec.variant, 0) + 1
-        return out
+        return dict(self._derived().tasks_by_variant)
 
     def transfers_for_handle(self, handle_id: int) -> list[TransferRecord]:
         return [t for t in self.transfers if t.handle_id == handle_id]
@@ -507,6 +612,9 @@ class ExecutionTrace:
 
         out = ExecutionTrace(
             n_submitted=self.n_submitted,
+            submitted_by_codelet=dict(self.submitted_by_codelet),
+            decisions_by_codelet=dict(self.decisions_by_codelet),
+            retries_by_codelet=dict(self.retries_by_codelet),
             n_tasks_aborted=self.n_tasks_aborted,
             next_seq=self.next_seq,
             n_task_retries=self.n_task_retries,
@@ -596,6 +704,9 @@ class ExecutionTrace:
         self.requests.clear()
         self.accesses.clear()
         self.n_submitted = 0
+        self.submitted_by_codelet.clear()
+        self.decisions_by_codelet.clear()
+        self.retries_by_codelet.clear()
         self.n_tasks_aborted = 0
         self.next_seq = 0
         self.n_task_retries = 0
@@ -605,3 +716,4 @@ class ExecutionTrace:
         self.n_exploration_decisions = 0
         self.blacklisted_workers.clear()
         self.lost_workers.clear()
+        self._stats.reset()

@@ -42,6 +42,7 @@ from repro.serve.client import (
     make_client,
 )
 from repro.serve.fairness import WeightedFairQueue
+from repro.serve.metrics import ServingMetrics
 from repro.serve.server import CompositionServer
 from repro.serve.slo import (
     SloReport,
@@ -62,6 +63,7 @@ __all__ = [
     "CompositionServer",
     "OpenLoopClient",
     "Request",
+    "ServingMetrics",
     "SloReport",
     "TenantSlo",
     "TenantSpec",

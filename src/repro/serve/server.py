@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 from repro.errors import PeppherError, UnrecoverableTaskError
 from repro.hw.faults import FaultModel
 from repro.hw.machine import Machine
+from repro.obs.suite import MetricsSuite
 from repro.runtime.engine import RecoveryPolicy
 from repro.runtime.perfmodel import PerfModel
 from repro.runtime.runtime import Runtime
@@ -51,6 +52,7 @@ from repro.serve.admission import (
 from repro.serve.batching import BatchPolicy, Coalescer
 from repro.serve.client import Request, TenantSpec, make_client
 from repro.serve.fairness import WeightedFairQueue
+from repro.serve.metrics import ServingMetrics
 from repro.serve.slo import SloReport, slo_report
 
 #: event kinds; completions sort before arrivals at equal times so freed
@@ -93,6 +95,15 @@ class CompositionServer:
         Validate the finished trace against the run invariants at
         shutdown (see :mod:`repro.check`); ``None`` defers to the
         process-wide default.
+    metrics:
+        Live observability (see :mod:`repro.obs`): ``True`` for a fresh
+        default :class:`~repro.obs.MetricsSuite`, a suite to reuse one,
+        a dict of suite keyword arguments (e.g. ``{"period_s": 1e-2}``),
+        or ``False``/``None`` (default) for no metrics.  The attached
+        suite (``server.metrics``) exposes engine metrics plus live
+        per-tenant request counters, latency histograms, and SLO
+        quantile gauges whose final values match the end-of-run
+        :func:`~repro.serve.slo.slo_report`.
     """
 
     def __init__(
@@ -113,6 +124,7 @@ class CompositionServer:
         scheduler_options: Mapping[str, object] | None = None,
         store: "PerfModelStore | None" = None,
         check: bool | None = None,
+        metrics: "bool | dict | MetricsSuite | None" = None,
     ) -> None:
         if not tenants:
             raise PeppherError("a composition server needs at least one tenant")
@@ -153,6 +165,13 @@ class CompositionServer:
             **sched_kwargs,
         )
         self.engine = self.runtime.engine
+        self.metrics = MetricsSuite.create(metrics)
+        self.serving_metrics: ServingMetrics | None = None
+        if self.metrics is not None:
+            self.metrics.attach(self.engine)
+            self.serving_metrics = ServingMetrics(self.metrics.registry)
+            for spec in self.tenants:
+                self.serving_metrics.register_tenant(spec.name)
         self.admission = AdmissionController(admission)
         self.coalescer = Coalescer(batching)
         self.wfq = WeightedFairQueue(weights)
@@ -203,6 +222,10 @@ class CompositionServer:
                 self._on_arrival(t, payload)
             self._retry_delayed(t)
             self._dispatch(t)
+            if self.serving_metrics is not None:
+                self.serving_metrics.sample_queues(
+                    self.admission, self._inflight
+                )
         return slo_report(self.trace)
 
     def shutdown(self) -> float:
@@ -223,6 +246,13 @@ class CompositionServer:
     def _push(self, time: float, kind: int, payload: object) -> None:
         heapq.heappush(self._events, (time, next(self._event_seq), kind, payload))
 
+    def _record_request(self, rec: RequestRecord) -> RequestRecord:
+        """Account one finalized request: trace plus live metrics."""
+        self.trace.record_request(rec)
+        if self.serving_metrics is not None:
+            self.serving_metrics.note_request(rec)
+        return rec
+
     def _on_arrival(self, t: float, req: Request) -> None:
         outcome = self.admission.decide(
             req.tenant, t, req.arrival_s, self._predicted_backlog(t)
@@ -238,7 +268,7 @@ class CompositionServer:
             self._delayed.append(req)
         else:
             self.admission.note_shed()
-            self.trace.record_request(
+            self._record_request(
                 RequestRecord(
                     tenant=req.tenant,
                     req_id=req.req_id,
@@ -275,7 +305,7 @@ class CompositionServer:
                 still.append(req)
             else:
                 self.admission.note_shed()
-                self.trace.record_request(
+                self._record_request(
                     RequestRecord(
                         tenant=req.tenant,
                         req_id=req.req_id,
@@ -323,7 +353,7 @@ class CompositionServer:
                 dispatch_time=dispatch_time,
                 batch_size=batch_size,
             )
-            self.trace.record_request(rec)
+            self._record_request(rec)
             self._push(self.engine.clock.now, _COMPLETION, (req, rec))
             return
         transfer_s = sum(
@@ -357,7 +387,7 @@ class CompositionServer:
             batch_size=batch_size,
             task_id=task.task_id,
         )
-        self.trace.record_request(rec)
+        self._record_request(rec)
         self._inflight += 1
         self._push(task.end_time, _COMPLETION, (req, rec))
 

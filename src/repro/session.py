@@ -30,6 +30,7 @@ from repro.errors import PeppherError, RuntimeSystemError
 from repro.hw.faults import FaultModel
 from repro.hw.machine import Machine
 from repro.hw.presets import by_name
+from repro.obs.suite import MetricsSuite
 from repro.runtime.engine import RecoveryPolicy
 from repro.runtime.runtime import Runtime
 from repro.runtime.trace_export import (
@@ -67,6 +68,14 @@ class Session:
     record:
         Record scheduling decisions for deterministic replay (see
         :attr:`~repro.runtime.runtime.Runtime.decision_log`).
+    metrics:
+        Live observability (see :mod:`repro.obs`): ``True`` attaches a
+        fresh :class:`~repro.obs.MetricsSuite` (reachable as
+        :attr:`metrics`, snapshot via ``session.metrics.snapshot()``),
+        an existing suite reuses it, a dict supplies suite keyword
+        arguments (e.g. ``{"period_s": 1e-2}``), and ``False``/``None``
+        (default) disables metrics with zero overhead.  The suite
+        follows the session across :meth:`restart`.
     trace_dir:
         Default directory for :meth:`save_trace` outputs.
 
@@ -88,6 +97,7 @@ class Session:
         recovery: RecoveryPolicy | None = None,
         check: bool | None = None,
         record: bool = False,
+        metrics: "bool | dict | MetricsSuite | None" = None,
         trace_dir: str | Path | None = None,
         machine_options: Mapping[str, object] | None = None,
     ) -> None:
@@ -129,7 +139,10 @@ class Session:
             "record": record,
         }
         self._seed = seed
+        self.metrics = MetricsSuite.create(metrics)
         self.runtime = self._make_runtime(seed)
+        if self.metrics is not None:
+            self.metrics.attach(self.runtime.engine)
 
     def _make_runtime(self, seed: int) -> Runtime:
         return Runtime(
@@ -162,6 +175,10 @@ class Session:
                 perfmodel=model,
                 **self._runtime_kwargs,
             )
+        if self.metrics is not None:
+            # counters keep accumulating; gauges/samples follow the new
+            # engine
+            self.metrics.attach(self.runtime.engine)
         return self.runtime
 
     def shutdown(self) -> float:

@@ -101,3 +101,25 @@ def test_ablation_narrowing_helps_cold_start():
     assert result.narrowed_s < result.dynamic_s
     assert result.dynamic_wrong_picks > 0  # calibration explored losers
     assert "ABL3" in ablations.format_narrowing_study(result)
+
+
+def test_obs_overhead_result_math():
+    result = overhead.ObsOverheadResult(
+        n_tasks=100,
+        reps=3,
+        base_us_per_task=10.0,
+        obs_us_per_task=10.4,
+        pair_overheads=(0.01, 0.05, 0.02),
+    )
+    assert result.overhead == pytest.approx(0.04)
+    assert result.median_pair_overhead == pytest.approx(0.02)
+    assert result.within_budget  # 4% <= 5% budget
+    over = overhead.ObsOverheadResult(
+        n_tasks=100, reps=1, base_us_per_task=10.0, obs_us_per_task=11.0
+    )
+    assert not over.within_budget
+    assert over.median_pair_overhead == over.overhead  # no pairs recorded
+    doc = over.to_dict()
+    assert doc["overhead_pct"] == pytest.approx(10.0)
+    assert doc["within_budget"] is False
+    assert "overhead" in overhead.format_obs_result(over)

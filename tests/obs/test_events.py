@@ -1,0 +1,188 @@
+"""Typed engine event stream (`EngineEvents`) and its delivery contract."""
+
+import numpy as np
+import pytest
+
+from repro.hw.presets import platform_c2050
+from repro.runtime import Arch, Codelet, ImplVariant, Runtime
+from repro.runtime.events import (
+    EVENT_KINDS,
+    CompleteEvent,
+    EngineEvents,
+    FlushEvent,
+    ScheduleEvent,
+    SubmitEvent,
+)
+
+
+def _codelet(cost=1e-6):
+    return Codelet(
+        "noop",
+        [
+            ImplVariant(
+                "noop_cpu", Arch.CPU, lambda ctx, *a: None, lambda c, d: cost
+            ),
+            ImplVariant(
+                "noop_cuda", Arch.CUDA, lambda ctx, *a: None, lambda c, d: cost
+            ),
+        ],
+    )
+
+
+def _runtime(**kw):
+    kw.setdefault("scheduler", "eager")
+    kw.setdefault("noise_sigma", 0.0)
+    return Runtime(platform_c2050(), seed=0, **kw)
+
+
+def _run_tasks(rt, n=3):
+    cod = _codelet()
+    h = rt.register(np.zeros(8, dtype=np.float32), "d")
+    for i in range(n):
+        rt.submit(cod, [(h, "r")], name=f"t{i}")
+    rt.wait_for_all()
+
+
+# ---------------------------------------------------------------------------
+# subscription mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_subscribe_unknown_kind_raises():
+    events = EngineEvents()
+    with pytest.raises(KeyError):
+        events.subscribe("no_such_kind", lambda e: None)
+
+
+def test_attach_requires_at_least_one_handler():
+    class Nothing:
+        pass
+
+    with pytest.raises(TypeError):
+        EngineEvents().attach(Nothing())
+
+
+def test_unsubscribe_stops_delivery_and_is_idempotent():
+    events = EngineEvents()
+    got = []
+    undo = events.subscribe("flush", got.append)
+    events.emit_flush(1.0)
+    undo()
+    undo()  # second call is a no-op
+    events.emit_flush(2.0)
+    assert [e.time for e in got] == [1.0]
+    assert events.n_subscribers("flush") == 0
+
+
+def test_delivery_in_subscription_order():
+    events = EngineEvents()
+    order = []
+    events.subscribe("flush", lambda e: order.append("first"))
+    events.subscribe("flush", lambda e: order.append("second"))
+    events.emit_flush(0.0)
+    assert order == ["first", "second"]
+
+
+def test_attach_binds_every_on_method_and_detaches():
+    class Observer:
+        def __init__(self):
+            self.seen = []
+
+        def on_submit(self, e):
+            self.seen.append(("submit", e))
+
+        def on_flush(self, e):
+            self.seen.append(("flush", e))
+
+    events = EngineEvents()
+    obs = Observer()
+    detach = events.attach(obs)
+    assert events.n_subscribers("submit") == 1
+    assert events.n_subscribers("flush") == 1
+    assert events.n_subscribers() == 2
+    detach()
+    assert events.n_subscribers() == 0
+
+
+# ---------------------------------------------------------------------------
+# engine integration: one event per lifecycle step, typed payloads
+# ---------------------------------------------------------------------------
+
+
+def test_engine_emits_typed_lifecycle_events():
+    rt = _runtime()
+    seen = {kind: [] for kind in EVENT_KINDS}
+    for kind in EVENT_KINDS:
+        rt.engine.events.subscribe(kind, seen[kind].append)
+    _run_tasks(rt, n=3)
+    rt.shutdown()
+
+    assert len(seen["submit"]) == 3
+    assert all(isinstance(e, SubmitEvent) for e in seen["submit"])
+    assert [e.task.name for e in seen["submit"]] == ["t0", "t1", "t2"]
+
+    assert len(seen["schedule"]) == 3
+    first = seen["schedule"][0]
+    assert isinstance(first, ScheduleEvent)
+    assert first.attempt == 0
+    assert first.decision.variant.name in ("noop_cpu", "noop_cuda")
+
+    assert len(seen["start"]) == 3
+    assert len(seen["complete"]) == 3
+    done = seen["complete"][0]
+    assert isinstance(done, CompleteEvent)
+    assert done.record.codelet == "noop"
+    assert done.record.end_time == pytest.approx(done.time)
+
+    assert len(seen["flush"]) == 1
+    assert isinstance(seen["flush"][0], FlushEvent)
+
+
+def test_unobserved_engine_has_no_subscribers():
+    rt = _runtime()
+    _run_tasks(rt)
+    assert rt.engine.events.n_subscribers() == 0
+    rt.shutdown()
+
+
+def test_trace_keeps_native_per_codelet_counters():
+    rt = _runtime()
+    _run_tasks(rt, n=4)
+    rt.shutdown()
+    trace = rt.engine.trace
+    assert trace.submitted_by_codelet == {"noop": 4}
+    assert trace.decisions_by_codelet == {"noop": 4}
+    assert trace.retries_by_codelet == {}
+
+
+# ---------------------------------------------------------------------------
+# flush ordering: the drain barrier for buffered subscribers
+# ---------------------------------------------------------------------------
+
+
+def test_flush_fires_after_drain_before_shutdown_returns():
+    rt = _runtime()
+    state = {}
+
+    def on_flush(event):
+        # every submitted task must already be complete when flush runs:
+        # flush is the point where buffered subscribers finalize, so it
+        # must come after the drain but before shutdown-time consumers
+        state["n_tasks_at_flush"] = len(rt.engine.trace.tasks)
+        state["time"] = event.time
+
+    rt.engine.events.subscribe("flush", on_flush)
+    _run_tasks(rt, n=3)
+    end = rt.shutdown()
+    assert state["n_tasks_at_flush"] == 3
+    assert state["time"] == pytest.approx(end)
+
+
+def test_flush_fires_exactly_once_on_repeated_shutdown():
+    rt = _runtime()
+    count = []
+    rt.engine.events.subscribe("flush", count.append)
+    _run_tasks(rt, n=1)
+    rt.shutdown()
+    rt.shutdown()
+    assert len(count) == 1

@@ -1,0 +1,284 @@
+"""Metrics primitives: counters, gauges, histograms, registry, exposition."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+    exponential_buckets,
+)
+
+
+# ---------------------------------------------------------------------------
+# bucket ladder
+# ---------------------------------------------------------------------------
+
+
+def test_exponential_buckets_shape():
+    buckets = exponential_buckets(1e-6, 2.0, 24)
+    assert len(buckets) == 24
+    assert buckets[0] == pytest.approx(1e-6)
+    for lo, hi in zip(buckets, buckets[1:]):
+        assert hi == pytest.approx(lo * 2.0)
+    assert DEFAULT_BUCKETS == buckets
+
+
+@pytest.mark.parametrize(
+    "start,factor,count",
+    [(0.0, 2.0, 4), (-1.0, 2.0, 4), (1e-6, 1.0, 4), (1e-6, 2.0, 0)],
+)
+def test_exponential_buckets_rejects_bad_specs(start, factor, count):
+    with pytest.raises(MetricError):
+        exponential_buckets(start, factor, count)
+
+
+# ---------------------------------------------------------------------------
+# counters
+# ---------------------------------------------------------------------------
+
+
+def test_counter_inc_and_value():
+    reg = MetricsRegistry()
+    c = reg.counter("c_total", labelnames=("k",))
+    c.inc(k="a")
+    c.inc(2.5, k="a")
+    c.inc(k="b")
+    assert c.value(k="a") == pytest.approx(3.5)
+    assert c.value(k="b") == 1.0
+    assert c.value(k="never") == 0.0
+
+
+def test_counter_rejects_decrease():
+    reg = MetricsRegistry()
+    c = reg.counter("c_total")
+    with pytest.raises(MetricError):
+        c.inc(-1.0)
+    with pytest.raises(MetricError):
+        c.labels().inc(-1.0)
+
+
+def test_counter_label_mismatch():
+    reg = MetricsRegistry()
+    c = reg.counter("c_total", labelnames=("k",))
+    with pytest.raises(MetricError):
+        c.inc()  # missing label
+    with pytest.raises(MetricError):
+        c.inc(k="a", extra="b")  # surplus label
+    with pytest.raises(MetricError):
+        c.inc(wrong="a")  # wrong name
+
+
+def test_counter_children_share_series():
+    reg = MetricsRegistry()
+    c = reg.counter("c_total", labelnames=("k",))
+    child = c.labels(k="a")
+    assert c.labels(k="a") is child  # cached
+    child.inc(3)
+    c.inc(k="a")
+    assert child.value == 4.0
+    assert c.value(k="a") == 4.0
+
+
+# ---------------------------------------------------------------------------
+# gauges
+# ---------------------------------------------------------------------------
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("g")
+    g.set(5)
+    g.inc(2)
+    g.dec(3)
+    assert g.value() == 4.0
+    child = g.labels()
+    child.set(1.5)
+    assert g.value() == 1.5
+    child.dec(0.5)
+    assert child.value == 1.0
+
+
+# ---------------------------------------------------------------------------
+# histograms
+# ---------------------------------------------------------------------------
+
+
+def test_histogram_bucketing_boundaries():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=(1.0, 2.0, 4.0))
+    # an observation equal to a bound lands in that bound's bucket
+    # (Prometheus `le` semantics)
+    for v in (0.5, 1.0, 1.5, 4.0, 100.0):
+        h.observe(v)
+    snap = h.snap()[0]
+    assert snap["count"] == 5
+    assert snap["sum"] == pytest.approx(107.0)
+    assert snap["buckets"] == [
+        [1.0, 2],  # 0.5, 1.0
+        [2.0, 3],  # + 1.5
+        [4.0, 4],  # + 4.0
+        ["+Inf", 5],  # + 100.0
+    ]
+
+
+def test_histogram_child_matches_direct_observe():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", labelnames=("k",), buckets=(1.0, 2.0))
+    child = h.labels(k="a")
+    child.observe(0.5)
+    h.observe(1.5, k="a")
+    assert child.count == 2
+    assert child.sum == pytest.approx(2.0)
+    assert h.count(k="a") == 2
+
+
+def test_histogram_quantile_is_bucket_resolution():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 0.6, 1.5, 3.0):
+        h.observe(v)
+    assert h.quantile(0.5) == 1.0  # 2nd of 4 obs is in the le=1 bucket
+    assert h.quantile(1.0) == 4.0
+    assert math.isnan(reg.histogram("h2").quantile(0.5))
+    with pytest.raises(MetricError):
+        h.quantile(1.5)
+
+
+def test_histogram_rejects_unsorted_buckets():
+    reg = MetricsRegistry()
+    with pytest.raises(MetricError):
+        reg.histogram("h", buckets=(2.0, 1.0))
+    with pytest.raises(MetricError):
+        reg.histogram("h", buckets=(1.0, 1.0, 2.0))
+
+
+# ---------------------------------------------------------------------------
+# registry semantics
+# ---------------------------------------------------------------------------
+
+
+def test_registry_get_or_create_is_idempotent():
+    reg = MetricsRegistry()
+    c1 = reg.counter("c_total", labelnames=("k",))
+    c2 = reg.counter("c_total", labelnames=("k",))
+    assert c1 is c2
+    assert "c_total" in reg
+    assert reg.get("c_total") is c1
+
+
+def test_registry_rejects_kind_and_label_conflicts():
+    reg = MetricsRegistry()
+    reg.counter("m", labelnames=("k",))
+    with pytest.raises(MetricError):
+        reg.gauge("m")
+    with pytest.raises(MetricError):
+        reg.counter("m", labelnames=("other",))
+    reg.histogram("h", buckets=(1.0, 2.0))
+    with pytest.raises(MetricError):
+        reg.histogram("h", buckets=(1.0, 3.0))
+
+
+def test_registry_rejects_bad_names():
+    reg = MetricsRegistry()
+    with pytest.raises(MetricError):
+        reg.counter("9starts_with_digit")
+    with pytest.raises(MetricError):
+        reg.counter("has space")
+    with pytest.raises(MetricError):
+        reg.counter("ok_name", labelnames=("bad-label",))
+    with pytest.raises(KeyError):
+        reg.get("missing")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def test_prometheus_text_format():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total", help="All requests", labelnames=("kind",))
+    c.inc(3, kind="read")
+    g = reg.gauge("depth", unit="tasks")
+    g.set(7)
+    h = reg.histogram("lat_seconds", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    text = reg.to_prometheus()
+    lines = text.splitlines()
+    assert "# HELP requests_total All requests" in lines
+    assert "# TYPE requests_total counter" in lines
+    assert 'requests_total{kind="read"} 3' in lines
+    assert "# UNIT depth tasks" in lines
+    assert "depth 7" in lines
+    assert 'lat_seconds_bucket{le="0.1"} 1' in lines
+    assert 'lat_seconds_bucket{le="1"} 2' in lines
+    assert 'lat_seconds_bucket{le="+Inf"} 2' in lines
+    assert "lat_seconds_sum 0.55" in lines
+    assert "lat_seconds_count 2" in lines
+    assert text.endswith("\n")
+    # metric families are sorted by name
+    order = [l.split()[2] for l in lines if l.startswith("# TYPE")]
+    assert order == sorted(order)
+
+
+def test_prometheus_escapes_label_values():
+    reg = MetricsRegistry()
+    c = reg.counter("c_total", labelnames=("k",))
+    c.inc(k='a"b\\c\nd')
+    assert 'c_total{k="a\\"b\\\\c\\nd"} 1' in reg.to_prometheus()
+
+
+def test_empty_registry_exposes_empty_string():
+    assert MetricsRegistry().to_prometheus() == ""
+    assert MetricsRegistry().snapshot() == {}
+
+
+# ---------------------------------------------------------------------------
+# merging (shard aggregation)
+# ---------------------------------------------------------------------------
+
+
+def test_merge_counters_add_and_gauges_overwrite():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("c_total", labelnames=("k",)).inc(1, k="x")
+    b.counter("c_total", labelnames=("k",)).inc(2, k="x")
+    b.counter("c_total", labelnames=("k",)).inc(5, k="y")
+    a.gauge("g").set(1)
+    b.gauge("g").set(9)
+    b.gauge("only_b").set(3)
+    a.merge(b)
+    assert a.get("c_total").value(k="x") == 3.0
+    assert a.get("c_total").value(k="y") == 5.0
+    assert a.get("g").value() == 9.0
+    assert a.get("only_b").value() == 3.0
+
+
+def test_merge_histograms_bucketwise():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    ha = a.histogram("h", buckets=(1.0, 2.0))
+    hb = b.histogram("h", buckets=(1.0, 2.0))
+    ha.observe(0.5)
+    hb.observe(1.5)
+    hb.observe(10.0)
+    a.merge(b)
+    snap = ha.snap()[0]
+    assert snap["count"] == 3
+    assert snap["buckets"] == [[1.0, 1], [2.0, 2], ["+Inf", 3]]
+    assert snap["sum"] == pytest.approx(12.0)
+
+
+def test_merge_rejects_mismatched_schemas():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("m")
+    b.gauge("m")
+    with pytest.raises(MetricError):
+        a.merge(b)
+    c, d = MetricsRegistry(), MetricsRegistry()
+    c.histogram("h", buckets=(1.0, 2.0))
+    d.histogram("h", buckets=(1.0, 4.0))
+    with pytest.raises(MetricError):
+        c.merge(d)

@@ -1,0 +1,122 @@
+"""Lazy virtual-time engine samplers and their registry gauges."""
+
+import numpy as np
+import pytest
+
+from repro.hw.presets import platform_c2050
+from repro.obs import MetricsSuite
+from repro.obs.samplers import EngineSamplers
+from repro.runtime import Arch, Codelet, ImplVariant, Runtime
+
+
+def _codelet(cost):
+    return Codelet(
+        "work",
+        [
+            ImplVariant(
+                "work_cpu", Arch.CPU, lambda ctx, *a: None, lambda c, d: cost
+            ),
+        ],
+    )
+
+
+def _runtime():
+    return Runtime(
+        platform_c2050(), scheduler="eager", seed=0, noise_sigma=0.0
+    )
+
+
+def _run(rt, suite, n=20, cost=1e-3):
+    cod = _codelet(cost)
+    h = rt.register(np.zeros(8, dtype=np.float32), "d")
+    for i in range(n):
+        rt.submit(cod, [(h, "r")], name=f"t{i}")
+    rt.wait_for_all()
+
+
+def test_period_must_be_positive():
+    rt = _runtime()
+    with pytest.raises(ValueError):
+        EngineSamplers(rt.engine, period_s=0.0)
+    rt.shutdown()
+
+
+def test_flush_produces_boundary_and_tail_samples():
+    rt = _runtime()
+    suite = MetricsSuite(period_s=1e-3).attach(rt.engine)
+    _run(rt, suite, n=20, cost=1e-3)  # ~20 ms of virtual work
+    makespan = rt.shutdown()
+    samples = suite.samplers.samples
+    # one sample per 1 ms boundary crossed, plus the off-boundary tail
+    n_boundaries = int(makespan / 1e-3)
+    assert len(samples) == n_boundaries + 1
+    assert samples[-1].time == pytest.approx(makespan)
+    times = [s.time for s in samples]
+    assert times == sorted(times)
+    # the single CPU worker is saturated: every interior boundary sees
+    # it busy and at least one queued task
+    interior = samples[1:-2]
+    assert interior
+    assert all(s.queue_depth >= 1 for s in interior)
+    assert all(s.busy_fraction > 0 for s in interior)
+    assert suite.samplers.peak_queue_depth() >= 1
+    assert 0.0 < suite.samplers.mean_busy_fraction() <= 1.0
+
+
+def test_snapshot_catches_samplers_up_mid_run():
+    rt = _runtime()
+    suite = MetricsSuite(period_s=1e-3).attach(rt.engine)
+    _run(rt, suite, n=10, cost=1e-3)
+    assert suite.samplers.samples == []  # lazy: nothing sampled yet
+    now = rt.engine.clock.now
+    suite.snapshot()
+    # one sample per boundary the virtual clock has crossed so far
+    assert abs(len(suite.samplers.samples) - now / 1e-3) <= 1
+    assert suite.samplers.samples
+    queue_gauge = suite.registry.get("repro_queue_depth")
+    busy_gauge = suite.registry.get("repro_worker_busy")
+    assert len(busy_gauge) == len(rt.engine.machine.units)
+    assert queue_gauge.value() == suite.samplers.latest.queue_depth
+    rt.shutdown()
+
+
+def test_gauges_mirror_last_sample_after_shutdown():
+    rt = _runtime()
+    suite = MetricsSuite(period_s=1e-3).attach(rt.engine)
+    _run(rt, suite, n=5, cost=1e-3)
+    rt.shutdown()
+    last = suite.samplers.latest
+    snap = suite.snapshot()
+    assert last.queue_depth == 0  # drained
+    assert snap["repro_queue_depth"]["series"][0]["value"] == 0
+    assert snap["repro_backlog_seconds"]["series"][0]["value"] == (
+        pytest.approx(last.backlog_s)
+    )
+
+
+def test_max_samples_caps_catchup_over_idle_gaps():
+    rt = _runtime()
+    samplers = EngineSamplers(rt.engine, period_s=1e-6, max_samples=50)
+    rt.engine.events.attach(samplers)
+    cod = _codelet(5e-3)  # 5 ms task = 5000 microsecond boundaries
+    h = rt.register(np.zeros(8, dtype=np.float32), "d")
+    rt.submit(cod, [(h, "r")], name="t0")
+    rt.wait_for_all()
+    samplers.catch_up()
+    assert len(samplers.samples) <= 51
+    rt.shutdown()
+
+
+def test_sample_points_serialize():
+    rt = _runtime()
+    suite = MetricsSuite(period_s=1e-3).attach(rt.engine)
+    _run(rt, suite, n=3, cost=1e-3)
+    rt.shutdown()
+    doc = suite.samplers.to_jsonable()
+    assert doc and set(doc[0]) == {
+        "time",
+        "queue_depth",
+        "worker_busy",
+        "resident_bytes",
+        "backlog_s",
+    }

@@ -1,0 +1,113 @@
+"""Opt-in span tracing: invoke → schedule-wait / transfer / kernel trees."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.hw.presets import platform_c2050
+from repro.obs import MetricsSuite
+from repro.runtime import Arch, Codelet, ImplVariant, Runtime
+
+
+def _codelet(name="work", cost=1e-4, archs=(Arch.CPU, Arch.CUDA)):
+    return Codelet(
+        name,
+        [
+            ImplVariant(
+                f"{name}_{a.value}", a, lambda ctx, *args: None, lambda c, d: cost
+            )
+            for a in archs
+        ],
+    )
+
+
+def _traced_runtime():
+    rt = Runtime(platform_c2050(), scheduler="dmda", seed=0, noise_sigma=0.0)
+    suite = MetricsSuite(trace_spans=True).attach(rt.engine)
+    return rt, suite
+
+
+def test_span_tree_per_invocation():
+    rt, suite = _traced_runtime()
+    cod = _codelet()
+    h = rt.register(np.zeros(64, dtype=np.float32), "d")
+    for i in range(4):
+        rt.submit(cod, [(h, "r")], name=f"t{i}")
+    rt.wait_for_all()
+    rt.shutdown()
+    spans = suite.spans
+    assert spans.n_finished == 4
+    assert spans.active() == []
+    for root in spans.finished:
+        assert root.kind == "invoke"
+        assert root.name == "work"
+        assert not root.open
+        kinds = [c.kind for c in root.children]
+        assert kinds[0] == "schedule-wait"
+        assert "kernel" in kinds
+        for child in root.children:
+            assert not child.open
+            assert root.start <= child.start
+            assert child.end <= root.end + 1e-12
+        kernel = next(c for c in root.children if c.kind == "kernel")
+        assert kernel.duration == pytest.approx(1e-4)
+
+
+def test_transfer_spans_attach_to_the_staging_task():
+    rt, suite = _traced_runtime()
+    cod = _codelet("gpuonly", archs=(Arch.CUDA,))
+    h = rt.register(np.zeros(1024, dtype=np.float32), "big")
+    rt.submit(cod, [(h, "r")], name="t0")
+    rt.wait_for_all()
+    rt.shutdown()
+    root = suite.spans.finished[0]
+    transfers = [c for c in root.children if c.kind == "transfer"]
+    assert transfers, "expected the h2d staging copy as a child span"
+    assert transfers[0].labels["handle"] == "big"
+    assert transfers[0].labels["nbytes"] == 4096
+
+
+def test_spans_queryable_live():
+    rt, suite = _traced_runtime()
+    cod = _codelet()
+    h = rt.register(np.zeros(8, dtype=np.float32), "d")
+    task = rt.submit(cod, [(h, "r")], name="t0")
+    span = suite.spans.for_task(task.task_id)
+    assert span is not None
+    rt.wait_for_all()
+    rt.shutdown()
+    assert suite.spans.for_task(task.task_id) is not None
+    assert suite.spans.for_task(10_000) is None
+
+
+def test_chrome_export_overlays_worker_timeline(tmp_path):
+    rt, suite = _traced_runtime()
+    cod = _codelet()
+    h = rt.register(np.zeros(8, dtype=np.float32), "d")
+    rt.submit(cod, [(h, "r")], name="t0")
+    rt.wait_for_all()
+    rt.shutdown()
+    out = tmp_path / "trace.json"
+    suite.save_chrome_trace(out)
+    doc = json.loads(out.read_text())
+    pids = {e["pid"] for e in doc["traceEvents"]}
+    assert 2 in pids  # span overlay
+    assert 0 in pids  # worker timeline
+    span_events = [e for e in doc["traceEvents"] if e["pid"] == 2]
+    assert any(e["name"].startswith("invoke:") for e in span_events)
+
+
+def test_max_finished_trims_but_counts_everything():
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=0, noise_sigma=0.0)
+    suite = MetricsSuite(trace_spans=True, max_finished_spans=3).attach(
+        rt.engine
+    )
+    cod = _codelet()
+    h = rt.register(np.zeros(8, dtype=np.float32), "d")
+    for i in range(10):
+        rt.submit(cod, [(h, "r")], name=f"t{i}")
+    rt.wait_for_all()
+    rt.shutdown()
+    assert len(suite.spans.finished) == 3
+    assert suite.spans.n_finished == 10

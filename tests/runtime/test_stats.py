@@ -94,3 +94,53 @@ def test_clear():
     trace.record_task(_task())
     trace.clear()
     assert trace.n_tasks == 0
+
+
+def test_derived_stats_catch_up_after_reads():
+    # the incremental cache must fold in records appended *after* a read
+    trace = ExecutionTrace()
+    trace.record_task(_task(0, end=1.0))
+    assert trace.makespan == 1.0  # primes the cache
+    trace.record_task(_task(1, worker=(1,), start=1.0, end=4.0, arch="cuda"))
+    trace.record_transfer(_transfer(0, 1, 64, end=5.0))
+    assert trace.makespan == 5.0
+    assert trace.tasks_by_arch() == {"cpu": 1, "cuda": 1}
+    assert trace.busy_time(1) == pytest.approx(3.0)
+    assert trace.n_h2d == 1 and trace.bytes_transferred == 64
+
+
+def test_derived_stats_recompute_after_clear():
+    trace = ExecutionTrace()
+    trace.record_task(_task(0, end=2.0))
+    assert trace.makespan == 2.0
+    trace.clear()
+    assert trace.makespan == 0.0 and trace.tasks_by_arch() == {}
+    trace.record_task(_task(1, end=0.5))
+    assert trace.makespan == 0.5
+
+
+def test_direct_list_appends_are_folded_like_record_calls():
+    trace = ExecutionTrace()
+    assert trace.n_tasks == 0
+    trace.tasks.append(_task(0, end=3.0))  # canonicalized()/from_dict path
+    assert trace.makespan == 3.0
+
+
+def test_per_codelet_counters_survive_clear_and_canonicalize():
+    trace = ExecutionTrace()
+    trace.n_submitted = 2
+    trace.submitted_by_codelet["c"] = 2
+    trace.decisions_by_codelet["c"] = 2
+    trace.retries_by_codelet["c"] = 1
+    trace.record_task(_task(0))
+    canon = trace.canonicalized()
+    assert canon.submitted_by_codelet == {"c": 2}
+    assert canon.decisions_by_codelet == {"c": 2}
+    assert canon.retries_by_codelet == {"c": 1}
+    # and the copy is independent of the original
+    trace.submitted_by_codelet["c"] = 5
+    assert canon.submitted_by_codelet == {"c": 2}
+    trace.clear()
+    assert trace.submitted_by_codelet == {}
+    assert trace.decisions_by_codelet == {}
+    assert trace.retries_by_codelet == {}

@@ -1,0 +1,107 @@
+"""Live serving metrics agree with the end-of-run SLO report."""
+
+import pytest
+
+from repro.hw.presets import platform_c2050
+from repro.obs import MetricsSuite
+from repro.serve import CompositionServer, TenantSpec
+from repro.serve.admission import AdmissionPolicy
+from repro.serve.slo import slo_report
+
+TENANTS = [
+    TenantSpec("a", workload="sgemm", size=96, rate_hz=2000.0, n_requests=30, seed=1),
+    TenantSpec("b", workload="pathfinder", size=64, rate_hz=500.0, n_requests=8, seed=2),
+]
+
+
+def _server(**kw):
+    defaults = dict(tenants=TENANTS, scheduler="fair", metrics=True)
+    defaults.update(kw)
+    return CompositionServer(platform_c2050(), **defaults)
+
+
+def test_metrics_off_by_default():
+    server = CompositionServer(platform_c2050(), tenants=TENANTS)
+    assert server.metrics is None
+    assert server.serving_metrics is None
+
+
+def test_final_gauges_agree_with_slo_report():
+    server = _server()
+    report = server.run()
+    quantiles = server.metrics.registry.get(
+        "repro_request_latency_quantile_seconds"
+    )
+    requests = server.metrics.registry.get("repro_requests_total")
+    by_name = {t.tenant: t for t in report.tenants}
+    for tenant, slo in by_name.items():
+        # the live gauges were updated per request with the same exact
+        # interpolation the report uses — they must agree to the bit
+        assert quantiles.value(tenant=tenant, q=50) == slo.p50_s
+        assert quantiles.value(tenant=tenant, q=95) == slo.p95_s
+        assert quantiles.value(tenant=tenant, q=99) == slo.p99_s
+        assert requests.value(tenant=tenant, outcome="completed") == (
+            slo.n_completed
+        )
+    # and both agree with an independent recomputation from the trace
+    recomputed = slo_report(server.trace)
+    for t in recomputed.tenants:
+        assert quantiles.value(tenant=t.tenant, q=99) == t.p99_s
+
+
+def test_latency_histograms_count_completed_requests():
+    server = _server()
+    report = server.run()
+    latency = server.metrics.registry.get("repro_request_latency_seconds")
+    for t in report.tenants:
+        assert latency.count(tenant=t.tenant) == t.n_completed
+        assert latency.sum(tenant=t.tenant) == pytest.approx(
+            sum(
+                r.latency
+                for r in server.trace.requests_for(t.tenant)
+                if r.completed
+            )
+        )
+
+
+def test_shed_requests_counted_by_outcome():
+    server = _server(
+        tenants=[
+            TenantSpec(
+                "hot",
+                workload="sgemm",
+                size=96,
+                rate_hz=50_000.0,
+                n_requests=60,
+                seed=3,
+            )
+        ],
+        admission=AdmissionPolicy(max_queue_depth=4),
+    )
+    report = server.run()
+    t = report.tenants[0]
+    assert t.n_shed > 0, "queue bound should shed under this load"
+    requests = server.metrics.registry.get("repro_requests_total")
+    assert requests.value(tenant="hot", outcome="shed") == t.n_shed
+    assert requests.value(tenant="hot", outcome="completed") == t.n_completed
+
+
+def test_engine_and_serving_metrics_share_one_registry():
+    server = _server()
+    server.run()
+    snap = server.metrics.snapshot()
+    assert "repro_tasks_completed_total" in snap  # engine catalogue
+    assert "repro_requests_total" in snap  # serving catalogue
+    assert "repro_queue_depth" in snap  # samplers
+    completed = sum(
+        s["value"] for s in snap["repro_tasks_completed_total"]["series"]
+    )
+    assert completed == len(server.trace.tasks)
+
+
+def test_suite_instance_can_be_passed_in():
+    suite = MetricsSuite(period_s=1e-2)
+    server = _server(metrics=suite)
+    assert server.metrics is suite
+    server.run()
+    assert suite.samplers is not None

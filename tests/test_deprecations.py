@@ -7,6 +7,7 @@ import pytest
 from repro.errors import PeppherError
 from repro.hw.presets import platform_c2050
 from repro.runtime import Runtime
+from repro.runtime.events import reset_hook_warning
 from repro.runtime.schedulers import (
     DmdaScheduler,
     EagerScheduler,
@@ -18,8 +19,10 @@ from repro.serve import CompositionServer, TenantSpec
 @pytest.fixture(autouse=True)
 def fresh_warning_state():
     reset_instance_warning()
+    reset_hook_warning()
     yield
     reset_instance_warning()
+    reset_hook_warning()
 
 
 def _tenants():
@@ -102,3 +105,44 @@ def test_string_scheduler_paths_never_warn():
     assert not [
         w for w in caught if issubclass(w.category, DeprecationWarning)
     ]
+
+
+def _noop_codelet():
+    import numpy as np
+
+    from repro.runtime import Arch, Codelet, ImplVariant
+
+    return Codelet(
+        "noop",
+        [
+            ImplVariant(
+                "noop_cpu", Arch.CPU, lambda ctx, *a: None, lambda c, d: 1e-5
+            )
+        ],
+    )
+
+
+def test_engine_hook_pair_warns_exactly_once_and_still_delivers():
+    import numpy as np
+
+    rt = Runtime(platform_c2050(), scheduler="eager", seed=0)
+    submitted, completed = [], []
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        rt.engine.add_submit_hook(submitted.append)
+        rt.engine.add_complete_hook(completed.append)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    # one warning for the pair, no matter how many times either is called
+    assert len(deprecations) == 1
+    message = str(deprecations[0].message)
+    assert "add_submit_hook" in message
+    assert "Engine.events.subscribe" in message
+    h = rt.register(np.zeros(8, dtype=np.float32), "d")
+    task = rt.submit(_noop_codelet(), [(h, "r")], name="t0")
+    rt.wait_for_all()
+    rt.shutdown()
+    # the shims still deliver Task objects, like the old hooks did
+    assert submitted == [task]
+    assert completed == [task]

@@ -104,3 +104,26 @@ def test_session_partitioning_delegates():
         assert len(children) == 4
         s.unpartition(h)
         s.acquire(h, "r")
+
+
+def test_session_metrics_suite_lifecycle():
+    with Session("c2050", metrics=True, noise_sigma=0.0) as s:
+        assert s.metrics is not None
+        _run_axpy(s, n_tasks=3)
+        snap = s.metrics.snapshot()
+        submitted = snap["repro_tasks_submitted_total"]["series"]
+        assert sum(row["value"] for row in submitted) == 3
+        # counters survive a restart (fresh engine, same suite)
+        s.restart()
+        _run_axpy(s, n_tasks=2)
+        snap = s.metrics.snapshot()
+        submitted = snap["repro_tasks_submitted_total"]["series"]
+        assert sum(row["value"] for row in submitted) == 5
+    text = s.metrics.to_prometheus()
+    assert "repro_tasks_completed_total" in text
+
+
+def test_session_metrics_disabled_by_default():
+    with Session("c2050") as s:
+        assert s.metrics is None
+        assert s.runtime.engine.events.n_subscribers() == 0
