@@ -9,7 +9,12 @@ Three layers of run validation:
   re-executes the log, asserting the replayed trace is bit-identical;
 - :mod:`repro.check.differential` (imported explicitly — it pulls in the
   whole composer stack) compares composed applications against their
-  hand-written direct references under every scheduling policy.
+  hand-written direct references under every scheduling policy;
+- :mod:`repro.check.cluster` (imported explicitly — it pulls in the
+  cluster/serving stack) validates distributed invariants of a
+  :class:`~repro.cluster.router.Cluster` run (exactly-once completion,
+  no execution on crashed nodes, non-overlapping retries) and runs the
+  single-machine checker over every node's engine trace.
 
 Enable shutdown-time checking per session (``Runtime(check=True)`` /
 ``Session(check=True)``), process-wide

@@ -28,6 +28,10 @@ Checked invariants
 - **conservation**: submitted = completed + aborted; retries/recoveries/
   losses are mutually consistent; every completed request maps onto a
   completed task with matching times.
+- **fault path**: a retried task's attempts are non-overlapping in time
+  (fault times increase with the attempt index and the final successful
+  attempt starts after the last fault), and a blacklisted worker
+  receives no placements decided after the blacklist event.
 - **recording**: sequence stamps are unique, dense and per-stream
   monotone.
 
@@ -89,6 +93,7 @@ class TraceChecker:
         self._check_dependencies()
         self._check_conservation()
         self._check_coherence()
+        self._check_fault_path()
         return self.violations
 
     def _fail(self, rule: str, detail: str, events: Iterable = ()) -> None:
@@ -454,6 +459,95 @@ class TraceChecker:
                     f"task {task.name!r} ran [{task.start_time:.9f}, "
                     f"{task.end_time:.9f}]",
                     ev + (f"task#{rec.task_id}",),
+                )
+
+    # -- fault path ---------------------------------------------------------
+
+    #: fault kinds marking one failed *execution attempt* of a task
+    #: ("transfer" is an in-place retransmission, not a lost attempt)
+    _ATTEMPT_FAULTS = ("kernel", "device_lost", "transfer_abort")
+
+    def _check_fault_path(self) -> None:
+        """Retry and blacklist discipline along the fault-recovery path.
+
+        Attempts of one task must be sequential: each retry is placed
+        after the previous attempt's fault (plus backoff), so fault
+        times are non-decreasing in the attempt index and the final
+        successful attempt starts no earlier than the last fault.  A
+        blacklisted worker must receive no placement decided after the
+        blacklist moment; placement order is host-side, so the check
+        uses the triggering task's submission index (every later-
+        submitted task is placed after the blacklist) together with the
+        virtual ready time.
+        """
+        by_task: dict[int, list[FaultRecord]] = {}
+        for rec in self.trace.faults:
+            if rec.kind in self._ATTEMPT_FAULTS and rec.task_id is not None:
+                by_task.setdefault(rec.task_id, []).append(rec)
+        for task_id, recs in sorted(by_task.items()):
+            recs.sort(key=lambda r: (r.attempt, r.time))
+            for a, b in zip(recs, recs[1:]):
+                if b.attempt == a.attempt:
+                    self._fail(
+                        "fault.attempt-duplicate",
+                        f"task {a.task_name!r} records two attempt-"
+                        f"{a.attempt} faults ({a.kind}, {b.kind})",
+                        (f"fault@seq{a.seq}", f"fault@seq{b.seq}"),
+                    )
+                    continue
+                if b.time < a.time - EPS:
+                    self._fail(
+                        "fault.attempt-overlap",
+                        f"task {a.task_name!r}: attempt {b.attempt} faulted "
+                        f"at {b.time:.9f}, before attempt {a.attempt}'s "
+                        f"fault at {a.time:.9f} — retried attempts must "
+                        f"not overlap in time",
+                        (f"fault@seq{a.seq}", f"fault@seq{b.seq}"),
+                    )
+            final = self._tasks_by_id.get(task_id)
+            last = recs[-1]
+            if final is not None and final.start_time < last.time - EPS:
+                self._fail(
+                    "fault.attempt-overlap",
+                    f"task {final.name!r}: final attempt starts at "
+                    f"{final.start_time:.9f}, before its last fault at "
+                    f"{last.time:.9f} — the successful attempt overlaps "
+                    f"a failed one",
+                    (f"task#{task_id}", f"fault@seq{last.seq}"),
+                )
+        for rec in self.trace.faults:
+            if rec.kind != "blacklisted" or not rec.worker_ids:
+                continue
+            w = rec.worker_ids[0]
+            trigger = (
+                self._tasks_by_id.get(rec.task_id)
+                if rec.task_id is not None
+                else None
+            )
+            if trigger is not None and w in trigger.worker_ids:
+                self._fail(
+                    "fault.blacklist-placement",
+                    f"task {trigger.name!r} triggered the blacklisting of "
+                    f"worker {w} at t={rec.time:.9f} yet its final (post-"
+                    f"blacklist) placement still uses that worker",
+                    (f"task#{trigger.task_id}", f"fault@seq{rec.seq}"),
+                )
+            if trigger is None:
+                # without the triggering task's submission index the
+                # host-side placement order cannot be reconstructed
+                # (eager placement runs ahead of virtual time)
+                continue
+            for t in self.trace.tasks:
+                if w not in t.worker_ids or t.ready_time <= rec.time + EPS:
+                    continue
+                if t.submit_seq <= trigger.submit_seq:
+                    continue  # placed before the blacklist was decided
+                self._fail(
+                    "fault.blacklist-placement",
+                    f"worker {w} was blacklisted at t={rec.time:.9f}, but "
+                    f"task {t.name!r} (ready {t.ready_time:.9f}) was placed "
+                    f"on it afterwards",
+                    (f"task#{t.task_id}", f"fault@seq{rec.seq}"),
                 )
 
     # -- coherence ----------------------------------------------------------

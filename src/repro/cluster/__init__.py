@@ -1,0 +1,75 @@
+"""Cluster-scale serving: a simulated multi-node deployment of the
+composition server with failure detection, tenant failover, hedging and
+graceful brown-out.
+
+Each :class:`~repro.cluster.node.ClusterNode` is a full single-machine
+runtime (engine + machine description + perf-model store + device-level
+fault model); the :class:`~repro.cluster.router.Cluster` facade routes
+tenants across them with a consistent-hash ring, detects node failures
+with a phi-accrual heartbeat detector, and retries/hedges requests
+under an exactly-once completion guarantee.  Chaos plans are scripted
+via :class:`~repro.cluster.faults.NodeFaultModel` (or derived from a
+seed with :func:`~repro.cluster.faults.chaos_schedule`), and everything
+is deterministic: same seed, same chaos, byte-identical trace digest.
+
+>>> from repro.cluster import Cluster, ClusterTenant, chaos_schedule
+>>> tenants = [ClusterTenant(name="t0", workload="sgemm", n_requests=50,
+...                          priority=2, slo_ms=50.0)]
+>>> cluster = Cluster(4, tenants, seed=7,
+...                   node_faults=chaos_schedule(4, at=0.05, kill=1))
+>>> trace = cluster.run()
+"""
+
+from repro.cluster.detector import NodeState, PhiAccrualDetector
+from repro.cluster.faults import NodeFaultModel, chaos_schedule
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.node import ClusterNode
+from repro.cluster.records import (
+    ATTEMPT_OUTCOMES,
+    CLUSTER_EVENT_KINDS,
+    REQUEST_OUTCOMES,
+    AttemptRecord,
+    ClusterEventRecord,
+    ClusterRequestRecord,
+    ClusterTrace,
+    completed_latencies,
+)
+from repro.cluster.ring import HashRing
+from repro.cluster.router import (
+    BrownoutPolicy,
+    Cluster,
+    ClusterTenant,
+    HedgePolicy,
+)
+from repro.cluster.slo import (
+    RecoveryStats,
+    cluster_slo_report,
+    recovery_stats,
+    windowed_p99,
+)
+
+__all__ = [
+    "ATTEMPT_OUTCOMES",
+    "CLUSTER_EVENT_KINDS",
+    "REQUEST_OUTCOMES",
+    "AttemptRecord",
+    "BrownoutPolicy",
+    "Cluster",
+    "ClusterEventRecord",
+    "ClusterMetrics",
+    "ClusterNode",
+    "ClusterRequestRecord",
+    "ClusterTenant",
+    "ClusterTrace",
+    "HashRing",
+    "HedgePolicy",
+    "NodeFaultModel",
+    "NodeState",
+    "PhiAccrualDetector",
+    "RecoveryStats",
+    "chaos_schedule",
+    "cluster_slo_report",
+    "completed_latencies",
+    "recovery_stats",
+    "windowed_p99",
+]

@@ -1,0 +1,94 @@
+"""Phi-accrual failure detection over heartbeats.
+
+Every node emits a heartbeat each ``interval_s`` of virtual time;
+crashed nodes fall silent and partitioned nodes' beats are dropped in
+flight.  Instead of a binary timeout, the detector accrues *suspicion*:
+``phi(node, now)`` is ``-log10`` of the probability that a healthy node
+would still be silent after the observed gap, under an exponential
+model of heartbeat interarrivals whose mean is tracked per node with an
+exponentially weighted moving average.  phi rises continuously with
+silence, so the cluster can act at two thresholds: ``suspect_phi``
+(stop preferring the node for new work) and ``dead_phi`` (declare it
+dead and fail over its outstanding requests).  A declared-dead node
+whose beats resume (a healed partition) drops back below threshold and
+transitions to ALIVE — failover must therefore tolerate the "dead" node
+answering later, which is what idempotent completion keys are for.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+
+
+class NodeState(Enum):
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+class PhiAccrualDetector:
+    """Suspicion-accruing heartbeat failure detector."""
+
+    def __init__(
+        self,
+        interval_s: float,
+        suspect_phi: float = 1.0,
+        dead_phi: float = 2.0,
+        ewma_alpha: float = 0.2,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        if not 0 < suspect_phi <= dead_phi:
+            raise ValueError(
+                f"need 0 < suspect_phi <= dead_phi, got "
+                f"({suspect_phi}, {dead_phi})"
+            )
+        if not 0 < ewma_alpha <= 1:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.interval_s = float(interval_s)
+        self.suspect_phi = float(suspect_phi)
+        self.dead_phi = float(dead_phi)
+        self.ewma_alpha = float(ewma_alpha)
+        #: node -> time of last heartbeat seen
+        self._last: dict[int, float] = {}
+        #: node -> EWMA of heartbeat interarrival
+        self._mean: dict[int, float] = {}
+
+    def register(self, node: int, now: float) -> None:
+        """Start monitoring ``node``; the mean starts at the nominal
+        interval so the very first silence is judged sanely."""
+        self._last[node] = now
+        self._mean[node] = self.interval_s
+
+    def heartbeat(self, node: int, now: float) -> None:
+        if node not in self._last:
+            self.register(node, now)
+            return
+        gap = max(now - self._last[node], 0.0)
+        a = self.ewma_alpha
+        self._mean[node] = (1 - a) * self._mean[node] + a * gap
+        self._last[node] = now
+
+    def phi(self, node: int, now: float) -> float:
+        """Suspicion level: ``-log10 P(silence >= observed | alive)``."""
+        if node not in self._last:
+            return 0.0
+        elapsed = max(now - self._last[node], 0.0)
+        mean = max(self._mean[node], 1e-12)
+        # exponential interarrival model: P(X >= t) = exp(-t / mean)
+        return elapsed / (mean * math.log(10.0))
+
+    def state(self, node: int, now: float) -> NodeState:
+        p = self.phi(node, now)
+        if p >= self.dead_phi:
+            return NodeState.DEAD
+        if p >= self.suspect_phi:
+            return NodeState.SUSPECT
+        return NodeState.ALIVE
+
+    def silence_to_die_s(self, node: int) -> float:
+        """Silence needed for ``phi`` to reach ``dead_phi`` — the
+        detection latency bound the experiments report against."""
+        mean = self._mean.get(node, self.interval_s)
+        return self.dead_phi * mean * math.log(10.0)

@@ -1,0 +1,142 @@
+"""Node-level fault plans: crashes, stragglers, partitions.
+
+PR 1's :class:`~repro.hw.faults.FaultModel` injects *device-level*
+faults inside one machine (kernel faults, transfer corruption, device
+loss).  A cluster adds a coarser failure domain: the whole node.  The
+:class:`NodeFaultModel` scripts three node-level fault kinds against
+the cluster's global virtual clock:
+
+- **crash** — the node stops executing at ``t`` and is silent forever:
+  no heartbeats, no responses, nothing dispatched to it ever runs.
+- **straggler slowdown** — from ``t`` on, kernels dispatched to the
+  node take ``factor`` times longer (a thermally throttled or
+  oversubscribed box: alive, reachable, slow — the case hedging exists
+  for).
+- **partition** — between ``t0`` and ``t1`` the node is unreachable:
+  heartbeats and responses are dropped, dispatches are blackholed, but
+  work already on the node keeps executing and its completions are
+  delivered when the partition heals (the duplicate-suppression path).
+
+Everything is scripted (or derived from a seed via
+:func:`chaos_schedule`), never drawn from a shared RNG mid-run, so a
+chaos run is exactly reproducible — the property the same-seed digest
+check in ``experiments/cluster.py`` enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NodeFaultModel:
+    """Scripted node-level fault schedule for one cluster run."""
+
+    #: node id -> virtual time the node crashes (silent stop)
+    crash_at: Mapping[int, float] = field(default_factory=dict)
+    #: node id -> (virtual time, slowdown factor >= 1)
+    slow_at: Mapping[int, tuple[float, float]] = field(default_factory=dict)
+    #: node id -> (start, heal) of an unreachability window; ``heal``
+    #: may be ``inf`` for a partition that never heals
+    partition_at: Mapping[int, tuple[float, float]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crash_at", dict(self.crash_at))
+        object.__setattr__(
+            self,
+            "slow_at",
+            {n: (float(t), float(f)) for n, (t, f) in self.slow_at.items()},
+        )
+        object.__setattr__(
+            self,
+            "partition_at",
+            {
+                n: (float(t0), float(t1))
+                for n, (t0, t1) in self.partition_at.items()
+            },
+        )
+        for node, t in self.crash_at.items():
+            if t < 0:
+                raise ValueError(f"crash_at[{node}] must be >= 0, got {t}")
+        for node, (t, f) in self.slow_at.items():
+            if t < 0:
+                raise ValueError(f"slow_at[{node}] time must be >= 0, got {t}")
+            if f < 1.0:
+                raise ValueError(
+                    f"slow_at[{node}] factor must be >= 1, got {f}"
+                )
+        for node, (t0, t1) in self.partition_at.items():
+            if t0 < 0 or t1 < t0:
+                raise ValueError(
+                    f"partition_at[{node}] must satisfy 0 <= start <= heal, "
+                    f"got ({t0}, {t1})"
+                )
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.crash_at or self.slow_at or self.partition_at)
+
+    def validate_for(self, n_nodes: int) -> None:
+        """Reject schedules naming nodes the cluster does not have."""
+        for label, mapping in (
+            ("crash_at", self.crash_at),
+            ("slow_at", self.slow_at),
+            ("partition_at", self.partition_at),
+        ):
+            for node in mapping:
+                if not 0 <= node < n_nodes:
+                    raise ValueError(
+                        f"{label} names node {node}, but the cluster has "
+                        f"nodes 0..{n_nodes - 1}"
+                    )
+
+
+def chaos_schedule(
+    n_nodes: int,
+    *,
+    at: float,
+    kill: int = 1,
+    slow: int = 0,
+    slow_factor: float = 4.0,
+    partition: int = 0,
+    partition_for: float = 0.0,
+    stagger_s: float = 0.0,
+    seed: int = 0,
+) -> NodeFaultModel:
+    """Derive a deterministic chaos plan from a seed.
+
+    Victims are distinct nodes drawn from a seeded permutation (crashes
+    first, then stragglers, then partitions), each fault ``stagger_s``
+    after the previous so the control plane handles them as separate
+    incidents.  Raises if more victims are requested than nodes exist.
+    """
+    if kill + slow + partition > n_nodes:
+        raise ValueError(
+            f"{kill + slow + partition} victims requested but the cluster "
+            f"has only {n_nodes} nodes"
+        )
+    if at < 0:
+        raise ValueError(f"at must be >= 0, got {at}")
+    order = np.random.default_rng((int(seed), 0xC405)).permutation(n_nodes)
+    victims = [int(v) for v in order]
+    t = float(at)
+    crash_at: dict[int, float] = {}
+    slow_at: dict[int, tuple[float, float]] = {}
+    partition_at: dict[int, tuple[float, float]] = {}
+    for _ in range(kill):
+        crash_at[victims.pop(0)] = t
+        t += stagger_s
+    for _ in range(slow):
+        slow_at[victims.pop(0)] = (t, slow_factor)
+        t += stagger_s
+    for _ in range(partition):
+        partition_at[victims.pop(0)] = (t, t + partition_for)
+        t += stagger_s
+    return NodeFaultModel(
+        crash_at=crash_at, slow_at=slow_at, partition_at=partition_at
+    )

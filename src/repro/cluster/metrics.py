@@ -1,0 +1,100 @@
+"""Cluster-level metrics on the live observability layer.
+
+Bridges the cluster router's control plane into the ``repro.obs``
+metrics registry so the same scrape/export path that serves per-node
+engine metrics also exposes the distributed-systems signals: failovers,
+hedges, suppressed duplicates, per-node membership/suspicion state and
+the brown-out gate.  Pass ``metrics=True`` (or a :class:`ClusterMetrics`
+wrapping a shared registry) to :class:`~repro.cluster.router.Cluster`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.cluster.detector import NodeState
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.records import ClusterRequestRecord
+
+#: NodeState -> numeric gauge value (0 alive, 1 suspect, 2 dead)
+_STATE_VALUE = {
+    NodeState.ALIVE: 0.0,
+    NodeState.SUSPECT: 1.0,
+    NodeState.DEAD: 2.0,
+}
+
+
+class ClusterMetrics:
+    """The cluster router's metric surface."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry or MetricsRegistry()
+        r = self.registry
+        self.requests = r.counter(
+            "cluster_requests_total",
+            help="finalized requests by tenant and outcome",
+            labelnames=("tenant", "outcome"),
+        )
+        self.failovers = r.counter(
+            "cluster_failovers_total",
+            help="requests rerouted off a node declared dead",
+            labelnames=("tenant",),
+        )
+        self.retries = r.counter(
+            "cluster_retries_total",
+            help="cluster-level retry dispatches scheduled",
+            labelnames=("tenant",),
+        )
+        self.hedges = r.counter(
+            "cluster_hedges_total",
+            help="latency hedges dispatched to a second replica",
+            labelnames=("tenant",),
+        )
+        self.duplicates = r.counter(
+            "cluster_duplicates_suppressed_total",
+            help="completions suppressed by the exactly-once gate",
+            labelnames=("tenant",),
+        )
+        self.latency = r.histogram(
+            "cluster_request_latency_seconds",
+            help="end-to-end latency of completed requests",
+            unit="s",
+            labelnames=("tenant",),
+        )
+        self.node_state = r.gauge(
+            "cluster_node_state",
+            help="believed node state (0 alive, 1 suspect, 2 dead)",
+            labelnames=("node",),
+        )
+        self.brownout = r.gauge(
+            "cluster_brownout_active",
+            help="1 while the cluster sheds its lowest priority class",
+        )
+
+    # -- router hooks --------------------------------------------------------
+
+    def note_request(self, rec: "ClusterRequestRecord") -> None:
+        self.requests.inc(1, tenant=rec.tenant, outcome=rec.outcome)
+        if rec.completed and not math.isnan(rec.latency):
+            self.latency.observe(rec.latency, tenant=rec.tenant)
+
+    def note_failover(self, tenant: str) -> None:
+        self.failovers.inc(1, tenant=tenant)
+
+    def note_retry(self, tenant: str) -> None:
+        self.retries.inc(1, tenant=tenant)
+
+    def note_hedge(self, tenant: str) -> None:
+        self.hedges.inc(1, tenant=tenant)
+
+    def note_duplicate(self, tenant: str) -> None:
+        self.duplicates.inc(1, tenant=tenant)
+
+    def set_node_state(self, node: int, state: NodeState) -> None:
+        self.node_state.set(_STATE_VALUE[state], node=str(node))
+
+    def set_brownout(self, active: bool) -> None:
+        self.brownout.set(1.0 if active else 0.0)

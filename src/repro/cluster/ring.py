@@ -1,0 +1,103 @@
+"""Consistent-hash ring: stable tenant -> node routing.
+
+Tenants hash onto the same ring as the nodes' virtual points; a
+tenant's *preference list* is the distinct-node order encountered
+walking clockwise from its hash.  The first entry is the primary, the
+next ``replication - 1`` are its failover replicas, and the rest is the
+spillover order under correlated failures.  Consistent hashing gives
+the two properties the cluster needs: removing a node only remaps the
+tenants that hashed to it (placement stays re-optimizable without a
+global reshuffle, per the Optimized Composition follow-up's motivation),
+and the mapping is a pure function of the key and the member set — two
+same-seed runs route identically.
+
+Hashing uses BLAKE2b (stdlib, stable across processes and platforms —
+``hash()`` is salted per process and would break replay).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def _h(s: str) -> int:
+    """Stable 64-bit hash of a string."""
+    return int.from_bytes(
+        hashlib.blake2b(s.encode(), digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring over integer node ids."""
+
+    def __init__(self, nodes=(), vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._members: set[int] = set()
+        #: sorted virtual points: parallel arrays (hash, owner)
+        self._hashes: list[int] = []
+        self._owners: list[int] = []
+        for n in nodes:
+            self.add(n)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._members
+
+    @property
+    def members(self) -> frozenset:
+        return frozenset(self._members)
+
+    def _points(self, node: int) -> list[int]:
+        return [_h(f"node-{node}#{v}") for v in range(self.vnodes)]
+
+    def add(self, node: int) -> None:
+        if node in self._members:
+            return
+        self._members.add(node)
+        for p in self._points(node):
+            i = bisect.bisect(self._hashes, p)
+            self._hashes.insert(i, p)
+            self._owners.insert(i, node)
+
+    def remove(self, node: int) -> None:
+        if node not in self._members:
+            return
+        self._members.discard(node)
+        points = set(self._points(node))
+        keep = [
+            (h, o)
+            for h, o in zip(self._hashes, self._owners)
+            if not (o == node and h in points)
+        ]
+        self._hashes = [h for h, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def preference(self, key: str, n: int | None = None) -> list[int]:
+        """Distinct nodes in clockwise walk order from ``key``'s hash.
+
+        Returns at most ``n`` nodes (all members when ``n`` is None).
+        """
+        if not self._hashes:
+            return []
+        want = len(self._members) if n is None else min(n, len(self._members))
+        out: list[int] = []
+        seen: set[int] = set()
+        start = bisect.bisect(self._hashes, _h(key))
+        size = len(self._hashes)
+        for i in range(size):
+            owner = self._owners[(start + i) % size]
+            if owner not in seen:
+                seen.add(owner)
+                out.append(owner)
+                if len(out) >= want:
+                    break
+        return out
+
+    def primary(self, key: str) -> int | None:
+        pref = self.preference(key, 1)
+        return pref[0] if pref else None

@@ -1,0 +1,968 @@
+"""The cluster facade: consistent-hash routing, failover, hedging,
+brown-out — a simulated multi-node deployment of the composition server.
+
+:class:`Cluster` owns O(10) :class:`~repro.cluster.node.ClusterNode`\\ s
+(each a full single-machine runtime) and drives them from one global
+discrete-event loop.  The loop's heap carries six event kinds; at equal
+times completions resolve before control/heartbeat processing, which
+runs before retries, hedges and new arrivals — so capacity freed at
+time *t* is visible to routing decisions at *t*, and a crash taking
+effect at *t* is seen before anything is dispatched at *t*.
+
+Request lifecycle: arrival → (brown-out gate) → consistent-hash routing
+to the first believed-alive replica → per-node admission → the node's
+coalescing batch queue → engine execution → completion delivered back
+to the router.  Failures re-enter the loop through the phi-accrual
+failure detector: when a node is declared dead, its queued requests are
+re-routed immediately and its outstanding attempts are retried on the
+next replica after a jittered backoff (reusing
+:class:`~repro.runtime.engine.RecoveryPolicy` — the same policy shape
+that governs device-level retries inside each node).  Every request is
+identified by its idempotency key ``(tenant, req_id)``; the router
+applies **exactly one** completion per key and suppresses the rest
+(hedge losers, responses surfacing after a partition heals), so a
+failed-over invocation is never double-applied.
+
+All randomness (arrival schedules, retry jitter) is drawn from hashed,
+order-independent streams — two same-seed runs produce byte-identical
+:class:`~repro.cluster.records.ClusterTrace` digests even under chaos.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from itertools import count
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.cluster.detector import NodeState, PhiAccrualDetector
+from repro.cluster.faults import NodeFaultModel
+from repro.cluster.node import ClusterNode
+from repro.cluster.records import (
+    AttemptRecord,
+    ClusterEventRecord,
+    ClusterRequestRecord,
+    ClusterTrace,
+)
+from repro.cluster.ring import HashRing
+from repro.errors import PeppherError, UnrecoverableTaskError
+from repro.hw import presets
+from repro.hw.faults import FaultModel
+from repro.runtime.engine import RecoveryPolicy
+from repro.serve.admission import AdmissionOutcome, AdmissionPolicy
+from repro.serve.batching import BatchPolicy, Coalescer
+from repro.serve.client import TenantSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.metrics import ClusterMetrics
+
+# event kinds, in processing order at equal times (completions free
+# capacity first; control/detection next so nothing routes to a node
+# that died "now"; retries and hedges before fresh arrivals)
+_COMPLETION, _CONTROL, _HEARTBEAT, _RETRY, _HEDGE, _ARRIVAL = range(6)
+
+
+@dataclass(frozen=True)
+class ClusterTenant(TenantSpec):
+    """A tenant of the cluster: a :class:`TenantSpec` plus the two
+    knobs the robustness machinery keys on."""
+
+    #: brown-out shedding order: under cluster-wide pressure the lowest
+    #: priority class present is shed first (0 = best effort)
+    priority: int = 1
+    #: latency objective used by SLO-under-failure reporting
+    slo_ms: float = float("inf")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.priority < 0:
+            raise PeppherError(
+                f"tenant {self.name!r}: priority must be >= 0"
+            )
+        if self.slo_ms <= 0:
+            raise PeppherError(f"tenant {self.name!r}: slo_ms must be > 0")
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Tail-latency hedging: race a second replica when slow."""
+
+    #: dispatch a hedge if no completion arrived this long after dispatch
+    after_s: float
+    #: hedges allowed per request
+    max_hedges: int = 1
+
+    def __post_init__(self) -> None:
+        if self.after_s <= 0:
+            raise ValueError(f"after_s must be > 0, got {self.after_s}")
+        if self.max_hedges < 1:
+            raise ValueError(
+                f"max_hedges must be >= 1, got {self.max_hedges}"
+            )
+
+
+@dataclass(frozen=True)
+class BrownoutPolicy:
+    """Cluster-wide graceful degradation under lost capacity.
+
+    Pressure is outstanding work (dispatch slots occupied plus queued
+    requests) over the believed-alive dispatch capacity.  Crossing
+    ``high_water`` sheds the lowest-priority tenant class at admission
+    until pressure falls back under ``low_water`` (hysteresis, so the
+    gate does not flap)."""
+
+    high_water: float = 2.0
+    low_water: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low_water <= self.high_water:
+            raise ValueError(
+                f"need 0 < low_water <= high_water, got "
+                f"({self.low_water}, {self.high_water})"
+            )
+
+
+class _ReqState:
+    """Router-side mutable state of one request (one idempotency key)."""
+
+    __slots__ = (
+        "spec",
+        "tenant_idx",
+        "req_id",
+        "key",
+        "arrival_s",
+        "priority",
+        "codelet",
+        "attempts",
+        "outstanding",
+        "tried",
+        "n_dispatches",
+        "n_hedges",
+        "completed",
+        "finalized",
+        "first_dispatch",
+        "start_time",
+        "end_time",
+        "served_by",
+        "batch_size",
+        "failed_over",
+        "admitted_node",
+    )
+
+    def __init__(
+        self, spec: TenantSpec, tenant_idx: int, req_id: int, arrival_s: float
+    ) -> None:
+        self.spec = spec
+        self.tenant_idx = tenant_idx
+        self.req_id = req_id
+        self.key = (spec.name, req_id)
+        self.arrival_s = arrival_s
+        self.priority = int(getattr(spec, "priority", 1))
+        self.codelet = spec.workload
+        self.attempts: list[AttemptRecord] = []
+        self.outstanding: list[AttemptRecord] = []
+        self.tried: set[int] = set()
+        self.n_dispatches = 0
+        self.n_hedges = 0
+        self.completed = False
+        self.finalized = False
+        self.first_dispatch = float("nan")
+        self.start_time = float("nan")
+        self.end_time = float("nan")
+        self.served_by: int | None = None
+        self.batch_size = 1
+        self.failed_over = False
+        self.admitted_node: int | None = None
+
+
+class Cluster:
+    """Simulated multi-node composition service with failure handling.
+
+    Parameters (the robustness knobs; the rest mirror
+    :class:`~repro.serve.server.CompositionServer`):
+
+    - ``node_faults`` — scripted node-level chaos
+      (:class:`~repro.cluster.faults.NodeFaultModel`).
+    - ``device_faults`` — per-node device-level
+      :class:`~repro.hw.faults.FaultModel`; a single model is re-seeded
+      per node so nodes fault independently.
+    - ``failover`` — cluster-level retry policy: total dispatches per
+      request are capped at ``1 + failover.max_retries``, retries are
+      delayed by its (jittered) backoff.
+    - ``replication`` — size of each tenant's replica set on the hash
+      ring (primary + failover targets; overflow spills to the rest of
+      the preference order).
+    - ``hedge`` / ``brownout`` — optional tail-latency hedging and
+      graceful brown-out policies.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        tenants: Sequence[TenantSpec],
+        *,
+        machine="c2050",
+        replication: int = 2,
+        scheduler: str = "dmda",
+        seed: int = 0,
+        node_faults: NodeFaultModel | None = None,
+        device_faults: FaultModel | None = None,
+        recovery: RecoveryPolicy | None = None,
+        failover: RecoveryPolicy | None = None,
+        heartbeat_s: float = 1e-3,
+        suspect_phi: float = 1.0,
+        dead_phi: float = 2.0,
+        hedge: HedgePolicy | None = None,
+        brownout: BrownoutPolicy | None = None,
+        admission: AdmissionPolicy | None = None,
+        batching: BatchPolicy | None = None,
+        max_inflight: int = 4,
+        noise_sigma: float = 0.0,
+        run_kernels: bool = False,
+        store_root: "str | Path | None" = None,
+        vnodes: int = 32,
+        dispatch_overhead_s: float = 5e-6,
+        metrics: "bool | ClusterMetrics" = False,
+        check: bool | None = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise PeppherError(f"n_nodes must be >= 1, got {n_nodes}")
+        if not tenants:
+            raise PeppherError("cluster needs at least one tenant")
+        names = [s.name for s in tenants]
+        if len(set(names)) != len(names):
+            raise PeppherError(f"duplicate tenant names: {sorted(names)}")
+        if replication < 1:
+            raise PeppherError(f"replication must be >= 1, got {replication}")
+        self.tenants = list(tenants)
+        self.replication = min(replication, n_nodes)
+        self.seed = int(seed)
+        self.heartbeat_s = float(heartbeat_s)
+        self.hedge = hedge
+        self.brownout = brownout
+        self.failover = failover or RecoveryPolicy(
+            max_retries=3,
+            backoff_base_s=2e-4,
+            backoff_factor=2.0,
+            backoff_cap_s=5e-3,
+            backoff_jitter=0.3,
+        )
+        self.node_faults = node_faults or NodeFaultModel()
+        self.node_faults.validate_for(n_nodes)
+        self.check = check
+
+        self.nodes: dict[int, ClusterNode] = {}
+        for i in range(n_nodes):
+            self.nodes[i] = ClusterNode(
+                i,
+                self._make_machine(machine, i),
+                scheduler=scheduler,
+                seed=self.seed + 7919 * i,
+                noise_sigma=noise_sigma,
+                run_kernels=run_kernels,
+                faults=self._node_device_faults(device_faults, i),
+                recovery=recovery,
+                store=self._node_store(store_root, i),
+                admission=admission,
+                batching=batching,
+                max_inflight=max_inflight,
+                dispatch_overhead_s=dispatch_overhead_s,
+            )
+        self.ring = HashRing(range(n_nodes), vnodes=vnodes)
+        self.detector = PhiAccrualDetector(
+            self.heartbeat_s, suspect_phi=suspect_phi, dead_phi=dead_phi
+        )
+        self._belief: dict[int, NodeState] = {
+            i: NodeState.ALIVE for i in range(n_nodes)
+        }
+        self.trace = ClusterTrace()
+        self.metrics: "ClusterMetrics | None"
+        if metrics is True:
+            from repro.cluster.metrics import ClusterMetrics
+
+            self.metrics = ClusterMetrics()
+        else:
+            self.metrics = metrics or None
+
+        # brown-out shed class: the lowest priority present, but only
+        # when the mix is heterogeneous (shedding everyone is an outage,
+        # not a brown-out)
+        prios = sorted({int(getattr(s, "priority", 1)) for s in tenants})
+        self._shed_priority = prios[0] if len(prios) > 1 else None
+        self._brownout_active = False
+
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._heap_seq = count()
+        self._ev_seq = count()
+        self._reqs: dict[tuple[str, int], _ReqState] = {}
+        self._node_outstanding: dict[int, list[AttemptRecord]] = {
+            i: [] for i in range(n_nodes)
+        }
+        #: (key, node) pairs whose queued dispatch is a hedge
+        self._queued_hedge: set[tuple[tuple[str, int], int]] = set()
+        self._issued: dict[int, int] = {}
+        self._total_offered = sum(s.n_requests for s in tenants)
+        self._finalized = 0
+        self._planned_drains: list[tuple[float, int]] = []
+        self._now = 0.0
+        self._ran = False
+
+    # -- construction helpers -----------------------------------------------
+
+    @staticmethod
+    def _make_machine(machine, node_id: int):
+        if isinstance(machine, str):
+            return presets.by_name(machine)
+        if callable(machine):
+            return machine()
+        import copy
+
+        return copy.deepcopy(machine)
+
+    def _node_device_faults(
+        self, base: FaultModel | None, node_id: int
+    ) -> FaultModel | None:
+        """Each node faults independently: same rates, per-node seed."""
+        if base is None:
+            return None
+        return FaultModel(
+            kernel_fault_rate=base.kernel_fault_rate,
+            transfer_fault_rate=base.transfer_fault_rate,
+            device_loss_rate=base.device_loss_rate,
+            device_loss_at=base.device_loss_at,
+            seed=base.seed + 101 * node_id + 1,
+        )
+
+    @staticmethod
+    def _node_store(root, node_id: int):
+        if root is None:
+            return None
+        from repro.tuning.store import PerfModelStore
+
+        return PerfModelStore(Path(root) / f"node{node_id}")
+
+    # -- public API ----------------------------------------------------------
+
+    def drain(self, node_id: int, at: float) -> None:
+        """Schedule a planned removal: at ``at`` the node stops taking
+        new requests, finishes its in-flight work, then leaves the
+        ring.  Must be called before :meth:`run`."""
+        if self._ran:
+            raise PeppherError("drain() must be scheduled before run()")
+        if node_id not in self.nodes:
+            raise PeppherError(f"unknown node {node_id}")
+        if at < 0:
+            raise PeppherError(f"drain time must be >= 0, got {at}")
+        self._planned_drains.append((float(at), node_id))
+
+    def run(self) -> ClusterTrace:
+        """Drive the whole workload; returns the cluster trace."""
+        if self._ran:
+            raise PeppherError("cluster already ran; build a fresh Cluster")
+        self._ran = True
+        self._schedule_initial_events()
+        while self._heap:
+            t, _, kind, payload = heapq.heappop(self._heap)
+            self._now = t
+            if kind == _COMPLETION:
+                self._on_completion(t, *payload)
+            elif kind == _CONTROL:
+                self._on_control(t, payload)
+            elif kind == _HEARTBEAT:
+                self._on_heartbeat(t, payload)
+            elif kind == _RETRY:
+                self._on_retry(t, payload)
+            elif kind == _HEDGE:
+                self._on_hedge(t, payload)
+            else:
+                self._on_arrival(t, *payload)
+        self._finalize_leftovers()
+        if self._resolve_check():
+            from repro.check.cluster import assert_cluster_legal
+
+            assert_cluster_legal(self)
+        return self.trace
+
+    def shutdown(self) -> None:
+        """Close every node (persists per-node perf-model stores)."""
+        for node in self.nodes.values():
+            node.close()
+
+    @property
+    def alive_nodes(self) -> list[int]:
+        return [
+            i
+            for i, n in self.nodes.items()
+            if not n.removed and self._belief[i] is not NodeState.DEAD
+        ]
+
+    # -- setup ---------------------------------------------------------------
+
+    def _resolve_check(self) -> bool:
+        if self.check is not None:
+            return self.check
+        from repro.check.config import default_check
+
+        return default_check()
+
+    def _schedule_initial_events(self) -> None:
+        n = len(self.nodes)
+        for idx, nid in enumerate(self.nodes):
+            self.detector.register(nid, 0.0)
+            # phase-staggered first beats: the fleet never heartbeats in
+            # lockstep, so detection sweeps interleave with the workload
+            self._push(
+                self.heartbeat_s * (idx + 1) / (n + 1), _HEARTBEAT, nid
+            )
+        for idx, spec in enumerate(self.tenants):
+            if spec.rate_hz is not None:
+                rng = np.random.default_rng(spec.seed + 0xC11E)
+                gaps = rng.exponential(
+                    1.0 / spec.rate_hz, size=spec.n_requests
+                )
+                for i, t in enumerate(np.cumsum(gaps)):
+                    self._push(float(t), _ARRIVAL, (idx, i))
+            else:
+                rng = np.random.default_rng(spec.seed + 0xC105ED)
+                first = min(spec.concurrency, spec.n_requests)
+                for i in range(first):
+                    self._push(
+                        float(rng.exponential(1e-4)), _ARRIVAL, (idx, i)
+                    )
+                self._issued[idx] = first
+        for nid, t in sorted(self.node_faults.crash_at.items()):
+            self._push(t, _CONTROL, ("crash", nid))
+        for nid, (t, factor) in sorted(self.node_faults.slow_at.items()):
+            self._push(t, _CONTROL, ("slow", nid, factor))
+        for nid, (t0, t1) in sorted(self.node_faults.partition_at.items()):
+            self._push(t0, _CONTROL, ("partition", nid, t0, t1))
+            if math.isfinite(t1):
+                self._push(t1, _CONTROL, ("heal", nid))
+        for t, nid in sorted(self._planned_drains):
+            self._push(t, _CONTROL, ("drain", nid))
+
+    # -- event plumbing ------------------------------------------------------
+
+    def _push(self, t: float, kind: int, payload: object) -> None:
+        heapq.heappush(self._heap, (t, next(self._heap_seq), kind, payload))
+
+    def _event(
+        self,
+        kind: str,
+        t: float,
+        node: int | None = None,
+        tenant: str = "",
+        req_id: int = -1,
+        detail: str = "",
+    ) -> None:
+        self.trace.events.append(
+            ClusterEventRecord(
+                kind=kind,
+                time=t,
+                node=node,
+                tenant=tenant,
+                req_id=req_id,
+                detail=detail,
+                seq=next(self._ev_seq),
+            )
+        )
+
+    # -- routing -------------------------------------------------------------
+
+    def _routable(self, nid: int, allow_suspect: bool) -> bool:
+        node = self.nodes[nid]
+        if node.removed or node.draining:
+            return False
+        belief = self._belief[nid]
+        if belief is NodeState.DEAD:
+            return False
+        if belief is NodeState.SUSPECT and not allow_suspect:
+            return False
+        return True
+
+    def _route(self, tenant: str, exclude: "set[int] | frozenset" = frozenset()) -> int | None:
+        """First usable node in the tenant's preference order: replicas
+        first, then spillover; suspected nodes only as a last resort."""
+        pref = self.ring.preference(tenant)
+        replicas = pref[: self.replication]
+        rest = pref[self.replication:]
+        for allow_suspect in (False, True):
+            for tier in (replicas, rest):
+                for nid in tier:
+                    if nid in exclude:
+                        continue
+                    if self._routable(nid, allow_suspect):
+                        return nid
+        return None
+
+    # -- arrivals ------------------------------------------------------------
+
+    def _on_arrival(self, t: float, tenant_idx: int, req_id: int) -> None:
+        spec = self.tenants[tenant_idx]
+        st = _ReqState(spec, tenant_idx, req_id, t)
+        self._reqs[st.key] = st
+        self._update_brownout(t)
+        if (
+            self._brownout_active
+            and self._shed_priority is not None
+            and st.priority <= self._shed_priority
+        ):
+            self._finalize(st, t, "shed", shed_reason="brownout")
+            return
+        nid = self._route(spec.name, st.tried)
+        if nid is None:
+            self._finalize(st, t, "shed", shed_reason="no-node")
+            return
+        self._dispatch(st, nid, t, hedge=False)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch(
+        self, st: _ReqState, nid: int, t: float, *, hedge: bool
+    ) -> None:
+        node = self.nodes[nid]
+        spec = st.spec
+        if hedge:
+            st.n_hedges += 1
+        else:
+            st.n_dispatches += 1
+        st.tried.add(nid)
+        if math.isnan(st.first_dispatch):
+            st.first_dispatch = t
+        req = node.make_request(spec, st.req_id, st.arrival_s)
+        st.codelet = req.codelet_name
+        if st.admitted_node is None:
+            outcome = node.admission.decide(
+                spec.name,
+                now=t,
+                arrival_s=st.arrival_s,
+                predicted_backlog_s=node.backlog_seconds(t),
+            )
+            if outcome is AdmissionOutcome.SHED:
+                node.admission.note_shed()
+                self._finalize(st, t, "shed", shed_reason="admission")
+                return
+            # DELAY degrades to ADMIT: the node's batch queue is the
+            # cluster's backpressure buffer
+            node.admission.note_admitted(spec.name)
+            st.admitted_node = nid
+        if hedge:
+            self._queued_hedge.add((st.key, nid))
+        node.coalescer.push(req)
+        if not hedge and self.hedge is not None:
+            self._push(t + self.hedge.after_s, _HEDGE, st.key)
+        self._pump(nid, t)
+
+    def _pump(self, nid: int, t: float) -> None:
+        node = self.nodes[nid]
+        if node.removed:
+            return
+        while node.inflight < node.max_inflight and not node.coalescer.empty:
+            batch = node.coalescer.take_greedy()
+            if not batch:
+                break
+            self._submit_batch(node, batch, t)
+
+    def _new_attempt(
+        self,
+        st: _ReqState,
+        nid: int,
+        t: float,
+        *,
+        hedge: bool,
+        batch_size: int = 1,
+    ) -> AttemptRecord:
+        a = AttemptRecord(
+            tenant=st.spec.name,
+            req_id=st.req_id,
+            attempt=len(st.attempts),
+            node=nid,
+            dispatch_time=t,
+            hedge=hedge,
+            batch_size=batch_size,
+        )
+        st.attempts.append(a)
+        self.trace.attempts.append(a)
+        return a
+
+    def _submit_batch(self, node: ClusterNode, batch, t: float) -> None:
+        nid = node.node_id
+        if not node.reachable(t):
+            # the dispatch RPC is blackholed (crash or partition): the
+            # attempts never touch the engine and sit outstanding until
+            # the failure detector resolves them
+            for req in batch:
+                st = self._reqs[(req.tenant, req.req_id)]
+                hedge = (st.key, nid) in self._queued_hedge
+                self._queued_hedge.discard((st.key, nid))
+                a = self._new_attempt(
+                    st, nid, t, hedge=hedge, batch_size=len(batch)
+                )
+                node.inflight += 1
+                st.outstanding.append(a)
+                self._node_outstanding[nid].append(a)
+            return
+        for req, res in node.submit_batch(list(batch), t):
+            st = self._reqs[(req.tenant, req.req_id)]
+            hedge = (st.key, nid) in self._queued_hedge
+            self._queued_hedge.discard((st.key, nid))
+            a = self._new_attempt(
+                st, nid, t, hedge=hedge, batch_size=len(batch)
+            )
+            if isinstance(res, UnrecoverableTaskError):
+                # the node answered with a failure (its device-level
+                # retries are exhausted); eligible for failover
+                a.outcome = "failed"
+                a.resolved_time = t
+                if not st.outstanding and not st.finalized:
+                    st.failed_over = True
+                    self._event(
+                        "failover",
+                        t,
+                        node=nid,
+                        tenant=st.spec.name,
+                        req_id=st.req_id,
+                        detail="node fault budget exhausted",
+                    )
+                    if self.metrics:
+                        self.metrics.note_failover(st.spec.name)
+                    self._schedule_retry(st, t)
+                continue
+            task = res
+            a.start_time = task.start_time
+            a.end_time = task.end_time
+            a.task_seq = task.submit_seq
+            node.inflight += 1
+            st.outstanding.append(a)
+            self._node_outstanding[nid].append(a)
+            self._push(task.end_time, _COMPLETION, (nid, a, False))
+
+    # -- completions ---------------------------------------------------------
+
+    def _on_completion(
+        self, t: float, nid: int, attempt: AttemptRecord, redelivery: bool
+    ) -> None:
+        node = self.nodes[nid]
+        if attempt.outcome in ("applied", "duplicate"):
+            return
+        if not redelivery:
+            if node.crashed_at is not None and attempt.end_time > node.crashed_at:
+                # the node died mid-execution; nothing ever finished
+                return
+            if node.partitioned(t):
+                t0, t1 = node.partition
+                if math.isinf(t1):
+                    return  # the response never gets out
+                # completed on the node, delivered when the link heals
+                self._push(t1, _COMPLETION, (nid, attempt, True))
+                return
+        elif node.crashed_at is not None and node.crashed_at <= t:
+            return  # node died before the healed link could deliver
+        self._deliver(node, attempt, t)
+
+    def _release_slot(self, node: ClusterNode, attempt: AttemptRecord) -> None:
+        pending = self._node_outstanding[node.node_id]
+        if attempt in pending:
+            pending.remove(attempt)
+            node.inflight = max(node.inflight - 1, 0)
+
+    def _deliver(
+        self, node: ClusterNode, attempt: AttemptRecord, t: float
+    ) -> None:
+        st = self._reqs[(attempt.tenant, attempt.req_id)]
+        attempt.deliver_time = t
+        if math.isnan(attempt.resolved_time):
+            attempt.resolved_time = t
+        # else: the attempt was already resolved ("lost" at death
+        # declaration) and this is a late redelivery — the outcome is
+        # updated below but the resolution instant stands, so failover
+        # retries dispatched after the declaration do not read as
+        # overlapping.
+        self._release_slot(node, attempt)
+        if attempt in st.outstanding:
+            st.outstanding.remove(attempt)
+        if st.finalized:
+            # exactly-once: the key was already completed (or failed) —
+            # suppress, count, never double-apply
+            attempt.outcome = "duplicate"
+            self._event(
+                "duplicate",
+                t,
+                node=node.node_id,
+                tenant=st.spec.name,
+                req_id=st.req_id,
+                detail="hedge loser" if attempt.hedge else "late response",
+            )
+            if self.metrics:
+                self.metrics.note_duplicate(st.spec.name)
+        else:
+            attempt.outcome = "applied"
+            self._complete(st, attempt, t)
+        self._maybe_finish_drain(node, t)
+        self._pump(node.node_id, t)
+
+    def _complete(
+        self, st: _ReqState, attempt: AttemptRecord, t: float
+    ) -> None:
+        st.completed = True
+        st.start_time = attempt.start_time
+        st.end_time = t
+        st.served_by = attempt.node
+        st.batch_size = attempt.batch_size
+        self._finalize(st, t, "completed")
+        spec = st.spec
+        if spec.rate_hz is None:
+            issued = self._issued.get(st.tenant_idx, 0)
+            if issued < spec.n_requests:
+                self._issued[st.tenant_idx] = issued + 1
+                self._push(
+                    t + spec.think_time_s, _ARRIVAL, (st.tenant_idx, issued)
+                )
+
+    def _finalize(
+        self, st: _ReqState, t: float, outcome: str, shed_reason: str = ""
+    ) -> None:
+        if st.finalized:
+            return
+        st.finalized = True
+        self._finalized += 1
+        if st.admitted_node is not None:
+            self.nodes[st.admitted_node].admission.note_finished(st.spec.name)
+        rec = ClusterRequestRecord(
+            tenant=st.spec.name,
+            req_id=st.req_id,
+            priority=st.priority,
+            codelet=st.codelet,
+            arrival_time=st.arrival_s,
+            outcome=outcome,
+            shed_reason=shed_reason,
+            dispatch_time=st.first_dispatch,
+            start_time=st.start_time,
+            end_time=st.end_time if outcome == "completed" else float("nan"),
+            served_by=st.served_by,
+            n_attempts=st.n_dispatches,
+            n_hedges=st.n_hedges,
+            failed_over=st.failed_over,
+            batch_size=st.batch_size,
+        )
+        self.trace.requests.append(rec)
+        if self.metrics:
+            self.metrics.note_request(rec)
+
+    # -- failure detection and failover --------------------------------------
+
+    def _on_heartbeat(self, t: float, nid: int) -> None:
+        node = self.nodes[nid]
+        if not node.removed and node.alive(t):
+            if not node.partitioned(t):
+                self.detector.heartbeat(nid, t)
+            if self._finalized < self._total_offered:
+                self._push(t + self.heartbeat_s, _HEARTBEAT, nid)
+        self._sweep(t)
+
+    def _sweep(self, t: float) -> None:
+        for nid, node in self.nodes.items():
+            if node.removed:
+                continue
+            state = self.detector.state(nid, t)
+            prev = self._belief[nid]
+            if state is prev:
+                continue
+            self._belief[nid] = state
+            if self.metrics:
+                self.metrics.set_node_state(nid, state)
+            phi = self.detector.phi(nid, t)
+            if state is NodeState.DEAD:
+                self._event("dead", t, node=nid, detail=f"phi={phi:.2f}")
+                self._handle_death(nid, t)
+            elif state is NodeState.SUSPECT and prev is NodeState.ALIVE:
+                self._event("suspect", t, node=nid, detail=f"phi={phi:.2f}")
+            elif state is NodeState.ALIVE:
+                # heartbeats resumed (a healed partition): rejoin
+                self._event("alive", t, node=nid)
+
+    def _handle_death(self, nid: int, t: float) -> None:
+        node = self.nodes[nid]
+        # queued-but-never-dispatched requests re-route immediately
+        queued = list(node.coalescer.iter_requests())
+        node.coalescer = Coalescer(node.coalescer.policy)
+        for req in queued:
+            st = self._reqs[(req.tenant, req.req_id)]
+            self._queued_hedge.discard((st.key, nid))
+            if st.finalized:
+                continue
+            self._failover(st, nid, t, detail="requeued from dead node")
+        # outstanding attempts (blackholed or lost mid-execution) fail over
+        for a in list(self._node_outstanding[nid]):
+            self._node_outstanding[nid].remove(a)
+            st = self._reqs[(a.tenant, a.req_id)]
+            a.outcome = "lost"
+            a.resolved_time = t
+            if a in st.outstanding:
+                st.outstanding.remove(a)
+            if st.finalized or st.outstanding:
+                continue  # completed already, or a live hedge still races
+            self._failover(st, nid, t, detail="outstanding on dead node")
+        node.inflight = 0
+        self._update_brownout(t)
+
+    def _failover(
+        self, st: _ReqState, nid: int, t: float, detail: str
+    ) -> None:
+        st.failed_over = True
+        self._event(
+            "failover",
+            t,
+            node=nid,
+            tenant=st.spec.name,
+            req_id=st.req_id,
+            detail=detail,
+        )
+        if self.metrics:
+            self.metrics.note_failover(st.spec.name)
+        self._schedule_retry(st, t)
+
+    def _schedule_retry(self, st: _ReqState, t: float) -> None:
+        n = st.n_dispatches  # dispatches so far; the retry is n + 1
+        if n > self.failover.max_retries:
+            self._finalize(st, t, "failed")
+            return
+        u = None
+        if self.failover.backoff_jitter > 0.0:
+            u = float(
+                np.random.default_rng(
+                    (self.seed, 0xFA11, st.tenant_idx, st.req_id, n)
+                ).random()
+            )
+        self._push(t + self.failover.backoff(n, u), _RETRY, st.key)
+        if self.metrics:
+            self.metrics.note_retry(st.spec.name)
+
+    def _on_retry(self, t: float, key: tuple[str, int]) -> None:
+        st = self._reqs[key]
+        if st.finalized or st.outstanding:
+            return
+        nid = self._route(st.spec.name, st.tried)
+        if nid is None:
+            self._finalize(st, t, "failed")
+            return
+        self._dispatch(st, nid, t, hedge=False)
+
+    def _on_hedge(self, t: float, key: tuple[str, int]) -> None:
+        st = self._reqs[key]
+        if st.finalized or not st.outstanding:
+            return  # completed, or mid-failover (the retry path owns it)
+        if self.hedge is None or st.n_hedges >= self.hedge.max_hedges:
+            return
+        nid = self._route(st.spec.name, st.tried)
+        if nid is None:
+            return
+        self._event(
+            "hedge", t, node=nid, tenant=st.spec.name, req_id=st.req_id
+        )
+        if self.metrics:
+            self.metrics.note_hedge(st.spec.name)
+        self._dispatch(st, nid, t, hedge=True)
+
+    # -- control plane -------------------------------------------------------
+
+    def _on_control(self, t: float, cmd: tuple) -> None:
+        kind = cmd[0]
+        nid = cmd[1]
+        node = self.nodes[nid]
+        if kind == "crash":
+            node.crashed_at = t
+            self._event("crash", t, node=nid)
+        elif kind == "slow":
+            factor = cmd[2]
+            node.apply_slowdown(t, factor)
+            self._event("slowdown", t, node=nid, detail=f"x{factor:g}")
+        elif kind == "partition":
+            node.partition = (cmd[2], cmd[3])
+            self._event(
+                "partition",
+                t,
+                node=nid,
+                detail=f"until t={cmd[3]:.6f}"
+                if math.isfinite(cmd[3])
+                else "never heals",
+            )
+        elif kind == "heal":
+            self._event("heal", t, node=nid)
+            self._pump(nid, t)
+        elif kind == "drain":
+            self._start_drain(node, t)
+
+    def _start_drain(self, node: ClusterNode, t: float) -> None:
+        if node.removed or node.draining:
+            return
+        node.draining = True
+        self._event("drain_start", t, node=node.node_id)
+        queued = list(node.coalescer.iter_requests())
+        node.coalescer = Coalescer(node.coalescer.policy)
+        for req in queued:
+            st = self._reqs[(req.tenant, req.req_id)]
+            self._queued_hedge.discard((st.key, node.node_id))
+            if st.finalized:
+                continue
+            nxt = self._route(st.spec.name, st.tried)
+            if nxt is None:
+                self._finalize(st, t, "failed")
+            else:
+                self._dispatch(st, nxt, t, hedge=False)
+        self._maybe_finish_drain(node, t)
+
+    def _maybe_finish_drain(self, node: ClusterNode, t: float) -> None:
+        if (
+            node.draining
+            and not node.removed
+            and node.inflight == 0
+            and node.coalescer.empty
+        ):
+            node.removed = True
+            self.ring.remove(node.node_id)
+            self._event("drain_done", t, node=node.node_id)
+
+    # -- brown-out -----------------------------------------------------------
+
+    def _update_brownout(self, t: float) -> None:
+        if self.brownout is None or self._shed_priority is None:
+            return
+        capacity = 0
+        load = 0
+        for nid, node in self.nodes.items():
+            if node.removed or self._belief[nid] is NodeState.DEAD:
+                continue
+            capacity += node.max_inflight
+            load += node.queue_depth()
+        pressure = load / capacity if capacity else float("inf")
+        if not self._brownout_active and pressure >= self.brownout.high_water:
+            self._brownout_active = True
+            self._event("brownout_on", t, detail=f"pressure={pressure:.2f}")
+            if self.metrics:
+                self.metrics.set_brownout(True)
+        elif self._brownout_active and pressure <= self.brownout.low_water:
+            self._brownout_active = False
+            self._event("brownout_off", t, detail=f"pressure={pressure:.2f}")
+            if self.metrics:
+                self.metrics.set_brownout(False)
+
+    # -- teardown ------------------------------------------------------------
+
+    def _finalize_leftovers(self) -> None:
+        """Resolve requests still open when the event heap drains (every
+        replica dead, or a never-healing partition ate the response)."""
+        t = self._now
+        for st in self._reqs.values():
+            if st.finalized:
+                continue
+            for a in list(st.outstanding):
+                a.outcome = "lost"
+                a.resolved_time = t
+                self._release_slot(self.nodes[a.node], a)
+            st.outstanding.clear()
+            self._finalize(st, t, "failed")

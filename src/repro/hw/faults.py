@@ -85,6 +85,28 @@ class FaultModel:
                 )
         self.seed = int(seed)
 
+    def validate_for(self, machine, now: float = 0.0) -> None:
+        """Check the scripted loss schedule against the attach context.
+
+        Called by the engine when the model is attached.  A
+        ``device_loss_at`` entry naming a unit the machine does not have,
+        or a loss time already in the past of the engine clock, would
+        silently never fire — surface both as clear errors instead.
+        """
+        known = {u.unit_id for u in machine.units}
+        for unit_id, t in sorted(self.device_loss_at.items()):
+            if unit_id not in known:
+                raise ValueError(
+                    f"device_loss_at names unit {unit_id}, but the machine "
+                    f"{machine.name!r} only has units {sorted(known)}"
+                )
+            if t < now:
+                raise ValueError(
+                    f"device_loss_at[{unit_id}] = {t} is in the past of the "
+                    f"clock at attach time (now = {now}); the loss would "
+                    f"silently never fire"
+                )
+
     @property
     def enabled(self) -> bool:
         """True when any fault can ever be injected."""

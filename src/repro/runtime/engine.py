@@ -87,6 +87,12 @@ class RecoveryPolicy:
     blacklist_after: int = 8
     #: retransmissions tolerated per committed transfer
     max_transfer_retries: int = 3
+    #: relative jitter applied to each backoff delay: the delay is
+    #: scaled by a factor in ``[1 - jitter, 1 + jitter]`` drawn from a
+    #: stream keyed by the retry's identity, so concurrent retries
+    #: desynchronize (no thundering herd) while replays of the same
+    #: seed stay byte-identical.  0 disables jitter (the old behavior).
+    backoff_jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -99,13 +105,23 @@ class RecoveryPolicy:
             raise ValueError("backoff_factor must be >= 1")
         if self.blacklist_after < 1:
             raise ValueError("blacklist_after must be >= 1")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
+            )
 
-    def backoff(self, attempt: int) -> float:
-        """Virtual-time delay before retry number ``attempt`` (1-based)."""
-        return min(
-            self.backoff_cap_s,
-            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
-        )
+    def backoff(self, attempt: int, u: float | None = None) -> float:
+        """Virtual-time delay before retry number ``attempt`` (1-based).
+
+        ``u`` is a uniform [0, 1) sample supplied by the caller (the
+        engine keys it to the retry's identity); the jittered delay is
+        still capped at ``backoff_cap_s``, so the cap is the hard
+        maximum delay regardless of jitter.  ``None`` skips jitter.
+        """
+        delay = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        if u is not None and self.backoff_jitter > 0.0:
+            delay *= 1.0 + self.backoff_jitter * (2.0 * u - 1.0)
+        return min(self.backoff_cap_s, delay)
 
 
 class _WorkerState:
@@ -161,9 +177,12 @@ class Engine:
         self.faults = faults
         self.recovery = recovery or RecoveryPolicy()
         self.clock = VirtualClock()
+        if faults is not None:
+            faults.validate_for(machine, now=self.clock.now)
         self.trace = ExecutionTrace()
         self.submit_overhead_s = float(submit_overhead_s)
         self.run_kernels = run_kernels
+        self._seed = int(seed)
         self._rng = np.random.default_rng(seed + 0x5EED)
         self._workers = [_WorkerState(u) for u in machine.units]
         self._gang = tuple(u for u in machine.units if u.is_cpu)
@@ -649,7 +668,12 @@ class Engine:
                 self.trace.n_task_retries += 1
                 task.state = TaskState.READY
                 task.ready_time = max(
-                    task.ready_time, fault.time + self.recovery.backoff(attempt)
+                    task.ready_time,
+                    fault.time
+                    + self.recovery.backoff(
+                        attempt,
+                        self._backoff_jitter_u(task.submit_seq, attempt),
+                    ),
                 )
 
     def _abort(self, task: Task, t: float) -> None:
@@ -807,7 +831,7 @@ class Engine:
         if frac is not None:
             fail_time = start + frac * exec_time
             self._charge_failed_attempt(decision.workers, fail_time)
-            self._note_worker_fault(decision.anchor)
+            self._note_worker_fault(decision.anchor, fail_time, task)
             self._fault(
                 FaultRecord(
                     kind="kernel",
@@ -835,9 +859,26 @@ class Engine:
             ws.available_at = max(ws.available_at, fail_time)
             ws.assigned_count += 1
 
-    def _note_worker_fault(self, unit: ProcessingUnit) -> None:
+    def _backoff_jitter_u(self, task_seq: int, attempt: int) -> float | None:
+        """Uniform sample for retry-backoff jitter, keyed by the retry's
+        identity (task submission index, attempt) like the fault model's
+        own draws — order-independent, so record/replay stays
+        byte-identical and zero-jitter policies draw nothing."""
+        if self.recovery.backoff_jitter <= 0.0:
+            return None
+        rng = np.random.default_rng((self._seed, 0xB0FF, task_seq, attempt))
+        return float(rng.random())
+
+    def _note_worker_fault(
+        self, unit: ProcessingUnit, fail_time: float, task: Task
+    ) -> None:
         """Tally a transient fault; blacklist chronically faulty workers
-        (never the last usable one — degraded progress beats none)."""
+        (never the last usable one — degraded progress beats none).
+
+        Crossing the budget records a ``blacklisted`` fault naming the
+        triggering task, so the trace checker can verify that no
+        placement decided after this moment uses the retired worker.
+        """
         n = self._worker_faults.get(unit.unit_id, 0) + 1
         self._worker_faults[unit.unit_id] = n
         if (
@@ -850,6 +891,18 @@ class Engine:
         ):
             self._blacklisted.add(unit.unit_id)
             self.trace.blacklisted_workers.add(unit.unit_id)
+            self._fault(
+                FaultRecord(
+                    kind="blacklisted",
+                    time=fail_time,
+                    task_id=task.task_id,
+                    task_name=task.name,
+                    worker_ids=(unit.unit_id,),
+                    node=unit.memory_node,
+                    detail=f"unit {unit.unit_id} blacklisted after "
+                    f"{n} transient faults",
+                )
+            )
 
     def _mark_device_lost(self, unit: ProcessingUnit, t: float) -> None:
         """Graceful degradation after permanent device loss: retire the

@@ -122,6 +122,7 @@ FAULT_KINDS = (
     "transfer_abort",  # transfer retransmissions exhausted; task attempt failed
     "device_lost",  # a device dropped off the bus permanently
     "replica_lost",  # sole-owner replica on a lost device, re-sourced from host
+    "blacklisted",  # a worker crossed the transient-fault budget and was retired
 )
 
 

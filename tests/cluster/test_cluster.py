@@ -1,0 +1,329 @@
+"""Cluster end-to-end: failover, hedging, brown-out, drain, replay."""
+
+import pytest
+
+from repro.cluster import (
+    BrownoutPolicy,
+    Cluster,
+    ClusterTenant,
+    HashRing,
+    HedgePolicy,
+    NodeFaultModel,
+    chaos_schedule,
+)
+from repro.errors import PeppherError
+from repro.hw.faults import FaultModel
+from repro.runtime.engine import RecoveryPolicy
+
+
+def tenants(n_requests=150, rate_hz=3000.0):
+    return [
+        ClusterTenant("alpha", workload="sgemm", size=64, rate_hz=rate_hz,
+                      n_requests=n_requests, seed=11, priority=2, slo_ms=5.0),
+        ClusterTenant("beta", workload="bfs", size=200, rate_hz=rate_hz,
+                      n_requests=n_requests, seed=22, priority=1),
+        ClusterTenant("gamma", workload="pathfinder", size=48, rate_hz=rate_hz,
+                      n_requests=n_requests // 2, seed=33, priority=0),
+    ]
+
+
+def primary_of(name, n_nodes, vnodes=32):
+    """The node the router will prefer for ``name`` (same ring math)."""
+    return HashRing(range(n_nodes), vnodes=vnodes).preference(name)[0]
+
+
+def make_cluster(n_nodes=4, specs=None, **kw):
+    defaults = dict(seed=1, check=True)
+    defaults.update(kw)
+    return Cluster(n_nodes, specs or tenants(), **defaults)
+
+
+def events(trace, kind, node=None):
+    return [
+        e for e in trace.events
+        if e.kind == kind and (node is None or e.node == node)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# construction and validation
+# ---------------------------------------------------------------------------
+
+def test_tenant_validation():
+    with pytest.raises(PeppherError, match="priority"):
+        ClusterTenant("t", priority=-1)
+    with pytest.raises(PeppherError, match="slo_ms"):
+        ClusterTenant("t", slo_ms=0.0)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        HedgePolicy(after_s=0.0)
+    with pytest.raises(ValueError):
+        HedgePolicy(after_s=1e-3, max_hedges=0)
+    with pytest.raises(ValueError):
+        BrownoutPolicy(high_water=1.0, low_water=2.0)
+
+
+def test_cluster_rejects_fault_plan_naming_unknown_node():
+    with pytest.raises(ValueError, match="crash_at names node"):
+        make_cluster(
+            n_nodes=2, node_faults=NodeFaultModel(crash_at={5: 1.0})
+        )
+
+
+def test_run_and_drain_are_one_shot():
+    c = make_cluster(specs=tenants(n_requests=10))
+    c.run()
+    with pytest.raises(PeppherError, match="already ran"):
+        c.run()
+    with pytest.raises(PeppherError, match="before run"):
+        c.drain(0, 0.01)
+    c.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# healthy path
+# ---------------------------------------------------------------------------
+
+def test_healthy_run_completes_everything():
+    c = make_cluster()
+    tr = c.run()
+    offered = sum(s.n_requests for s in tenants())
+    assert len(tr.requests) == offered
+    assert all(r.outcome == "completed" for r in tr.requests)
+    assert not events(tr, "dead") and not events(tr, "failover")
+    assert sorted(c.alive_nodes) == [0, 1, 2, 3]
+    c.shutdown()
+
+
+def test_tenants_route_to_their_ring_primary_when_healthy():
+    c = make_cluster()
+    tr = c.run()
+    for name in ("alpha", "beta", "gamma"):
+        served = {r.served_by for r in tr.requests if r.tenant == name}
+        assert served == {primary_of(name, 4)}
+    c.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# crash and failover
+# ---------------------------------------------------------------------------
+
+def test_crash_is_detected_and_failed_over():
+    victim = primary_of("alpha", 4)
+    c = make_cluster(
+        node_faults=NodeFaultModel(crash_at={victim: 0.02}),
+    )
+    tr = c.run()
+    dead = events(tr, "dead", victim)
+    assert len(dead) == 1 and dead[0].time > 0.02
+    assert events(tr, "failover")
+    assert all(r.outcome == "completed" for r in tr.requests)
+    assert any(r.failed_over for r in tr.requests if r.tenant == "alpha")
+    assert victim not in c.alive_nodes
+    # after the death was declared, alpha is served elsewhere
+    t_dead = dead[0].time
+    late = [
+        r for r in tr.requests
+        if r.tenant == "alpha" and r.arrival_time > t_dead
+    ]
+    assert late and all(r.served_by != victim for r in late)
+    c.shutdown()
+
+
+def test_crashed_node_executes_nothing_after_the_crash():
+    victim = primary_of("alpha", 4)
+    c = make_cluster(node_faults=NodeFaultModel(crash_at={victim: 0.02}))
+    c.run()
+    engine_trace = c.nodes[victim].engine.trace
+    assert engine_trace.tasks, "victim never served — test is vacuous"
+    assert all(rec.start_time <= 0.02 + 1e-9 for rec in engine_trace.tasks)
+    c.shutdown()
+
+
+def test_exactly_once_under_crash_and_hedging():
+    victim = primary_of("alpha", 4)
+    c = make_cluster(
+        node_faults=NodeFaultModel(crash_at={victim: 0.02}),
+        hedge=HedgePolicy(after_s=2e-3),
+    )
+    tr = c.run()
+    applied = {}
+    for a in tr.attempts:
+        if a.outcome == "applied":
+            applied[(a.tenant, a.req_id)] = applied.get(
+                (a.tenant, a.req_id), 0
+            ) + 1
+    for r in tr.requests:
+        want = 1 if r.outcome == "completed" else 0
+        assert applied.get((r.tenant, r.req_id), 0) == want
+    c.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# partitions
+# ---------------------------------------------------------------------------
+
+def test_partition_heals_and_node_rejoins():
+    victim = primary_of("alpha", 4)
+    c = make_cluster(
+        node_faults=NodeFaultModel(partition_at={victim: (0.015, 0.035)}),
+    )
+    tr = c.run()
+    assert events(tr, "partition", victim)
+    assert events(tr, "heal", victim)
+    assert events(tr, "dead", victim), "partition was never detected"
+    assert events(tr, "alive", victim), "healed node never rejoined"
+    assert all(r.outcome == "completed" for r in tr.requests)
+    assert victim in c.alive_nodes
+    c.shutdown()
+
+
+def test_partition_redelivery_is_suppressed_not_double_applied():
+    """Work stranded on a partitioned node completes and is redelivered
+    at heal time — after failover already answered.  The redelivery
+    must be recorded as a duplicate, never applied twice.
+
+    The node is slowed first so its in-flight work at partition start
+    actually straddles the window (healthy tasks are microseconds)."""
+    victim = primary_of("alpha", 4)
+    c = make_cluster(
+        node_faults=NodeFaultModel(
+            slow_at={victim: (0.010, 500.0)},
+            partition_at={victim: (0.012, 0.040)},
+        ),
+    )
+    tr = c.run()
+    dups = [a for a in tr.attempts if a.outcome == "duplicate"]
+    assert dups, "no duplicate deliveries — the scenario did not trigger"
+    assert events(tr, "duplicate")
+    c.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# stragglers and hedging
+# ---------------------------------------------------------------------------
+
+def test_straggler_triggers_hedges_and_all_requests_complete():
+    victim = primary_of("alpha", 4)
+    c = make_cluster(
+        node_faults=NodeFaultModel(slow_at={victim: (0.01, 200.0)}),
+        hedge=HedgePolicy(after_s=2e-3),
+    )
+    tr = c.run()
+    assert events(tr, "slowdown", victim)
+    hedges = [a for a in tr.attempts if a.hedge]
+    assert hedges, "no hedges fired against a 200x straggler"
+    assert all(a.node != victim for a in hedges), (
+        "a hedge was dispatched to the straggler itself"
+    )
+    assert all(r.outcome == "completed" for r in tr.requests)
+    c.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# brown-out
+# ---------------------------------------------------------------------------
+
+def test_brownout_sheds_only_the_lowest_priority_class():
+    specs = [
+        ClusterTenant("prod", workload="sgemm", size=64, rate_hz=20000.0,
+                      n_requests=400, seed=1, priority=2),
+        ClusterTenant("batch", workload="pathfinder", size=48,
+                      rate_hz=20000.0, n_requests=400, seed=2, priority=0),
+    ]
+    c = make_cluster(
+        n_nodes=2,
+        specs=specs,
+        node_faults=NodeFaultModel(
+            slow_at={0: (0.002, 50.0), 1: (0.002, 50.0)}
+        ),
+        brownout=BrownoutPolicy(high_water=1.0, low_water=0.5),
+        max_inflight=1,
+    )
+    tr = c.run()
+    shed = [r for r in tr.requests if r.shed_reason == "brownout"]
+    assert shed, "pressure never tripped the brown-out gate"
+    assert events(tr, "brownout_on")
+    assert {r.tenant for r in shed} == {"batch"}
+    assert all(
+        r.outcome == "completed"
+        for r in tr.requests
+        if r.tenant == "prod"
+    )
+    c.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# planned drain
+# ---------------------------------------------------------------------------
+
+def test_drain_removes_the_node_without_losing_requests():
+    victim = primary_of("alpha", 4)
+    c = make_cluster()
+    c.drain(victim, at=0.02)
+    tr = c.run()
+    assert events(tr, "drain_start", victim)
+    done = events(tr, "drain_done", victim)
+    assert len(done) == 1
+    assert all(r.outcome == "completed" for r in tr.requests)
+    assert c.nodes[victim].removed
+    assert victim not in c.alive_nodes
+    # nothing routed to the node after it left the ring
+    t_gone = done[0].time
+    assert all(
+        a.node != victim
+        for a in tr.attempts
+        if a.dispatch_time > t_gone
+    )
+    c.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# device faults inside cluster nodes
+# ---------------------------------------------------------------------------
+
+def test_device_faults_are_retried_inside_nodes():
+    c = make_cluster(
+        specs=tenants(n_requests=60),
+        device_faults=FaultModel(kernel_fault_rate=0.2, seed=5),
+        recovery=RecoveryPolicy(max_retries=8),
+    )
+    tr = c.run()
+    node_faults = sum(
+        len(n.engine.trace.faults) for n in c.nodes.values()
+    )
+    assert node_faults > 0, "device fault rate too low to matter"
+    assert all(r.outcome == "completed" for r in tr.requests)
+    c.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+def _digest(**kw):
+    c = make_cluster(check=False, **kw)
+    d = c.run().digest()
+    c.shutdown()
+    return d
+
+
+def test_same_seed_chaos_runs_are_identical():
+    plan = chaos_schedule(4, at=0.02, kill=1, slow=1,
+                          slow_factor=50.0, stagger_s=0.005, seed=9)
+    kw = dict(node_faults=plan, hedge=HedgePolicy(after_s=2e-3))
+    assert _digest(**kw) == _digest(**kw)
+
+
+def test_seed_changes_the_trace_through_timing_noise():
+    """With noise enabled the cluster seed feeds every node's timing
+    perturbation: same seed replays identically, a different seed
+    produces a different trace."""
+    assert _digest(seed=1, noise_sigma=0.05) == _digest(
+        seed=1, noise_sigma=0.05
+    )
+    assert _digest(seed=1, noise_sigma=0.05) != _digest(
+        seed=2, noise_sigma=0.05
+    )

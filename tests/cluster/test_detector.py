@@ -1,0 +1,91 @@
+"""Phi-accrual failure detector: suspicion accrual and recovery."""
+
+import math
+
+import pytest
+
+from repro.cluster import NodeState, PhiAccrualDetector
+
+
+def make(interval=1e-3, **kw):
+    return PhiAccrualDetector(interval, **kw)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        PhiAccrualDetector(0.0)
+    with pytest.raises(ValueError):
+        make(suspect_phi=0.0)
+    with pytest.raises(ValueError):
+        make(suspect_phi=3.0, dead_phi=2.0)
+    with pytest.raises(ValueError):
+        make(ewma_alpha=0.0)
+    with pytest.raises(ValueError):
+        make(ewma_alpha=1.5)
+
+
+def test_unknown_node_has_zero_suspicion():
+    d = make()
+    assert d.phi(7, 10.0) == 0.0
+    assert d.state(7, 10.0) is NodeState.ALIVE
+
+
+def test_phi_rises_monotonically_with_silence():
+    d = make()
+    d.register(0, 0.0)
+    phis = [d.phi(0, t) for t in (0.0, 1e-3, 2e-3, 5e-3, 10e-3)]
+    assert phis[0] == 0.0
+    assert all(a < b for a, b in zip(phis, phis[1:]))
+
+
+def test_heartbeat_resets_suspicion():
+    d = make()
+    d.register(0, 0.0)
+    assert d.phi(0, 4e-3) > d.suspect_phi
+    d.heartbeat(0, 4e-3)
+    assert d.phi(0, 4e-3) == 0.0
+    assert d.state(0, 4e-3) is NodeState.ALIVE
+
+
+def test_state_thresholds():
+    d = make(suspect_phi=1.0, dead_phi=2.0)
+    d.register(0, 0.0)
+    # phi = elapsed / (mean * ln 10): thresholds at 1 and 2
+    at_suspect = 1.0 * 1e-3 * math.log(10.0)
+    at_dead = 2.0 * 1e-3 * math.log(10.0)
+    assert d.state(0, at_suspect * 0.99) is NodeState.ALIVE
+    assert d.state(0, at_suspect * 1.01) is NodeState.SUSPECT
+    assert d.state(0, at_dead * 0.99) is NodeState.SUSPECT
+    assert d.state(0, at_dead * 1.01) is NodeState.DEAD
+
+
+def test_declared_dead_node_recovers_when_beats_resume():
+    d = make()
+    d.register(0, 0.0)
+    assert d.state(0, 0.1) is NodeState.DEAD
+    d.heartbeat(0, 0.1)  # the partition healed
+    assert d.state(0, 0.1) is NodeState.ALIVE
+
+
+def test_silence_to_die_matches_the_threshold():
+    d = make(suspect_phi=1.0, dead_phi=2.0)
+    d.register(0, 0.0)
+    bound = d.silence_to_die_s(0)
+    assert d.state(0, bound * 0.99) is not NodeState.DEAD
+    assert d.state(0, bound * 1.01) is NodeState.DEAD
+
+
+def test_ewma_adapts_to_slow_heartbeats():
+    """A node that habitually beats slowly earns more tolerance: the
+    same absolute silence accrues less suspicion."""
+    fast, slow = make(), make()
+    fast.register(0, 0.0)
+    slow.register(0, 0.0)
+    t_f, t_s = 0.0, 0.0
+    for _ in range(50):
+        t_f += 1e-3
+        fast.heartbeat(0, t_f)
+        t_s += 4e-3
+        slow.heartbeat(0, t_s)
+    assert slow.phi(0, t_s + 5e-3) < fast.phi(0, t_f + 5e-3)
+    assert slow.silence_to_die_s(0) > fast.silence_to_die_s(0)

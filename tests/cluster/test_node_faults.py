@@ -1,0 +1,86 @@
+"""Node-level fault plans: validation and seeded chaos schedules."""
+
+import pytest
+
+from repro.cluster import NodeFaultModel, chaos_schedule
+
+
+def test_empty_model_is_disabled():
+    assert not NodeFaultModel().enabled
+    assert NodeFaultModel(crash_at={0: 1.0}).enabled
+    assert NodeFaultModel(slow_at={0: (1.0, 2.0)}).enabled
+    assert NodeFaultModel(partition_at={0: (1.0, 2.0)}).enabled
+
+
+def test_validation_rejects_malformed_schedules():
+    with pytest.raises(ValueError, match="crash_at"):
+        NodeFaultModel(crash_at={0: -1.0})
+    with pytest.raises(ValueError, match="slow_at"):
+        NodeFaultModel(slow_at={0: (-1.0, 2.0)})
+    with pytest.raises(ValueError, match="factor"):
+        NodeFaultModel(slow_at={0: (1.0, 0.5)})
+    with pytest.raises(ValueError, match="partition_at"):
+        NodeFaultModel(partition_at={0: (2.0, 1.0)})  # heals before start
+    with pytest.raises(ValueError, match="partition_at"):
+        NodeFaultModel(partition_at={0: (-0.5, 1.0)})
+
+
+def test_never_healing_partition_is_legal():
+    m = NodeFaultModel(partition_at={0: (1.0, float("inf"))})
+    assert m.partition_at[0][1] == float("inf")
+
+
+def test_validate_for_rejects_unknown_nodes():
+    NodeFaultModel(crash_at={3: 1.0}).validate_for(4)
+    with pytest.raises(ValueError, match="crash_at names node 4"):
+        NodeFaultModel(crash_at={4: 1.0}).validate_for(4)
+    with pytest.raises(ValueError, match="slow_at"):
+        NodeFaultModel(slow_at={9: (1.0, 2.0)}).validate_for(4)
+    with pytest.raises(ValueError, match="partition_at"):
+        NodeFaultModel(partition_at={-1: (0.0, 1.0)}).validate_for(4)
+
+
+def test_chaos_schedule_draws_distinct_victims():
+    plan = chaos_schedule(
+        8, at=1.0, kill=2, slow=2, partition=2,
+        partition_for=0.5, stagger_s=0.1, seed=7,
+    )
+    victims = (
+        list(plan.crash_at)
+        + list(plan.slow_at)
+        + list(plan.partition_at)
+    )
+    assert len(victims) == 6
+    assert len(set(victims)) == 6
+    assert all(0 <= v < 8 for v in victims)
+
+
+def test_chaos_schedule_staggers_incidents_in_order():
+    plan = chaos_schedule(
+        6, at=2.0, kill=1, slow=1, partition=1,
+        partition_for=1.0, stagger_s=0.25, seed=0,
+    )
+    (t_crash,) = plan.crash_at.values()
+    ((t_slow, _),) = plan.slow_at.values()
+    ((t_part, t_heal),) = plan.partition_at.values()
+    assert t_crash == 2.0
+    assert t_slow == 2.25
+    assert t_part == 2.5
+    assert t_heal == 3.5
+
+
+def test_chaos_schedule_is_seed_deterministic():
+    kw = dict(at=1.0, kill=2, slow=1, slow_factor=8.0, stagger_s=0.1)
+    a = chaos_schedule(10, seed=3, **kw)
+    b = chaos_schedule(10, seed=3, **kw)
+    c = chaos_schedule(10, seed=4, **kw)
+    assert a.crash_at == b.crash_at
+    assert a.slow_at == b.slow_at
+    assert (a.crash_at, a.slow_at) != (c.crash_at, c.slow_at)
+
+
+def test_chaos_schedule_rejects_too_many_victims():
+    with pytest.raises(ValueError, match="victims"):
+        chaos_schedule(3, at=1.0, kill=2, slow=2)
+    with pytest.raises(ValueError, match="at must be"):
+        chaos_schedule(3, at=-1.0)

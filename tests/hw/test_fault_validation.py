@@ -1,0 +1,47 @@
+"""FaultModel attach-time validation against machine and clock."""
+
+import pytest
+
+from repro.hw.faults import FaultModel
+from repro.hw.presets import cpu_only, platform_c2050
+from repro.runtime import Runtime
+
+
+def _unknown_unit(machine):
+    return max(u.unit_id for u in machine.units) + 7
+
+
+def test_validate_for_accepts_known_units_and_future_times():
+    machine = platform_c2050()
+    unit = machine.units[0].unit_id
+    FaultModel(device_loss_at={unit: 1.0}).validate_for(machine, now=0.0)
+
+
+def test_validate_for_rejects_unknown_unit():
+    machine = platform_c2050()
+    bad = _unknown_unit(machine)
+    with pytest.raises(ValueError, match=f"unit {bad}"):
+        FaultModel(device_loss_at={bad: 1.0}).validate_for(machine)
+
+
+def test_validate_for_rejects_loss_time_in_the_past():
+    machine = platform_c2050()
+    unit = machine.units[0].unit_id
+    with pytest.raises(ValueError, match="past"):
+        FaultModel(device_loss_at={unit: 1.0}).validate_for(machine, now=2.0)
+    # exactly "now" is still schedulable
+    FaultModel(device_loss_at={unit: 2.0}).validate_for(machine, now=2.0)
+
+
+def test_runtime_rejects_fault_model_naming_unknown_unit():
+    machine = cpu_only(2)
+    bad = _unknown_unit(machine)
+    with pytest.raises(ValueError, match="only has units"):
+        Runtime(machine, faults=FaultModel(device_loss_at={bad: 0.5}))
+
+
+def test_runtime_accepts_valid_fault_model():
+    machine = platform_c2050()
+    unit = machine.gpu_units[0].unit_id
+    rt = Runtime(machine, faults=FaultModel(device_loss_at={unit: 10.0}))
+    rt.shutdown()

@@ -1,0 +1,139 @@
+"""Retry backoff jitter: bounds, cap ordering, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.hw.faults import FaultModel
+from repro.hw.presets import platform_c2050
+from repro.runtime import RecoveryPolicy, Runtime
+
+from tests.conftest import make_axpy_codelet
+
+
+def _run(faults=None, recovery=None, seed=0, n_tasks=12):
+    rt = Runtime(platform_c2050(), scheduler="dmda", seed=seed,
+                 faults=faults, recovery=recovery)
+    cl = make_axpy_codelet(archs=("cpu", "openmp", "cuda"))
+    y = rt.register(np.zeros(4096, dtype=np.float32))
+    x = rt.register(np.ones(4096, dtype=np.float32))
+    for _ in range(n_tasks):
+        rt.submit(cl, [(y, "rw"), (x, "r")], ctx={"n": 4096},
+                  scalar_args=(1.0,))
+    rt.wait_for_all()
+    makespan = rt.shutdown()
+    return makespan, rt.trace
+
+
+# ---------------------------------------------------------------------------
+# the policy itself
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("jitter", [-0.1, 1.01, 2.0])
+def test_policy_rejects_out_of_range_jitter(jitter):
+    with pytest.raises(ValueError):
+        RecoveryPolicy(backoff_jitter=jitter)
+
+
+def test_backoff_without_jitter_is_pure_exponential():
+    p = RecoveryPolicy(backoff_base_s=1e-4, backoff_factor=2.0,
+                       backoff_cap_s=1.0)
+    assert p.backoff(1) == pytest.approx(1e-4)
+    assert p.backoff(2) == pytest.approx(2e-4)
+    assert p.backoff(5) == pytest.approx(16e-4)
+
+
+def test_backoff_jitter_spreads_symmetrically_within_bounds():
+    p = RecoveryPolicy(backoff_base_s=1e-4, backoff_factor=2.0,
+                       backoff_cap_s=1.0, backoff_jitter=0.5)
+    base = 1e-4
+    assert p.backoff(1, u=0.0) == pytest.approx(base * 0.5)   # fully early
+    assert p.backoff(1, u=0.5) == pytest.approx(base)         # centered
+    assert p.backoff(1, u=1.0) == pytest.approx(base * 1.5)   # fully late
+    for u in np.linspace(0.0, 1.0, 17):
+        d = p.backoff(3, u=float(u))
+        assert base * 4 * 0.5 <= d <= base * 4 * 1.5
+
+
+def test_backoff_cap_applies_after_jitter():
+    """The cap is a hard max-delay bound: jitter can never push a retry
+    past it."""
+    p = RecoveryPolicy(backoff_base_s=9e-3, backoff_factor=2.0,
+                       backoff_cap_s=1e-2, backoff_jitter=1.0)
+    assert p.backoff(1, u=1.0) == pytest.approx(1e-2)  # 18ms jittered -> cap
+    assert p.backoff(4, u=0.0) <= 1e-2
+    # a jittered-down delay below the cap passes through unclamped
+    assert p.backoff(1, u=0.0) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_backoff_ignores_u_when_jitter_disabled():
+    p = RecoveryPolicy(backoff_base_s=1e-4, backoff_cap_s=1.0)
+    assert p.backoff(2, u=0.0) == p.backoff(2, u=1.0) == p.backoff(2)
+
+
+# ---------------------------------------------------------------------------
+# engine integration: deterministic, replay-stable
+# ---------------------------------------------------------------------------
+
+def test_jittered_recovery_is_deterministic():
+    kw = dict(
+        faults=FaultModel(kernel_fault_rate=0.3, seed=3),
+        recovery=RecoveryPolicy(max_retries=8, backoff_jitter=0.5),
+    )
+    t1, tr1 = _run(**kw)
+    t2, tr2 = _run(**kw)
+    assert t1 == t2
+    assert [(f.kind, f.time, f.attempt) for f in tr1.faults] == [
+        (f.kind, f.time, f.attempt) for f in tr2.faults
+    ]
+    assert [(r.start_time, r.end_time) for r in tr1.tasks] == [
+        (r.start_time, r.end_time) for r in tr2.tasks
+    ]
+
+
+def test_jitter_changes_retry_timings_but_not_results():
+    faults = FaultModel(kernel_fault_rate=0.4, seed=5)
+    t0, tr0 = _run(faults=faults,
+                   recovery=RecoveryPolicy(max_retries=8))
+    t1, tr1 = _run(faults=faults,
+                   recovery=RecoveryPolicy(max_retries=8,
+                                           backoff_jitter=0.9))
+    assert tr0.n_faults > 0
+    # same fault schedule (draws are keyed, not stream-consumed) ...
+    assert [(f.kind, f.attempt) for f in tr0.faults] == [
+        (f.kind, f.attempt) for f in tr1.faults
+    ]
+    # ... but the jitter moved the retry instants
+    assert t0 != t1
+
+
+def test_zero_jitter_is_bit_identical_to_pre_jitter_behavior():
+    """jitter=0 must not consume randomness or perturb any timing."""
+    faults = FaultModel(kernel_fault_rate=0.3, seed=3)
+    t0, tr0 = _run(faults=faults, recovery=RecoveryPolicy(max_retries=8))
+    t1, tr1 = _run(faults=faults,
+                   recovery=RecoveryPolicy(max_retries=8, backoff_jitter=0.0))
+    assert t0 == t1
+    assert [(r.start_time, r.end_time) for r in tr0.tasks] == [
+        (r.start_time, r.end_time) for r in tr1.tasks
+    ]
+
+
+def test_engine_jitter_draws_are_keyed_per_task_and_attempt():
+    rt = Runtime(platform_c2050(), seed=9,
+                 recovery=RecoveryPolicy(backoff_jitter=0.5))
+    eng = rt.engine
+    # order-independent: the same (task_seq, attempt) key always yields
+    # the same u, and distinct keys decorrelate
+    a = eng._backoff_jitter_u(3, 1)
+    b = eng._backoff_jitter_u(4, 1)
+    c = eng._backoff_jitter_u(3, 2)
+    assert a == eng._backoff_jitter_u(3, 1)
+    assert len({a, b, c}) == 3
+    assert all(0.0 <= u < 1.0 for u in (a, b, c))
+    rt.shutdown()
+
+
+def test_engine_jitter_u_is_none_when_disabled():
+    rt = Runtime(platform_c2050(), seed=9)
+    assert rt.engine._backoff_jitter_u(0, 1) is None
+    rt.shutdown()
