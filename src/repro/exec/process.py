@@ -1,0 +1,180 @@
+"""Process-pool execution backend: kernels in worker processes.
+
+Each kernel is shipped to a ``ProcessPoolExecutor`` worker by
+reference (pickle sends ``module:qualname``; the worker re-imports),
+runs there bracketed by ``perf_counter_ns``, and returns the arrays it
+*wrote* — the parent copies them back into the registered payloads at
+join time, so value semantics match the shared-memory backends exactly.
+Two consequences worth knowing:
+
+- every operand is serialized both ways, so this backend pays a
+  per-call copy cost proportional to operand bytes — it wins only when
+  kernels are CPU-bound in *Python* (don't release the GIL) and heavy
+  enough to amortize the shipping;
+- kernels must be **importable module-level functions**.  That is
+  validated when the engine first sees a codelet
+  (:meth:`prepare_codelet`), raising a structured
+  :class:`~repro.errors.VariantNotPicklableError` naming the codelet
+  and variant instead of a mid-run ``PicklingError``.
+
+A worker that dies (segfault, ``os._exit``) surfaces as
+``BrokenProcessPool`` from the future; the engine wraps it into
+:class:`~repro.errors.KernelExecutionError` naming the task.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import threading
+import time
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ExecBackendError
+from repro.exec.base import ExecFuture, ExecutionBackend
+from repro.exec.timing import Measurement
+from repro.exec.validate import validate_codelet_picklable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.codelet import Codelet
+    from repro.runtime.task import Task
+
+
+def _worker_entry(fn, ctx, arrays, scalar_args, write_idx):
+    """Runs in the worker process: execute, time, return written arrays."""
+    start_ns = time.perf_counter_ns()
+    fn(ctx, *arrays, *scalar_args)
+    end_ns = time.perf_counter_ns()
+    written = {i: arrays[i] for i in write_idx}
+    return start_ns, end_ns, os.getpid(), written
+
+
+class _ProcessFuture(ExecFuture):
+    """Future that applies operand write-backs on ``result()``."""
+
+    def __init__(self, inner, parent_arrays, meta: tuple[str, str, int]) -> None:
+        super().__init__(inner)
+        self._parent_arrays = parent_arrays
+        self._meta = meta
+        self._measurement: Measurement | None = None
+        self._apply_lock = threading.Lock()
+
+    def result(self, timeout: float | None = None) -> Measurement:
+        start_ns, end_ns, pid, written = self._inner.result(timeout=timeout)
+        with self._apply_lock:
+            if self._measurement is None:
+                for i, arr in written.items():
+                    np.copyto(self._parent_arrays[i], arr)
+                codelet, variant, task_id = self._meta
+                self._measurement = Measurement(
+                    codelet=codelet,
+                    variant=variant,
+                    task_id=task_id,
+                    wall_s=(end_ns - start_ns) * 1e-9,
+                    start_ns=start_ns,
+                    end_ns=end_ns,
+                    backend="process",
+                    worker=f"pid:{pid}",
+                )
+        return self._measurement
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Kernels on a ``ProcessPoolExecutor`` (isolated address spaces).
+
+    Parameters
+    ----------
+    max_workers:
+        Pool width (default: executor's CPU-derived default).
+    start_method:
+        ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); None uses the platform default.
+    """
+
+    name = "process"
+    inline = False
+
+    def __init__(
+        self, max_workers: int | None = None, start_method: str | None = None
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ExecBackendError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        mp_context = (
+            multiprocessing.get_context(start_method)
+            if start_method is not None
+            else None
+        )
+        self._pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=mp_context
+        )
+        self._closed = False
+        self._lock = threading.Lock()
+        #: codelets already validated (by identity), so the per-submit
+        #: prepare call costs one set lookup
+        self._validated: set[int] = set()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecBackendError("process backend has been closed")
+
+    def prepare_codelet(self, codelet: "Codelet") -> None:
+        """Validate every variant's kernel is importable/picklable.
+
+        Called by the engine when a codelet is first submitted against
+        this backend; raises
+        :class:`~repro.errors.VariantNotPicklableError` naming the
+        codelet and variant.
+        """
+        if id(codelet) in self._validated:
+            return
+        validate_codelet_picklable(codelet)
+        self._validated.add(id(codelet))
+
+    def dispatch_task(self, task: "Task") -> ExecFuture:
+        variant = task.chosen_variant
+        assert variant is not None
+        arrays = tuple(op.handle.array for op in task.operands)
+        writes = tuple(
+            i for i, op in enumerate(task.operands) if op.mode.writes
+        )
+        return self.submit_kernel(
+            variant.fn,
+            task.ctx,
+            arrays,
+            task.scalar_args,
+            writes=writes,
+            codelet=task.codelet.name,
+            variant=variant.name,
+            task_id=task.task_id,
+        )
+
+    def submit_kernel(
+        self,
+        fn: Callable,
+        ctx: Mapping[str, object],
+        arrays: Sequence,
+        scalar_args: tuple = (),
+        writes: Sequence[int] = (),
+        *,
+        codelet: str = "",
+        variant: str = "",
+        task_id: int = -1,
+    ) -> ExecFuture:
+        self._check_open()
+        arrays = tuple(arrays)
+        inner = self._pool.submit(
+            _worker_entry, fn, dict(ctx), arrays, tuple(scalar_args), tuple(writes)
+        )
+        return _ProcessFuture(inner, arrays, (codelet, variant, task_id))
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=True, cancel_futures=True)

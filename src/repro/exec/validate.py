@@ -1,0 +1,74 @@
+"""Registration-time picklability validation for process backends.
+
+A kernel function crosses the process boundary by *reference*: pickle
+ships ``module:qualname`` and the worker re-imports it.  Lambdas,
+closures, locally-defined functions and the composer's generated
+backend-wrapper closures all fail that — and with no up-front check the
+failure surfaces as an opaque ``PicklingError`` in the middle of a run.
+This module performs the check when the codelet meets the backend
+(:meth:`~repro.exec.process.ProcessPoolBackend.prepare_codelet`), and
+raises :class:`~repro.errors.VariantNotPicklableError` naming the
+codelet and variant.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pickle
+from typing import TYPE_CHECKING
+
+from repro.errors import VariantNotPicklableError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.codelet import Codelet, ImplVariant
+
+
+def picklability_problem(fn) -> str | None:
+    """Why ``fn`` cannot be shipped to a worker process (None if it can).
+
+    Checks, in order of diagnosability: the function is a module-level
+    name (importable as ``module:qualname`` and resolving back to the
+    same object), and it survives a pickle round-trip.
+    """
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname:
+        return f"{fn!r} has no module/qualname"
+    if "<lambda>" in qualname:
+        return "kernel is a lambda"
+    if "<locals>" in qualname:
+        return f"kernel {qualname!r} is defined inside a function (a closure)"
+    try:
+        mod = importlib.import_module(module)
+    except ImportError as exc:
+        return f"kernel module {module!r} is not importable ({exc})"
+    obj = mod
+    try:
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+    except AttributeError:
+        return f"{module}:{qualname} does not resolve in its module"
+    if obj is not fn:
+        return (
+            f"{module}:{qualname} resolves to a different object "
+            "(decorated or shadowed?)"
+        )
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:  # pickle raises a zoo of types
+        return f"pickling failed: {type(exc).__name__}: {exc}"
+    return None
+
+
+def validate_variant_picklable(codelet_name: str, variant: "ImplVariant") -> None:
+    """Raise :class:`VariantNotPicklableError` unless the variant's
+    kernel can run on a process pool."""
+    reason = picklability_problem(variant.fn)
+    if reason is not None:
+        raise VariantNotPicklableError(codelet_name, variant.name, reason)
+
+
+def validate_codelet_picklable(codelet: "Codelet") -> None:
+    """Validate every variant of ``codelet`` (first failure raises)."""
+    for variant in codelet.variants:
+        validate_variant_picklable(codelet.name, variant)

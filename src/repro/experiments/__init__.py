@@ -16,11 +16,15 @@ module                    paper artefact
 ``overhead``              section V-E (per-task runtime overhead)
 ``ablations``             scheduler / container / narrowing studies
 ``faults``                fault-injection / recovery resilience study
+``backends``              analytical-vs-measured exec differential
+``engine_bench``          engine submit/schedule/complete throughput
 ========================  =====================================
 """
 
 __all__ = [
     "ablations",
+    "backends",
+    "engine_bench",
     "faults",
     "fig3",
     "fig5",

@@ -1,0 +1,177 @@
+"""Engine throughput benchmark: submit → schedule → complete tasks/sec.
+
+The discrete-event core is the hot path under every experiment and the
+serving layer, so its wall-clock throughput is a regression budget worth
+gating.  Two synthetic workloads bracket the dependency spectrum:
+
+- **fan-out** — independent tasks spread over a handful of handles;
+  pure submit/schedule/complete cost, no dependency chains;
+- **chain** — every task read-writes one handle, so each submission
+  walks the sequential-consistency dependency inference and the ready
+  propagation at completion.
+
+Kernels are skipped (``run_kernels=False``) and noise is off: this
+measures the *engine*, not NumPy.  ``python -m
+repro.experiments.engine_bench`` writes
+``benchmarks/results/BENCH_engine.json`` and exits non-zero when either
+workload falls under the conservative throughput floor (``--smoke``
+uses smaller task counts for CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.hw.presets import platform_c2050
+from repro.runtime import Arch, Codelet, ImplVariant, Runtime
+
+#: conservative floor (tasks/second, wall clock).  The Python engine
+#: sustains well over 10k tasks/s on a developer machine; the floor is
+#: set an order of magnitude below that so only a genuine algorithmic
+#: regression (accidental O(n^2) in submit or completion) trips it on
+#: noisy shared CI hardware.
+THROUGHPUT_FLOOR = 1500.0
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    workload: str
+    n_tasks: int
+    wall_s: float
+
+    @property
+    def tasks_per_s(self) -> float:
+        return self.n_tasks / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "n_tasks": self.n_tasks,
+            "wall_s": self.wall_s,
+            "tasks_per_s": self.tasks_per_s,
+        }
+
+
+def _bench_codelet() -> Codelet:
+    return Codelet(
+        "bench",
+        [
+            ImplVariant(
+                "bench_cpu", Arch.CPU, lambda ctx, *a: None, lambda ctx, dev: 1e-7
+            ),
+            ImplVariant(
+                "bench_cuda", Arch.CUDA, lambda ctx, *a: None, lambda ctx, dev: 1e-8
+            ),
+        ],
+    )
+
+
+def _runtime(seed: int) -> Runtime:
+    return Runtime(
+        platform_c2050(),
+        scheduler="eager",
+        seed=seed,
+        noise_sigma=0.0,
+        run_kernels=False,
+    )
+
+
+def run_fanout(n_tasks: int = 5000, n_handles: int = 8, seed: int = 0) -> WorkloadResult:
+    """Independent tasks over a rotating set of read-only handles."""
+    rt = _runtime(seed)
+    codelet = _bench_codelet()
+    handles = [
+        rt.register(np.zeros(64, dtype=np.float32), f"f{i}")
+        for i in range(n_handles)
+    ]
+    t0 = time.perf_counter()
+    for i in range(n_tasks):
+        rt.submit(codelet, [(handles[i % n_handles], "r")], name=f"fan{i}")
+    rt.wait_for_all()
+    wall = time.perf_counter() - t0
+    rt.shutdown()
+    return WorkloadResult("fanout", n_tasks, wall)
+
+
+def run_chain(n_tasks: int = 5000, seed: int = 0) -> WorkloadResult:
+    """A single rw-dependency chain through one handle."""
+    rt = _runtime(seed)
+    codelet = _bench_codelet()
+    h = rt.register(np.zeros(64, dtype=np.float32), "chain")
+    t0 = time.perf_counter()
+    for i in range(n_tasks):
+        rt.submit(codelet, [(h, "rw")], name=f"chain{i}")
+    rt.wait_for_all()
+    wall = time.perf_counter() - t0
+    rt.shutdown()
+    return WorkloadResult("chain", n_tasks, wall)
+
+
+def run(smoke: bool = False, seed: int = 0) -> list[WorkloadResult]:
+    n = 1000 if smoke else 5000
+    return [
+        run_fanout(n_tasks=n, seed=seed),
+        run_chain(n_tasks=n, seed=seed),
+    ]
+
+
+def format_results(results: list[WorkloadResult]) -> str:
+    lines = [f"engine throughput (floor {THROUGHPUT_FLOOR:.0f} tasks/s)"]
+    for r in results:
+        flag = "" if r.tasks_per_s >= THROUGHPUT_FLOOR else "  ** UNDER FLOOR **"
+        lines.append(
+            f"  {r.workload:<8s} {r.n_tasks:6d} tasks in {r.wall_s:7.3f}s "
+            f"= {r.tasks_per_s:9.0f} tasks/s{flag}"
+        )
+    return "\n".join(lines)
+
+
+_RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.engine_bench",
+        description="engine submit/schedule/complete throughput",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="smaller task counts for CI"
+    )
+    parser.add_argument(
+        "--outdir",
+        type=Path,
+        default=_RESULTS_DIR,
+        help=f"where BENCH_engine.json lands (default {_RESULTS_DIR})",
+    )
+    args = parser.parse_args(argv)
+
+    results = run(smoke=args.smoke)
+    print(format_results(results))
+
+    ok = all(r.tasks_per_s >= THROUGHPUT_FLOOR for r in results)
+    args.outdir.mkdir(parents=True, exist_ok=True)
+    bench = args.outdir / "BENCH_engine.json"
+    bench.write_text(
+        json.dumps(
+            {
+                "smoke": args.smoke,
+                "floor_tasks_per_s": THROUGHPUT_FLOOR,
+                "within_budget": ok,
+                "workloads": [r.to_dict() for r in results],
+            },
+            indent=1,
+        )
+        + "\n"
+    )
+    print(f"wrote {bench}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

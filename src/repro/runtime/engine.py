@@ -40,6 +40,8 @@ from repro.errors import (
     TransientKernelFault,
     UnrecoverableTaskError,
 )
+from repro.exec.base import ExecFuture, ExecutionBackend
+from repro.exec.timing import Measurement
 from repro.hw.clock import VirtualClock
 from repro.hw.faults import FaultModel
 from repro.hw.machine import HOST_NODE, Machine, ProcessingUnit
@@ -149,6 +151,7 @@ class Engine:
         run_kernels: bool = True,
         faults: FaultModel | None = None,
         recovery: RecoveryPolicy | None = None,
+        exec_backend: ExecutionBackend | None = None,
     ) -> None:
         """
         Parameters
@@ -169,6 +172,15 @@ class Engine:
         recovery:
             Retry/backoff/blacklist policy applied when ``faults`` is
             active (defaults to :class:`RecoveryPolicy`).
+        exec_backend:
+            Where kernel computations actually run (see
+            :mod:`repro.exec`).  ``None`` and *inline* backends (e.g.
+            :class:`~repro.exec.simulated.SimulatedBackend`) keep the
+            original synchronous path byte-identical; real backends
+            (thread/process pools) dispatch kernels as futures that the
+            engine joins at data-hazard and host-access points, and
+            every joined kernel feeds a wall-clock sample into the
+            performance model under the ``"measured"`` provenance.
         """
         self.machine = machine
         self.scheduler = scheduler
@@ -223,6 +235,17 @@ class Engine:
         #: task whose operand staging is currently committing transfers
         #: (attributes TransferEvents to their invocation)
         self._staging_task: Task | None = None
+        # real-concurrency execution (repro.exec); inline backends take
+        # the original synchronous path so defaults stay byte-identical
+        self.exec_backend = exec_backend
+        self._exec_inline = exec_backend is None or exec_backend.inline
+        #: kernels dispatched to the backend but not yet joined
+        self._pending_kernels: dict[int, tuple[Task, ExecFuture]] = {}
+        #: handle_id -> [(task_id, wrote)] for pending kernels touching it
+        self._handle_kernels: dict[int, list[tuple[int, bool]]] = {}
+        #: wall-clock measurements of every joined kernel (kept out of
+        #: the ExecutionTrace so canonical trace digests are unchanged)
+        self.measurements: list[Measurement] = []
 
     # ------------------------------------------------------------------
     # load introspection and events (serving front-end support)
@@ -402,6 +425,10 @@ class Engine:
     def submit(self, task: Task, sync: bool = False) -> Task:
         """Submit one task; with ``sync=True``, block until it completes."""
         self._check_alive()
+        if not self._exec_inline and self.run_kernels:
+            # fail fast (e.g. unpicklable kernels on a process pool)
+            # before the task mutates any engine state
+            self.exec_backend.prepare_codelet(task.codelet)
         for op in task.operands:
             if op.handle.unregistered:
                 raise RuntimeSystemError(
@@ -444,6 +471,7 @@ class Engine:
     def wait_for_task(self, task: Task) -> float:
         """Block the host program until ``task`` completes."""
         self._process_events()
+        self._join_kernel(task.task_id)
         if task.state is not TaskState.DONE:
             raise RuntimeSystemError(
                 f"task {task.name} cannot complete: state {task.state.value} "
@@ -456,6 +484,7 @@ class Engine:
         """Barrier: block until every submitted task has completed."""
         self._check_alive()
         self._process_events()
+        self._drain_kernels()
         if self._n_completed != self._n_submitted:
             raise RuntimeSystemError(
                 f"{self._n_submitted - self._n_completed} tasks never completed"
@@ -487,6 +516,7 @@ class Engine:
                 "accessing it from the application program"
             )
         self._process_events()
+        self._drain_kernels()
         t = self.clock.now
         if handle.last_writer is not None:
             t = max(t, handle.last_writer.end_time)
@@ -562,6 +592,7 @@ class Engine:
         if not handle.partitioned:
             return self.clock.now
         self._process_events()
+        self._drain_kernels()
         t = self.clock.now
         for child in handle.children:
             if child.last_writer is not None:
@@ -745,17 +776,20 @@ class Engine:
         task.chosen_variant = variant
         task.workers = workers
         if self.run_kernels:
-            try:
-                task.run_kernel()
-            except PeppherError:
-                raise
-            except Exception as exc:
-                # wrap so _make_ready's abort path keeps the engine
-                # consistent; chain the original for diagnosis
-                raise KernelExecutionError(
-                    f"task {task.name}: variant {variant.name!r} raised "
-                    f"{type(exc).__name__}: {exc}"
-                ) from exc
+            if self._exec_inline:
+                try:
+                    task.run_kernel()
+                except PeppherError:
+                    raise
+                except Exception as exc:
+                    # wrap so _make_ready's abort path keeps the engine
+                    # consistent; chain the original for diagnosis
+                    raise KernelExecutionError(
+                        f"task {task.name}: variant {variant.name!r} raised "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+            else:
+                self._dispatch_kernel(task)
         for u in workers:
             ws = self._workers[u.unit_id]
             ws.available_at = end
@@ -772,6 +806,99 @@ class Engine:
         heapq.heappush(self._events, (end, next(self._event_seq), task))
         heapq.heappush(self._inflight_ends, end)
         self.events.emit_start(start, task)
+
+    # -- real-concurrency kernel execution (repro.exec) ----------------------
+
+    def _dispatch_kernel(self, task: Task) -> None:
+        """Hand a scheduled task's kernel to the execution backend.
+
+        Data-hazard order: any pending kernel touching one of this
+        task's operands is joined first if either side writes, so the
+        values this kernel reads are final.  Independent kernels stay
+        in flight and genuinely overlap.
+        """
+        for op in task.operands:
+            entries = self._handle_kernels.get(op.handle.handle_id)
+            if not entries:
+                continue
+            for tid, wrote in list(entries):
+                if wrote or op.mode.writes:
+                    self._join_kernel(tid)
+        try:
+            fut = self.exec_backend.dispatch_task(task)
+        except PeppherError:
+            raise
+        except Exception as exc:
+            raise KernelExecutionError(
+                f"task {task.name}: backend {self.exec_backend.name!r} "
+                f"failed to dispatch: {type(exc).__name__}: {exc}"
+            ) from exc
+        self._pending_kernels[task.task_id] = (task, fut)
+        for op in task.operands:
+            self._handle_kernels.setdefault(op.handle.handle_id, []).append(
+                (task.task_id, op.mode.writes)
+            )
+
+    def _join_kernel(self, task_id: int) -> None:
+        """Wait for one dispatched kernel; record its measurement.
+
+        Exceptions raised inside the kernel (or a broken pool) surface
+        here wrapped in :class:`KernelExecutionError` naming the task,
+        variant and backend.  Successful joins append to
+        :attr:`measurements` and feed the performance model under the
+        ``"measured"`` provenance — never the analytical tables, so
+        simulated predictions and trace digests are untouched.
+        """
+        entry = self._pending_kernels.pop(task_id, None)
+        if entry is None:
+            return
+        task, fut = entry
+        for op in task.operands:
+            lst = self._handle_kernels.get(op.handle.handle_id)
+            if lst:
+                lst[:] = [e for e in lst if e[0] != task_id]
+                if not lst:
+                    del self._handle_kernels[op.handle.handle_id]
+        variant = task.chosen_variant
+        vname = variant.name if variant is not None else "?"
+        try:
+            m = fut.result()
+        except PeppherError:
+            raise
+        except Exception as exc:
+            raise KernelExecutionError(
+                f"task {task.name}: variant {vname!r} failed on the "
+                f"{self.exec_backend.name!r} backend: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        self.measurements.append(m)
+        if variant is not None:
+            size = float(sum(h.nbytes for h in task.handles))
+            self.perf.record(
+                task.footprint(),
+                variant.name,
+                size,
+                m.wall_s,
+                provenance="measured",
+            )
+
+    def _drain_kernels(self) -> None:
+        """Join every pending kernel (host-access and barrier points).
+
+        All kernels are joined even if one fails, so operand write-backs
+        and measurements are not lost; the first error is re-raised.
+        """
+        if not self._pending_kernels:
+            return
+        first: PeppherError | None = None
+        for tid in sorted(self._pending_kernels):
+            try:
+                self._join_kernel(tid)
+            except PeppherError as exc:
+                if first is None:
+                    first = exc
+        if first is not None:
+            raise first
 
     # -- fault injection and recovery ----------------------------------------
 

@@ -177,7 +177,20 @@ class RegressionModel:
 
 
 class PerfModel:
-    """History-first, regression-fallback performance model."""
+    """History-first, regression-fallback performance model.
+
+    Observations carry a *provenance*: ``"analytical"`` samples come
+    from the simulated timeline (analytic cost model + noise) and are
+    what schedulers consult; ``"measured"`` samples are wall-clock
+    timings of kernels actually executed by a real backend (see
+    :mod:`repro.exec`).  The two populations live in parallel tables of
+    the same model — never mixed, because their time bases differ — so
+    one persisted file carries both and the analytical-vs-measured
+    differential (``repro.experiments.backends``) can compare them.
+    """
+
+    #: accepted values for the ``provenance`` argument
+    PROVENANCES = ("analytical", "measured")
 
     def __init__(
         self,
@@ -186,31 +199,67 @@ class PerfModel:
     ) -> None:
         self.history = HistoryModel(min_samples=history_min_samples)
         self.regression = RegressionModel(min_samples=regression_min_samples)
+        # wall-clock observations from real execution backends; same
+        # model kinds, separate population (never consulted by the
+        # simulated scheduling path)
+        self.measured_history = HistoryModel(min_samples=history_min_samples)
+        self.measured_regression = RegressionModel(
+            min_samples=regression_min_samples
+        )
         #: variant name -> codelet name, learned from footprints at record
         #: time (footprints lead with the codelet name); lets the
         #: per-machine model store group entries per codelet
         self._variant_codelet: dict[str, str] = {}
 
+    def _tables(self, provenance: str) -> tuple[HistoryModel, RegressionModel]:
+        if provenance == "analytical":
+            return self.history, self.regression
+        if provenance == "measured":
+            return self.measured_history, self.measured_regression
+        raise RuntimeSystemError(
+            f"unknown provenance {provenance!r}; "
+            f"expected one of {self.PROVENANCES}"
+        )
+
     def record(
-        self, footprint: tuple, variant_name: str, size: float, duration: float
+        self,
+        footprint: tuple,
+        variant_name: str,
+        size: float,
+        duration: float,
+        provenance: str = "analytical",
     ) -> None:
         """Feed one observation (called by the engine at task completion)."""
         if footprint and isinstance(footprint[0], str):
             self._variant_codelet.setdefault(variant_name, footprint[0])
-        self.history.record(footprint, variant_name, duration)
-        self.regression.record(variant_name, size, duration)
+        hist, reg = self._tables(provenance)
+        hist.record(footprint, variant_name, duration)
+        reg.record(variant_name, size, duration)
 
     def predict(
-        self, footprint: tuple, variant_name: str, size: float
+        self,
+        footprint: tuple,
+        variant_name: str,
+        size: float,
+        provenance: str = "analytical",
     ) -> float | None:
         """Best available estimate, or None while uncalibrated."""
-        est = self.history.predict(footprint, variant_name)
+        hist, reg = self._tables(provenance)
+        est = hist.predict(footprint, variant_name)
         if est is not None:
             return est
-        return self.regression.predict(variant_name, size)
+        return reg.predict(variant_name, size)
 
-    def n_samples(self, footprint: tuple, variant_name: str) -> int:
-        return self.history.n_samples(footprint, variant_name)
+    def n_samples(
+        self, footprint: tuple, variant_name: str, provenance: str = "analytical"
+    ) -> int:
+        return self._tables(provenance)[0].n_samples(footprint, variant_name)
+
+    def measured_variants(self) -> set[str]:
+        """Variants with at least one wall-clock (measured) observation."""
+        out = {var for _, var in self.measured_history._table}
+        out |= set(self.measured_regression._samples)
+        return out
 
     def calibrated(
         self,
@@ -242,12 +291,14 @@ class PerfModel:
         """Variants observed without a codelet-naming footprint."""
         out = {var for _, var in self.history._table}
         out |= set(self.regression._samples)
+        out |= {var for _, var in self.measured_history._table}
+        out |= set(self.measured_regression._samples)
         return out - set(self._variant_codelet)
 
     # -- persistence (StarPU stores per-machine perfmodel files) -----------
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "history": [
                 {
                     "footprint": fp,
@@ -263,6 +314,25 @@ class PerfModel:
             },
             "codelets": dict(self._variant_codelet),
         }
+        # measured tables are emitted only when non-empty, so files from
+        # purely-simulated sessions are unchanged byte for byte
+        if self.measured_history._table:
+            out["measured_history"] = [
+                {
+                    "footprint": fp,
+                    "variant": var,
+                    "n": st.n,
+                    "mean": st.mean,
+                    "m2": st.m2,
+                }
+                for (fp, var), st in self.measured_history._table.items()
+            ]
+        if self.measured_regression._samples:
+            out["measured_regression"] = {
+                var: samples
+                for var, samples in self.measured_regression._samples.items()
+            }
+        return out
 
     @classmethod
     def from_dict(cls, raw: dict) -> "PerfModel":
@@ -272,6 +342,13 @@ class PerfModel:
             model.history._table[(entry["footprint"], entry["variant"])] = st
         for var, samples in raw.get("regression", {}).items():
             model.regression._samples[var] = [tuple(s) for s in samples]
+        for entry in raw.get("measured_history", []):
+            st = RunningStats(n=entry["n"], mean=entry["mean"], m2=entry["m2"])
+            model.measured_history._table[
+                (entry["footprint"], entry["variant"])
+            ] = st
+        for var, samples in raw.get("measured_regression", {}).items():
+            model.measured_regression._samples[var] = [tuple(s) for s in samples]
         model._variant_codelet = dict(raw.get("codelets", {}))
         return model
 
@@ -316,17 +393,25 @@ class PerfModel:
         experiments therefore never clobber each other's keys, at worst
         one side's extra samples for a shared key are dropped.
         """
-        for key, theirs in other.history._table.items():
-            ours = self.history._table.get(key)
-            if ours is None or theirs.n > ours.n:
-                self.history._table[key] = RunningStats(
-                    n=theirs.n, mean=theirs.mean, m2=theirs.m2
-                )
-        for var, samples in other.regression._samples.items():
-            ours_s = self.regression._samples.get(var)
-            if ours_s is None or len(samples) > len(ours_s):
-                self.regression._samples[var] = [tuple(s) for s in samples]
-                self.regression._fits.pop(var, None)
+        for mine_h, theirs_h in (
+            (self.history, other.history),
+            (self.measured_history, other.measured_history),
+        ):
+            for key, theirs in theirs_h._table.items():
+                ours = mine_h._table.get(key)
+                if ours is None or theirs.n > ours.n:
+                    mine_h._table[key] = RunningStats(
+                        n=theirs.n, mean=theirs.mean, m2=theirs.m2
+                    )
+        for mine_r, theirs_r in (
+            (self.regression, other.regression),
+            (self.measured_regression, other.measured_regression),
+        ):
+            for var, samples in theirs_r._samples.items():
+                ours_s = mine_r._samples.get(var)
+                if ours_s is None or len(samples) > len(ours_s):
+                    mine_r._samples[var] = [tuple(s) for s in samples]
+                    mine_r._fits.pop(var, None)
         for var, codelet in other._variant_codelet.items():
             self._variant_codelet.setdefault(var, codelet)
 
@@ -347,14 +432,22 @@ class PerfModel:
         }
         if "" in codelets:
             keep |= self.unmapped_variants()
-        for (fp, var), st in self.history._table.items():
-            if var in keep:
-                out.history._table[(fp, var)] = RunningStats(
-                    n=st.n, mean=st.mean, m2=st.m2
-                )
-        for var, samples in self.regression._samples.items():
-            if var in keep:
-                out.regression._samples[var] = [tuple(s) for s in samples]
+        for mine_h, theirs_h in (
+            (out.history, self.history),
+            (out.measured_history, self.measured_history),
+        ):
+            for (fp, var), st in theirs_h._table.items():
+                if var in keep:
+                    mine_h._table[(fp, var)] = RunningStats(
+                        n=st.n, mean=st.mean, m2=st.m2
+                    )
+        for mine_r, theirs_r in (
+            (out.regression, self.regression),
+            (out.measured_regression, self.measured_regression),
+        ):
+            for var, samples in theirs_r._samples.items():
+                if var in keep:
+                    mine_r._samples[var] = [tuple(s) for s in samples]
         out._variant_codelet = {
             var: cl for var, cl in self._variant_codelet.items() if var in keep
         }

@@ -31,6 +31,7 @@ from repro.runtime.stats import ExecutionTrace
 from repro.runtime.task import Operand, Task
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.base import ExecutionBackend
     from repro.tuning.store import PerfModelStore
 
 
@@ -85,6 +86,13 @@ class Runtime:
         :class:`~repro.check.replay.DecisionLog` (see
         :attr:`decision_log`) for deterministic replay via the
         ``"replay"`` policy.
+    exec_backend:
+        Where kernels actually execute (see :mod:`repro.exec`): a
+        backend name (``"simulated"``, ``"thread"``, ``"process"``), a
+        backend instance, or ``None`` (default) for the original inline
+        path.  A backend given by name is owned by this runtime and
+        closed at shutdown; an instance is borrowed (callers sharing a
+        pool across runtimes close it themselves).
 
     Example
     -------
@@ -110,6 +118,7 @@ class Runtime:
         recovery: RecoveryPolicy | None = None,
         check: bool | None = None,
         record: bool = False,
+        exec_backend: "str | ExecutionBackend | None" = None,
     ) -> None:
         if store is not None and (
             perfmodel is not None or perfmodel_path is not None
@@ -141,6 +150,13 @@ class Runtime:
         self._check = check
         self._checked = False
         self._recorder = None
+        self._own_backend = False
+        if isinstance(exec_backend, str):
+            from repro.exec.base import make_backend
+
+            exec_backend = make_backend(exec_backend)
+            self._own_backend = True
+        self.exec_backend = exec_backend
         noise: NoiseModel = (
             NullNoise() if noise_sigma == 0 else NoiseModel(sigma=noise_sigma, seed=seed)
         )
@@ -156,6 +172,7 @@ class Runtime:
             run_kernels=run_kernels,
             faults=faults,
             recovery=recovery,
+            exec_backend=exec_backend,
         )
         if record:
             # decisions are captured from the typed event stream, not by
@@ -243,6 +260,8 @@ class Runtime:
         :class:`~repro.errors.InvariantViolation`.
         """
         t = self.engine.shutdown()
+        if self._own_backend and self.exec_backend is not None:
+            self.exec_backend.close()
         if self._perfmodel_path is not None:
             self.engine.perf.save(self._perfmodel_path)
         if self._store is not None:
@@ -275,6 +294,13 @@ class Runtime:
     @property
     def perfmodel(self) -> PerfModel:
         return self.engine.perf
+
+    @property
+    def measurements(self):
+        """Wall-clock :class:`~repro.exec.timing.Measurement` records of
+        every kernel joined by a real execution backend (empty on the
+        inline path)."""
+        return self.engine.measurements
 
     @property
     def decision_log(self):

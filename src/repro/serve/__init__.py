@@ -27,6 +27,7 @@ Typical use::
     print(report.for_tenant("light").p99_s)
 """
 
+from repro.serve.aio import AsyncClient
 from repro.serve.admission import (
     AdmissionController,
     AdmissionOutcome,
@@ -57,6 +58,7 @@ __all__ = [
     "AdmissionController",
     "AdmissionOutcome",
     "AdmissionPolicy",
+    "AsyncClient",
     "BatchPolicy",
     "ClosedLoopClient",
     "Coalescer",

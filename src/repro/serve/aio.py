@@ -1,0 +1,109 @@
+"""Asyncio-native client surface over a :class:`~repro.session.Session`.
+
+The serving layer's tenant clients are simulation-driven (virtual-time
+load generators); this module is the *application-facing* counterpart
+for programs that are themselves asyncio: an :class:`AsyncClient` turns
+component invocations into awaitables backed by
+:meth:`Session.submit_async`, so request handlers can ``await`` a
+composition call exactly like any other coroutine — and with a real
+execution backend (``Session(..., exec_backend="thread")``) concurrent
+requests' kernels genuinely overlap.
+
+Typical use::
+
+    from repro import Session
+    from repro.serve.aio import AsyncClient
+
+    async def handler(client, h_in, h_out):
+        await client.call(conv_codelet, [(h_in, "r"), (h_out, "w")],
+                          ctx={"n": 4096})
+
+    with Session("c2050", exec_backend="thread") as session:
+        client = AsyncClient(session, max_inflight=8)
+        asyncio.run(serve_requests(client))
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Mapping, Sequence
+
+from repro.errors import PeppherError
+
+
+class AsyncClient:
+    """Awaitable component invocations with optional admission.
+
+    Parameters
+    ----------
+    session:
+        The :class:`~repro.session.Session` to submit through.
+    max_inflight:
+        Upper bound on concurrently awaited invocations (a semaphore);
+        ``None`` admits everything immediately.  This is client-side
+        backpressure — the engine-side admission controller of
+        :class:`~repro.serve.server.CompositionServer` is separate.
+    """
+
+    def __init__(self, session, max_inflight: int | None = None) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise PeppherError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.session = session
+        self._sem = (
+            asyncio.Semaphore(max_inflight) if max_inflight is not None else None
+        )
+        #: completed invocations issued through this client
+        self.n_completed = 0
+
+    async def call(
+        self,
+        codelet,
+        operands: Sequence,
+        ctx: Mapping[str, object] | None = None,
+        scalar_args: tuple = (),
+        priority: int = 0,
+        name: str = "",
+    ):
+        """Invoke one component and await its completed task."""
+        if self._sem is not None:
+            async with self._sem:
+                task = await self.session.submit_async(
+                    codelet,
+                    operands,
+                    ctx=ctx,
+                    scalar_args=scalar_args,
+                    priority=priority,
+                    name=name,
+                )
+        else:
+            task = await self.session.submit_async(
+                codelet,
+                operands,
+                ctx=ctx,
+                scalar_args=scalar_args,
+                priority=priority,
+                name=name,
+            )
+        self.n_completed += 1
+        return task
+
+    async def map(
+        self,
+        codelet,
+        operand_sets: Sequence[Sequence],
+        ctx: Mapping[str, object] | None = None,
+        scalar_args: tuple = (),
+    ):
+        """Invoke one codelet over many operand sets concurrently.
+
+        Returns completed tasks in input order; ``max_inflight`` (when
+        set) bounds how many run at once.
+        """
+        return await asyncio.gather(
+            *(
+                self.call(codelet, ops, ctx=ctx, scalar_args=scalar_args)
+                for ops in operand_sets
+            )
+        )

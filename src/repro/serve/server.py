@@ -125,6 +125,7 @@ class CompositionServer:
         store: "PerfModelStore | None" = None,
         check: bool | None = None,
         metrics: "bool | dict | MetricsSuite | None" = None,
+        exec_backend: "str | object | None" = None,
     ) -> None:
         if not tenants:
             raise PeppherError("a composition server needs at least one tenant")
@@ -162,6 +163,7 @@ class CompositionServer:
             perfmodel=perfmodel,
             store=store,
             check=check,
+            exec_backend=exec_backend,
             **sched_kwargs,
         )
         self.engine = self.runtime.engine

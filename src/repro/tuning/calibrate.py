@@ -79,6 +79,9 @@ class VariantCalibration:
 
     variant: str
     runs: int = 0
+    #: wall-clock samples contributed to the model's ``measured``
+    #: provenance by a real execution backend (0 on the inline path)
+    measured_runs: int = 0
     #: ladder index after which the variant's fit converged (None if it
     #: ran the full ladder without meeting the tolerance)
     converged_at: int | None = None
@@ -100,6 +103,8 @@ class CalibrationReport:
     #: (scenario, variant, reason) combinations that could not run
     skipped: list[tuple[ContextInstance, str, str]] = field(default_factory=list)
     total_runs: int = 0
+    #: name of the execution backend kernels ran on ("" = inline)
+    exec_backend: str = ""
 
     def provenance(self) -> dict:
         """JSON-compatible provenance for the store entry."""
@@ -108,9 +113,11 @@ class CalibrationReport:
             "interface": self.interface_name,
             "ladder": [dict(s) for s in self.ladder],
             "total_runs": self.total_runs,
+            "exec_backend": self.exec_backend,
             "variants": {
                 name: {
                     "runs": vc.runs,
+                    "measured_runs": vc.measured_runs,
                     "converged_at": vc.converged_at,
                     "dominated": vc.dominated,
                     "fitted": vc.fitted,
@@ -154,6 +161,7 @@ def calibrate_component(
     seed: int = 0,
     run_kernels: bool = False,
     model: PerfModel | None = None,
+    exec_backend: "str | object | None" = None,
 ) -> CalibrationReport:
     """Adaptively calibrate one component's performance model.
 
@@ -179,11 +187,26 @@ def calibrate_component(
     model:
         Accumulate into an existing model instead of a fresh one
         (ignored when ``store`` already has an entry to warm-start from).
+    exec_backend:
+        Run calibration kernels on a real execution backend (name or
+        instance, see :mod:`repro.exec`) so the campaign also collects
+        *wall-clock* samples under the model's ``"measured"``
+        provenance, alongside the analytical ones.  A real backend
+        implies ``run_kernels=True`` (there is nothing to measure
+        otherwise).  Backends named here are closed before returning.
     """
     if repetitions < 1:
         raise CompositionError("calibration needs at least one repetition")
     if rel_tol <= 0:
         raise CompositionError("rel_tol must be positive")
+    own_backend = False
+    if isinstance(exec_backend, str):
+        from repro.exec.base import make_backend
+
+        exec_backend = make_backend(exec_backend)
+        own_backend = True
+    if exec_backend is not None and not exec_backend.inline:
+        run_kernels = True  # wall-clock measurement needs real kernels
     codelet_all = lower_component(interface, implementations)
     machine = machine_factory()
     if model is None:
@@ -198,12 +221,21 @@ def calibrate_component(
         else size_ladder(interface.context_params, rungs)
     )
     report = CalibrationReport(
-        interface_name=interface.name, model=model, ladder=scenarios
+        interface_name=interface.name,
+        model=model,
+        ladder=scenarios,
+        exec_backend=exec_backend.name if exec_backend is not None else "",
     )
     states = {
         v.name: VariantCalibration(variant=v.name) for v in codelet_all.variants
     }
     report.variants = states
+    # warm-started models may already hold measured samples from earlier
+    # campaigns; count only what *this* campaign contributes
+    prior_measured = {
+        v.name: model.measured_regression.n_samples(v.name)
+        for v in codelet_all.variants
+    }
 
     run_index = 0
     for rung_i, scenario in enumerate(scenarios):
@@ -232,6 +264,7 @@ def calibrate_component(
                         seed=seed + run_index,
                         run_kernels=run_kernels,
                         perfmodel=model,
+                        exec_backend=exec_backend,
                     )
                     run_index += 1
                     operands, scalar_args = make_operands(ctx, rt)
@@ -278,6 +311,12 @@ def calibrate_component(
     probe = 1.0e6  # any positive size: fits answer for all sizes
     for name, vc in states.items():
         vc.fitted = model.regression.predict(name, probe) is not None
+        vc.measured_runs = (
+            model.measured_regression.n_samples(name)
+            - prior_measured.get(name, 0)
+        )
+    if own_backend:
+        exec_backend.close()
     if store is not None:
         store.save(
             machine,
