@@ -13,7 +13,7 @@ canonical renumbering) must equal the recorded one exactly.  Divergence
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -213,22 +213,9 @@ _REPLAY_IGNORED = ("n_exploration_decisions",)
 
 
 def _comparable(trace: ExecutionTrace, ignore: tuple[str, ...]) -> dict:
-    trace = trace.canonicalized()
-    doc: dict = {}
-    for key in (
-        "tasks",
-        "transfers",
-        "evictions",
-        "faults",
-        "requests",
-        "accesses",
-    ):
-        doc[key] = [asdict(rec) for rec in getattr(trace, key)]
-    for f in fields(ExecutionTrace):
-        if f.name in doc or f.name in ignore:
-            continue
-        value = getattr(trace, f.name)
-        doc[f.name] = sorted(value) if isinstance(value, set) else value
+    doc = trace.canonicalized().state_dict()
+    for name in ignore:
+        doc.pop(name, None)
     return doc
 
 

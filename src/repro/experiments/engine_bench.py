@@ -11,17 +11,35 @@ gating.  Two synthetic workloads bracket the dependency spectrum:
   propagation at completion.
 
 Kernels are skipped (``run_kernels=False``) and noise is off: this
-measures the *engine*, not NumPy.  ``python -m
-repro.experiments.engine_bench`` writes
+measures the *engine*, not NumPy.
+
+Methodology: each workload runs once untimed to warm caches (imports,
+code objects, the scheduler's candidate plan), then ``reps`` timed
+repetitions with the garbage collector paused around the timed region;
+the *best* repetition is the reported rate.  Best-of-N over a warmed
+process is the standard defense against noisy shared hardware (CI
+runners, laptops under load): interference only ever makes a rep
+slower, so the minimum wall time is the most repeatable estimator of
+what the engine can actually sustain.
+
+``python -m repro.experiments.engine_bench`` writes
 ``benchmarks/results/BENCH_engine.json`` and exits non-zero when either
-workload falls under the conservative throughput floor (``--smoke``
-uses smaller task counts for CI).
+workload falls under the throughput floor (``--smoke`` uses smaller
+task counts for CI).  ``--profile`` additionally cProfiles one untimed
+repetition per workload, writes the top functions to
+``BENCH_engine_profile.txt``, and fails if a known-cold function — the
+zero-subscriber event emitters, which the want-gates must skip — shows
+up among the hottest frames.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import gc
+import io
 import json
+import pstats
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -31,12 +49,19 @@ import numpy as np
 from repro.hw.presets import platform_c2050
 from repro.runtime import Arch, Codelet, ImplVariant, Runtime
 
-#: conservative floor (tasks/second, wall clock).  The Python engine
-#: sustains well over 10k tasks/s on a developer machine; the floor is
-#: set an order of magnitude below that so only a genuine algorithmic
-#: regression (accidental O(n^2) in submit or completion) trips it on
-#: noisy shared CI hardware.
-THROUGHPUT_FLOOR = 1500.0
+#: throughput floor (tasks/second, wall clock, best warmed rep).  The
+#: slotted-trace / batched-dispatch engine sustains ~50-70k tasks/s on
+#: both workloads on a single modern core; the floor sits >3x below
+#: that so only a genuine algorithmic regression (accidental O(n^2) in
+#: submit or completion, a de-optimized hot path) trips it on noisy
+#: shared CI hardware, while the pre-refactor engine (~11-13k tasks/s)
+#: would no longer pass.
+THROUGHPUT_FLOOR = 15000.0
+
+#: timed repetitions per workload (best is reported); the smoke run
+#: uses fewer to keep CI latency down
+DEFAULT_REPS = 5
+SMOKE_REPS = 3
 
 
 @dataclass(frozen=True)
@@ -44,6 +69,8 @@ class WorkloadResult:
     workload: str
     n_tasks: int
     wall_s: float
+    reps: int = 1
+    rates: tuple[float, ...] = ()
 
     @property
     def tasks_per_s(self) -> float:
@@ -55,6 +82,8 @@ class WorkloadResult:
             "n_tasks": self.n_tasks,
             "wall_s": self.wall_s,
             "tasks_per_s": self.tasks_per_s,
+            "reps": self.reps,
+            "rates": list(self.rates),
         }
 
 
@@ -113,11 +142,33 @@ def run_chain(n_tasks: int = 5000, seed: int = 0) -> WorkloadResult:
     return WorkloadResult("chain", n_tasks, wall)
 
 
+def _measure(fn, n_tasks: int, seed: int, reps: int) -> WorkloadResult:
+    """Warm once, then take the best of ``reps`` GC-paused repetitions."""
+    fn(n_tasks=min(n_tasks, 500), seed=seed)  # warm-up, untimed
+    best: WorkloadResult | None = None
+    rates = []
+    for _ in range(reps):
+        gc.collect()
+        gc.disable()
+        try:
+            r = fn(n_tasks=n_tasks, seed=seed)
+        finally:
+            gc.enable()
+        rates.append(r.tasks_per_s)
+        if best is None or r.wall_s < best.wall_s:
+            best = r
+    assert best is not None
+    return WorkloadResult(
+        best.workload, best.n_tasks, best.wall_s, reps, tuple(rates)
+    )
+
+
 def run(smoke: bool = False, seed: int = 0) -> list[WorkloadResult]:
     n = 1000 if smoke else 5000
+    reps = SMOKE_REPS if smoke else DEFAULT_REPS
     return [
-        run_fanout(n_tasks=n, seed=seed),
-        run_chain(n_tasks=n, seed=seed),
+        _measure(run_fanout, n, seed, reps),
+        _measure(run_chain, n, seed, reps),
     ]
 
 
@@ -127,9 +178,67 @@ def format_results(results: list[WorkloadResult]) -> str:
         flag = "" if r.tasks_per_s >= THROUGHPUT_FLOOR else "  ** UNDER FLOOR **"
         lines.append(
             f"  {r.workload:<8s} {r.n_tasks:6d} tasks in {r.wall_s:7.3f}s "
-            f"= {r.tasks_per_s:9.0f} tasks/s{flag}"
+            f"= {r.tasks_per_s:9.0f} tasks/s (best of {r.reps}){flag}"
         )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# --profile: where does the engine actually spend its time?
+# ---------------------------------------------------------------------------
+
+#: how many of the most cumulative-expensive functions the summary shows
+PROFILE_TOP = 20
+
+#: functions that must NOT appear among the hottest frames of a
+#: metrics-off run: the engine's want-gates are supposed to skip the
+#: zero-subscriber event emitters entirely, so any emit_* frame from the
+#: events module in the top of the profile means a gate regressed
+_COLD_PREFIX = "emit_"
+_COLD_MODULE = "events"
+_COLD_TOP = 10
+
+
+def _cold_offenders(stats: pstats.Stats) -> list[str]:
+    """Known-cold functions found in the top-N cumulative frames."""
+    entries = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda kv: kv[1][3],  # cumulative time
+        reverse=True,
+    )[:_COLD_TOP]
+    offenders = []
+    for (filename, _line, func), _stat in entries:
+        if func.startswith(_COLD_PREFIX) and _COLD_MODULE in Path(filename).stem:
+            offenders.append(f"{Path(filename).name}:{func}")
+    return offenders
+
+
+def profile_workloads(n_tasks: int, seed: int = 0) -> tuple[str, list[str]]:
+    """cProfile each workload once; return (summary text, offenders)."""
+    sections = []
+    offenders: list[str] = []
+    for fn in (run_fanout, run_chain):
+        prof = cProfile.Profile()
+        prof.enable()
+        r = fn(n_tasks=n_tasks, seed=seed)
+        prof.disable()
+        buf = io.StringIO()
+        stats = pstats.Stats(prof, stream=buf)
+        stats.sort_stats("cumulative").print_stats(PROFILE_TOP)
+        offenders.extend(_cold_offenders(stats))
+        sections.append(
+            f"=== {r.workload} ({r.n_tasks} tasks, profiled) ===\n"
+            + buf.getvalue()
+        )
+    text = "\n".join(sections)
+    if offenders:
+        text += (
+            "\nKNOWN-COLD FUNCTIONS IN TOP "
+            f"{_COLD_TOP}: {', '.join(offenders)}\n"
+            "(zero-subscriber event emitters must be skipped by the "
+            "want-gates; this is a hot-path regression)\n"
+        )
+    return text, offenders
 
 
 _RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
@@ -142,6 +251,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--smoke", action="store_true", help="smaller task counts for CI"
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each workload, write BENCH_engine_profile.txt, and "
+        "fail if a zero-subscriber event emitter shows up in the top "
+        f"{_COLD_TOP} cumulative frames",
     )
     parser.add_argument(
         "--outdir",
@@ -170,6 +286,20 @@ def main(argv: list[str] | None = None) -> int:
         + "\n"
     )
     print(f"wrote {bench}")
+
+    if args.profile:
+        text, offenders = profile_workloads(
+            n_tasks=1000 if args.smoke else 5000
+        )
+        summary = args.outdir / "BENCH_engine_profile.txt"
+        summary.write_text(text)
+        print(f"wrote {summary}")
+        if offenders:
+            print(
+                "profile gate FAILED: known-cold functions in the top "
+                f"{_COLD_TOP}: {', '.join(offenders)}"
+            )
+            ok = False
     return 0 if ok else 1
 
 

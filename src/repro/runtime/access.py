@@ -11,26 +11,30 @@ from enum import Enum
 
 
 class AccessMode(Enum):
-    """How a task (or the host program) accesses one operand."""
+    """How a task (or the host program) accesses one operand.
+
+    ``reads`` (previous contents are needed) and ``writes`` (the operand
+    is modified) are plain precomputed member attributes, not properties:
+    every operand of every task is checked against them on the
+    scheduling hot path.
+    """
 
     R = "r"  #: read-only
     W = "w"  #: write-only (previous contents are irrelevant)
     RW = "rw"  #: read-write
 
-    @property
-    def reads(self) -> bool:
-        """True if the previous contents of the operand are needed."""
-        return self in (AccessMode.R, AccessMode.RW)
-
-    @property
-    def writes(self) -> bool:
-        """True if the operand is modified."""
-        return self in (AccessMode.W, AccessMode.RW)
+    reads: bool
+    writes: bool
 
     @classmethod
     def parse(cls, text: str) -> "AccessMode":
         """Parse from descriptor text (``read``/``write``/``readwrite``
         or the short forms ``r``/``w``/``rw``), case-insensitively."""
+        # fast path for the canonical lowercase short forms, which is
+        # what every submit() call in a tight loop passes
+        member = cls._value2member_map_.get(text)
+        if member is not None:
+            return member
         key = text.strip().lower()
         aliases = {
             "r": cls.R,
@@ -48,3 +52,12 @@ class AccessMode(Enum):
             return aliases[key]
         except KeyError:
             raise ValueError(f"unknown access mode {text!r}") from None
+
+
+# precomputed per-member flags (see class docstring)
+AccessMode.R.reads = True
+AccessMode.R.writes = False
+AccessMode.W.reads = False
+AccessMode.W.writes = True
+AccessMode.RW.reads = True
+AccessMode.RW.writes = True

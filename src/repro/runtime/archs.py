@@ -22,6 +22,11 @@ class Arch(Enum):
     CUDA = "cuda"  #: NVIDIA GPU kernel (wrapped in a CPU-side call)
     OPENCL = "opencl"  #: OpenCL kernel, runnable on a GPU
 
+    #: gang architectures occupy every CPU worker while running; a
+    #: precomputed member attribute (not a property) because the engine
+    #: checks it for every scheduled task
+    is_gang: bool
+
     @classmethod
     def parse(cls, text: str) -> "Arch":
         key = text.strip().lower()
@@ -53,7 +58,9 @@ class Arch(Enum):
             return unit.device.kind is DeviceKind.CPU
         return unit.device.kind is DeviceKind.GPU
 
-    @property
-    def is_gang(self) -> bool:
-        """Gang architectures occupy every CPU worker while running."""
-        return self is Arch.OPENMP
+
+# precomputed per-member flags (see the is_gang annotation above)
+Arch.CPU.is_gang = False
+Arch.OPENMP.is_gang = True
+Arch.CUDA.is_gang = False
+Arch.OPENCL.is_gang = False

@@ -66,9 +66,17 @@ class DataHandle:
             raise DataConsistencyError("need at least the host memory node")
         self.handle_id: int = next(DataHandle._ids)
         self.array = np.asarray(array)
+        #: payload size in bytes (cached: the array is never reassigned,
+        #: and schedulers query this on the per-candidate hot path)
+        self.nbytes: int = int(self.array.nbytes)
         self.name = name or f"data{self.handle_id}"
         self._states: list[CopyState] = [CopyState.INVALID] * n_nodes
         self._states[HOST_NODE] = CopyState.MODIFIED
+        #: node of the sole MODIFIED copy, or None when copies are
+        #: SHARED.  Maintained by every state transition; lets the
+        #: hot-path queries (pick_source, mark_modified) skip their
+        #: node scans in the common sole-owner case.
+        self._owner: int | None = HOST_NODE
         #: virtual time at which each node's copy becomes valid
         self._ready_at: list[float] = [0.0] * n_nodes
         #: virtual time of the last use of each node's copy (LRU eviction)
@@ -82,10 +90,6 @@ class DataHandle:
         self.unregistered = False
 
     # -- basic queries ----------------------------------------------------
-
-    @property
-    def nbytes(self) -> int:
-        return int(self.array.nbytes)
 
     @property
     def n_nodes(self) -> int:
@@ -111,13 +115,30 @@ class DataHandle:
 
     def pick_source(self) -> int:
         """Choose the node to copy from: the valid copy that is ready
-        earliest (ties broken toward the host, which every link touches)."""
-        nodes = self.valid_nodes()
-        if not nodes:
+        earliest (ties broken toward the host, which every link touches).
+
+        Nodes are scanned in index order (host first), so keeping the
+        first node with the strictly-earliest ready time implements the
+        (ready, non-host, node) tie-break without per-node key tuples.
+        """
+        owner = self._owner
+        if owner is not None:  # sole valid copy — nothing to compare
+            return owner
+        ready = self._ready_at
+        invalid = CopyState.INVALID
+        best = -1
+        best_r = 0.0
+        for n, s in enumerate(self._states):
+            if s is invalid:
+                continue
+            r = ready[n]
+            if best < 0 or r < best_r:
+                best, best_r = n, r
+        if best < 0:
             raise DataConsistencyError(
                 f"handle {self.name!r} has no valid copy anywhere"
             )
-        return min(nodes, key=lambda n: (self._ready_at[n], n != HOST_NODE, n))
+        return best
 
     def touch(self, node: int, t: float) -> None:
         """Record a use of the copy at ``node`` (for LRU eviction)."""
@@ -147,8 +168,9 @@ class DataHandle:
         self._states[node] = CopyState.INVALID
         # a remaining single SHARED copy is effectively the owner
         valid = [n for n, s in enumerate(self._states) if s is not CopyState.INVALID]
-        if len(valid) == 1 and self._states[valid[0]] is CopyState.SHARED:
+        if len(valid) == 1:
             self._states[valid[0]] = CopyState.MODIFIED
+            self._owner = valid[0]
         self._check_invariants()
 
     def recover_from_node_loss(self, node: int, t: float) -> bool:
@@ -182,27 +204,40 @@ class DataHandle:
             return False
         self._states[node] = CopyState.INVALID
         self._states[HOST_NODE] = CopyState.MODIFIED
+        self._owner = HOST_NODE
         self._ready_at[HOST_NODE] = max(self._ready_at[HOST_NODE], t)
         self._check_invariants()
         return True
 
     def mark_shared(self, node: int, ready_at: float) -> None:
         """A valid copy appears at ``node`` (via transfer); any MODIFIED
-        copy elsewhere degrades to SHARED — both are now up to date."""
-        for n, s in enumerate(self._states):
+        copy elsewhere degrades to SHARED — both are now up to date.
+
+        No invariant check: the transition cannot leave a MODIFIED copy
+        behind, so the MSI invariants hold by construction (these two
+        transitions are on the per-task hot path).
+        """
+        states = self._states
+        for n, s in enumerate(states):
             if s is CopyState.MODIFIED:
-                self._states[n] = CopyState.SHARED
-        self._states[node] = CopyState.SHARED
-        self._ready_at[node] = max(self._ready_at[node], ready_at)
-        self._check_invariants()
+                states[n] = CopyState.SHARED
+        states[node] = CopyState.SHARED
+        self._owner = None
+        if ready_at > self._ready_at[node]:
+            self._ready_at[node] = ready_at
 
     def mark_modified(self, node: int, ready_at: float) -> None:
-        """``node`` is written: it becomes the single valid copy."""
-        for n in range(len(self._states)):
-            self._states[n] = CopyState.INVALID
-        self._states[node] = CopyState.MODIFIED
+        """``node`` is written: it becomes the single valid copy.
+
+        No invariant check — single MODIFIED owner by construction.
+        """
+        if self._owner != node:
+            states = self._states
+            for n in range(len(states)):
+                states[n] = CopyState.INVALID
+            states[node] = CopyState.MODIFIED
+            self._owner = node
         self._ready_at[node] = ready_at
-        self._check_invariants()
 
     def _check_invariants(self) -> None:
         states = self._states
@@ -270,6 +305,7 @@ class DataHandle:
                 )
             child = DataHandle(view, self.n_nodes, name=f"{self.name}[{i}]")
             child._states = list(self._states)
+            child._owner = self._owner
             child._ready_at = list(self._ready_at)
             # children inherit the parent's ordering state so chunk tasks
             # still serialize correctly against pre-partition accesses

@@ -48,7 +48,7 @@ from repro.hw.machine import HOST_NODE, Machine, ProcessingUnit
 from repro.hw.noise import NoiseModel
 from repro.runtime.access import AccessMode
 from repro.runtime.codelet import ImplVariant
-from repro.runtime.data import DataHandle
+from repro.runtime.data import CopyState, DataHandle
 from repro.runtime.events import EngineEvents, warn_hook_api
 from repro.runtime.perfmodel import PerfModel
 from repro.runtime.schedulers.base import Decision, Scheduler
@@ -57,8 +57,6 @@ from repro.runtime.stats import (
     EvictionRecord,
     ExecutionTrace,
     FaultRecord,
-    TaskRecord,
-    TransferRecord,
 )
 from repro.runtime.task import Task, TaskState
 
@@ -187,6 +185,10 @@ class Engine:
         self.perf = perfmodel or PerfModel()
         self.noise = noise or NoiseModel(seed=seed)
         self.faults = faults
+        #: hot-path gate: scripted device losses exist at all (the
+        #: per-placement _fire_due_losses call is skipped entirely when
+        #: no loss is scripted — the common, fault-free case)
+        self._scripted_losses = faults is not None and bool(faults.device_loss_at)
         self.recovery = recovery or RecoveryPolicy()
         self.clock = VirtualClock()
         if faults is not None:
@@ -197,10 +199,26 @@ class Engine:
         self._seed = int(seed)
         self._rng = np.random.default_rng(seed + 0x5EED)
         self._workers = [_WorkerState(u) for u in machine.units]
+        #: mirror of each worker's available_at, indexed by unit id;
+        #: exposed through worker_available_times() so schedulers can
+        #: index instead of making one method call per candidate
+        self._avail: list[float] = [0.0] * len(self._workers)
         self._gang = tuple(u for u in machine.units if u.is_cpu)
         #: per-(link node, direction) DMA availability; direction is
         #: "h2d"/"d2h" for duplex links, "both" otherwise
         self._link_free: dict[tuple[int, str], float] = {}
+        #: static (node, direction) -> link-free key map (folds the
+        #: duplex check out of the per-estimate hot path)
+        self._link_keys: dict[tuple[int, str], tuple[int, str]] = {
+            (node, d): (node, d if link.duplex else "both")
+            for node, link in machine.links.items()
+            for d in ("h2d", "d2h")
+        }
+        #: non-host memory nodes, precomputed for per-write residency
+        #: sync (machine topology is fixed for the engine's lifetime)
+        self._device_nodes: tuple[int, ...] = tuple(
+            range(1, machine.n_memory_nodes)
+        )
         #: device-memory accounting: resident top-level handles and used
         #: bytes per memory node (host is unlimited and untracked)
         self._resident: list[dict[int, DataHandle]] = [
@@ -227,14 +245,27 @@ class Engine:
         self._transfer_draws = count()
         # observability for layers above the engine (the serving front-end)
         #: end times of scheduled tasks still running in the virtual
-        #: future; lazily pruned against the query time by n_inflight
+        #: future; appended plain on the hot path and heapified on
+        #: demand by n_inflight (which lazily prunes past end times)
         self._inflight_ends: list[float] = []
+        self._inflight_dirty = False
         #: typed event stream every observing layer subscribes to
         #: (serving front-end, decision recorder, obs metrics/tracing)
         self.events = EngineEvents()
         #: task whose operand staging is currently committing transfers
         #: (attributes TransferEvents to their invocation)
         self._staging_task: Task | None = None
+        #: per-codelet feasible-decision cache consulted by
+        #: enumerate_candidates (guard-free codelets only); cleared
+        #: whenever worker health changes (device loss, blacklisting)
+        self.candidate_cache: dict[int, tuple] = {}
+        #: one-entry (task, footprint, size) cache: schedulers query the
+        #: performance model several times per choose() for the same
+        #: task, and the footprint cannot change within one choice
+        self._fp_cache: tuple[Task, tuple, float] | None = None
+        #: (src, dst, nbytes) -> seconds memo for Machine.transfer_time
+        #: (pure function of the link specs; distinct keys are few)
+        self._tt_cache: dict[tuple[int, int, int], float] = {}
         # real-concurrency execution (repro.exec); inline backends take
         # the original synchronous path so defaults stay byte-identical
         self.exec_backend = exec_backend
@@ -279,6 +310,9 @@ class Engine:
         """
         t = self.clock.now if at is None else at
         ends = self._inflight_ends
+        if self._inflight_dirty:
+            heapq.heapify(ends)
+            self._inflight_dirty = False
         while ends and ends[0] <= t:
             heapq.heappop(ends)
         return len(ends)
@@ -314,6 +348,14 @@ class Engine:
     def worker_available_at(self, unit_id: int) -> float:
         return self._workers[unit_id].available_at
 
+    def worker_available_times(self) -> list[float]:
+        """Live per-worker available_at list indexed by unit id.
+
+        Read-only for schedulers; indexing it replaces one
+        worker_available_at call per candidate on the choose hot path.
+        """
+        return self._avail
+
     def worker_assigned_count(self, unit_id: int) -> int:
         return self._workers[unit_id].assigned_count
 
@@ -326,13 +368,18 @@ class Engine:
         accelerator tasks look systematically cheaper than they are.
         """
         ready = task.ready_time
-        pending: list[DataHandle] = []
+        invalid = CopyState.INVALID
+        pending: list[DataHandle] | None = None
         for op in task.operands:
             if not op.mode.reads:
                 continue
             h = op.handle
-            if h.is_valid(node):
-                ready = max(ready, h.ready_at(node))
+            if h._states[node] is not invalid:
+                r = h._ready_at[node]
+                if r > ready:
+                    ready = r
+            elif pending is None:
+                pending = [h]
             else:
                 pending.append(h)
         if pending:
@@ -342,36 +389,66 @@ class Engine:
                 t_link = max(t_link, self._link_available(node, direction))
             for h in pending:
                 src = h.pick_source()
-                dur = self.machine.transfer_time(src, node, h.nbytes)
-                t_link = max(t_link, h.ready_at(src)) + dur
-            ready = max(ready, t_link)
+                t_src = h._ready_at[src]
+                if t_src > t_link:
+                    t_link = t_src
+                t_link += self._transfer_time(src, node, h.nbytes)
+            if t_link > ready:
+                ready = t_link
         return ready
 
     def estimate_transfer_cost(self, task: Task, node: int) -> float:
         cost = 0.0
+        invalid = CopyState.INVALID
         for op in task.operands:
             if not op.mode.reads:
                 continue
             h = op.handle
-            if not h.is_valid(node):
-                cost += self.machine.transfer_time(h.pick_source(), node, h.nbytes)
+            if h._states[node] is invalid:
+                cost += self._transfer_time(h.pick_source(), node, h.nbytes)
         return cost
+
+    def _transfer_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Memoized :meth:`Machine.transfer_time` (called per candidate
+        node on the scheduling hot path; the answer only depends on the
+        static link specs)."""
+        key = (src, dst, nbytes)
+        dur = self._tt_cache.get(key)
+        if dur is None:
+            if len(self._tt_cache) >= 4096:  # leak guard, not policy
+                self._tt_cache.clear()
+            dur = self._tt_cache[key] = self.machine.transfer_time(
+                src, dst, nbytes
+            )
+        return dur
+
+    def _footprint_size(self, task: Task) -> tuple[tuple, float]:
+        """The task's (footprint, total operand bytes), cached while the
+        same task is queried repeatedly (one scheduling choice asks for
+        several variants; neither value can change mid-choice)."""
+        cached = self._fp_cache
+        if cached is not None and cached[0] is task:
+            return cached[1], cached[2]
+        fp = task.footprint()
+        size = float(sum(op.handle.nbytes for op in task.operands))
+        self._fp_cache = (task, fp, size)
+        return fp, size
 
     def predict_exec(
         self, task: Task, variant: ImplVariant, unit: ProcessingUnit
     ) -> float | None:
-        size = float(sum(h.nbytes for h in task.handles))
-        return self.perf.predict(task.footprint(), variant.name, size)
+        fp, size = self._footprint_size(task)
+        return self.perf.predict(fp, variant.name, size)
 
     def n_samples(self, task: Task, variant: ImplVariant) -> int:
-        return self.perf.n_samples(task.footprint(), variant.name)
+        return self.perf.n_samples(self._footprint_size(task)[0], variant.name)
 
     def is_calibrated(
         self, task: Task, variant: ImplVariant, min_history: int
     ) -> bool:
-        size = float(sum(h.nbytes for h in task.handles))
+        fp, size = self._footprint_size(task)
         return self.perf.calibrated(
-            task.footprint(), variant.name, size, min_history=min_history
+            fp, variant.name, size, min_history=min_history
         )
 
     def note_exploration(self, task: Task) -> None:
@@ -390,7 +467,8 @@ class Engine:
         return unit_id not in self._lost_workers and unit_id not in self._blacklisted
 
     def failed_placements(self, task: Task) -> set[tuple[str, int]]:
-        return task.failed_on
+        failed = task.failed_on
+        return failed if failed is not None else set()
 
     # ------------------------------------------------------------------
     # data registration
@@ -424,46 +502,118 @@ class Engine:
 
     def submit(self, task: Task, sync: bool = False) -> Task:
         """Submit one task; with ``sync=True``, block until it completes."""
-        self._check_alive()
+        if self._shutdown:
+            self._check_alive()
         if not self._exec_inline and self.run_kernels:
             # fail fast (e.g. unpicklable kernels on a process pool)
             # before the task mutates any engine state
             self.exec_backend.prepare_codelet(task.codelet)
-        for op in task.operands:
-            if op.handle.unregistered:
+        operands = task.operands
+        # one pass validates operands and collects the implicit
+        # dependencies via sequential data consistency (StarPU's R/W
+        # ordering, inlined from DataHandle.dependencies_for: a reader
+        # waits for the last writer; a writer additionally waits for
+        # every reader since).  Collection must finish before any access
+        # is recorded below — a task touching one handle twice must see
+        # the pre-submit ordering state for both operands.
+        if len(operands) == 1:
+            # single-operand fast path: dedup degenerates (a reader list
+            # only repeats tasks that touched this handle through several
+            # operands, and the last writer can never be in it), so the
+            # seen-set and the second loop disappear
+            op = operands[0]
+            h = op.handle
+            if h.unregistered:
                 raise RuntimeSystemError(
-                    f"task {task.name}: operand {op.handle.name!r} is unregistered"
+                    f"task {task.name}: operand {h.name!r} is unregistered"
                 )
-            if op.handle.partitioned:
+            if h.children:
                 raise RuntimeSystemError(
-                    f"task {task.name}: operand {op.handle.name!r} is partitioned; "
+                    f"task {task.name}: operand {h.name!r} is partitioned; "
                     "use its children or unpartition first"
                 )
-        self.clock.advance(self.submit_overhead_s)
-        task.submit_time = self.clock.now
-        # implicit dependencies via sequential data consistency
-        deps: list[Task] = []
-        seen: set[int] = set()
-        for op in task.operands:
-            for dep in op.handle.dependencies_for(op.mode.writes):
-                if dep.task_id not in seen and dep is not task:
-                    seen.add(dep.task_id)
-                    deps.append(dep)
-        for op in task.operands:
-            op.handle.record_access(task, op.mode.writes)
-        task.dep_ids = tuple(d.task_id for d in deps)
-        for dep in deps:
-            task.add_dependency(dep)
+            lw = h.last_writer
+            deps = [lw] if lw is not None and lw is not task else []
+            task.submit_time = self.clock.advance(self.submit_overhead_s)
+            if op.mode.writes:
+                rs = h.readers_since_write
+                if rs:
+                    seen = {deps[0].task_id} if deps else set()
+                    for dep in rs:
+                        if dep.task_id not in seen and dep is not task:
+                            seen.add(dep.task_id)
+                            deps.append(dep)
+                    h.readers_since_write = []
+                h.last_writer = task
+            else:
+                h.readers_since_write.append(task)
+        else:
+            deps = []
+            seen = set()
+            for op in operands:
+                h = op.handle
+                if h.unregistered:
+                    raise RuntimeSystemError(
+                        f"task {task.name}: operand {h.name!r} is unregistered"
+                    )
+                if h.children:
+                    raise RuntimeSystemError(
+                        f"task {task.name}: operand {h.name!r} is "
+                        "partitioned; use its children or unpartition first"
+                    )
+                lw = h.last_writer
+                if lw is not None and lw.task_id not in seen and lw is not task:
+                    seen.add(lw.task_id)
+                    deps.append(lw)
+                if op.mode.writes:
+                    for dep in h.readers_since_write:
+                        if dep.task_id not in seen and dep is not task:
+                            seen.add(dep.task_id)
+                            deps.append(dep)
+            task.submit_time = self.clock.advance(self.submit_overhead_s)
+            for op in operands:
+                h = op.handle
+                if op.mode.writes:
+                    h.last_writer = task
+                    h.readers_since_write = []
+                else:
+                    h.readers_since_write.append(task)
+        if deps:
+            if len(deps) == 1:
+                dep = deps[0]
+                task.dep_ids = (dep.task_id,)
+                # inlined Task.add_dependency (per-task hot path)
+                if (
+                    dep.state is TaskState.DONE
+                    or dep.state is TaskState.SCHEDULED
+                ):
+                    if dep.end_time > task.earliest_start:
+                        task.earliest_start = dep.end_time
+                else:
+                    dep.dependents.append(task)
+                    task.n_pending_deps += 1
+            else:
+                task.dep_ids = tuple(d.task_id for d in deps)
+                for dep in deps:
+                    task.add_dependency(dep)
         task.submit_seq = self._n_submitted
         self._n_submitted += 1
-        self.trace.n_submitted += 1
-        sbc = self.trace.submitted_by_codelet
+        trace = self.trace
+        trace.n_submitted += 1
+        sbc = trace.submitted_by_codelet
         name = task.codelet.name
         sbc[name] = sbc.get(name, 0) + 1
-        self.events.emit_submit(task.submit_time, task)
+        ev = self.events
+        if ev.want_submit:
+            ev.emit_submit(task.submit_time, task)
         if task.n_pending_deps == 0:
-            self._make_ready(task, max(task.submit_time, task.earliest_start))
-        self._process_events()
+            es = task.earliest_start
+            st = task.submit_time
+            self._make_ready(task, st if st > es else es)
+        if self._events:
+            self._process_events()
+        if ev._ring:
+            ev.drain()
         if sync:
             self.wait_for_task(task)
         return task
@@ -471,6 +621,7 @@ class Engine:
     def wait_for_task(self, task: Task) -> float:
         """Block the host program until ``task`` completes."""
         self._process_events()
+        self.events.drain()
         self._join_kernel(task.task_id)
         if task.state is not TaskState.DONE:
             raise RuntimeSystemError(
@@ -484,6 +635,7 @@ class Engine:
         """Barrier: block until every submitted task has completed."""
         self._check_alive()
         self._process_events()
+        self.events.drain()
         self._drain_kernels()
         if self._n_completed != self._n_submitted:
             raise RuntimeSystemError(
@@ -531,6 +683,7 @@ class Engine:
             handle.reset_host_access()
             self._sync_residency(handle)
         self._record_access("acquire", handle, str(mode.value), t)
+        self.events.drain()
         self.clock.advance_to(t)
         return t
 
@@ -543,7 +696,7 @@ class Engine:
         related: tuple[int, ...] = (),
     ) -> None:
         self.trace.record_access(
-            AccessRecord(
+            AccessRecord.make(
                 kind=kind,
                 handle_id=handle.handle_id,
                 handle_name=handle.name,
@@ -609,6 +762,7 @@ class Engine:
         handle.drop_partition()
         self._sync_residency(handle)
         self._record_access("unpartition", handle, "", ready, related=children)
+        self.events.drain()
         self.clock.advance_to(ready)
         return ready
 
@@ -663,7 +817,8 @@ class Engine:
         """
         attempt = 0
         while True:
-            self._fire_due_losses(task.ready_time)
+            if self._scripted_losses:
+                self._fire_due_losses(task.ready_time)
             decision = self.scheduler.choose(task, self)
             dbc = self.trace.decisions_by_codelet
             name = task.codelet.name
@@ -671,7 +826,8 @@ class Engine:
             if attempt:
                 rbc = self.trace.retries_by_codelet
                 rbc[name] = rbc.get(name, 0) + 1
-            self.events.emit_schedule(task.ready_time, task, decision, attempt)
+            if self.events.want_schedule:
+                self.events.emit_schedule(task.ready_time, task, decision, attempt)
             try:
                 self._schedule(task, decision, attempt)
                 if attempt > 0:
@@ -684,9 +840,10 @@ class Engine:
                 return
             except HardwareFault as fault:
                 task.n_faults += 1
-                task.failed_on.add(
-                    (decision.variant.name, decision.anchor.unit_id)
-                )
+                failed = task.failed_on
+                if failed is None:
+                    failed = task.failed_on = set()
+                failed.add((decision.variant.name, decision.anchor.unit_id))
                 if task.first_fault_arch is None:
                     task.first_fault_arch = decision.variant.arch.value
                 attempt += 1
@@ -722,36 +879,70 @@ class Engine:
     def _schedule(self, task: Task, decision: Decision, attempt: int = 0) -> None:
         variant = decision.variant
         workers = decision.workers
-        node = decision.anchor.memory_node
+        node = workers[0].memory_node
+        operands = task.operands
+        ready_time = task.ready_time
         # gang variants see how many cores they occupy
         if variant.arch.is_gang:
             task.ctx.setdefault("ncores", len(workers))
         # stage operands at the target node (commits transfers); the
-        # task's own operands are pinned against eviction
-        pinned = frozenset(op.handle.handle_id for op in task.operands)
-        data_ready = task.ready_time
-        self._staging_task = task
+        # task's own operands are pinned against eviction.  Fast path:
+        # read operands already valid at the node only need a touch and a
+        # readiness max — no pin set, no transfer machinery.  Only the
+        # remaining ("slow") operands go through _commit_copy /
+        # _ensure_capacity; reordering the valid ones ahead of them is
+        # observably identical because a touch only folds a max into the
+        # LRU clock and every operand is pinned against eviction anyway.
+        data_ready = ready_time
+        slow: list = []
+        invalid = CopyState.INVALID
+        for op in operands:
+            if op.mode.reads:
+                h = op.handle
+                if h._states[node] is not invalid:
+                    lu = h._last_used
+                    if ready_time > lu[node]:
+                        lu[node] = ready_time
+                    r = h._ready_at[node]
+                    if r > data_ready:
+                        data_ready = r
+                else:
+                    slow.append(op)
+            elif node != HOST_NODE:
+                slow.append(op)
         try:
-            for op in task.operands:
-                if op.mode.reads:
-                    data_ready = max(
-                        data_ready,
-                        self._commit_copy(
-                            op.handle, node, earliest=task.ready_time, pinned=pinned
-                        ),
-                    )
-                elif node != HOST_NODE:
-                    # write-only outputs still need an allocation on the device
-                    data_ready = max(
-                        data_ready,
-                        self._ensure_capacity(node, op.handle, task.ready_time, pinned),
-                    )
+            if slow:
+                pinned = frozenset(op.handle.handle_id for op in operands)
+                self._staging_task = task
+                try:
+                    for op in slow:
+                        if op.mode.reads:
+                            data_ready = max(
+                                data_ready,
+                                self._commit_copy(
+                                    op.handle,
+                                    node,
+                                    earliest=ready_time,
+                                    pinned=pinned,
+                                ),
+                            )
+                        else:
+                            # write-only outputs still need an
+                            # allocation on the device
+                            data_ready = max(
+                                data_ready,
+                                self._ensure_capacity(
+                                    node, op.handle, ready_time, pinned
+                                ),
+                            )
+                finally:
+                    self._staging_task = None
         except TransferFault as fault:
             # staging for this placement is a lost cause: attribute the
             # abort to the task so the recovery loop can place it where
             # the failing link is not needed
             self._fault(
-                FaultRecord(
+                FaultRecord.make(
                     kind="transfer_abort",
                     time=fault.time,
                     task_id=task.task_id,
@@ -762,12 +953,25 @@ class Engine:
                 )
             )
             raise
-        finally:
-            self._staging_task = None
-        worker_free = max(self._workers[u.unit_id].available_at for u in workers)
-        start = max(task.ready_time, data_ready, worker_free)
-        raw = variant.predict(task.ctx, decision.anchor.device)
-        exec_time = self.noise.perturb(raw)
+        states = self._workers
+        if len(workers) == 1:
+            worker_free = states[workers[0].unit_id].available_at
+        else:
+            worker_free = max(states[u.unit_id].available_at for u in workers)
+        start = ready_time if ready_time > data_ready else data_ready
+        if worker_free > start:
+            start = worker_free
+        raw = variant.predict(task.ctx, workers[0].device)
+        noise = self.noise
+        # inline the sigma==0 identity (perturb's own short-circuit) so
+        # noise-off runs skip the call; negative raw still goes through
+        # perturb, which rejects it.  getattr: wrapped noise models
+        # (e.g. cluster degradation scaling) need not expose sigma.
+        exec_time = (
+            raw
+            if raw >= 0.0 and getattr(noise, "sigma", None) == 0.0
+            else noise.perturb(raw)
+        )
         end = start + exec_time
         if self.faults is not None:
             self._inject_exec_fault(task, decision, attempt, start, exec_time)
@@ -790,22 +994,31 @@ class Engine:
                     ) from exc
             else:
                 self._dispatch_kernel(task)
+        avail = self._avail
         for u in workers:
-            ws = self._workers[u.unit_id]
+            uid = u.unit_id
+            ws = states[uid]
             ws.available_at = end
             ws.assigned_count += 1
+            avail[uid] = end
         # apply write effects: the target node becomes the single owner
-        for op in task.operands:
-            op.handle.touch(node, end)
+        for op in operands:
+            h = op.handle
+            lu = h._last_used
+            if end > lu[node]:
+                lu[node] = end
             if op.mode.writes:
-                op.handle.mark_modified(node, end)
-                self._sync_residency(op.handle)
+                h.mark_modified(node, end)
+                self._sync_residency(h)
         task.state = TaskState.SCHEDULED
         task.start_time = start
         task.end_time = end
         heapq.heappush(self._events, (end, next(self._event_seq), task))
-        heapq.heappush(self._inflight_ends, end)
-        self.events.emit_start(start, task)
+        self._inflight_ends.append(end)
+        self._inflight_dirty = True
+        ev = self.events
+        if ev.want_start:
+            ev.emit_start(start, task)
 
     # -- real-concurrency kernel execution (repro.exec) ----------------------
 
@@ -938,7 +1151,7 @@ class Engine:
             self._charge_failed_attempt(decision.workers, fail_time)
             self._mark_device_lost(unit, fail_time)
             self._fault(
-                FaultRecord(
+                FaultRecord.make(
                     kind="device_lost",
                     time=fail_time,
                     task_id=task.task_id,
@@ -960,7 +1173,7 @@ class Engine:
             self._charge_failed_attempt(decision.workers, fail_time)
             self._note_worker_fault(decision.anchor, fail_time, task)
             self._fault(
-                FaultRecord(
+                FaultRecord.make(
                     kind="kernel",
                     time=fail_time,
                     task_id=task.task_id,
@@ -982,9 +1195,11 @@ class Engine:
     ) -> None:
         """The failed attempt occupied its workers until the fault."""
         for u in workers:
-            ws = self._workers[u.unit_id]
+            uid = u.unit_id
+            ws = self._workers[uid]
             ws.available_at = max(ws.available_at, fail_time)
             ws.assigned_count += 1
+            self._avail[uid] = ws.available_at
 
     def _backoff_jitter_u(self, task_seq: int, attempt: int) -> float | None:
         """Uniform sample for retry-backoff jitter, keyed by the retry's
@@ -1018,8 +1233,9 @@ class Engine:
         ):
             self._blacklisted.add(unit.unit_id)
             self.trace.blacklisted_workers.add(unit.unit_id)
+            self.candidate_cache.clear()
             self._fault(
-                FaultRecord(
+                FaultRecord.make(
                     kind="blacklisted",
                     time=fail_time,
                     task_id=task.task_id,
@@ -1037,6 +1253,7 @@ class Engine:
         re-source from the host shadow via the coherence protocol)."""
         self._lost_workers.add(unit.unit_id)
         self.trace.lost_workers.add(unit.unit_id)
+        self.candidate_cache.clear()
         node = unit.memory_node
         if node == HOST_NODE:
             return
@@ -1044,7 +1261,7 @@ class Engine:
             for h in [handle, *handle.children]:
                 if h.recover_from_node_loss(node, t):
                     self._fault(
-                        FaultRecord(
+                        FaultRecord.make(
                             kind="replica_lost",
                             time=t,
                             node=node,
@@ -1066,7 +1283,7 @@ class Engine:
                 unit = self.machine.unit(unit_id)
                 self._mark_device_lost(unit, t_loss)
                 self._fault(
-                    FaultRecord(
+                    FaultRecord.make(
                         kind="device_lost",
                         time=t_loss,
                         worker_ids=(unit_id,),
@@ -1076,47 +1293,73 @@ class Engine:
                 )
 
     def _process_events(self) -> None:
-        while self._events:
-            end, _, task = heapq.heappop(self._events)
-            self._complete(task, end)
+        events = self._events
+        if not events:
+            return
+        pop = heapq.heappop
+        complete = self._complete
+        while events:
+            end, _, task = pop(events)
+            complete(task, end)
 
     def _complete(self, task: Task, end: float) -> None:
         task.state = TaskState.DONE
         self._n_completed += 1
-        self._last_end = max(self._last_end, end)
+        if end > self._last_end:
+            self._last_end = end
         variant = task.chosen_variant
         assert variant is not None
-        size = float(sum(h.nbytes for h in task.handles))
-        self.perf.record(
-            task.footprint(), variant.name, size, task.end_time - task.start_time
-        )
-        duration = task.end_time - task.start_time
-        energy = duration * sum(u.device.busy_watts for u in task.workers)
-        rec = self.trace.record_task(
-            TaskRecord(
-                task_id=task.task_id,
-                name=task.name,
-                codelet=task.codelet.name,
-                variant=variant.name,
-                arch=variant.arch.value,
-                worker_ids=tuple(u.unit_id for u in task.workers),
-                submit_time=task.submit_time,
-                ready_time=task.ready_time,
-                start_time=task.start_time,
-                end_time=task.end_time,
-                energy_j=energy,
-                node=task.workers[0].memory_node,
-                reads=tuple(
-                    op.handle.handle_id for op in task.operands if op.mode.reads
-                ),
-                writes=tuple(
-                    op.handle.handle_id for op in task.operands if op.mode.writes
-                ),
-                deps=task.dep_ids,
-                submit_seq=task.submit_seq,
+        workers = task.workers
+        start_time = task.start_time
+        end_time = task.end_time
+        # one pass over the operands: total bytes plus read/written ids
+        size = 0
+        reads: list[int] = []
+        writes: list[int] = []
+        for op in task.operands:
+            h = op.handle
+            size += h.nbytes
+            mode = op.mode
+            if mode.reads:
+                reads.append(h.handle_id)
+            if mode.writes:
+                writes.append(h.handle_id)
+        duration = end_time - start_time
+        self.perf.record(task.footprint(), variant.name, float(size), duration)
+        if len(workers) == 1:
+            u0 = workers[0]
+            worker_ids: tuple[int, ...] = (u0.unit_id,)
+            energy = duration * u0.device.busy_watts
+        else:
+            worker_ids = tuple(u.unit_id for u in workers)
+            energy = duration * sum(u.device.busy_watts for u in workers)
+        # column-direct append: values in TaskRecord field order minus the
+        # trailing seq (add_task stamps it); no record object is built
+        # unless a subscriber asks for one
+        trace = self.trace
+        trace.add_task(
+            (
+                task.task_id,
+                task.name,
+                task.codelet.name,
+                variant.name,
+                variant.arch.value,
+                worker_ids,
+                task.submit_time,
+                task.ready_time,
+                start_time,
+                end_time,
+                energy,
+                workers[0].memory_node,
+                tuple(reads),
+                tuple(writes),
+                task.dep_ids,
+                task.submit_seq,
             )
         )
-        self.events.emit_complete(end, task, rec)
+        ev = self.events
+        if ev.want_complete:
+            ev.emit_complete(end, task, trace.tasks[-1])
         for dependent in task.dependents:
             if dependent.dep_satisfied():
                 self._make_ready(dependent, max(end, dependent.earliest_start))
@@ -1152,7 +1395,7 @@ class Engine:
         earliest = self._ensure_capacity(node, handle, earliest, pinned)
         direction = "d2h" if node == HOST_NODE else "h2d"
         link_node = src if node == HOST_NODE else node
-        dur = self.machine.transfer_time(src, node, handle.nbytes)
+        dur = self._transfer_time(src, node, handle.nbytes)
         resend = 0
         while True:
             link_free = self._link_available(link_node, direction)
@@ -1168,7 +1411,7 @@ class Engine:
             # copy must be resent
             self._occupy_link(link_node, direction, end)
             self._fault(
-                FaultRecord(
+                FaultRecord.make(
                     kind="transfer",
                     time=end,
                     node=node,
@@ -1190,18 +1433,21 @@ class Engine:
         handle.mark_shared(node, end)
         handle.touch(node, end)
         self._sync_residency(handle)
-        rec = self.trace.record_transfer(
-            TransferRecord(
-                handle_id=handle.handle_id,
-                handle_name=handle.name,
-                src_node=src,
-                dst_node=node,
-                nbytes=handle.nbytes,
-                start_time=start,
-                end_time=end,
+        trace = self.trace
+        trace.add_transfer(
+            (
+                handle.handle_id,
+                handle.name,
+                src,
+                node,
+                handle.nbytes,
+                start,
+                end,
             )
         )
-        self.events.emit_transfer(end, rec, self._staging_task)
+        ev = self.events
+        if ev.want_transfer:
+            ev.emit_transfer(end, trace.transfers[-1], self._staging_task)
         return end
 
     # -- device-memory management (LRU eviction) -----------------------------
@@ -1214,14 +1460,19 @@ class Engine:
         """
         if handle.parent is not None:
             return
-        for node in range(1, self.machine.n_memory_nodes):
-            present = handle.handle_id in self._resident[node]
-            wanted = handle.is_valid(node) and not handle.unregistered
+        hid = handle.handle_id
+        states = handle._states
+        invalid = CopyState.INVALID
+        unregistered = handle.unregistered
+        for node in self._device_nodes:
+            resident = self._resident[node]
+            present = hid in resident
+            wanted = not unregistered and states[node] is not invalid
             if wanted and not present:
-                self._resident[node][handle.handle_id] = handle
+                resident[hid] = handle
                 self._node_usage[node] += handle.nbytes
             elif present and not wanted:
-                del self._resident[node][handle.handle_id]
+                del resident[hid]
                 self._node_usage[node] -= handle.nbytes
 
     def _ensure_capacity(
@@ -1257,8 +1508,6 @@ class Engine:
                 )
             victim = min(victims, key=lambda h: h.last_used(node))
             flushed = False
-            from repro.runtime.data import CopyState
-
             if victim.state(node) is CopyState.MODIFIED:
                 # sole owner: write it home before dropping it
                 t = max(t, self._commit_copy(victim, HOST_NODE, t, pinned))
@@ -1266,7 +1515,7 @@ class Engine:
             victim.invalidate(node)
             self._sync_residency(victim)
             rec = self.trace.record_eviction(
-                EvictionRecord(
+                EvictionRecord.make(
                     handle_id=victim.handle_id,
                     handle_name=victim.name,
                     node=node,
@@ -1278,13 +1527,10 @@ class Engine:
             self.events.emit_evict(t, rec)
         return t
 
-    def _link_key(self, link_node: int, direction: str) -> tuple[int, str]:
-        link = self.machine.links[link_node]
-        return (link_node, direction if link.duplex else "both")
-
     def _link_available(self, link_node: int, direction: str) -> float:
-        return self._link_free.get(self._link_key(link_node, direction), 0.0)
+        key = self._link_keys[(link_node, direction)]
+        return self._link_free.get(key, 0.0)
 
     def _occupy_link(self, link_node: int, direction: str, until: float) -> None:
-        key = self._link_key(link_node, direction)
+        key = self._link_keys[(link_node, direction)]
         self._link_free[key] = max(self._link_free.get(key, 0.0), until)

@@ -26,11 +26,18 @@ flush       the engine drained at shutdown; subscribers must finalize
 Payloads are slim ``slots`` dataclasses — treat them as immutable
 (they are not frozen only because plain attribute assignment constructs
 measurably faster on the per-task hot path).  Emission is zero-cost for
-kinds nobody subscribed to (an empty-list check), which keeps the
-metrics-off engine at its old speed.
+kinds nobody subscribed to: the engine checks the per-kind ``want_<kind>``
+plain-bool attribute before even building the payload, so a metrics-off
+run constructs no event objects at all.
 
-Delivery is synchronous and in emission order.  Subscribers must not
-submit tasks or otherwise re-enter the engine from a callback.
+Delivery is *batched*: emitted events land in a bounded ring buffer and
+are dispatched — in emission order, with the subscriber set captured at
+emission time — when the buffer fills or the engine reaches a sync
+point (end of ``submit``, host accesses, ``wait_for_all``, shutdown).
+Events carry virtual timestamps, so deferred delivery is observably
+identical for subscribers that do not re-read engine state from inside
+a callback; subscribers must not submit tasks or otherwise re-enter the
+engine from a callback.
 """
 
 from __future__ import annotations
@@ -145,6 +152,11 @@ EVENT_KINDS = (
 )
 
 
+#: pending-event ring capacity; a full ring forces an early drain so the
+#: buffer stays cache-sized however long the engine runs between syncs
+RING_CAPACITY = 256
+
+
 class EngineEvents:
     """Per-engine registry of typed event subscribers.
 
@@ -158,9 +170,26 @@ class EngineEvents:
         detach = engine.events.attach(observer)   # binds on_submit, ...
 
     Both forms return a zero-argument detach callable.
+
+    The per-kind ``want_<kind>`` plain-bool attributes mirror "anyone
+    subscribed to this kind" — the engine's hot path reads them to skip
+    payload construction entirely when nobody is listening.
     """
 
-    __slots__ = ("_subs", "_live")
+    __slots__ = (
+        "_subs",
+        "_live",
+        "_ring",
+        "_draining",
+        "want_submit",
+        "want_schedule",
+        "want_start",
+        "want_complete",
+        "want_transfer",
+        "want_evict",
+        "want_fault",
+        "want_flush",
+    )
 
     def __init__(self) -> None:
         self._subs: dict[str, list[Callable]] = {k: [] for k in EVENT_KINDS}
@@ -170,6 +199,12 @@ class EngineEvents:
         self._live: dict[str, tuple[Callable, ...]] = {
             k: () for k in EVENT_KINDS
         }
+        # batched-dispatch ring: (subscriber-snapshot, event) pairs
+        # waiting for the next drain
+        self._ring: list = []
+        self._draining = False
+        for kind in EVENT_KINDS:
+            setattr(self, "want_" + kind, False)
 
     # -- subscription --------------------------------------------------------
 
@@ -183,6 +218,7 @@ class EngineEvents:
             ) from None
         subs.append(fn)
         self._live[kind] = tuple(subs)
+        setattr(self, "want_" + kind, True)
 
         def unsubscribe() -> None:
             try:
@@ -190,6 +226,7 @@ class EngineEvents:
             except ValueError:
                 return
             self._live[kind] = tuple(subs)
+            setattr(self, "want_" + kind, bool(subs))
 
         return unsubscribe
 
@@ -224,67 +261,88 @@ class EngineEvents:
 
     # -- emission (engine-internal) ------------------------------------------
     #
-    # Each emitter early-outs on "no subscribers" before building the
-    # payload, so an unobserved engine pays one dict lookup and a
-    # truthiness check per potential event.
+    # Each emitter short-circuits on "no subscribers" before building
+    # the payload (the engine usually pre-checks the matching want_*
+    # flag and skips even the call).  With subscribers, the payload and
+    # the emission-time subscriber snapshot are pushed onto the ring;
+    # dispatch happens in batches at drain points.
+
+    def _enqueue(self, subs: tuple, event) -> None:
+        ring = self._ring
+        ring.append((subs, event))
+        if len(ring) >= RING_CAPACITY:
+            self.drain()
+
+    def drain(self) -> None:
+        """Dispatch every buffered event, in emission order.
+
+        The engine calls this at its sync points (end of ``submit``,
+        host accesses, ``wait_for_all``, shutdown); it is also safe —
+        and a no-op — for anyone else to call at any time.  Events
+        enqueued *by* a callback ride the same drain; a drain triggered
+        from inside a callback (ring full mid-dispatch) defers to the
+        outer one.
+        """
+        if self._draining:
+            return
+        ring = self._ring
+        if not ring:
+            return
+        self._draining = True
+        try:
+            i = 0
+            while i < len(ring):
+                subs, event = ring[i]
+                for fn in subs:
+                    fn(event)
+                i += 1
+            ring.clear()
+        finally:
+            self._draining = False
 
     def emit_submit(self, time: float, task: "Task") -> None:
         subs = self._live["submit"]
         if subs:
-            event = SubmitEvent(time, task)
-            for fn in subs:
-                fn(event)
+            self._enqueue(subs, SubmitEvent(time, task))
 
     def emit_schedule(
         self, time: float, task: "Task", decision: "Decision", attempt: int
     ) -> None:
         subs = self._live["schedule"]
         if subs:
-            event = ScheduleEvent(time, task, decision, attempt)
-            for fn in subs:
-                fn(event)
+            self._enqueue(subs, ScheduleEvent(time, task, decision, attempt))
 
     def emit_start(self, time: float, task: "Task") -> None:
         subs = self._live["start"]
         if subs:
-            event = StartEvent(time, task)
-            for fn in subs:
-                fn(event)
+            self._enqueue(subs, StartEvent(time, task))
 
     def emit_complete(self, time: float, task: "Task", record) -> None:
         subs = self._live["complete"]
         if subs:
-            event = CompleteEvent(time, task, record)
-            for fn in subs:
-                fn(event)
+            self._enqueue(subs, CompleteEvent(time, task, record))
 
     def emit_transfer(self, time: float, record, task: "Task | None") -> None:
         subs = self._live["transfer"]
         if subs:
-            event = TransferEvent(time, record, task)
-            for fn in subs:
-                fn(event)
+            self._enqueue(subs, TransferEvent(time, record, task))
 
     def emit_evict(self, time: float, record) -> None:
         subs = self._live["evict"]
         if subs:
-            event = EvictEvent(time, record)
-            for fn in subs:
-                fn(event)
+            self._enqueue(subs, EvictEvent(time, record))
 
     def emit_fault(self, time: float, record) -> None:
         subs = self._live["fault"]
         if subs:
-            event = FaultEvent(time, record)
-            for fn in subs:
-                fn(event)
+            self._enqueue(subs, FaultEvent(time, record))
 
     def emit_flush(self, time: float) -> None:
         subs = self._live["flush"]
         if subs:
-            event = FlushEvent(time)
-            for fn in subs:
-                fn(event)
+            self._enqueue(subs, FlushEvent(time))
+        # flush marks "finalize buffered state now" — deliver immediately
+        self.drain()
 
 
 #: one-shot guard for the hook-pair deprecation below

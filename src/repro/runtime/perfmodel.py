@@ -32,7 +32,7 @@ from pathlib import Path
 from repro.errors import RuntimeSystemError
 
 
-@dataclass
+@dataclass(slots=True)
 class RunningStats:
     """Welford running mean/variance of a stream of durations."""
 
@@ -57,6 +57,26 @@ class RunningStats:
         return math.sqrt(self.variance)
 
 
+#: footprint -> repr memo shared by every HistoryModel: repr() of the
+#: same footprint tuple is recomputed for every record/predict call on
+#: the per-task hot path otherwise.  Distinct footprints are few (one
+#: per codelet and size bucket); the cap is a leak guard, not a policy.
+_FOOTPRINT_REPRS: dict = {}
+_FOOTPRINT_REPR_CAP = 4096
+
+
+def _footprint_repr(footprint: tuple) -> str:
+    try:
+        r = _FOOTPRINT_REPRS.get(footprint)
+    except TypeError:  # unhashable override inside the footprint
+        return repr(footprint)
+    if r is None:
+        if len(_FOOTPRINT_REPRS) >= _FOOTPRINT_REPR_CAP:
+            _FOOTPRINT_REPRS.clear()
+        r = _FOOTPRINT_REPRS[footprint] = repr(footprint)
+    return r
+
+
 class HistoryModel:
     """Exact per-(footprint, variant) history of observed times."""
 
@@ -70,14 +90,22 @@ class HistoryModel:
     def _key(footprint: tuple, variant_name: str) -> tuple:
         # Footprints are keyed by their repr so that persisted models
         # (JSON) round-trip exactly: Task.footprint() is stable across runs.
-        return (repr(footprint), variant_name)
+        return (_footprint_repr(footprint), variant_name)
 
     def record(self, footprint: tuple, variant_name: str, duration: float) -> None:
-        key = self._key(footprint, variant_name)
+        # _key and RunningStats.add inlined: this runs once per completed
+        # task and the two call frames are measurable at 1M-task scale
+        key = (_footprint_repr(footprint), variant_name)
         stats = self._table.get(key)
         if stats is None:
             stats = self._table[key] = RunningStats()
-        stats.add(duration)
+        if duration < 0:
+            raise RuntimeSystemError(f"negative duration observed: {duration}")
+        n = stats.n + 1
+        stats.n = n
+        delta = duration - stats.mean
+        stats.mean += delta / n
+        stats.m2 += delta * (duration - stats.mean)
 
     def predict(self, footprint: tuple, variant_name: str) -> float | None:
         stats = self._table.get(self._key(footprint, variant_name))
@@ -107,7 +135,8 @@ class RegressionModel:
         if size <= 0 or duration <= 0:
             return  # log-log fit cannot use non-positive samples
         self._samples.setdefault(variant_name, []).append((size, duration))
-        self._fits.pop(variant_name, None)  # invalidate cached fit
+        if self._fits:  # invalidate cached fit (skipped while unfit)
+            self._fits.pop(variant_name, None)
 
     def _fit(self, variant_name: str) -> tuple[float, float] | None:
         """Return (log_a, b) of ``t = a * s^b``, or None if unfit-able."""
@@ -230,9 +259,16 @@ class PerfModel:
         provenance: str = "analytical",
     ) -> None:
         """Feed one observation (called by the engine at task completion)."""
-        if footprint and isinstance(footprint[0], str):
-            self._variant_codelet.setdefault(variant_name, footprint[0])
-        hist, reg = self._tables(provenance)
+        if (
+            variant_name not in self._variant_codelet
+            and footprint
+            and isinstance(footprint[0], str)
+        ):
+            self._variant_codelet[variant_name] = footprint[0]
+        if provenance == "analytical":
+            hist, reg = self.history, self.regression
+        else:
+            hist, reg = self._tables(provenance)
         hist.record(footprint, variant_name, duration)
         reg.record(variant_name, size, duration)
 

@@ -230,20 +230,13 @@ class Runtime:
         by default; ``sync=True`` blocks the host program until the task
         completes (entry-wrappers expose both, paper section IV-C).
         """
+        parse = AccessMode.parse
         ops = [
-            Operand(handle=h, mode=AccessMode.parse(m) if isinstance(m, str) else m)
+            Operand(h, parse(m) if isinstance(m, str) else m)
             for h, m in operands
         ]
-        task = Task(
-            codelet=codelet,
-            operands=ops,
-            ctx=ctx,
-            scalar_args=scalar_args,
-            priority=priority,
-            parent=parent,
-            name=name,
-        )
-        return self.engine.submit(task, sync=sync)
+        task = Task(codelet, ops, ctx, scalar_args, priority, parent, name)
+        return self.engine.submit(task, sync)
 
     def wait_for_all(self) -> float:
         """Barrier over every submitted task; returns virtual time."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Protocol
+from typing import TYPE_CHECKING, Protocol, Sequence
 
 from repro.errors import SchedulingError
 from repro.runtime.archs import Arch
@@ -43,6 +43,11 @@ class EngineView(Protocol):
 
     def worker_available_at(self, unit_id: int) -> float:
         """Virtual time the worker finishes its currently assigned work."""
+        ...
+
+    def worker_available_times(self) -> Sequence[float]:
+        """Live per-worker available_at values indexed by unit id
+        (read-only; one lookup per candidate instead of one call)."""
         ...
 
     def worker_assigned_count(self, unit_id: int) -> int:
@@ -100,6 +105,23 @@ class EngineView(Protocol):
         ...
 
 
+def _feasible_decisions(task: "Task", view: EngineView) -> list[Decision]:
+    """Build the feasible (variant, workers) list for one ready task."""
+    decisions: list[Decision] = []
+    gang = view.cpu_gang()
+    for variant in task.codelet.candidates(task.ctx):
+        if variant.arch.is_gang:
+            if gang and len(gang) >= variant.min_cores:
+                decisions.append(Decision(variant=variant, workers=gang))
+            continue
+        for unit in view.machine.units:
+            if not view.worker_usable(unit.unit_id):
+                continue
+            if variant.arch.runs_on(unit) and variant.fits_device(unit.device):
+                decisions.append(Decision(variant=variant, workers=(unit,)))
+    return decisions
+
+
 def enumerate_candidates(
     task: "Task", view: EngineView
 ) -> list[Decision]:
@@ -113,19 +135,33 @@ def enumerate_candidates(
     every policy retries *elsewhere* first (GPU -> CPU fallback); they
     come back only if no untried placement remains (bounded same-place
     retry is better than giving up).
+
+    Views may expose a ``candidate_cache`` dict; codelets whose variants
+    are all guard-free get their decision list cached there (keyed by
+    codelet identity — the list only depends on the codelet and on
+    worker health, and the engine clears the cache whenever a worker is
+    lost or blacklisted).  The returned list must be treated as
+    immutable.
     """
-    decisions: list[Decision] = []
-    gang = view.cpu_gang()
-    for variant in task.codelet.candidates(task.ctx):
-        if variant.arch.is_gang:
-            if gang and len(gang) >= variant.min_cores:
-                decisions.append(Decision(variant=variant, workers=gang))
-            continue
-        for unit in view.machine.units:
-            if not view.worker_usable(unit.unit_id):
-                continue
-            if variant.arch.runs_on(unit) and variant.fits_device(unit.device):
-                decisions.append(Decision(variant=variant, workers=(unit,)))
+    codelet = task.codelet
+    cache = getattr(view, "candidate_cache", None)
+    decisions: list[Decision] | None = None
+    if cache is not None:
+        entry = cache.get(id(codelet))
+        if (
+            entry is not None
+            and entry[0] is codelet
+            and entry[1] == len(codelet.variants)
+        ):
+            decisions = entry[2]
+    if decisions is None:
+        decisions = _feasible_decisions(task, view)
+        if (
+            cache is not None
+            and decisions
+            and all(v.guard is None for v in codelet.variants)
+        ):
+            cache[id(codelet)] = (codelet, len(codelet.variants), decisions)
     if not decisions:
         raise SchedulingError(
             f"task {task.name}: no executable variant on machine "
@@ -133,7 +169,10 @@ def enumerate_candidates(
             f"{[v.name for v in task.codelet.variants]}, context rejected: "
             f"{[v.name for v in task.codelet.variants if not v.selectable(task.ctx)]})"
         )
-    failed = view.failed_placements(task)
+    # read the per-task fault set directly: it is None for every task
+    # that never faulted, and the view-method indirection costs a call
+    # on the per-task hot path
+    failed = task.failed_on
     if failed:
         untried = [
             d

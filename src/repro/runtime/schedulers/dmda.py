@@ -113,16 +113,23 @@ class DmdaScheduler(Scheduler):
         # --- steady state: minimum expected completion time ----------------
         best: Decision | None = None
         best_key: tuple[float, int] | None = None
+        # data readiness/transfer cost depend only on the target memory
+        # node; candidates sharing a node share one estimate
+        node_est: dict[int, tuple[float, float]] = {}
         for decision in candidates:
             node = decision.anchor.memory_node
             avail = max(
                 view.worker_available_at(u.unit_id) for u in decision.workers
             )
             if self.data_aware:
-                data_ready = view.estimate_data_ready(task, node)
-                penalty = (self.beta - 1.0) * view.estimate_transfer_cost(
-                    task, node
-                )
+                est = node_est.get(node)
+                if est is None:
+                    est = node_est[node] = (
+                        view.estimate_data_ready(task, node),
+                        view.estimate_transfer_cost(task, node),
+                    )
+                data_ready = est[0]
+                penalty = (self.beta - 1.0) * est[1]
             else:
                 data_ready = task.ready_time
                 penalty = 0.0

@@ -23,15 +23,58 @@ class EagerScheduler(Scheduler):
 
     name = "eager"
 
+    def __init__(self) -> None:
+        #: per-candidate-list derived attributes (anchor unit id, memory
+        #: node, gang worker ids).  enumerate_candidates returns the
+        #: *same cached list object* for a guard-free codelet until the
+        #: engine invalidates it, so keying on list identity is exact.
+        self._plan: tuple[list, list] | None = None
+
     def choose(self, task: "Task", view: EngineView) -> Decision:
         candidates = enumerate_candidates(task, view)
+        plan = self._plan
+        if plan is None or plan[0] is not candidates:
+            info = [
+                (
+                    d,
+                    d.workers[0].unit_id,
+                    d.workers[0].memory_node,
+                    (
+                        None
+                        if len(d.workers) == 1
+                        else tuple(u.unit_id for u in d.workers)
+                    ),
+                )
+                for d in candidates
+            ]
+            self._plan = plan = (candidates, info)
+        ready = task.ready_time
+        avail_times = view.worker_available_times()
+        data_at = view.estimate_data_ready
+        # operand readiness depends only on the anchor's memory node, so
+        # candidates sharing a node (e.g. every CPU core) share one
+        # estimate_data_ready call
+        node_ready: dict[int, float] = {}
         best: Decision | None = None
-        best_key: tuple[float, int] | None = None
-        for decision in candidates:
-            start = self.earliest_start(task, decision, view)
+        best_start = 0.0
+        best_uid = -1
+        for decision, uid, node, gang_ids in plan[1]:
+            if gang_ids is None:
+                avail = avail_times[uid]
+            else:
+                avail = max(avail_times[u] for u in gang_ids)
+            data = node_ready.get(node)
+            if data is None:
+                data = node_ready[node] = data_at(task, node)
+            start = ready if ready > avail else avail
+            if data > start:
+                start = data
             # deterministic tie-break on anchor unit id
-            key = (start, decision.anchor.unit_id)
-            if best_key is None or key < best_key:
-                best, best_key = decision, key
+            if (
+                best is None
+                or start < best_start
+                or (start == best_start and uid < best_uid)
+            ):
+                best, best_start, best_uid = decision, start, uid
         assert best is not None  # enumerate_candidates raises when empty
         return best

@@ -4,62 +4,256 @@ The trace is the evidence base for every experiment in the paper:
 makespan (Figures 5-7), per-worker utilisation (hybrid execution), data
 transfer counts and volumes (Figure 3's copy elision, Figure 5's
 communication bottleneck), and per-task timelines for debugging.
+
+Storage layout (the million-task refactor)
+------------------------------------------
+
+Records used to be frozen dataclasses held in plain lists; at million-
+task scale the per-record object overhead (and the ``dataclasses.replace``
+sequence stamping) dominated the engine hot path.  The trace now stores
+records *columnar* (struct-of-arrays): one ``array('d')`` per float
+field, one list per object field, and materializes record objects only
+when somebody actually asks for one.  The engine appends raw field rows
+(:meth:`ExecutionTrace.add_task`, :meth:`ExecutionTrace.add_transfer`)
+and never builds a record object on the no-subscriber fast path.
+
+The blessed access API (stable across future layout changes):
+
+- ``trace.tasks()`` / ``trace.transfers()`` / ``trace.faults()`` (and
+  ``evictions()`` / ``accesses()`` / ``requests()``) — iterate lazily
+  materialized records; the same attributes still behave like the lists
+  they used to be (``len``, indexing, slicing, ``append``).
+- ``trace.columns("end_time")`` — the raw column for one field, the
+  cheapest way to fold an aggregate over a large trace.
+- ``TaskRecord.make(...)`` — forge a record outside the engine (tests,
+  trace loaders); plus ``rec.replace(...)`` / ``rec.as_dict()`` /
+  ``cls._fields`` standing in for the old dataclass conveniences.
+
+Direct construction (``TaskRecord(...)``) still works but emits a
+one-shot :class:`DeprecationWarning` (escalated to an error in this
+repo's test suite): record layout is an engine internal now.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import warnings
+from array import array
+from collections.abc import Sequence
 
 from repro.hw.machine import HOST_NODE
 
+# ---------------------------------------------------------------------------
+# deprecation shim (repo-standard one-shot warn_* pattern)
+# ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
-class TaskRecord:
-    """Completed-task timeline entry."""
+_construction_warned = False
 
-    task_id: int
-    name: str
-    codelet: str
-    variant: str
-    arch: str
-    worker_ids: tuple[int, ...]
-    submit_time: float
-    ready_time: float
-    start_time: float
-    end_time: float
-    #: modeled energy spent executing this task (duration x the busy
-    #: power of every occupied worker), in joules
-    energy_j: float = 0.0
-    #: memory node the task computed from (its anchor worker's node)
-    node: int = -1
-    #: handle ids the task read / wrote
-    reads: tuple[int, ...] = ()
-    writes: tuple[int, ...] = ()
-    #: task ids this task depended on (sequential data consistency)
-    deps: tuple[int, ...] = ()
-    #: per-engine submission index (dense, unlike the global task_id)
-    submit_seq: int = -1
-    #: causal recording order shared with transfers/evictions/accesses;
-    #: the invariant checker replays records in this order
-    seq: int = -1
+
+def warn_record_construction(cls: type, stacklevel: int = 3) -> None:
+    """Emit the direct-record-construction warning at most once.
+
+    Records are engine-owned: the engine writes them as raw column rows
+    and everything else reads them through the blessed trace accessors.
+    Code that legitimately forges records (tests, the trace JSON loader)
+    uses ``Record.make(...)``, which skips this shim.
+    """
+    global _construction_warned
+    if _construction_warned:
+        return
+    _construction_warned = True
+    warnings.warn(
+        f"direct construction of {cls.__name__} is deprecated; use "
+        f"{cls.__name__}.make(...) — record layout is an engine internal "
+        "and the positional/keyword signature is only guaranteed through "
+        "make()",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset_record_warning() -> None:
+    """Re-arm the one-shot deprecation (for tests)."""
+    global _construction_warned
+    _construction_warned = False
+
+
+# ---------------------------------------------------------------------------
+# slotted record classes
+# ---------------------------------------------------------------------------
+
+
+def _fill(rec, args: tuple, kwargs: dict) -> None:
+    """Assign constructor arguments onto a freshly allocated record."""
+    cls = type(rec)
+    names = cls._fields
+    if len(args) > len(names):
+        raise TypeError(
+            f"{cls.__name__} takes at most {len(names)} arguments "
+            f"({len(args)} given)"
+        )
+    for name, value in zip(names, args):
+        if name in kwargs:
+            raise TypeError(
+                f"{cls.__name__} got multiple values for {name!r}"
+            )
+        setattr(rec, name, value)
+    defaults = cls._defaults
+    for name in names[len(args) :]:
+        if name in kwargs:
+            setattr(rec, name, kwargs.pop(name))
+        elif name in defaults:
+            setattr(rec, name, defaults[name])
+        else:
+            raise TypeError(
+                f"{cls.__name__} missing required argument {name!r}"
+            )
+    if kwargs:
+        bad = ", ".join(sorted(kwargs))
+        raise TypeError(f"{cls.__name__} got unexpected arguments: {bad}")
+
+
+def _restore(cls: type, values: tuple):
+    """Unpickle helper: rebuild a record from its field-value tuple."""
+    rec = cls.__new__(cls)
+    for name, value in zip(cls._fields, values):
+        setattr(rec, name, value)
+    return rec
+
+
+class _Record:
+    """Base for slotted trace records.
+
+    Subclasses declare ``__slots__`` (the field order), ``_defaults``
+    (trailing optional fields) and ``_float_fields`` (fields the
+    columnar store keeps in ``array('d')``).  Equality, hashing, repr,
+    ``replace`` and ``as_dict`` all derive from ``_fields`` so they
+    match the old frozen-dataclass behaviour field for field.
+    """
+
+    __slots__ = ()
+    _fields: tuple[str, ...] = ()
+    _defaults: dict = {}
+    _float_fields: frozenset = frozenset()
+
+    def __init__(self, *args, **kwargs):
+        warn_record_construction(type(self))
+        _fill(self, args, kwargs)
+
+    @classmethod
+    def make(cls, *args, **kwargs):
+        """Forge a record without the deprecation shim (blessed)."""
+        rec = cls.__new__(cls)
+        _fill(rec, args, kwargs)
+        return rec
+
+    def replace(self, **changes):
+        """A copy with the given fields swapped (ex dataclasses.replace)."""
+        cls = type(self)
+        rec = cls.__new__(cls)
+        for name in cls._fields:
+            setattr(
+                rec,
+                name,
+                changes.pop(name) if name in changes else getattr(self, name),
+            )
+        if changes:
+            bad = ", ".join(sorted(changes))
+            raise TypeError(f"{cls.__name__} has no fields: {bad}")
+        return rec
+
+    def as_dict(self) -> dict:
+        """Field-name -> value mapping in field order (ex asdict)."""
+        return {name: getattr(self, name) for name in self._fields}
+
+    def _astuple(self) -> tuple:
+        return tuple(getattr(self, name) for name in self._fields)
+
+    def __eq__(self, other):
+        if type(other) is not type(self):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self):
+        return hash(self._astuple())
+
+    def __repr__(self):
+        body = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self._fields
+        )
+        return f"{type(self).__name__}({body})"
+
+    def __reduce__(self):
+        return _restore, (type(self), self._astuple())
+
+
+class TaskRecord(_Record):
+    """Completed-task timeline entry.
+
+    ``energy_j`` is the modeled energy spent executing the task
+    (duration x the busy power of every occupied worker, joules);
+    ``node`` is the memory node the task computed from (its anchor
+    worker's node); ``reads``/``writes`` are the handle ids touched;
+    ``deps`` the task ids this task depended on (sequential data
+    consistency); ``submit_seq`` the per-engine submission index (dense,
+    unlike the global ``task_id``); ``seq`` the causal recording order
+    shared with transfers/evictions/accesses — the invariant checker
+    replays records in that order.
+    """
+
+    __slots__ = (
+        "task_id",
+        "name",
+        "codelet",
+        "variant",
+        "arch",
+        "worker_ids",
+        "submit_time",
+        "ready_time",
+        "start_time",
+        "end_time",
+        "energy_j",
+        "node",
+        "reads",
+        "writes",
+        "deps",
+        "submit_seq",
+        "seq",
+    )
+    _fields = __slots__
+    _defaults = {
+        "energy_j": 0.0,
+        "node": -1,
+        "reads": (),
+        "writes": (),
+        "deps": (),
+        "submit_seq": -1,
+        "seq": -1,
+    }
+    _float_fields = frozenset(
+        {"submit_time", "ready_time", "start_time", "end_time", "energy_j"}
+    )
 
     @property
     def duration(self) -> float:
         return self.end_time - self.start_time
 
 
-@dataclass(frozen=True)
-class TransferRecord:
+class TransferRecord(_Record):
     """One modeled data copy between memory nodes."""
 
-    handle_id: int
-    handle_name: str
-    src_node: int
-    dst_node: int
-    nbytes: int
-    start_time: float
-    end_time: float
-    seq: int = -1
+    __slots__ = (
+        "handle_id",
+        "handle_name",
+        "src_node",
+        "dst_node",
+        "nbytes",
+        "start_time",
+        "end_time",
+        "seq",
+    )
+    _fields = __slots__
+    _defaults = {"seq": -1}
+    _float_fields = frozenset({"start_time", "end_time"})
 
     @property
     def is_h2d(self) -> bool:
@@ -70,17 +264,24 @@ class TransferRecord:
         return self.src_node != HOST_NODE and self.dst_node == HOST_NODE
 
 
-@dataclass(frozen=True)
-class EvictionRecord:
-    """One device-memory eviction (copy dropped to make room)."""
+class EvictionRecord(_Record):
+    """One device-memory eviction (copy dropped to make room).
 
-    handle_id: int
-    handle_name: str
-    node: int
-    nbytes: int
-    time: float
-    flushed: bool  # True when the copy had to be written home first
-    seq: int = -1
+    ``flushed`` is True when the copy had to be written home first.
+    """
+
+    __slots__ = (
+        "handle_id",
+        "handle_name",
+        "node",
+        "nbytes",
+        "time",
+        "flushed",
+        "seq",
+    )
+    _fields = __slots__
+    _defaults = {"seq": -1}
+    _float_fields = frozenset({"time"})
 
 
 #: host-access kinds (see :meth:`ExecutionTrace.record_access`)
@@ -92,26 +293,30 @@ ACCESS_KINDS = (
 )
 
 
-@dataclass(frozen=True)
-class AccessRecord:
+class AccessRecord(_Record):
     """One host-side data-management event (container/application access).
 
     The coherence half of the invariant checker needs these to replay
     the container state machine: a host read is only legal over a valid
     (or just-transferred) host copy, a host write makes the host the
     sole owner, and partitioning hands the parent's coherence state to
-    its children.
+    its children.  ``mode`` is the access mode ("r"/"w"/"rw") for
+    acquire events, "" otherwise; ``related`` holds child handle ids for
+    partition/unpartition events.
     """
 
-    kind: str
-    handle_id: int
-    handle_name: str
-    #: access mode ("r"/"w"/"rw") for acquire events, "" otherwise
-    mode: str
-    time: float
-    #: child handle ids for partition/unpartition events
-    related: tuple[int, ...] = ()
-    seq: int = -1
+    __slots__ = (
+        "kind",
+        "handle_id",
+        "handle_name",
+        "mode",
+        "time",
+        "related",
+        "seq",
+    )
+    _fields = __slots__
+    _defaults = {"related": (), "seq": -1}
+    _float_fields = frozenset({"time"})
 
 
 #: fault-record kinds (see :mod:`repro.hw.faults` for injection and the
@@ -126,29 +331,51 @@ FAULT_KINDS = (
 )
 
 
-@dataclass(frozen=True)
-class FaultRecord:
-    """One injected fault (and how far recovery had to go)."""
+class FaultRecord(_Record):
+    """One injected fault (and how far recovery had to go).
 
-    kind: str
-    time: float
-    #: failed task attempt (None for pure transfer/replica events)
-    task_id: int | None = None
-    task_name: str = ""
-    #: workers occupied by the failed attempt
-    worker_ids: tuple[int, ...] = ()
-    #: memory node involved (transfers, device loss, replica recovery)
-    node: int | None = None
-    handle_id: int | None = None
-    handle_name: str = ""
-    #: retry attempt index this fault struck (0 = first try)
-    attempt: int = 0
-    detail: str = ""
-    seq: int = -1
+    ``task_id`` is the failed task attempt (None for pure transfer/
+    replica events); ``worker_ids`` the workers occupied by the failed
+    attempt; ``node`` the memory node involved (transfers, device loss,
+    replica recovery); ``attempt`` the retry attempt index this fault
+    struck (0 = first try).
+    """
+
+    __slots__ = (
+        "kind",
+        "time",
+        "task_id",
+        "task_name",
+        "worker_ids",
+        "node",
+        "handle_id",
+        "handle_name",
+        "attempt",
+        "detail",
+        "seq",
+    )
+    _fields = __slots__
+    _defaults = {
+        "task_id": None,
+        "task_name": "",
+        "worker_ids": (),
+        "node": None,
+        "handle_id": None,
+        "handle_name": "",
+        "attempt": 0,
+        "detail": "",
+        "seq": -1,
+    }
+    _float_fields = frozenset({"time"})
 
 
-@dataclass(frozen=True)
-class RequestRecord:
+#: shared by every default-constructed RequestRecord, so two traces
+#: built in one process compare equal on never-set time fields (nan
+#: equality holds only through the identity shortcut)
+_NAN = float("nan")
+
+
+class RequestRecord(_Record):
     """One client request served (or shed) by the composition service.
 
     Requests are the serving layer's unit of accounting: a tenant's
@@ -157,27 +384,44 @@ class RequestRecord:
     end-to-end latency into queue wait (arrival to dispatch), pending
     time (dispatch to execution start: staging transfers plus waiting
     for a worker) and execution time, which is what the per-tenant SLO
-    report aggregates.
+    report aggregates.  ``shed`` marks rejection by admission control
+    (never dispatched); ``delayed`` a request held back by a delaying
+    admission controller; ``failed`` dispatched but abandoned
+    (unrecoverable injected fault); ``transfer_s`` seconds of staging
+    transfers committed while dispatching; ``batch_size`` the coalesced
+    batch the request was dispatched in.
     """
 
-    tenant: str
-    req_id: int
-    codelet: str
-    arrival_time: float
-    #: request rejected by admission control (never dispatched)
-    shed: bool = False
-    #: request was held back by a delaying admission controller
-    delayed: bool = False
-    #: dispatched but abandoned (unrecoverable injected fault)
-    failed: bool = False
-    dispatch_time: float = float("nan")
-    start_time: float = float("nan")
-    end_time: float = float("nan")
-    #: seconds of staging transfers committed while dispatching this task
-    transfer_s: float = 0.0
-    #: size of the coalesced batch this request was dispatched in
-    batch_size: int = 1
-    task_id: int | None = None
+    __slots__ = (
+        "tenant",
+        "req_id",
+        "codelet",
+        "arrival_time",
+        "shed",
+        "delayed",
+        "failed",
+        "dispatch_time",
+        "start_time",
+        "end_time",
+        "transfer_s",
+        "batch_size",
+        "task_id",
+    )
+    _fields = __slots__
+    _defaults = {
+        "shed": False,
+        "delayed": False,
+        "failed": False,
+        "dispatch_time": _NAN,
+        "start_time": _NAN,
+        "end_time": _NAN,
+        "transfer_s": 0.0,
+        "batch_size": 1,
+        "task_id": None,
+    }
+    _float_fields = frozenset(
+        {"arrival_time", "dispatch_time", "start_time", "end_time", "transfer_s"}
+    )
 
     @property
     def completed(self) -> bool:
@@ -203,22 +447,198 @@ class RequestRecord:
         return self.end_time - self.start_time
 
 
+# ---------------------------------------------------------------------------
+# columnar storage
+# ---------------------------------------------------------------------------
+
+
+class _ColumnStore:
+    """Struct-of-arrays backing for one record kind.
+
+    One column per record field — ``array('d')`` for float fields
+    (times, energy), a plain list otherwise — plus a parallel cache of
+    materialized record objects (None until someone indexes that row).
+    The engine's hot path appends raw rows (:meth:`append_row`) and
+    never pays for a record object; forged records appended wholesale
+    (:meth:`append_record`) keep their identity, which matters for the
+    shared-nan equality of default RequestRecord fields.
+    """
+
+    __slots__ = (
+        "cls",
+        "_fields",
+        "_cols",
+        "append_row",
+        "append_stamped",
+        "columns",
+        "_cache",
+    )
+
+    def __init__(self, cls: type) -> None:
+        self.cls = cls
+        self._fields = cls._fields
+        self.columns: dict = {
+            name: array("d") if name in cls._float_fields else []
+            for name in cls._fields
+        }
+        self._cols = tuple(self.columns[name] for name in cls._fields)
+        self._cache: list = []
+        # generate a specialized append_row for this record shape: tuple
+        # unpack plus one bound-append call per column beats iterating a
+        # zip of (append, value) pairs on the per-task hot path, and the
+        # unpack also rejects rows of the wrong width for free
+        n = len(self._cols)
+        binds = ", ".join(f"_a{i}=_cols[{i}].append" for i in range(n))
+        unpack = ", ".join(f"v{i}" for i in range(n))
+        calls = "; ".join(f"_a{i}(v{i})" for i in range(n))
+        src = (
+            f"def append_row(values, _miss=_cache.append, {binds}):\n"
+            f"    {unpack}, = values\n"
+            f"    {calls}\n"
+            f"    _miss(None)\n"
+        )
+        ns: dict = {"_cols": self._cols, "_cache": self._cache}
+        exec(src, ns)  # noqa: S102 - static template, no external input
+        self.append_row = ns["append_row"]
+        # variant for the engine's stamped appends: the row arrives
+        # without the trailing ``seq`` (passed separately), sparing one
+        # tuple concatenation per task/transfer
+        if self._fields and self._fields[-1] == "seq":
+            unpack2 = ", ".join(f"v{i}" for i in range(n - 1))
+            calls2 = "; ".join(f"_a{i}(v{i})" for i in range(n - 1))
+            src2 = (
+                f"def append_stamped(values, seq, _miss=_cache.append, "
+                f"{binds}):\n"
+                f"    {unpack2}, = values\n"
+                f"    {calls2}\n"
+                f"    _a{n - 1}(seq)\n"
+                f"    _miss(None)\n"
+            )
+            exec(src2, ns)  # noqa: S102 - static template, no external input
+            self.append_stamped = ns["append_stamped"]
+        else:
+            self.append_stamped = None
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def append_record(self, rec) -> None:
+        if type(rec) is not self.cls:
+            raise TypeError(
+                f"expected {self.cls.__name__}, got {type(rec).__name__}"
+            )
+        for name, col in zip(self._fields, self._cols):
+            col.append(getattr(rec, name))
+        self._cache.append(rec)
+
+    def get(self, i: int):
+        rec = self._cache[i]
+        if rec is None:
+            cls = self.cls
+            rec = cls.__new__(cls)
+            for name, col in zip(self._fields, self._cols):
+                setattr(rec, name, col[i])
+            self._cache[i] = rec
+        return rec
+
+    def set(self, i: int, rec) -> None:
+        if type(rec) is not self.cls:
+            raise TypeError(
+                f"expected {self.cls.__name__}, got {type(rec).__name__}"
+            )
+        for name, col in zip(self._fields, self._cols):
+            col[i] = getattr(rec, name)
+        self._cache[i] = rec
+
+    def clear(self) -> None:
+        for col in self._cols:
+            del col[:]
+        self._cache.clear()
+
+
+class RecordsView(Sequence):
+    """Callable sequence over one record kind.
+
+    ``trace.tasks`` behaves like the list it used to be (``len``,
+    indexing, slicing, iteration, ``append``/``extend``, item
+    assignment), while ``trace.tasks()`` — the blessed iteration
+    spelling — returns the view itself.  Records materialize lazily out
+    of the columnar store on first access.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: _ColumnStore) -> None:
+        self._store = store
+
+    def __call__(self) -> "RecordsView":
+        return self
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __getitem__(self, i):
+        store = self._store
+        n = len(store)
+        if isinstance(i, slice):
+            return [store.get(j) for j in range(*i.indices(n))]
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError("record index out of range")
+        return store.get(i)
+
+    def __iter__(self):
+        store = self._store
+        get = store.get
+        for i in range(len(store)):
+            yield get(i)
+
+    def __setitem__(self, i: int, rec) -> None:
+        n = len(self._store)
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError("record assignment index out of range")
+        self._store.set(i, rec)
+
+    def append(self, rec) -> None:
+        self._store.append_record(rec)
+
+    def extend(self, recs) -> None:
+        append = self._store.append_record
+        for rec in recs:
+            append(rec)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __eq__(self, other):
+        if isinstance(other, RecordsView):
+            return list(self) == list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return repr(list(self))
+
+
+# ---------------------------------------------------------------------------
+# derived-statistics cache
+# ---------------------------------------------------------------------------
+
+
 class _DerivedStats:
-    """Incrementally maintained aggregates over a trace's record lists.
+    """Incrementally maintained aggregates over a trace's record columns.
 
     The derived-stat properties of :class:`ExecutionTrace` (``n_h2d``,
     ``makespan``, ``faults_by_kind``, ...) used to rescan the full
     record lists on every call — O(n) per query, which a live obs layer
-    polls constantly.  This cache folds records in exactly once, lazily:
+    polls constantly.  This cache folds rows in exactly once, lazily:
     each accessor first consumes whatever was appended since the last
-    query (records are immutable and lists append-only), so direct list
-    appends (``canonicalized()``, ``trace_from_dict``) are folded in
-    like ``record_*`` calls.  A list that *shrank* (``clear()``, tests
-    replacing a list wholesale) triggers a full recompute.
-
-    Deliberately not a dataclass field: ``repro.check.replay`` compares
-    traces by iterating ``fields(ExecutionTrace)`` and the cache must
-    stay invisible to that.
+    query, reading the raw columns so no record objects materialize.
+    A store that *shrank* (``clear()``) triggers a full recompute.
     """
 
     __slots__ = (
@@ -267,140 +687,302 @@ class _DerivedStats:
         self.tenants: dict[str, None] = {}
 
     def catch_up(self, trace: "ExecutionTrace") -> "_DerivedStats":
+        tasks = trace._tasks
+        transfers = trace._transfers
+        faults = trace._faults
+        requests = trace._requests
         if (
-            len(trace.tasks) < self._seen_tasks
-            or len(trace.transfers) < self._seen_transfers
-            or len(trace.faults) < self._seen_faults
-            or len(trace.requests) < self._seen_requests
+            len(tasks) < self._seen_tasks
+            or len(transfers) < self._seen_transfers
+            or len(faults) < self._seen_faults
+            or len(requests) < self._seen_requests
         ):
             self.reset()
-        for rec in trace.tasks[self._seen_tasks :]:
-            self.max_end = max(self.max_end, rec.end_time)
-            self.total_energy_j += rec.energy_j
-            self.energy_by_arch[rec.arch] = (
-                self.energy_by_arch.get(rec.arch, 0.0) + rec.energy_j
-            )
-            self.tasks_by_arch[rec.arch] = (
-                self.tasks_by_arch.get(rec.arch, 0) + 1
-            )
-            self.tasks_by_variant[rec.variant] = (
-                self.tasks_by_variant.get(rec.variant, 0) + 1
-            )
-            for w in rec.worker_ids:
-                self.busy_time[w] = self.busy_time.get(w, 0.0) + rec.duration
-        self._seen_tasks = len(trace.tasks)
-        for xrec in trace.transfers[self._seen_transfers :]:
-            if xrec.is_h2d:
-                self.n_h2d += 1
-            elif xrec.is_d2h:
-                self.n_d2h += 1
-            self.bytes_transferred += xrec.nbytes
-            self.max_end = max(self.max_end, xrec.end_time)
-        self._seen_transfers = len(trace.transfers)
-        for frec in trace.faults[self._seen_faults :]:
-            self.faults_by_kind[frec.kind] = (
-                self.faults_by_kind.get(frec.kind, 0) + 1
-            )
-            for w in frec.worker_ids:
-                self.faults_by_worker[w] = self.faults_by_worker.get(w, 0) + 1
-        self._seen_faults = len(trace.faults)
-        for rrec in trace.requests[self._seen_requests :]:
-            if rrec.shed:
-                self.n_shed += 1
-            if rrec.failed:
-                self.n_failed_requests += 1
-            self.tenants.setdefault(rrec.tenant, None)
-        self._seen_requests = len(trace.requests)
+        n = len(tasks)
+        if n > self._seen_tasks:
+            cols = tasks.columns
+            starts = cols["start_time"]
+            ends = cols["end_time"]
+            energies = cols["energy_j"]
+            archs = cols["arch"]
+            variants = cols["variant"]
+            workers = cols["worker_ids"]
+            for i in range(self._seen_tasks, n):
+                end = ends[i]
+                if end > self.max_end:
+                    self.max_end = end
+                e = energies[i]
+                arch = archs[i]
+                self.total_energy_j += e
+                self.energy_by_arch[arch] = (
+                    self.energy_by_arch.get(arch, 0.0) + e
+                )
+                self.tasks_by_arch[arch] = self.tasks_by_arch.get(arch, 0) + 1
+                variant = variants[i]
+                self.tasks_by_variant[variant] = (
+                    self.tasks_by_variant.get(variant, 0) + 1
+                )
+                dur = end - starts[i]
+                for w in workers[i]:
+                    self.busy_time[w] = self.busy_time.get(w, 0.0) + dur
+            self._seen_tasks = n
+        n = len(transfers)
+        if n > self._seen_transfers:
+            cols = transfers.columns
+            srcs = cols["src_node"]
+            dsts = cols["dst_node"]
+            sizes = cols["nbytes"]
+            ends = cols["end_time"]
+            for i in range(self._seen_transfers, n):
+                src = srcs[i]
+                dst = dsts[i]
+                if src == HOST_NODE:
+                    if dst != HOST_NODE:
+                        self.n_h2d += 1
+                elif dst == HOST_NODE:
+                    self.n_d2h += 1
+                self.bytes_transferred += sizes[i]
+                end = ends[i]
+                if end > self.max_end:
+                    self.max_end = end
+            self._seen_transfers = n
+        n = len(faults)
+        if n > self._seen_faults:
+            cols = faults.columns
+            kinds = cols["kind"]
+            workers = cols["worker_ids"]
+            for i in range(self._seen_faults, n):
+                kind = kinds[i]
+                self.faults_by_kind[kind] = self.faults_by_kind.get(kind, 0) + 1
+                for w in workers[i]:
+                    self.faults_by_worker[w] = (
+                        self.faults_by_worker.get(w, 0) + 1
+                    )
+            self._seen_faults = n
+        n = len(requests)
+        if n > self._seen_requests:
+            cols = requests.columns
+            sheds = cols["shed"]
+            faileds = cols["failed"]
+            tenants = cols["tenant"]
+            for i in range(self._seen_requests, n):
+                if sheds[i]:
+                    self.n_shed += 1
+                if faileds[i]:
+                    self.n_failed_requests += 1
+                self.tenants.setdefault(tenants[i], None)
+            self._seen_requests = n
         return self
 
 
-@dataclass
+# ---------------------------------------------------------------------------
+# the trace
+# ---------------------------------------------------------------------------
+
+
 class ExecutionTrace:
-    """Accumulates task and transfer records for one runtime session."""
+    """Accumulates task and transfer records for one runtime session.
 
-    tasks: list[TaskRecord] = field(default_factory=list)
-    transfers: list[TransferRecord] = field(default_factory=list)
-    evictions: list[EvictionRecord] = field(default_factory=list)
-    faults: list[FaultRecord] = field(default_factory=list)
-    requests: list[RequestRecord] = field(default_factory=list)
-    accesses: list[AccessRecord] = field(default_factory=list)
-    #: tasks accepted by ``Engine.submit`` (conservation basis:
-    #: ``n_submitted == n_tasks + n_tasks_aborted``)
-    n_submitted: int = 0
-    #: tasks accepted per codelet name — native bookkeeping kept by the
-    #: engine itself (submit-time facts are not in any record until the
-    #: task completes); the obs metric catalogue reads these by diffing
-    #: rather than subscribing to per-task events
-    submitted_by_codelet: dict[str, int] = field(default_factory=dict)
-    #: ``Scheduler.choose`` calls per codelet name (one per placement
-    #: attempt, so fault-recovery retries count again)
-    decisions_by_codelet: dict[str, int] = field(default_factory=dict)
-    #: placement attempts after a fault (attempt > 0) per codelet name
-    retries_by_codelet: dict[str, int] = field(default_factory=dict)
-    #: tasks aborted without executing (unplaceable, retries exhausted)
-    n_tasks_aborted: int = 0
-    #: monotone recording sequence shared by task/transfer/eviction/
-    #: access/fault records — the trace's causal order
-    next_seq: int = 0
-    #: task-level retries the recovery layer performed (one per failed
-    #: execution attempt that was rescheduled)
-    n_task_retries: int = 0
-    #: tasks that faulted at least once but eventually completed
-    n_tasks_recovered: int = 0
-    #: tasks abandoned after exhausting the retry budget
-    n_tasks_lost: int = 0
-    #: recovered tasks whose final placement used a different backend
-    #: architecture than the first failed attempt (e.g. GPU -> CPU)
-    n_fallbacks: int = 0
-    #: placement decisions made while the performance model was still
-    #: uncalibrated for the task (scheduler exploration / calibration
-    #: phase); a warm-started run should keep this at zero
-    n_exploration_decisions: int = 0
-    #: workers disabled after repeated transient faults
-    blacklisted_workers: set[int] = field(default_factory=set)
-    #: workers whose device was permanently lost
-    lost_workers: set[int] = field(default_factory=set)
+    No longer a dataclass: record storage is columnar (see the module
+    docstring) and the class carries explicit ``RECORD_KINDS`` /
+    ``COUNTER_FIELDS`` / ``STATE_FIELDS`` tuples for code that used to
+    introspect ``dataclasses.fields`` (trace export, replay comparison).
+    """
 
-    def __post_init__(self) -> None:
-        # derived-stat cache; deliberately NOT a dataclass field (replay
-        # trace comparison iterates fields() and must not see it)
+    #: record list attributes, in the order the old dataclass declared
+    RECORD_KINDS = (
+        "tasks",
+        "transfers",
+        "evictions",
+        "faults",
+        "requests",
+        "accesses",
+    )
+    #: scalar/dict/set bookkeeping attributes (engine counters)
+    COUNTER_FIELDS = (
+        "n_submitted",
+        "submitted_by_codelet",
+        "decisions_by_codelet",
+        "retries_by_codelet",
+        "n_tasks_aborted",
+        "next_seq",
+        "n_task_retries",
+        "n_tasks_recovered",
+        "n_tasks_lost",
+        "n_fallbacks",
+        "n_exploration_decisions",
+        "blacklisted_workers",
+        "lost_workers",
+    )
+    #: the full comparable state, in old dataclass field order
+    STATE_FIELDS = RECORD_KINDS + COUNTER_FIELDS
+
+    _RECORD_CLASSES = {
+        "tasks": TaskRecord,
+        "transfers": TransferRecord,
+        "evictions": EvictionRecord,
+        "faults": FaultRecord,
+        "requests": RequestRecord,
+        "accesses": AccessRecord,
+    }
+
+    def __init__(
+        self,
+        *,
+        n_submitted: int = 0,
+        submitted_by_codelet: dict[str, int] | None = None,
+        decisions_by_codelet: dict[str, int] | None = None,
+        retries_by_codelet: dict[str, int] | None = None,
+        n_tasks_aborted: int = 0,
+        next_seq: int = 0,
+        n_task_retries: int = 0,
+        n_tasks_recovered: int = 0,
+        n_tasks_lost: int = 0,
+        n_fallbacks: int = 0,
+        n_exploration_decisions: int = 0,
+        blacklisted_workers: set[int] | None = None,
+        lost_workers: set[int] | None = None,
+    ) -> None:
+        self._tasks = _ColumnStore(TaskRecord)
+        self._transfers = _ColumnStore(TransferRecord)
+        self._evictions = _ColumnStore(EvictionRecord)
+        self._faults = _ColumnStore(FaultRecord)
+        self._requests = _ColumnStore(RequestRecord)
+        self._accesses = _ColumnStore(AccessRecord)
+        self.tasks = RecordsView(self._tasks)
+        self.transfers = RecordsView(self._transfers)
+        self.evictions = RecordsView(self._evictions)
+        self.faults = RecordsView(self._faults)
+        self.requests = RecordsView(self._requests)
+        self.accesses = RecordsView(self._accesses)
+        #: tasks accepted by ``Engine.submit`` (conservation basis:
+        #: ``n_submitted == n_tasks + n_tasks_aborted``)
+        self.n_submitted = n_submitted
+        #: tasks accepted per codelet name — native bookkeeping kept by
+        #: the engine itself; the obs metric catalogue reads these by
+        #: diffing rather than subscribing to per-task events
+        self.submitted_by_codelet = dict(submitted_by_codelet or {})
+        #: ``Scheduler.choose`` calls per codelet name (one per placement
+        #: attempt, so fault-recovery retries count again)
+        self.decisions_by_codelet = dict(decisions_by_codelet or {})
+        #: placement attempts after a fault (attempt > 0) per codelet name
+        self.retries_by_codelet = dict(retries_by_codelet or {})
+        #: tasks aborted without executing (unplaceable, retries exhausted)
+        self.n_tasks_aborted = n_tasks_aborted
+        #: monotone recording sequence shared by task/transfer/eviction/
+        #: access/fault records — the trace's causal order
+        self.next_seq = next_seq
+        #: task-level retries the recovery layer performed (one per failed
+        #: execution attempt that was rescheduled)
+        self.n_task_retries = n_task_retries
+        #: tasks that faulted at least once but eventually completed
+        self.n_tasks_recovered = n_tasks_recovered
+        #: tasks abandoned after exhausting the retry budget
+        self.n_tasks_lost = n_tasks_lost
+        #: recovered tasks whose final placement used a different backend
+        #: architecture than the first failed attempt (e.g. GPU -> CPU)
+        self.n_fallbacks = n_fallbacks
+        #: placement decisions made while the performance model was still
+        #: uncalibrated for the task (scheduler exploration / calibration
+        #: phase); a warm-started run should keep this at zero
+        self.n_exploration_decisions = n_exploration_decisions
+        #: workers disabled after repeated transient faults
+        self.blacklisted_workers = set(blacklisted_workers or ())
+        #: workers whose device was permanently lost
+        self.lost_workers = set(lost_workers or ())
+        # derived-stat cache (invisible to STATE_FIELDS comparisons)
         self._stats = _DerivedStats()
 
     def _derived(self) -> _DerivedStats:
         return self._stats.catch_up(self)
 
+    # -- blessed column access ----------------------------------------------
+
+    def columns(self, field: str, kind: str = "tasks"):
+        """The raw column for one record field — a read-only view.
+
+        The cheapest way to fold an aggregate over a large trace
+        (``array('d')`` for float fields, a plain list otherwise); do
+        not mutate the returned sequence.
+        """
+        if kind not in self.RECORD_KINDS:
+            raise KeyError(
+                f"unknown record kind {kind!r}; one of {self.RECORD_KINDS}"
+            )
+        store: _ColumnStore = getattr(self, "_" + kind)
+        try:
+            return store.columns[field]
+        except KeyError:
+            raise KeyError(
+                f"{kind} records have no field {field!r}; fields are "
+                f"{store.cls._fields}"
+            ) from None
+
+    def state_dict(self) -> dict:
+        """Comparable full state: record dicts plus counters.
+
+        Sets are sorted so two equal traces compare equal; the replay
+        checker diffs two of these.
+        """
+        doc: dict = {}
+        for kind in self.RECORD_KINDS:
+            doc[kind] = [rec.as_dict() for rec in getattr(self, kind)]
+        for name in self.COUNTER_FIELDS:
+            value = getattr(self, name)
+            doc[name] = sorted(value) if isinstance(value, set) else value
+        return doc
+
+    # -- recording ----------------------------------------------------------
+
+    def add_task(self, values: tuple) -> None:
+        """Hot-path append: one task row, ``seq`` stamped in place.
+
+        ``values`` holds every :class:`TaskRecord` field except the
+        trailing ``seq`` in declaration order.  No record object is
+        built; one materializes lazily if somebody indexes the row.
+        """
+        seq = self.next_seq
+        self.next_seq = seq + 1
+        self._tasks.append_stamped(values, seq)
+
+    def add_transfer(self, values: tuple) -> None:
+        """Hot-path append: one transfer row, ``seq`` stamped in place."""
+        seq = self.next_seq
+        self.next_seq = seq + 1
+        self._transfers.append_stamped(values, seq)
+
     def _stamp(self, rec):
-        rec = replace(rec, seq=self.next_seq)
+        rec = rec.replace(seq=self.next_seq)
         self.next_seq += 1
         return rec
 
     def record_task(self, rec: TaskRecord) -> TaskRecord:
         rec = self._stamp(rec)
-        self.tasks.append(rec)
+        self._tasks.append_record(rec)
         return rec
 
     def record_transfer(self, rec: TransferRecord) -> TransferRecord:
         rec = self._stamp(rec)
-        self.transfers.append(rec)
+        self._transfers.append_record(rec)
         return rec
 
     def record_eviction(self, rec: EvictionRecord) -> EvictionRecord:
         rec = self._stamp(rec)
-        self.evictions.append(rec)
+        self._evictions.append_record(rec)
         return rec
 
     def record_fault(self, rec: FaultRecord) -> FaultRecord:
         rec = self._stamp(rec)
-        self.faults.append(rec)
+        self._faults.append_record(rec)
         return rec
 
     def record_access(self, rec: AccessRecord) -> AccessRecord:
         rec = self._stamp(rec)
-        self.accesses.append(rec)
+        self._accesses.append_record(rec)
         return rec
 
     def record_request(self, rec: RequestRecord) -> RequestRecord:
-        self.requests.append(rec)
+        self._requests.append_record(rec)
         return rec
 
     def records_in_seq_order(self) -> list:
@@ -419,7 +1001,7 @@ class ExecutionTrace:
 
     @property
     def n_requests(self) -> int:
-        return len(self.requests)
+        return len(self._requests)
 
     @property
     def n_shed(self) -> int:
@@ -438,13 +1020,13 @@ class ExecutionTrace:
 
     @property
     def n_evictions(self) -> int:
-        return len(self.evictions)
+        return len(self._evictions)
 
     # -- fault views --------------------------------------------------------
 
     @property
     def n_faults(self) -> int:
-        return len(self.faults)
+        return len(self._faults)
 
     @property
     def n_kernel_faults(self) -> int:
@@ -476,11 +1058,11 @@ class ExecutionTrace:
 
     @property
     def n_tasks(self) -> int:
-        return len(self.tasks)
+        return len(self._tasks)
 
     @property
     def n_transfers(self) -> int:
-        return len(self.transfers)
+        return len(self._transfers)
 
     @property
     def n_h2d(self) -> int:
@@ -539,7 +1121,7 @@ class ExecutionTrace:
             f"{self.bytes_transferred / 1e6:.2f} MB), "
             f"makespan {self.makespan * 1e3:.3f} ms"
         )
-        if self.faults:
+        if len(self._faults):
             by_kind = ", ".join(
                 f"{kind}: {n}" for kind, n in sorted(self.faults_by_kind().items())
             )
@@ -548,7 +1130,7 @@ class ExecutionTrace:
                 f"{self.n_task_retries} retries, "
                 f"{self.n_tasks_recovered} recovered / {self.n_tasks_lost} lost"
             )
-        if self.requests:
+        if len(self._requests):
             text += (
                 f"; {self.n_requests} requests over {len(self.tenants())} "
                 f"tenants ({self.n_shed} shed, {self.n_failed_requests} failed)"
@@ -628,8 +1210,7 @@ class ExecutionTrace:
         )
         for trec in self.tasks:
             out.tasks.append(
-                replace(
-                    trec,
+                trec.replace(
                     task_id=task_map[trec.task_id],
                     name=task_name(trec.name, trec.task_id),
                     reads=tuple(handle_map[h] for h in trec.reads),
@@ -639,24 +1220,21 @@ class ExecutionTrace:
             )
         for xrec in self.transfers:
             out.transfers.append(
-                replace(
-                    xrec,
+                xrec.replace(
                     handle_id=handle_map[xrec.handle_id],
                     handle_name=handle_name(xrec.handle_name, xrec.handle_id),
                 )
             )
         for erec in self.evictions:
             out.evictions.append(
-                replace(
-                    erec,
+                erec.replace(
                     handle_id=handle_map[erec.handle_id],
                     handle_name=handle_name(erec.handle_name, erec.handle_id),
                 )
             )
         for arec in self.accesses:
             out.accesses.append(
-                replace(
-                    arec,
+                arec.replace(
                     handle_id=handle_map[arec.handle_id],
                     handle_name=handle_name(arec.handle_name, arec.handle_id),
                     related=tuple(handle_map[h] for h in arec.related),
@@ -664,8 +1242,7 @@ class ExecutionTrace:
             )
         for frec in self.faults:
             out.faults.append(
-                replace(
-                    frec,
+                frec.replace(
                     task_id=(
                         None if frec.task_id is None else task_map[frec.task_id]
                     ),
@@ -688,8 +1265,7 @@ class ExecutionTrace:
             )
         for rrec in self.requests:
             out.requests.append(
-                replace(
-                    rrec,
+                rrec.replace(
                     task_id=(
                         None if rrec.task_id is None else task_map[rrec.task_id]
                     ),
@@ -698,12 +1274,12 @@ class ExecutionTrace:
         return out
 
     def clear(self) -> None:
-        self.tasks.clear()
-        self.transfers.clear()
-        self.evictions.clear()
-        self.faults.clear()
-        self.requests.clear()
-        self.accesses.clear()
+        self._tasks.clear()
+        self._transfers.clear()
+        self._evictions.clear()
+        self._faults.clear()
+        self._requests.clear()
+        self._accesses.clear()
         self.n_submitted = 0
         self.submitted_by_codelet.clear()
         self.decisions_by_codelet.clear()

@@ -32,7 +32,7 @@ class TaskState(Enum):
     DONE = "done"
 
 
-@dataclass
+@dataclass(slots=True)
 class Operand:
     """One (handle, access-mode) pair of a task."""
 
@@ -61,6 +61,32 @@ class Task:
         invocation (intra-component parallelism, paper section IV-F).
     """
 
+    __slots__ = (
+        "task_id",
+        "codelet",
+        "operands",
+        "ctx",
+        "scalar_args",
+        "priority",
+        "parent",
+        "name",
+        "state",
+        "n_pending_deps",
+        "dependents",
+        "earliest_start",
+        "submit_time",
+        "ready_time",
+        "start_time",
+        "end_time",
+        "chosen_variant",
+        "workers",
+        "submit_seq",
+        "dep_ids",
+        "n_faults",
+        "failed_on",
+        "first_fault_arch",
+    )
+
     _ids = count()
 
     def __init__(
@@ -78,7 +104,7 @@ class Task:
         self.task_id: int = next(Task._ids)
         self.codelet = codelet
         self.operands = operands
-        self.ctx: dict[str, object] = dict(ctx or {})
+        self.ctx: dict[str, object] = dict(ctx) if ctx else {}
         self.scalar_args = scalar_args
         self.priority = priority
         self.parent = parent
@@ -108,8 +134,10 @@ class Task:
         #: number of execution attempts that faulted
         self.n_faults: int = 0
         #: (variant name, anchor unit id) placements that already faulted;
-        #: retries prefer placements not in this set
-        self.failed_on: set[tuple[str, int]] = set()
+        #: retries prefer placements not in this set.  Lazily allocated
+        #: on the first fault (None means "none failed") so the
+        #: no-fault hot path skips one set allocation per task.
+        self.failed_on: set[tuple[str, int]] | None = None
         #: backend architecture of the first failed attempt (fallback
         #: accounting: recovery on a different arch counts as a fallback)
         self.first_fault_arch: str | None = None
@@ -158,17 +186,21 @@ class Task:
         excluded so history is reused across them.  The context may
         override everything with an explicit ``footprint`` entry.
         """
-        override = self.ctx.get("footprint")
-        if override is not None:
-            return (self.codelet.name, override)
-        sizes = tuple(_bucket(op.handle.nbytes) for op in self.operands)
-        ctx_sizes = tuple(
-            (key, _bucket(abs(value)))
-            for key, value in sorted(self.ctx.items())
-            if isinstance(value, int)
-            and not isinstance(value, bool)
-            and key != "ncores"
-        )
+        ctx = self.ctx
+        if ctx:
+            override = ctx.get("footprint")
+            if override is not None:
+                return (self.codelet.name, override)
+            ctx_sizes = tuple(
+                (key, _bucket(abs(value)))
+                for key, value in sorted(ctx.items())
+                if isinstance(value, int)
+                and not isinstance(value, bool)
+                and key != "ncores"
+            )
+        else:  # empty-context fast path (common in tight submit loops)
+            ctx_sizes = ()
+        sizes = tuple(op.handle.nbytes.bit_length() for op in self.operands)
         return (self.codelet.name, sizes, ctx_sizes)
 
     def run_kernel(self) -> None:

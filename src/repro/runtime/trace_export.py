@@ -15,7 +15,7 @@ This module exports an :class:`~repro.runtime.stats.ExecutionTrace` as:
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.errors import RuntimeSystemError
@@ -121,7 +121,7 @@ def trace_to_dict(trace: ExecutionTrace, machine: Machine | MachineInfo) -> dict
         },
     }
     for key, _cls in _RECORD_TYPES.items():
-        doc[key] = [asdict(rec) for rec in getattr(trace, key)]
+        doc[key] = [rec.as_dict() for rec in getattr(trace, key)]
     for key in _COUNTER_FIELDS:
         doc[key] = getattr(trace, key)
     doc["blacklisted_workers"] = sorted(trace.blacklisted_workers)
@@ -150,13 +150,13 @@ def trace_from_dict(doc: dict) -> tuple[ExecutionTrace, MachineInfo]:
     )
     trace = ExecutionTrace()
     for key, cls in _RECORD_TYPES.items():
-        names = {f.name for f in fields(cls)}
+        names = set(cls._fields)
         for raw in doc.get(key, []):
             kwargs = {k: v for k, v in raw.items() if k in names}
             for tup in ("worker_ids", "reads", "writes", "deps", "related"):
                 if tup in kwargs and kwargs[tup] is not None:
                     kwargs[tup] = tuple(kwargs[tup])
-            getattr(trace, key).append(cls(**kwargs))
+            getattr(trace, key).append(cls.make(**kwargs))
     for key in _COUNTER_FIELDS:
         setattr(trace, key, int(doc.get(key, 0)))
     trace.blacklisted_workers = set(doc.get("blacklisted_workers", []))

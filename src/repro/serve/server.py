@@ -271,7 +271,7 @@ class CompositionServer:
         else:
             self.admission.note_shed()
             self._record_request(
-                RequestRecord(
+                RequestRecord.make(
                     tenant=req.tenant,
                     req_id=req.req_id,
                     codelet=req.codelet_name,
@@ -308,7 +308,7 @@ class CompositionServer:
             else:
                 self.admission.note_shed()
                 self._record_request(
-                    RequestRecord(
+                    RequestRecord.make(
                         tenant=req.tenant,
                         req_id=req.req_id,
                         codelet=req.codelet_name,
@@ -345,7 +345,7 @@ class CompositionServer:
         except UnrecoverableTaskError:
             # fault recovery exhausted: a per-tenant SLO miss, not a crash
             self._inflight += 1
-            rec = RequestRecord(
+            rec = RequestRecord.make(
                 tenant=req.tenant,
                 req_id=req.req_id,
                 codelet=req.codelet_name,
@@ -376,7 +376,7 @@ class CompositionServer:
             )
         n, mean = self._shape_obs.get(req.shape_key, (0, 0.0))
         self._shape_obs[req.shape_key] = (n + 1, mean + (service - mean) / (n + 1))
-        rec = RequestRecord(
+        rec = RequestRecord.make(
             tenant=req.tenant,
             req_id=req.req_id,
             codelet=req.codelet_name,

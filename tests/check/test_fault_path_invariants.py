@@ -1,6 +1,5 @@
 """Fault-path invariants: retry discipline and blacklist placement."""
 
-import dataclasses
 
 import numpy as np
 import pytest
@@ -35,7 +34,7 @@ def _forge(tr, rec):
     """Append a forged fault record with a fresh, in-range seq stamp."""
     seq = tr.next_seq
     tr.next_seq = seq + 1
-    tr.faults.append(dataclasses.replace(rec, seq=seq))
+    tr.faults.append(rec.replace(seq=seq))
 
 
 def test_legal_faulty_run_has_no_violations():
@@ -74,8 +73,8 @@ def test_overlapping_retry_attempts_are_flagged():
     tr, machine = _faulty_trace()
     kernel = next(f for f in tr.faults if f.kind == "kernel")
     # a later attempt faulting *earlier* in time than its predecessor
-    _forge(tr, dataclasses.replace(
-        kernel, attempt=kernel.attempt + 1, time=kernel.time * 0.5
+    _forge(tr, kernel.replace(
+        attempt=kernel.attempt + 1, time=kernel.time * 0.5
     ))
     rules = {v.rule for v in check_trace(tr, machine)}
     assert "fault.attempt-overlap" in rules
@@ -100,7 +99,7 @@ def test_placement_on_blacklisted_worker_is_flagged():
         if trigger is not None:
             break
     assert trigger is not None, "workload too uniform to forge a scenario"
-    _forge(tr, FaultRecord(
+    _forge(tr, FaultRecord.make(
         kind="blacklisted",
         time=later.ready_time * 0.5,
         task_id=trigger.task_id,
@@ -115,7 +114,7 @@ def test_placement_on_blacklisted_worker_is_flagged():
 def test_trigger_task_keeping_blacklisted_worker_is_flagged():
     tr, machine = _faulty_trace()
     rec = tr.tasks[0]
-    _forge(tr, FaultRecord(
+    _forge(tr, FaultRecord.make(
         kind="blacklisted",
         time=0.0,
         task_id=rec.task_id,

@@ -1,6 +1,5 @@
 """Invariant checker: clean runs validate, corrupted traces pinpoint rules."""
 
-from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -19,6 +18,13 @@ from repro.runtime.stats import (
 from repro.runtime.trace_export import MachineInfo
 
 from tests.conftest import make_axpy_codelet
+
+
+
+def replace(rec, **changes):
+    """Records are slotted now (no dataclasses.replace); forward to the
+    blessed per-record replace()."""
+    return rec.replace(**changes)
 
 
 def _traced_run(scheduler="dmda", n_tasks=8, n=200_000):
@@ -144,8 +150,10 @@ def _task(
     submit_seq=None,
     **kw,
 ):
+
+
     node = machine.unit(worker).memory_node
-    return TaskRecord(
+    return TaskRecord.make(
         task_id=task_id,
         name=f"t#{task_id}",
         codelet="t",
@@ -270,7 +278,7 @@ def test_device_read_with_transfer_is_coherent():
     machine = platform_c2050()
     gpu = machine.gpu_units[0]
     node = gpu.memory_node
-    staged = TransferRecord(
+    staged = TransferRecord.make(
         handle_id=7,
         handle_name="data7",
         src_node=HOST_NODE,
@@ -290,7 +298,7 @@ def test_device_read_with_transfer_is_coherent():
 def test_read_before_transfer_completes_is_illegal():
     machine = platform_c2050()
     gpu = machine.gpu_units[0]
-    staged = TransferRecord(
+    staged = TransferRecord.make(
         handle_id=7,
         handle_name="data7",
         src_node=HOST_NODE,
@@ -311,7 +319,7 @@ def test_read_before_transfer_completes_is_illegal():
 def test_transfer_from_node_without_copy():
     machine = platform_c2050()
     node = machine.gpu_units[0].memory_node
-    ghost = TransferRecord(
+    ghost = TransferRecord.make(
         handle_id=3,
         handle_name="data3",
         src_node=node,
@@ -327,7 +335,7 @@ def test_transfer_from_node_without_copy():
 
 def test_self_transfer_is_malformed():
     machine = platform_c2050()
-    loop = TransferRecord(
+    loop = TransferRecord.make(
         handle_id=3,
         handle_name="data3",
         src_node=HOST_NODE,
@@ -346,7 +354,7 @@ def test_overlapping_transfers_on_one_link_channel():
     node = machine.gpu_units[0].memory_node
 
     def h2d(handle_id, start, end, seq):
-        return TransferRecord(
+        return TransferRecord.make(
             handle_id=handle_id,
             handle_name=f"data{handle_id}",
             src_node=HOST_NODE,
@@ -366,7 +374,7 @@ def test_overlapping_transfers_on_one_link_channel():
 def test_eviction_from_node_without_copy():
     machine = platform_c2050()
     node = machine.gpu_units[0].memory_node
-    phantom = EvictionRecord(
+    phantom = EvictionRecord.make(
         handle_id=3,
         handle_name="data3",
         node=node,
@@ -388,7 +396,7 @@ def test_evicting_the_last_copy_is_illegal():
     writer = replace(
         _task(machine, 0, 0.0, 1.0, worker=gpu.unit_id, seq=0), writes=(5,)
     )
-    drop = EvictionRecord(
+    drop = EvictionRecord.make(
         handle_id=5,
         handle_name="data5",
         node=node,
@@ -403,7 +411,7 @@ def test_evicting_the_last_copy_is_illegal():
 
 def test_host_eviction_is_invalid():
     machine = platform_c2050()
-    bad = EvictionRecord(
+    bad = EvictionRecord.make(
         handle_id=5,
         handle_name="data5",
         node=HOST_NODE,
@@ -421,7 +429,7 @@ def test_host_eviction_is_invalid():
 
 def test_shed_request_with_task_breaks_conservation():
     machine = cpu_only(1)
-    shed = RequestRecord(
+    shed = RequestRecord.make(
         tenant="a", req_id=0, codelet="c", arrival_time=0.0, shed=True,
         task_id=12,
     )
@@ -431,7 +439,7 @@ def test_shed_request_with_task_breaks_conservation():
 
 def test_completed_request_must_map_to_completed_task():
     machine = cpu_only(1)
-    orphan = RequestRecord(
+    orphan = RequestRecord.make(
         tenant="a", req_id=0, codelet="c", arrival_time=0.0,
         dispatch_time=0.1, start_time=0.2, end_time=0.3, task_id=42,
     )
@@ -442,7 +450,7 @@ def test_completed_request_must_map_to_completed_task():
 def test_request_task_time_mismatch_is_reported():
     machine = cpu_only(1)
     task = _task(machine, 0, 1.0, 2.0)
-    req = RequestRecord(
+    req = RequestRecord.make(
         tenant="a", req_id=0, codelet="t", arrival_time=0.0,
         dispatch_time=0.5, start_time=1.0, end_time=9.0, task_id=0,
     )

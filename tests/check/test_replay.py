@@ -1,6 +1,5 @@
 """Decision recording and deterministic replay."""
 
-from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -18,6 +17,13 @@ from repro.runtime import Runtime
 from tests.conftest import make_axpy_codelet
 
 N = 200_000
+
+
+
+def replace(rec, **changes):
+    """Records are slotted now (no dataclasses.replace); forward to the
+    blessed per-record replace()."""
+    return rec.replace(**changes)
 
 
 def _workload(n_tasks=6):
@@ -140,6 +146,8 @@ def _submit_one(rt):
         ([DecisionRecord("axpy", "axpy_cpu", (999,))], "replay.unknown-worker"),
     ],
 )
+
+
 def test_replay_divergence_is_loud(entries, rule):
     rt = _replay_runtime(entries)
     with pytest.raises(ReplayDivergence) as excinfo:

@@ -1,6 +1,5 @@
 """Cluster invariant checker: clean runs pass, tampered traces fail."""
 
-import dataclasses
 
 import pytest
 
@@ -134,8 +133,8 @@ def test_node_engine_traces_are_checked_too(chaos):
     c, _ = chaos
     node = next(n for n in c.nodes.values() if n.engine.trace.tasks)
     rec = node.engine.trace.tasks[0]
-    node.engine.trace.tasks[0] = dataclasses.replace(
-        rec, end_time=rec.start_time - 1.0  # physically impossible
+    node.engine.trace.tasks[0] = rec.replace(
+        end_time=rec.start_time - 1.0  # physically impossible
     )
     vs = check_cluster(c)
     assert any(f"node {node.node_id}:" in v.detail for v in vs)

@@ -1,0 +1,200 @@
+"""Same-seed trace digests are frozen across internal-layout changes.
+
+The slotted/columnar record refactor (and any future storage change)
+must keep same-seed traces byte-identical: both the canonical Chrome
+trace JSON and the canonicalized lossless trace document are hashed and
+compared against digests captured *before* the refactor
+(``tests/data/golden_digests.json``).
+
+Regenerate the golden file only when a change legitimately alters trace
+*content* (new record fields, different modeled timings) — never for a
+pure storage/layout change::
+
+    PYTHONPATH=src:tests/runtime python -c \
+        "import test_digest_golden as m; m.write_golden()"
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.hw.faults import FaultModel
+from repro.hw.presets import platform_c2050
+from repro.runtime import Arch, Codelet, ImplVariant, Runtime
+from repro.runtime.trace_export import canonical_chrome_json, trace_to_dict
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "data" / "golden_digests.json"
+
+
+def _codelet() -> Codelet:
+    return Codelet(
+        "gold",
+        [
+            ImplVariant(
+                "gold_cpu", Arch.CPU, lambda ctx, *a: None, lambda ctx, dev: 1e-6
+            ),
+            ImplVariant(
+                "gold_cuda", Arch.CUDA, lambda ctx, *a: None, lambda ctx, dev: 4e-7
+            ),
+        ],
+    )
+
+
+def _runtime(scheduler: str, **kw) -> Runtime:
+    defaults = dict(
+        scheduler=scheduler,
+        seed=7,
+        noise_sigma=0.0,
+        run_kernels=False,
+        check=False,
+    )
+    defaults.update(kw)
+    return Runtime(platform_c2050(), **defaults)
+
+
+def scenario_fanout() -> tuple:
+    rt = _runtime("eager")
+    codelet = _codelet()
+    handles = [
+        rt.register(np.zeros(64, dtype=np.float32), f"g{i}") for i in range(6)
+    ]
+    for i in range(300):
+        rt.submit(codelet, [(handles[i % 6], "r")], name=f"fan{i}")
+    rt.wait_for_all()
+    rt.shutdown()
+    return rt.trace, rt.machine
+
+
+def scenario_chain() -> tuple:
+    rt = _runtime("eager")
+    codelet = _codelet()
+    h = rt.register(np.zeros(64, dtype=np.float32), "chain")
+    for i in range(300):
+        rt.submit(codelet, [(h, "rw")], name=f"chain{i}")
+    rt.wait_for_all()
+    rt.shutdown()
+    return rt.trace, rt.machine
+
+
+def scenario_dmda_noise() -> tuple:
+    """dmda exploration + noise + mixed transfers + an acquire."""
+    rt = _runtime("dmda", noise_sigma=0.03)
+    codelet = _codelet()
+    handles = [
+        rt.register(np.zeros(256, dtype=np.float32), f"d{i}") for i in range(4)
+    ]
+    for i in range(150):
+        mode = "rw" if i % 5 == 0 else "r"
+        rt.submit(codelet, [(handles[i % 4], mode)], name=f"mix{i}")
+    rt.acquire(handles[0], "r")
+    rt.wait_for_all()
+    rt.shutdown()
+    return rt.trace, rt.machine
+
+
+def scenario_faults() -> tuple:
+    """Transient kernel/transfer faults plus a scripted device loss."""
+    rt = _runtime(
+        "eager",
+        faults=FaultModel(
+            kernel_fault_rate=0.08,
+            transfer_fault_rate=0.03,
+            device_loss_at={3: 2e-4},
+            seed=11,
+        ),
+    )
+    codelet = _codelet()
+    handles = [
+        rt.register(np.zeros(128, dtype=np.float32), f"f{i}") for i in range(3)
+    ]
+    for i in range(120):
+        mode = "rw" if i % 7 == 0 else "r"
+        rt.submit(codelet, [(handles[i % 3], mode)], name=f"flt{i}")
+    rt.wait_for_all()
+    rt.shutdown()
+    return rt.trace, rt.machine
+
+
+def scenario_serve() -> tuple:
+    """A small deterministic serve load sweep (closed-loop tenants)."""
+    from repro.serve import CompositionServer, TenantSpec
+
+    server = CompositionServer(
+        platform_c2050(),
+        tenants=[
+            TenantSpec(
+                "a", workload="sgemm", size=96, rate_hz=2000.0,
+                n_requests=20, seed=1,
+            ),
+            TenantSpec(
+                "b", workload="pathfinder", size=64, rate_hz=500.0,
+                n_requests=6, seed=2,
+            ),
+        ],
+        scheduler="fair",
+    )
+    server.run()
+    trace, machine = server.trace, server.runtime.machine
+    server.shutdown()
+    return trace, machine
+
+
+SCENARIOS = {
+    "fanout": scenario_fanout,
+    "chain": scenario_chain,
+    "dmda_noise": scenario_dmda_noise,
+    "faults": scenario_faults,
+    "serve": scenario_serve,
+}
+
+
+def digests_for(trace, machine) -> dict[str, str]:
+    chrome = canonical_chrome_json(trace, machine)
+    canon_doc = trace_to_dict(trace.canonicalized(), machine)
+    canon = json.dumps(canon_doc, sort_keys=True, separators=(",", ":"))
+    return {
+        "chrome_sha256": hashlib.sha256(chrome.encode()).hexdigest(),
+        "canonical_sha256": hashlib.sha256(canon.encode()).hexdigest(),
+    }
+
+
+def compute_all() -> dict[str, dict[str, str]]:
+    return {name: digests_for(*fn()) for name, fn in SCENARIOS.items()}
+
+
+def write_golden() -> None:  # pragma: no cover - maintenance helper
+    GOLDEN_PATH.write_text(json.dumps(compute_all(), indent=1) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing; regenerate it from a known-good build "
+        "(see module docstring)"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_digest_matches_golden(name: str, golden: dict) -> None:
+    got = digests_for(*SCENARIOS[name]())
+    assert got == golden[name], (
+        f"scenario {name!r}: trace digests diverged from the pre-refactor "
+        f"golden ({golden[name]} -> {got}); same-seed traces must stay "
+        "byte-identical across storage refactors"
+    )
+
+
+def test_canonicalized_is_idempotent() -> None:
+    trace, machine = SCENARIOS["dmda_noise"]()
+    once = trace.canonicalized()
+    twice = once.canonicalized()
+    assert canonical_chrome_json(once, machine) == canonical_chrome_json(
+        twice, machine
+    )
