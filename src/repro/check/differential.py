@@ -100,14 +100,15 @@ def composed_result(
     recipe: Recipe | None = None,
     check: bool = True,
     composed=None,
+    scheduler_options: dict | None = None,
 ):
     """Run one app through the composition tool and return its payload.
 
     The generated ``PEPPHER_INITIALIZE`` receives the scheduler override
-    plus ``check=True`` / ``noise_sigma=0.0`` so every differential run
-    is deterministic and invariant-checked at shutdown.  Pass a
-    pre-built ``composed`` application to amortize composition across
-    schedulers.
+    (plus ``scheduler_options``, when given) and ``check=True`` /
+    ``noise_sigma=0.0`` so every differential run is deterministic and
+    invariant-checked at shutdown.  Pass a pre-built ``composed``
+    application to amortize composition across schedulers.
     """
     size = SMALL_SIZES[app] if size is None else size
     if composed is None:
@@ -115,6 +116,11 @@ def composed_result(
     kwargs = {SIZE_KWARGS[app]: size, "seed": seed}
     if app == "odesolver":
         kwargs["steps"] = 6
+    if scheduler_options:
+        # only when non-empty: PEPPHER_INITIALIZE fills in the main
+        # descriptor's optimizationGoal default for runs that pass no
+        # explicit options, and that default must keep applying here
+        kwargs["scheduler_options"] = dict(scheduler_options)
     value = TOOL_MAINS[app](
         app=composed,
         scheduler=scheduler,
@@ -133,6 +139,7 @@ def compare_app(
     recipe: Recipe | None = None,
     composed=None,
     reference=None,
+    scheduler_options: dict | None = None,
 ) -> DifferentialResult:
     """Composed-vs-direct comparison for one (app, scheduler) pair."""
     size = SMALL_SIZES[app] if size is None else size
@@ -145,6 +152,7 @@ def compare_app(
         seed=seed,
         recipe=recipe,
         composed=composed,
+        scheduler_options=scheduler_options,
     )
     rtol, atol = TOLERANCES.get(app, (1e-5, 1e-6))
     narrowed: tuple[str, ...] = ()
@@ -178,19 +186,29 @@ def compare_app(
 def run_differential(
     apps=None, schedulers=("eager", "dmda"), seed: int = 0
 ) -> list[DifferentialResult]:
-    """Sweep (app x scheduler) comparisons; returns every result."""
+    """Sweep (app x scheduler) comparisons; returns every result.
+
+    Each ``schedulers`` entry is a policy name or a
+    ``(name, scheduler_options)`` pair — e.g.
+    ``("lookahead", {"window_size": 8})``.
+    """
     results: list[DifferentialResult] = []
     for app in apps or sorted(TOOL_MAINS):
         reference = reference_result(app, seed=seed)
         composed = compose_app(app)
         for scheduler in schedulers:
+            if isinstance(scheduler, str):
+                name, options = scheduler, None
+            else:
+                name, options = scheduler
             results.append(
                 compare_app(
                     app,
-                    scheduler=scheduler,
+                    scheduler=name,
                     seed=seed,
                     composed=composed,
                     reference=reference,
+                    scheduler_options=options,
                 )
             )
     return results

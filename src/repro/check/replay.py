@@ -151,13 +151,30 @@ class ReplayScheduler(Scheduler):
     policy with no arguments); actually scheduling against an empty log
     raises :class:`ReplayDivergence` immediately, with a hint to load
     one.  Assign :attr:`log` (or pass it) before running a workload.
+
+    To replay a run recorded under a bulk policy (``"lookahead"``), pass
+    the recorded scheduler's ``window_size``: the replay must buffer and
+    flush windows at the same points, or task commit order — and with it
+    the engine's event tie-breaking — diverges from the recording.  The
+    planning step itself is a no-op; ``choose`` pops the log in commit
+    order, which equals the recorded flush order.
     """
 
     name = "replay"
 
-    def __init__(self, log: DecisionLog | None = None) -> None:
+    def __init__(
+        self,
+        log: DecisionLog | None = None,
+        window_size: int | None = None,
+    ) -> None:
         self.log = log if log is not None else DecisionLog()
         self._cursor = 0
+        if window_size is not None:
+            self.is_bulk = True
+            self.window_size = int(window_size)
+
+    def plan_window(self, tasks, view) -> None:
+        """Bulk-mode hook: nothing to plan, the log already decides."""
 
     def choose(self, task: "Task", view: EngineView) -> Decision:
         if self._cursor >= len(self.log.entries):
@@ -292,7 +309,12 @@ def record_and_replay(run, machine_factory=None, **runtime_kwargs):
     replay_kwargs = dict(runtime_kwargs)
     replay_kwargs.pop("scheduler", None)
     replay_kwargs.pop("scheduler_options", None)
-    replay_kwargs["scheduler_options"] = {"log": DecisionLog(log.entries)}
+    replay_options: dict = {"log": DecisionLog(log.entries)}
+    if getattr(rt.scheduler, "is_bulk", False):
+        # bulk runs must replay with the same window boundaries or the
+        # commit order (hence event tie-breaking) diverges
+        replay_options["window_size"] = rt.scheduler.window_size
+    replay_kwargs["scheduler_options"] = replay_options
     rt2 = Runtime(make_machine(), scheduler="replay", **replay_kwargs)
     run(rt2)
     rt2.shutdown()

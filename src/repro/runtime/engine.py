@@ -230,6 +230,11 @@ class Engine:
         ]
         self._events: list[tuple[float, int, Task]] = []
         self._event_seq = count()
+        #: bulk (window-planning) policy support: buffered tasks awaiting
+        #: a window flush.  Checked once here so the eager per-submit
+        #: path pays a single attribute test (see schedulers/bulk.py).
+        self._bulk = bool(getattr(scheduler, "is_bulk", False))
+        self._window: list[Task] = []
         self._last_end = 0.0
         self._n_submitted = 0
         self._n_completed = 0
@@ -606,7 +611,16 @@ class Engine:
         ev = self.events
         if ev.want_submit:
             ev.emit_submit(task.submit_time, task)
-        if task.n_pending_deps == 0:
+        if self._bulk:
+            # window buffering: fold the submit time into the start
+            # lower bound now (dependents released by a later flush see
+            # only earliest_start), defer placement to the flush
+            if task.submit_time > task.earliest_start:
+                task.earliest_start = task.submit_time
+            self._window.append(task)
+            if len(self._window) >= self.scheduler.window_size:
+                self.flush_window()
+        elif task.n_pending_deps == 0:
             es = task.earliest_start
             st = task.submit_time
             self._make_ready(task, st if st > es else es)
@@ -618,8 +632,44 @@ class Engine:
             self.wait_for_task(task)
         return task
 
+    def flush_window(self) -> None:
+        """Commit every buffered task (bulk policies only; no-op otherwise).
+
+        The window is handed to the scheduler's ``plan_window`` once,
+        then each dependency-free task is made ready in submission
+        order; dependents cascade through the normal completion
+        machinery, so every task still goes through one ``choose`` call
+        (fault recovery, schedule events and the trace behave exactly as
+        under an eager policy).  A task that cannot be placed is aborted
+        but the rest of the window still commits; the first error
+        re-raises once the window is drained.
+        """
+        window = self._window
+        if not window:
+            return
+        self._window = []
+        pending = [t for t in window if t.state is TaskState.SUBMITTED]
+        if pending:
+            self.scheduler.plan_window(pending, self)
+        first: PeppherError | None = None
+        for task in pending:
+            if task.state is not TaskState.SUBMITTED or task.n_pending_deps:
+                continue
+            try:
+                self._make_ready(task, task.earliest_start)
+            except PeppherError as exc:
+                if first is None:
+                    first = exc
+        self._process_events()
+        if self.events._ring:
+            self.events.drain()
+        if first is not None:
+            raise first
+
     def wait_for_task(self, task: Task) -> float:
         """Block the host program until ``task`` completes."""
+        if self._bulk:
+            self.flush_window()
         self._process_events()
         self.events.drain()
         self._join_kernel(task.task_id)
@@ -634,6 +684,8 @@ class Engine:
     def wait_for_all(self) -> float:
         """Barrier: block until every submitted task has completed."""
         self._check_alive()
+        if self._bulk:
+            self.flush_window()
         self._process_events()
         self.events.drain()
         self._drain_kernels()
@@ -667,6 +719,8 @@ class Engine:
                 f"handle {handle.name!r} is partitioned; unpartition before "
                 "accessing it from the application program"
             )
+        if self._bulk:
+            self.flush_window()
         self._process_events()
         self._drain_kernels()
         t = self.clock.now
@@ -744,6 +798,8 @@ class Engine:
         self._check_alive()
         if not handle.partitioned:
             return self.clock.now
+        if self._bulk:
+            self.flush_window()
         self._process_events()
         self._drain_kernels()
         t = self.clock.now
@@ -1530,6 +1586,15 @@ class Engine:
     def _link_available(self, link_node: int, direction: str) -> float:
         key = self._link_keys[(link_node, direction)]
         return self._link_free.get(key, 0.0)
+
+    def link_available(self, link_node: int, direction: str) -> float:
+        """EngineView: when the (link, direction) DMA queue frees up.
+
+        Bulk planners seed their simulated link occupancy from this so a
+        window planned while earlier transfers are still queued does not
+        model the PCIe link as idle.
+        """
+        return self._link_available(link_node, direction)
 
     def _occupy_link(self, link_node: int, direction: str, until: float) -> None:
         key = self._link_keys[(link_node, direction)]

@@ -3,8 +3,10 @@
 ``eager`` (greedy first-free), ``random`` (speed-weighted random), ``ws``
 (queue-length balancing), ``dm`` (performance-model driven), ``dmda``
 (performance-model + data-transfer aware — the default, and the policy
-the paper's evaluation relies on) and ``fair`` (per-tenant weighted fair
-serving; placement delegates to an inner policy).
+the paper's evaluation relies on), ``fair`` (per-tenant weighted fair
+serving; placement delegates to an inner policy) and ``lookahead``
+(bulk window planning with container-aware fusion; see
+:mod:`repro.composer.lookahead` and ``docs/PLANNER.md``).
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from __future__ import annotations
 import warnings
 
 from repro.runtime.schedulers.base import Decision, EngineView, Scheduler, enumerate_candidates
+from repro.runtime.schedulers.bulk import BulkScheduler
 from repro.runtime.schedulers.dmda import DmdaScheduler, DmScheduler
 from repro.runtime.schedulers.eager import EagerScheduler
 from repro.runtime.schedulers.fair import FairShareScheduler
@@ -41,20 +44,42 @@ def _register_replay() -> None:
 
 _register_replay()
 
+#: policies resolved on first use: the lookahead planner lives in
+#: :mod:`repro.composer` (whose package import pulls the components
+#: stack, which itself imports this runtime package), so registering it
+#: eagerly here would be circular.  By the time anyone *instantiates*
+#: the policy, the runtime package is fully initialized and the import
+#: is safe.
+_DEFERRED: dict[str, tuple[str, str]] = {
+    "lookahead": ("repro.composer.lookahead", "LookaheadScheduler"),
+}
+
+
+def _resolve_deferred(name: str) -> type[Scheduler]:
+    from importlib import import_module
+
+    module, attr = _DEFERRED[name]
+    cls: type[Scheduler] = getattr(import_module(module), attr)
+    _POLICIES[cls.name] = cls
+    del _DEFERRED[name]
+    return cls
+
 
 def make_scheduler(name: str, **kwargs) -> Scheduler:
     """Instantiate a policy by its short name."""
-    try:
-        cls = _POLICIES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown scheduling policy {name!r}; known: {sorted(_POLICIES)}"
-        ) from None
+    cls = _POLICIES.get(name)
+    if cls is None:
+        if name in _DEFERRED:
+            cls = _resolve_deferred(name)
+        else:
+            raise KeyError(
+                f"unknown scheduling policy {name!r}; known: {policy_names()}"
+            )
     return cls(**kwargs)
 
 
 def policy_names() -> list[str]:
-    return sorted(_POLICIES)
+    return sorted({*_POLICIES, *_DEFERRED})
 
 
 #: one-shot guard for the scheduler-instance deprecation below
@@ -92,6 +117,7 @@ def reset_instance_warning() -> None:
 
 
 __all__ = [
+    "BulkScheduler",
     "Decision",
     "DmScheduler",
     "DmdaScheduler",

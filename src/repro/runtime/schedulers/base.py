@@ -63,6 +63,12 @@ class EngineView(Protocol):
         """Total seconds of copies needed to stage ``task`` at ``node``."""
         ...
 
+    def link_available(self, link_node: int, direction: str) -> float:
+        """Virtual time the (PCIe link, direction) DMA queue frees up
+        (``direction`` is ``"h2d"`` or ``"d2h"``); bulk planners seed
+        their simulated link occupancy from this."""
+        ...
+
     def predict_exec(
         self, task: "Task", variant: ImplVariant, unit: "ProcessingUnit"
     ) -> float | None:
@@ -189,6 +195,11 @@ class Scheduler(ABC):
 
     #: short policy name used in CLI flags and experiment configs
     name: str = "base"
+
+    #: bulk policies plan whole task windows before the engine commits
+    #: any placement (see :mod:`repro.runtime.schedulers.bulk`); the
+    #: engine checks this flag once at construction
+    is_bulk: bool = False
 
     @abstractmethod
     def choose(self, task: "Task", view: EngineView) -> Decision:

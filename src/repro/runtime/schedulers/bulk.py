@@ -1,0 +1,54 @@
+"""Bulk scheduling: plan a whole window of tasks before committing any.
+
+The push-model policies in this package see one ready task at a time.
+A :class:`BulkScheduler` instead asks the engine to *buffer* submitted
+tasks into a sliding window; when the window fills (or the application
+hits a synchronization point — ``wait_for_all``, a smart-container
+access, ``unpartition``), the engine hands the whole window to
+:meth:`BulkScheduler.plan_window` and only then commits placements, one
+``choose`` call per task in dependency order.  ``choose`` is expected to
+return the planned decision (or a fallback when the plan is stale — a
+worker died, the placement faulted, or the task escaped the window).
+
+The contract keeps every other engine mechanism intact: fault recovery
+retries still call ``choose``, schedule events still fire once per
+``choose`` (so record/replay works unchanged), and the trace records the
+committed timeline exactly as under an eager policy.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+from repro.runtime.schedulers.base import EngineView, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.task import Task
+
+
+class BulkScheduler(Scheduler):
+    """Base class for window-planning (bulk) policies.
+
+    Subclasses must set :attr:`window_size` (the engine flushes the
+    buffered window when it reaches this many tasks) and implement
+    :meth:`plan_window`, which inspects the window's DAG against the
+    engine view and stashes per-task decisions for the subsequent
+    ``choose`` calls.
+    """
+
+    is_bulk = True
+
+    #: tasks buffered before the engine forces a window flush
+    window_size: int = 16
+
+    @abstractmethod
+    def plan_window(self, tasks: Sequence["Task"], view: EngineView) -> None:
+        """Plan placements for one window of submitted tasks.
+
+        ``tasks`` arrive in submission order (a valid topological order:
+        sequential data consistency only ever creates edges from earlier
+        to later submissions).  The engine commits the window right
+        after this returns, calling ``choose`` once per task as it
+        becomes ready.
+        """

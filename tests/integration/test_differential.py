@@ -1,13 +1,16 @@
 """Differential harness: composed apps vs direct references, all apps,
 parametrized over the scheduler registry (small sizes keep this fast)."""
 
+import numpy as np
 import pytest
 
 from repro.apps.mains import TOOL_MAINS, compose_app
 from repro.check.differential import (
     SIZE_KWARGS,
     SMALL_SIZES,
+    TOLERANCES,
     compare_app,
+    composed_result,
     reference_result,
     run_differential,
 )
@@ -62,3 +65,50 @@ def test_run_differential_sweep_reports_every_cell():
     assert [r.scheduler for r in results] == ["eager", "dmda"]
     assert all(r.ok for r in results)
     assert all(r.size == SMALL_SIZES["sgemm"] for r in results)
+
+
+def test_lookahead_policy_is_in_the_matrix():
+    """The registry-driven matrix above must include the planner."""
+    assert "lookahead" in SCHEDULERS
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("app", ["sgemm", "spmv", "hotspot"])
+def test_lookahead_matches_dmda_results(app, seed):
+    """Greedy and planned composition agree numerically on every seed."""
+    composed, _ = _fixtures(app)
+    greedy = composed_result(app, scheduler="dmda", seed=seed, composed=composed)
+    planned = composed_result(
+        app,
+        scheduler="lookahead",
+        seed=seed,
+        composed=composed,
+        scheduler_options={"window_size": 8},
+    )
+    rtol, atol = TOLERANCES.get(app, (1e-5, 1e-6))
+    np.testing.assert_allclose(planned, greedy, rtol=rtol, atol=atol)
+
+
+def test_run_differential_accepts_scheduler_options_pairs():
+    results = run_differential(
+        apps=["sgemm"],
+        schedulers=("dmda", ("lookahead", {"window_size": 4})),
+    )
+    assert [r.scheduler for r in results] == ["dmda", "lookahead"]
+    assert all(r.ok for r in results)
+
+
+def test_composed_result_threads_scheduler_options():
+    """Regression: scheduler_options used to be dropped on the floor.
+
+    A bogus option must now reach make_scheduler and explode, instead of
+    silently running the default configuration.
+    """
+    composed, _ = _fixtures("sgemm")
+    with pytest.raises(TypeError):
+        composed_result(
+            "sgemm",
+            scheduler="lookahead",
+            composed=composed,
+            scheduler_options={"definitely_not_an_option": 1},
+        )

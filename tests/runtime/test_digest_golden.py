@@ -144,12 +144,51 @@ def scenario_serve() -> tuple:
     return trace, machine
 
 
+def _scenario_lookahead(fusion: bool) -> tuple:
+    """Window planning: calibration-phase fallback windows, planned
+    windows over a mixed DAG, and an ``acquire`` sync point that forces
+    an early (partial) window flush."""
+    rt = _runtime(
+        "lookahead",
+        scheduler_options={
+            "window_size": 8, "beam_width": 4, "fusion": fusion,
+        },
+    )
+    codelet = _codelet()
+    handles = [
+        rt.register(np.zeros(256, dtype=np.float32), f"l{i}") for i in range(4)
+    ]
+    for i in range(60):
+        mode = "rw" if i % 3 == 0 else "r"
+        rt.submit(codelet, [(handles[i % 4], mode)], name=f"la{i}")
+    rt.acquire(handles[1], "r")
+    for i in range(30):
+        rt.submit(
+            codelet,
+            [(handles[i % 2], "rw"), (handles[2 + i % 2], "r")],
+            name=f"lb{i}",
+        )
+    rt.wait_for_all()
+    rt.shutdown()
+    return rt.trace, rt.machine
+
+
+def scenario_lookahead() -> tuple:
+    return _scenario_lookahead(fusion=True)
+
+
+def scenario_lookahead_nofusion() -> tuple:
+    return _scenario_lookahead(fusion=False)
+
+
 SCENARIOS = {
     "fanout": scenario_fanout,
     "chain": scenario_chain,
     "dmda_noise": scenario_dmda_noise,
     "faults": scenario_faults,
     "serve": scenario_serve,
+    "lookahead": scenario_lookahead,
+    "lookahead_nofusion": scenario_lookahead_nofusion,
 }
 
 

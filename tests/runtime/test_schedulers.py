@@ -12,7 +12,7 @@ from tests.conftest import make_axpy_codelet
 
 def test_factory_knows_all_policies():
     assert policy_names() == [
-        "dm", "dmda", "eager", "fair", "random", "replay", "ws",
+        "dm", "dmda", "eager", "fair", "lookahead", "random", "replay", "ws",
     ]
     for name in policy_names():
         assert make_scheduler(name).name == name

@@ -104,6 +104,54 @@ def test_batches_fuse_same_shape_requests():
     assert max(r.batch_size for r in server.trace.requests) > 1
 
 
+def test_lookahead_batches_plan_as_windows():
+    """Bulk policy: each coalesced batch plans and commits as one window."""
+    server = make_server(
+        scheduler="lookahead",
+        scheduler_options={"window_size": 8},
+        batching=BatchPolicy(max_batch=4),
+    )
+    report = server.run()
+    assert report.total_completed == 50
+    sched = server.engine.scheduler
+    assert sched.is_bulk
+    assert sched.n_windows > 0
+    assert sched.n_planned_tasks + sched.n_fallback_tasks == 50
+    # accounting must stay coherent although placement was deferred to
+    # the per-batch flush
+    for rec in server.trace.requests:
+        assert rec.completed
+        assert rec.dispatch_time >= rec.arrival_time
+        assert rec.start_time >= rec.dispatch_time - 1e-12
+        assert rec.end_time > rec.start_time
+        assert rec.latency >= rec.exec_s - 1e-12
+        assert rec.transfer_s >= 0.0
+    server.shutdown()
+
+
+def test_lookahead_serving_is_deterministic():
+    kw = dict(scheduler="lookahead", batching=BatchPolicy(max_batch=4))
+    r1 = make_server(**kw).run()
+    r2 = make_server(**kw).run()
+    assert r1.to_dict() == r2.to_dict()
+
+
+def test_lookahead_faults_surface_as_failed_requests():
+    server = make_server(
+        scheduler="lookahead",
+        faults=FaultModel(kernel_fault_rate=0.9, seed=11),
+        recovery=RecoveryPolicy(max_retries=1, blacklist_after=10**6),
+    )
+    report = server.run()  # must not raise
+    failed = sum(t.n_failed for t in report.tenants)
+    assert failed > 0
+    assert report.total_completed + failed == 50
+    for rec in server.trace.requests:
+        if rec.failed:
+            assert not rec.completed
+            assert not math.isnan(rec.dispatch_time)
+
+
 def test_faults_surface_as_failed_requests_not_crashes():
     server = make_server(
         faults=FaultModel(kernel_fault_rate=0.9, seed=11),
