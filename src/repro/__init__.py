@@ -38,7 +38,13 @@ from repro._version import __version__
 from repro.components import MainDescriptor, Repository
 from repro.composer import ComposedApplication, Composer, Recipe
 from repro.containers import Matrix, Scalar, Vector
-from repro.hw import by_name, platform_c1060, platform_c2050
+from repro.hw import (
+    MachineDescription,
+    by_name,
+    machine,
+    platform_c1060,
+    platform_c2050,
+)
 from repro.obs import MetricsRegistry, MetricsSuite
 from repro.runtime import Runtime
 from repro.runtime.events import EngineEvents
@@ -52,6 +58,7 @@ __all__ = [
     "ComposedApplication",
     "Composer",
     "EngineEvents",
+    "MachineDescription",
     "Matrix",
     "MainDescriptor",
     "MetricsRegistry",
@@ -66,6 +73,7 @@ __all__ = [
     "__version__",
     "by_name",
     "check",
+    "machine",
     "platform_c1060",
     "platform_c2050",
     "serve",

@@ -65,16 +65,20 @@ def gpu_time(
     bytes_moved: float,
     pattern: AccessPattern = AccessPattern.REGULAR,
     library_factor: float = 1.0,
+    profile=None,
 ) -> float:
     """A whole GPU executing one kernel from device memory.
 
     ``library_factor < 1`` models expert-tuned library code (CUBLAS,
     CUSP) that beats the efficiency a naive kernel achieves — the paper
-    uses such library variants for its CUDA components.
+    uses such library variants for its CUDA components.  ``profile``
+    optionally carries the kernel's launch shape and instruction mix
+    (:class:`~repro.hw.model.KernelProfile`); detailed-tier devices
+    price with it, coarse-tier devices ignore it.
     """
     if not 0 < library_factor <= 2.0:
         raise ValueError(f"library_factor {library_factor} outside (0, 2]")
-    base = device.roofline_time(flops, bytes_moved, pattern)
+    base = device.roofline_time(flops, bytes_moved, pattern, profile=profile)
     return device.launch_overhead_s + (base - device.launch_overhead_s) * library_factor
 
 

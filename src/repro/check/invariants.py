@@ -3,7 +3,7 @@ the machine description and assert it is physically and causally legal.
 
 The checker consumes only recorded artifacts — an
 :class:`~repro.runtime.stats.ExecutionTrace` plus either a live
-:class:`~repro.hw.machine.Machine` or the
+:class:`~repro.hw.description.Machine` or the
 :class:`~repro.runtime.trace_export.MachineInfo` summary embedded in
 saved trace files — so it can validate a run after the fact, in another
 process, or from ``python -m repro.check trace.json``.
@@ -46,7 +46,7 @@ import math
 from typing import Iterable
 
 from repro.errors import InvariantViolation
-from repro.hw.machine import HOST_NODE, Machine
+from repro.hw.description import HOST_NODE, Machine
 from repro.runtime.stats import (
     ACCESS_KINDS,
     AccessRecord,

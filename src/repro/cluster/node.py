@@ -30,7 +30,7 @@ from repro.serve.client import WORKLOADS, Request, TenantSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hw.faults import FaultModel
-    from repro.hw.machine import Machine
+    from repro.hw.description import Machine
     from repro.runtime.engine import RecoveryPolicy
     from repro.runtime.task import Task
     from repro.tuning.store import PerfModelStore

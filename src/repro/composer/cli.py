@@ -23,6 +23,7 @@ from repro.composer.recipe import Recipe
 from repro.composer.utility import generate_component_files
 from repro.errors import PeppherError
 from repro.hw.presets import by_name, PRESETS
+from repro.hw.zoo import ZOO_PRESETS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -95,8 +96,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--describe-machine",
         metavar="PRESET",
-        choices=sorted(PRESETS),
-        help="print a platform preset description and exit",
+        choices=sorted(PRESETS) + sorted(ZOO_PRESETS),
+        help="print a platform or device-zoo preset description and exit",
     )
     parser.add_argument(
         "--list",
@@ -120,7 +121,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         if args.describe_machine:
-            print(by_name(args.describe_machine).describe())
+            print(by_name(args.describe_machine).summary())
             return 0
 
         if args.list_repo:

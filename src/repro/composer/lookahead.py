@@ -50,7 +50,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
-from repro.hw.machine import HOST_NODE
+from repro.hw.description import HOST_NODE
 from repro.runtime.schedulers.base import (
     Decision,
     EngineView,

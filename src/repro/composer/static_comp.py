@@ -22,7 +22,7 @@ from repro.components.prediction import PredictionFunction
 from repro.composer.ir import ComponentNode, ComponentTree
 from repro.errors import CompositionError
 from repro.hw.devices import DeviceSpec
-from repro.hw.machine import Machine
+from repro.hw.description import Machine
 from repro.hw.noise import NoiseModel
 from repro.runtime.archs import Arch
 

@@ -23,7 +23,7 @@ from repro.components.interface import InterfaceDescriptor
 from repro.composer.glue import lower_component
 from repro.composer.static_comp import DispatchEntry, DispatchTable
 from repro.errors import CompositionError, SchedulingError
-from repro.hw.machine import Machine
+from repro.hw.description import Machine
 from repro.runtime.perfmodel import PerfModel
 from repro.runtime.runtime import Runtime
 

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.errors import ContainerError
-from repro.hw.machine import HOST_NODE
+from repro.hw.description import HOST_NODE
 from repro.runtime.access import AccessMode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

@@ -26,7 +26,7 @@ import numpy as np
 from repro.apps import bfs, cfd, hotspot, lud, nw, particlefilter, pathfinder, sgemm
 from repro.apps import odesolver as ode
 from repro.composer.glue import lower_component, make_backend_adapter
-from repro.hw.machine import Machine
+from repro.hw.description import Machine
 from repro.hw.presets import platform_c1060, platform_c2050
 from repro.runtime import Runtime
 from repro.runtime.codelet import Codelet

@@ -45,7 +45,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.hw.machine import HOST_NODE
+from repro.hw.description import HOST_NODE
 from repro.hw.presets import platform_c2050
 from repro.runtime import Arch, Codelet, ImplVariant, Runtime
 from repro.runtime.perfmodel import PerfModel

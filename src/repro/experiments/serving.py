@@ -33,7 +33,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.hw.machine import Machine
+from repro.hw.description import Machine
 from repro.hw.presets import platform_c2050
 from repro.runtime.perfmodel import PerfModel
 from repro.serve import (

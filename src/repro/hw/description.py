@@ -1,13 +1,27 @@
-"""The simulated machine: execution units plus memory nodes.
+"""The machine description: execution units plus memory nodes.
 
 Mirrors StarPU's machine abstraction: memory node 0 is host RAM, shared by
 all CPU workers; each GPU contributes one additional memory node reached
 through a PCIe link.  The runtime engine asks the machine which node a
 worker computes from and what a transfer between two nodes costs.
+
+The blessed public spellings (see ``docs/API.md``) are::
+
+    from repro import machine            # or: from repro.hw import machine
+    m = machine("volta")                 # preset registry, either tier
+    m = machine("volta", fidelity="detailed")
+    m.describe()                         # structured (JSON-able) view
+
+plus :func:`make_machine` for assembling custom machines from device
+specs.  Constructing a :class:`MachineDescription` with *positional*
+arguments is deprecated (one-shot :class:`DeprecationWarning`, escalated
+to an error under pytest); use the registry, the factory, or keyword
+arguments.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.errors import RuntimeSystemError
@@ -15,6 +29,36 @@ from repro.hw.devices import DeviceKind, DeviceSpec
 from repro.hw.interconnect import LinkSpec, pcie2_x16
 
 HOST_NODE = 0
+
+_positional_warned = False
+
+
+def warn_machine_positional(stacklevel: int = 3) -> None:
+    """Emit the positional-construction `DeprecationWarning` at most once.
+
+    Mirrors :func:`repro.runtime.schedulers.warn_scheduler_instance`:
+    module-level one-shot flag, message anchored for the pyproject
+    ``filterwarnings`` escalation, attributed to the caller via
+    ``stacklevel``.
+    """
+    global _positional_warned
+    if _positional_warned:
+        return
+    _positional_warned = True
+    warnings.warn(
+        "positional construction of MachineDescription is deprecated; "
+        "use repro.hw.machine(name) for presets, make_machine(...) for "
+        "custom machines, or keyword arguments "
+        "(MachineDescription(name=..., units=..., links=...))",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset_positional_warning() -> None:
+    """Re-arm the one-shot warning (test helper)."""
+    global _positional_warned
+    _positional_warned = False
 
 
 @dataclass(frozen=True)
@@ -49,17 +93,46 @@ class ProcessingUnit:
 
 
 @dataclass
-class Machine:
+class MachineDescription:
     """A heterogeneous node: ``n`` CPU cores + zero or more GPUs.
 
-    Build one with :func:`make_machine` or a preset from
-    :mod:`repro.hw.presets`.
+    Build one with :func:`repro.hw.presets.machine` (preset registry),
+    :func:`make_machine` (custom assembly), or — for advanced callers —
+    keyword construction.  Positional construction is deprecated.
     """
 
     name: str
     units: list[ProcessingUnit] = field(default_factory=list)
     #: link used to reach each non-host memory node, indexed by node id
     links: dict[int, LinkSpec] = field(default_factory=dict)
+
+    def __init__(
+        self,
+        *args,
+        name: str | None = None,
+        units: list[ProcessingUnit] | None = None,
+        links: dict[int, LinkSpec] | None = None,
+    ) -> None:
+        if args:
+            warn_machine_positional()
+            if len(args) > 3:
+                raise TypeError(
+                    f"MachineDescription takes at most 3 arguments "
+                    f"(name, units, links), got {len(args)}"
+                )
+            values = {"name": name, "units": units, "links": links}
+            for value, fld in zip(args, ("name", "units", "links")):
+                if values[fld] is not None:
+                    raise TypeError(
+                        f"MachineDescription got multiple values for {fld!r}"
+                    )
+                values[fld] = value
+            name, units, links = values["name"], values["units"], values["links"]
+        if name is None:
+            raise TypeError("MachineDescription requires a name")
+        self.name = name
+        self.units = [] if units is None else units
+        self.links = {} if links is None else links
 
     @property
     def n_memory_nodes(self) -> int:
@@ -72,6 +145,14 @@ class Machine:
     @property
     def gpu_units(self) -> list[ProcessingUnit]:
         return [u for u in self.units if u.is_gpu]
+
+    @property
+    def fidelity(self) -> str:
+        """Cost-model tier of the machine: ``"detailed"`` when any unit
+        carries a detailed device model, else ``"coarse"``."""
+        if any(u.device.fidelity == "detailed" for u in self.units):
+            return "detailed"
+        return "coarse"
 
     def unit(self, unit_id: int) -> ProcessingUnit:
         try:
@@ -122,10 +203,58 @@ class Machine:
                 f"with {self.n_memory_nodes} nodes"
             )
 
-    def describe(self) -> str:
+    def describe(self) -> dict:
+        """Structured (JSON-able) view of the machine description.
+
+        This is the blessed introspection surface: one dict covering the
+        name, fidelity tier, every unit's device figures (including the
+        attached device model's knobs for detailed-tier devices) and
+        the link table — the same facts the tuning store fingerprints.
+        Use :meth:`summary` for the human-readable text form.
+        """
+        return {
+            "name": self.name,
+            "fidelity": self.fidelity,
+            "n_memory_nodes": self.n_memory_nodes,
+            "units": [
+                {
+                    "unit_id": u.unit_id,
+                    "memory_node": u.memory_node,
+                    "device": {
+                        "name": u.device.name,
+                        "kind": u.device.kind.value,
+                        "fidelity": u.device.fidelity,
+                        "peak_gflops": u.device.peak_gflops,
+                        "mem_bandwidth_gbs": u.device.mem_bandwidth_gbs,
+                        "launch_overhead_s": u.device.launch_overhead_s,
+                        "cores": u.device.cores,
+                        "busy_watts": u.device.busy_watts,
+                        "memory_bytes": u.device.memory_bytes,
+                        **(
+                            {"model": u.device.model.describe()}
+                            if u.device.model is not None
+                            else {}
+                        ),
+                    },
+                }
+                for u in self.units
+            ],
+            "links": {
+                node: {
+                    "bandwidth_gbs": link.bandwidth_gbs,
+                    "latency_s": link.latency_s,
+                    "duplex": link.duplex,
+                }
+                for node, link in sorted(self.links.items())
+            },
+        }
+
+    def summary(self) -> str:
         """Multi-line human-readable summary (used by the CLI)."""
-        lines = [f"machine {self.name!r}: {len(self.units)} units, "
-                 f"{self.n_memory_nodes} memory nodes"]
+        lines = [
+            f"machine {self.name!r} [{self.fidelity}]: {len(self.units)} "
+            f"units, {self.n_memory_nodes} memory nodes"
+        ]
         for u in self.units:
             where = f"node {u.memory_node}"
             lines.append(
@@ -135,6 +264,12 @@ class Machine:
         return "\n".join(lines)
 
 
+#: compatibility alias — the class was called ``Machine`` before the
+#: machine-description API was blessed; internal code and annotations
+#: keep working under the short name
+Machine = MachineDescription
+
+
 def make_machine(
     name: str,
     cpu: DeviceSpec,
@@ -142,8 +277,8 @@ def make_machine(
     gpus: list[DeviceSpec] | None = None,
     link: LinkSpec | None = None,
     reserve_core_per_gpu: bool = True,
-) -> Machine:
-    """Assemble a :class:`Machine`.
+) -> MachineDescription:
+    """Assemble a :class:`MachineDescription`.
 
     Parameters
     ----------
@@ -184,4 +319,4 @@ def make_machine(
                 unit_id=len(units), device=gpu, memory_node=node, link=link
             )
         )
-    return Machine(name=name, units=units, links=links)
+    return MachineDescription(name=name, units=units, links=links)

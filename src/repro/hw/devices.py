@@ -24,6 +24,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.model import DeviceModel
 
 
 class DeviceKind(Enum):
@@ -79,6 +83,16 @@ class DeviceSpec:
         unlimited (host RAM).  When device memory runs short, the
         runtime evicts least-recently-used copies — re-allocating later
         costs fresh transfers, as the paper notes for Figure 3.
+    model:
+        Optional :class:`~repro.hw.model.DeviceModel` governing this
+        device's kernel-cost arithmetic.  ``None`` (the default, and
+        every pre-existing preset) means the coarse analytical tier,
+        computed inline exactly as it always was — attaching an
+        explicit :class:`~repro.hw.model.CoarseDeviceModel` is
+        numerically identical.  A
+        :class:`~repro.hw.model.DetailedDeviceModel` switches this
+        device to the PPT-GPU-grade tier (SM occupancy, L1/L2 hit-rate
+        knobs, instruction-class latencies); see ``docs/DEVICES.md``.
     """
 
     name: str
@@ -93,6 +107,7 @@ class DeviceSpec:
     cores: int = 1
     busy_watts: float = 50.0
     memory_bytes: int | None = None
+    model: "DeviceModel | None" = None
 
     def __post_init__(self) -> None:
         if self.peak_gflops <= 0 or self.mem_bandwidth_gbs <= 0:
@@ -129,19 +144,35 @@ class DeviceSpec:
         """Achievable GB/s for a kernel with the given access pattern."""
         return self.mem_bandwidth_gbs * self.efficiency(pattern)
 
+    @property
+    def fidelity(self) -> str:
+        """Cost-model tier of this device (``"coarse"``/``"detailed"``)."""
+        return "coarse" if self.model is None else self.model.fidelity
+
     def roofline_time(
         self,
         flops: float,
         bytes_moved: float,
         pattern: AccessPattern = AccessPattern.REGULAR,
+        profile=None,
     ) -> float:
-        """Roofline-style execution-time estimate in seconds.
+        """Modeled execution-time estimate in seconds.
 
-        ``max`` of the compute-bound and memory-bound times, plus the fixed
-        launch overhead.  Either ``flops`` or ``bytes_moved`` may be zero.
+        Dispatches to the attached :class:`~repro.hw.model.DeviceModel`
+        when one exists; otherwise (and numerically identically under an
+        explicit coarse model) the legacy roofline: ``max`` of the
+        compute-bound and memory-bound times, plus the fixed launch
+        overhead.  Either ``flops`` or ``bytes_moved`` may be zero.
+        ``profile`` optionally names the kernel's launch shape and
+        instruction mix (:class:`~repro.hw.model.KernelProfile`); only
+        the detailed tier consumes it.
         """
         if flops < 0 or bytes_moved < 0:
             raise ValueError("flops and bytes_moved must be non-negative")
+        if self.model is not None:
+            return self.model.kernel_time(
+                self, flops, bytes_moved, pattern, profile
+            )
         t_compute = flops / (self.effective_gflops(pattern) * 1e9)
         t_memory = bytes_moved / (self.effective_bandwidth_gbs(pattern) * 1e9)
         return self.launch_overhead_s + max(t_compute, t_memory)

@@ -51,3 +51,13 @@ class LinkSpec:
 def pcie2_x16(duplex: bool = False) -> LinkSpec:
     """The PCIe 2.0 x16 link used by both of the paper's platforms."""
     return LinkSpec(bandwidth_gbs=5.5, latency_s=15e-6, duplex=duplex)
+
+
+def pcie3_x16(duplex: bool = True) -> LinkSpec:
+    """PCIe 3.0 x16 (Kepler-class and newer zoo machines).
+
+    Sustains roughly 12 GB/s of the 16 GB/s theoretical rate; all
+    generations that ship it have dual DMA engines, hence duplex by
+    default.
+    """
+    return LinkSpec(bandwidth_gbs=12.0, latency_s=10e-6, duplex=duplex)

@@ -1,15 +1,24 @@
-"""Ready-made machines matching the paper's two evaluation platforms.
+"""Ready-made machines: the paper's platforms plus the device zoo.
 
-Both platforms use Intel Xeon E5520 CPUs; the main platform carries a
-Tesla C2050 (Fermi, cached), the second a lower-end Tesla C1060 (GT200,
-uncached).  The paper's hybrid experiments use four CPU cores plus the GPU.
+Both of the paper's platforms use Intel Xeon E5520 CPUs; the main
+platform carries a Tesla C2050 (Fermi, cached), the second a lower-end
+Tesla C1060 (GT200, uncached).  The paper's hybrid experiments use four
+CPU cores plus the GPU.  The zoo presets (:mod:`repro.hw.zoo`) extend
+the catalogue across GPU generations and both model-fidelity tiers.
+
+:func:`machine` is the blessed public entry point::
+
+    from repro import machine
+    m = machine("c2050")                      # paper platform, coarse
+    m = machine("volta", fidelity="detailed")  # zoo preset, PPT-GPU tier
 """
 
 from __future__ import annotations
 
+from repro.hw.description import Machine, make_machine
 from repro.hw.devices import tesla_c1060, tesla_c2050, xeon_e5520_core
 from repro.hw.interconnect import pcie2_x16
-from repro.hw.machine import Machine, make_machine
+from repro.hw.zoo import ZOO_PRESETS
 
 
 def platform_c2050(n_cpu_cores: int = 4) -> Machine:
@@ -60,6 +69,8 @@ def cpu_only(n_cpu_cores: int = 4) -> Machine:
     )
 
 
+#: the paper's platforms — coarse tier only (their traces are the
+#: golden-digest oracle and must stay byte-identical)
 PRESETS = {
     "c2050": platform_c2050,
     "c1060": platform_c1060,
@@ -68,12 +79,53 @@ PRESETS = {
 }
 
 
+def machine(name: str, *, fidelity: str = "coarse", **kwargs) -> Machine:
+    """Build a preset machine by name — the blessed registry.
+
+    Parameters
+    ----------
+    name:
+        A paper platform (``c2050``/``c1060``/``2xc2050``/``cpu``) or a
+        zoo generation (``fermi``/``kepler``/``pascal``/``volta``).
+    fidelity:
+        Device-model tier: ``"coarse"`` (default; the analytical
+        roofline fit every existing preset uses) or ``"detailed"``
+        (PPT-GPU-grade SM/memory/latency model; zoo presets only).
+    **kwargs:
+        Forwarded to the preset factory (e.g. ``n_cpu_cores=8``).
+
+    Raises
+    ------
+    KeyError
+        Unknown preset name.
+    ValueError
+        ``fidelity="detailed"`` requested for a paper platform (they
+        are pinned coarse so golden traces stay byte-identical).
+    """
+    if fidelity not in ("coarse", "detailed"):
+        raise ValueError(
+            f"unknown fidelity {fidelity!r}; use 'coarse' or 'detailed'"
+        )
+    if name in PRESETS:
+        if fidelity != "coarse":
+            raise ValueError(
+                f"paper platform {name!r} exists only at the coarse tier; "
+                f"use a zoo preset ({sorted(ZOO_PRESETS)}) for "
+                f"fidelity='detailed'"
+            )
+        return PRESETS[name](**kwargs)
+    if name in ZOO_PRESETS:
+        return ZOO_PRESETS[name](fidelity=fidelity, **kwargs)
+    raise KeyError(
+        f"unknown platform preset {name!r}; "
+        f"known: {sorted(PRESETS) + sorted(ZOO_PRESETS)}"
+    )
+
+
 def by_name(name: str, **kwargs) -> Machine:
-    """Look up a preset machine by short name (``c2050``/``c1060``/``cpu``)."""
-    try:
-        factory = PRESETS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown platform preset {name!r}; known: {sorted(PRESETS)}"
-        ) from None
-    return factory(**kwargs)
+    """Look up a coarse-tier preset by short name.
+
+    Predates :func:`machine`, which supersedes it; kept as a thin alias
+    so existing call sites and serialized configs stay valid.
+    """
+    return machine(name, **kwargs)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from enum import Enum
 
 from repro.hw.devices import DeviceKind
-from repro.hw.machine import ProcessingUnit
+from repro.hw.description import ProcessingUnit
 
 
 class Arch(Enum):

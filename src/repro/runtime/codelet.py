@@ -22,11 +22,14 @@ A variant carries two callables:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.errors import RuntimeSystemError
 from repro.hw.devices import DeviceSpec
 from repro.runtime.archs import Arch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.model import KernelProfile
 
 #: signature of the real computation: fn(ctx, *operand_arrays) -> None
 KernelFn = Callable[..., None]
@@ -63,6 +66,13 @@ class ImplVariant:
         memory (host workers, whose memory is unlimited, always qualify).
     min_cores:
         Minimum CPU-gang size a gang (OpenMP) variant requires.
+    kernel_profile:
+        Optional :class:`~repro.hw.model.KernelProfile` describing this
+        variant's launch shape and instruction mix.  Consumed by
+        detailed-tier device models: it refines the occupancy and
+        latency arithmetic, and makes :meth:`fits_device` reject
+        devices whose SMs cannot host even one block of the launch
+        shape.  Coarse-tier devices ignore it.
     """
 
     name: str
@@ -73,12 +83,17 @@ class ImplVariant:
     tunables: dict[str, object] = field(default_factory=dict)
     min_device_memory_bytes: int = 0
     min_cores: int = 1
+    kernel_profile: "KernelProfile | None" = None
 
     def fits_device(self, device: DeviceSpec) -> bool:
         """Resource check against a device (paper section II's
         "type and min./max. amount of resources required")."""
         if self.min_device_memory_bytes and device.memory_bytes is not None:
             if device.memory_bytes < self.min_device_memory_bytes:
+                return False
+        if self.kernel_profile is not None and device.model is not None:
+            feasible = getattr(device.model, "feasible", None)
+            if feasible is not None and not feasible(self.kernel_profile):
                 return False
         return True
 

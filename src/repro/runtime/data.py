@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.errors import DataConsistencyError
-from repro.hw.machine import HOST_NODE
+from repro.hw.description import HOST_NODE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.task import Task

@@ -44,7 +44,7 @@ from repro.exec.base import ExecFuture, ExecutionBackend
 from repro.exec.timing import Measurement
 from repro.hw.clock import VirtualClock
 from repro.hw.faults import FaultModel
-from repro.hw.machine import HOST_NODE, Machine, ProcessingUnit
+from repro.hw.description import HOST_NODE, Machine, ProcessingUnit
 from repro.hw.noise import NoiseModel
 from repro.runtime.access import AccessMode
 from repro.runtime.codelet import ImplVariant

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import PeppherError, RuntimeSystemError
 from repro.hw.faults import FaultModel
-from repro.hw.machine import Machine
+from repro.hw.description import Machine
 from repro.hw.noise import NoiseModel, NullNoise
 from repro.runtime.access import AccessMode
 from repro.runtime.codelet import Codelet

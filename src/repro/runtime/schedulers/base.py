@@ -18,7 +18,7 @@ from repro.runtime.archs import Arch
 from repro.runtime.codelet import ImplVariant
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.hw.machine import Machine, ProcessingUnit
+    from repro.hw.description import Machine, ProcessingUnit
     from repro.runtime.task import Task
 
 

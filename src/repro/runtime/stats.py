@@ -40,7 +40,7 @@ import warnings
 from array import array
 from collections.abc import Sequence
 
-from repro.hw.machine import HOST_NODE
+from repro.hw.description import HOST_NODE
 
 # ---------------------------------------------------------------------------
 # deprecation shim (repo-standard one-shot warn_* pattern)

@@ -20,7 +20,7 @@ from repro.runtime.codelet import Codelet, ImplVariant
 from repro.runtime.data import DataHandle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.hw.machine import ProcessingUnit
+    from repro.hw.description import ProcessingUnit
 
 
 class TaskState(Enum):

@@ -19,7 +19,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.errors import RuntimeSystemError
-from repro.hw.machine import HOST_NODE, Machine
+from repro.hw.description import HOST_NODE, Machine
 from repro.runtime.stats import (
     AccessRecord,
     EvictionRecord,
@@ -51,7 +51,7 @@ class MachineInfo:
     """Minimal machine description embedded in saved traces.
 
     The invariant checker accepts either a live
-    :class:`~repro.hw.machine.Machine` or this summary, so
+    :class:`~repro.hw.description.Machine` or this summary, so
     ``python -m repro.check trace.json`` needs nothing but the file.
     """
 

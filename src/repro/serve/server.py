@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.errors import PeppherError, UnrecoverableTaskError
 from repro.hw.faults import FaultModel
-from repro.hw.machine import Machine
+from repro.hw.description import Machine
 from repro.obs.suite import MetricsSuite
 from repro.runtime.engine import RecoveryPolicy
 from repro.runtime.perfmodel import PerfModel

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.errors import PeppherError, RuntimeSystemError
 from repro.hw.faults import FaultModel
-from repro.hw.machine import Machine
+from repro.hw.description import Machine
 from repro.hw.presets import by_name
 from repro.obs.suite import MetricsSuite
 from repro.runtime.engine import RecoveryPolicy
@@ -49,7 +49,7 @@ class Session:
     machine:
         A preset name (``"c2050"``, ``"c1060"``, ``"2xc2050"``,
         ``"cpu"``), a zero-argument machine factory, or a built
-        :class:`~repro.hw.machine.Machine`.  ``machine_options`` are
+        :class:`~repro.hw.description.Machine`.  ``machine_options`` are
         forwarded to the preset/factory (e.g. ``n_cpu_cores=5``).
     scheduler:
         Scheduling policy name resolved via

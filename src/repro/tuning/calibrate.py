@@ -40,7 +40,7 @@ from repro.components.interface import InterfaceDescriptor
 from repro.composer.glue import lower_component
 from repro.composer.training import OperandFactory
 from repro.errors import CompositionError, SchedulingError
-from repro.hw.machine import Machine
+from repro.hw.description import Machine
 from repro.runtime.perfmodel import PerfModel
 from repro.runtime.runtime import Runtime
 from repro.tuning.store import PerfModelStore

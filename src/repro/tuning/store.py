@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import Iterable, Mapping
 
 from repro.errors import StaleModelError
-from repro.hw.machine import Machine
+from repro.hw.description import Machine
 from repro.runtime.perfmodel import PerfModel
 
 #: bump when the serialised model layout changes incompatibly
@@ -41,10 +41,15 @@ def machine_fingerprint(machine: Machine) -> str:
     """Stable hash of the machine description (not its name).
 
     Any change to the unit layout, a device's calibrated figures
-    (throughput, bandwidth, overheads, efficiencies, power) or a link's
-    parameters yields a different fingerprint, which is what invalidates
-    stored models: timings measured on a different machine description
-    are not comparable.
+    (throughput, bandwidth, overheads, efficiencies, power), a device
+    model's fidelity tier or knobs (SM limits, L1/L2 hit rates,
+    instruction latencies), or a link's parameters yields a different
+    fingerprint, which is what invalidates stored models: timings
+    measured on a different machine description are not comparable.
+
+    Devices without an attached model (the coarse default) fingerprint
+    exactly as they always did, so store files written before the
+    device-model layer existed remain valid for coarse machines.
     """
     desc = {
         "units": [
@@ -64,6 +69,18 @@ def machine_fingerprint(machine: Machine) -> str:
                     "cores": u.device.cores,
                     "busy_watts": u.device.busy_watts,
                     "memory_bytes": u.device.memory_bytes,
+                    # only present for devices with an explicit model, so
+                    # pre-existing coarse fingerprints stay unchanged
+                    **(
+                        {
+                            "model": {
+                                "fidelity": u.device.model.fidelity,
+                                "knobs": u.device.model.knobs(),
+                            }
+                        }
+                        if u.device.model is not None
+                        else {}
+                    ),
                 },
             }
             for u in machine.units

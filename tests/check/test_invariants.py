@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.check import InvariantViolation, assert_trace_legal, check_trace
-from repro.hw.machine import HOST_NODE
+from repro.hw.description import HOST_NODE
 from repro.hw.presets import cpu_only, platform_c2050
 from repro.runtime import Runtime
 from repro.runtime.stats import (

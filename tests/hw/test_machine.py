@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import RuntimeSystemError
 from repro.hw.devices import tesla_c1060, tesla_c2050, xeon_e5520_core
-from repro.hw.machine import HOST_NODE, make_machine
+from repro.hw.description import HOST_NODE, make_machine
 from repro.hw.interconnect import pcie2_x16
 
 
@@ -80,8 +80,17 @@ def test_transfer_unknown_node_rejected():
         m.transfer_time(0, 5, 1024)
 
 
-def test_describe_lists_units():
-    text = _machine().describe()
+def test_describe_is_structured():
+    desc = _machine().describe()
+    assert desc["fidelity"] == "coarse"
+    assert desc["n_memory_nodes"] == 2
+    names = [u["device"]["name"] for u in desc["units"]]
+    assert "Tesla C2050" in names
+    assert desc["links"][1]["bandwidth_gbs"] == pytest.approx(5.5)
+
+
+def test_summary_lists_units():
+    text = _machine().summary()
     assert "Tesla C2050" in text and "Xeon" in text
 
 

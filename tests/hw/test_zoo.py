@@ -1,0 +1,88 @@
+"""Device zoo and the blessed `machine()` preset registry."""
+
+import pytest
+
+from repro.hw.presets import PRESETS, machine
+from repro.hw.zoo import ZOO_DEVICES, ZOO_PRESETS
+
+
+def test_zoo_spans_four_generations():
+    assert sorted(ZOO_PRESETS) == ["fermi", "kepler", "pascal", "volta"]
+    assert sorted(ZOO_DEVICES) == sorted(ZOO_PRESETS)
+
+
+@pytest.mark.parametrize("name", sorted(ZOO_PRESETS))
+def test_zoo_presets_exist_at_both_tiers(name):
+    coarse = machine(name)
+    detailed = machine(name, fidelity="detailed")
+    assert coarse.fidelity == "coarse"
+    assert detailed.fidelity == "detailed"
+    # same platform shape, only the GPU's model differs
+    assert len(coarse.units) == len(detailed.units)
+    (gpu_c,) = coarse.gpu_units
+    (gpu_d,) = detailed.gpu_units
+    assert gpu_c.device.name == gpu_d.device.name
+    assert gpu_c.device.model is None
+    assert gpu_d.device.model is not None
+    assert gpu_d.device.model.fidelity == "detailed"
+
+
+@pytest.mark.parametrize("name", sorted(ZOO_DEVICES))
+def test_zoo_detailed_peaks_match_headlines(name):
+    spec = ZOO_DEVICES[name]("detailed")
+    sm = spec.model.sm
+    assert sm.n_sms * sm.cores_per_sm * 2 * sm.clock_ghz == pytest.approx(
+        spec.peak_gflops, rel=0.02
+    )
+    assert spec.model.memory.dram_bandwidth_gbs == pytest.approx(
+        spec.mem_bandwidth_gbs
+    )
+
+
+def test_generations_are_ordered_by_throughput():
+    peaks = [ZOO_DEVICES[g]().peak_gflops for g in ("fermi", "kepler", "pascal", "volta")]
+    assert peaks == sorted(peaks)
+
+
+def test_machine_registry_covers_paper_platforms():
+    m = machine("c2050")
+    assert m.name == "xeon-e5520+c2050"
+    assert m.fidelity == "coarse"
+
+
+def test_machine_registry_forwards_kwargs():
+    m = machine("volta", n_cpu_cores=8)
+    assert len(m.cpu_units) == 7  # one core drives the GPU
+
+
+def test_machine_unknown_name():
+    with pytest.raises(KeyError, match="unknown platform preset"):
+        machine("turing")
+
+
+def test_machine_unknown_fidelity():
+    with pytest.raises(ValueError, match="fidelity"):
+        machine("volta", fidelity="exact")
+
+
+def test_paper_platforms_are_coarse_only():
+    for name in PRESETS:
+        with pytest.raises(ValueError, match="coarse tier"):
+            machine(name, fidelity="detailed")
+
+
+def test_zoo_links_match_generation():
+    assert machine("fermi").links[1].bandwidth_gbs == pytest.approx(5.5)
+    assert machine("volta").links[1].bandwidth_gbs == pytest.approx(12.0)
+
+
+def test_describe_includes_model_knobs():
+    desc = machine("pascal", fidelity="detailed").describe()
+    gpu = [u for u in desc["units"] if u["device"]["kind"] == "gpu"][0]
+    assert gpu["device"]["fidelity"] == "detailed"
+    assert gpu["device"]["model"]["sm"]["n_sms"] == 56
+    coarse_gpu = [
+        u for u in machine("pascal").describe()["units"]
+        if u["device"]["kind"] == "gpu"
+    ][0]
+    assert "model" not in coarse_gpu["device"]

@@ -11,7 +11,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.containers import Matrix, Vector
-from repro.hw.machine import HOST_NODE
+from repro.hw.description import HOST_NODE
 from repro.hw.presets import platform_c2050
 from repro.runtime import Arch, Codelet, ImplVariant, Runtime
 

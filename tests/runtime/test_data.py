@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import DataConsistencyError
-from repro.hw.machine import HOST_NODE
+from repro.hw.description import HOST_NODE
 from repro.runtime.data import CopyState, DataHandle
 
 

@@ -1,0 +1,86 @@
+"""Detailed-tier wiring into scheduling: feasibility and tier-sensitive pricing."""
+
+import numpy as np
+import pytest
+
+from repro.apps.costkit import gpu_time
+from repro.hw.devices import AccessPattern
+from repro.hw.model import KernelProfile
+from repro.hw.presets import machine
+from repro.runtime import Arch, Codelet, ImplVariant, Runtime
+
+#: a launch shape no Fermi SM can host even one block of (64 KB of
+#: registers per block against a 32 KB-register SM)
+FAT_PROFILE = KernelProfile(threads_per_block=1024, regs_per_thread=64)
+
+
+def _codelet(profile):
+    def fn(ctx, y):
+        y += 1.0
+
+    return Codelet(
+        "wiring",
+        [
+            ImplVariant("wiring_cpu", Arch.CPU, fn, lambda c, d: 1e-4),
+            ImplVariant(
+                "wiring_cuda",
+                Arch.CUDA,
+                fn,
+                lambda c, d: gpu_time(d, 1e8, 1e6, profile=profile),
+                kernel_profile=profile,
+            ),
+        ],
+    )
+
+
+def _run(mach, codelet, n_tasks=6):
+    rt = Runtime(mach, scheduler="dmda", seed=0, noise_sigma=0.0)
+    for i in range(n_tasks):
+        h = rt.register(np.zeros(64, dtype=np.float32), f"h{i}")
+        rt.submit(codelet, [(h, "rw")], ctx={"n": 64})
+    rt.wait_for_all()
+    by_variant = rt.trace.tasks_by_variant()
+    rt.shutdown()
+    return by_variant
+
+
+def test_infeasible_launch_shape_excluded_on_detailed_tier():
+    by_variant = _run(machine("fermi", fidelity="detailed"), _codelet(FAT_PROFILE))
+    assert "wiring_cuda" not in by_variant
+    assert by_variant["wiring_cpu"] == 6
+
+
+def test_same_shape_allowed_on_coarse_tier():
+    """The coarse tier has no occupancy notion: the variant stays a
+    candidate and dmda's exploration visits it."""
+    by_variant = _run(machine("fermi"), _codelet(FAT_PROFILE))
+    assert "wiring_cuda" in by_variant
+
+
+def test_same_shape_allowed_on_roomier_generation():
+    """Volta's 64 K registers host the fat block; the variant runs."""
+    by_variant = _run(machine("volta", fidelity="detailed"), _codelet(FAT_PROFILE))
+    assert "wiring_cuda" in by_variant
+
+
+def test_ground_truth_prices_through_the_tier():
+    """The engine's ground truth (variant.predict on the GPU spec) must
+    dispatch through the attached model: same codelet, different tier,
+    different modeled duration."""
+    codelet = _codelet(KernelProfile())
+    variant = codelet.variants[1]
+    coarse_gpu = machine("fermi").gpu_units[0].device
+    detailed_gpu = machine("fermi", fidelity="detailed").gpu_units[0].device
+    t_coarse = variant.predict({"n": 64}, coarse_gpu)
+    t_detailed = variant.predict({"n": 64}, detailed_gpu)
+    assert t_coarse != t_detailed
+    assert t_coarse > 0 and t_detailed > 0
+
+
+def test_default_profile_used_when_variant_declares_none():
+    detailed_gpu = machine("fermi", fidelity="detailed").gpu_units[0].device
+    t = gpu_time(detailed_gpu, 1e8, 1e6, AccessPattern.REGULAR)
+    assert t == pytest.approx(
+        gpu_time(detailed_gpu, 1e8, 1e6, AccessPattern.REGULAR, profile=None)
+    )
+    assert t > 0

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import DataConsistencyError, RuntimeSystemError, SchedulingError
-from repro.hw.machine import HOST_NODE
+from repro.hw.description import HOST_NODE
 from repro.hw.presets import cpu_only, platform_c2050
 from repro.runtime import Arch, Codelet, ImplVariant, Runtime
 

@@ -6,7 +6,7 @@ import pytest
 from repro.errors import UnrecoverableTaskError
 from repro.hw.devices import tesla_c2050, xeon_e5520_core
 from repro.hw.faults import FaultModel
-from repro.hw.machine import make_machine
+from repro.hw.description import make_machine
 from repro.hw.presets import cpu_only, platform_c2050
 from repro.runtime import RecoveryPolicy, Runtime
 

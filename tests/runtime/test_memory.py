@@ -12,7 +12,7 @@ import pytest
 
 from repro.errors import RuntimeSystemError
 from repro.hw.devices import tesla_c2050, xeon_e5520_core
-from repro.hw.machine import HOST_NODE, make_machine
+from repro.hw.description import HOST_NODE, make_machine
 from repro.runtime import Arch, Codelet, ImplVariant, Runtime
 
 MB = 1024 * 1024

@@ -5,7 +5,7 @@ import pytest
 
 from repro.apps import spmv
 from repro.composer.glue import lower_component
-from repro.hw.machine import HOST_NODE
+from repro.hw.description import HOST_NODE
 from repro.hw.presets import platform_dual_c2050
 from repro.runtime import Arch, Codelet, ImplVariant, Runtime
 from repro.workloads.sparse import make_matrix

@@ -10,7 +10,7 @@ from repro.components import ImplementationDescriptor, ResourceRequirement
 from repro.composer.glue import lower_component
 from repro.errors import SchedulingError
 from repro.hw.devices import tesla_c2050, xeon_e5520_core
-from repro.hw.machine import make_machine
+from repro.hw.description import make_machine
 from repro.hw.presets import cpu_only
 from repro.runtime import Runtime
 

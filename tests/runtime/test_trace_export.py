@@ -6,7 +6,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.hw.machine import HOST_NODE
+from repro.hw.description import HOST_NODE
 from repro.hw.presets import platform_c2050
 from repro.runtime import Arch, Codelet, ImplVariant, Runtime
 from repro.runtime.stats import (
@@ -70,7 +70,7 @@ def test_chrome_trace_records_evictions(tmp_path):
     from dataclasses import replace
 
     from repro.hw.devices import tesla_c2050, xeon_e5520_core
-    from repro.hw.machine import make_machine
+    from repro.hw.description import make_machine
 
     gpu = replace(tesla_c2050(), memory_bytes=8 * 1024 * 1024)
     machine = make_machine("tiny", cpu=xeon_e5520_core(), n_cpu_cores=4, gpus=[gpu])

@@ -5,6 +5,10 @@ import warnings
 import pytest
 
 from repro.errors import PeppherError
+from repro.hw.description import (
+    MachineDescription,
+    reset_positional_warning,
+)
 from repro.hw.presets import platform_c2050
 from repro.runtime import Runtime
 from repro.runtime.events import reset_hook_warning
@@ -20,9 +24,11 @@ from repro.serve import CompositionServer, TenantSpec
 def fresh_warning_state():
     reset_instance_warning()
     reset_hook_warning()
+    reset_positional_warning()
     yield
     reset_instance_warning()
     reset_hook_warning()
+    reset_positional_warning()
 
 
 def _tenants():
@@ -146,3 +152,54 @@ def test_engine_hook_pair_warns_exactly_once_and_still_delivers():
     # the shims still deliver Task objects, like the old hooks did
     assert submitted == [task]
     assert completed == [task]
+
+
+# -- positional MachineDescription construction -----------------------------
+
+def test_machine_positional_warns_exactly_once():
+    m = platform_c2050()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        m1 = MachineDescription("a", list(m.units), dict(m.links))
+        m2 = MachineDescription("b", list(m.units))
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    message = str(deprecations[0].message)
+    assert "positional construction" in message
+    assert "repro.hw.machine(name)" in message
+    # the shim still builds a working machine
+    assert m1.name == "a" and m1.n_memory_nodes == m.n_memory_nodes
+    assert m2.name == "b" and m2.links == {}
+
+
+def test_machine_keyword_form_never_warns():
+    m = platform_c2050()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fresh = MachineDescription(
+            name="kw", units=list(m.units), links=dict(m.links)
+        )
+        platform_c2050()  # presets go through make_machine
+    assert not [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert fresh.name == "kw"
+
+
+def test_machine_positional_duplicate_value_rejected():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="multiple values"):
+            MachineDescription("dup", name="dup")
+
+
+def test_machine_positional_too_many_args_rejected():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="at most 3"):
+            MachineDescription("m", [], {}, 42)
+
+
+def test_machine_requires_name():
+    with pytest.raises(TypeError, match="requires a name"):
+        MachineDescription(units=[])

@@ -6,7 +6,7 @@ import pytest
 import repro
 from repro import Session
 from repro.errors import PeppherError
-from repro.hw.machine import Machine
+from repro.hw.description import Machine
 from repro.hw.presets import platform_c2050
 from repro.tuning import PerfModelStore
 

@@ -1,0 +1,90 @@
+"""Fingerprint coverage of device-model knobs: fidelity changes reject stale models."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import StaleModelError
+from repro.hw.presets import machine
+from repro.runtime.perfmodel import PerfModel
+from repro.tuning import PerfModelStore, machine_fingerprint
+
+
+def _model(codelet="dev_spmv", variant="dev_spmv_cuda", base=1e-9):
+    model = PerfModel()
+    for size in (1e3, 1e4, 1e5, 1e6):
+        model.record((codelet, (int(size),)), variant, size, base * size)
+    return model
+
+
+def _with_hit_rate(mach, l1_hit_rate):
+    """The same machine with the GPU's L1 hit-rate knob turned."""
+    (gpu,) = mach.gpu_units
+    tuned = dataclasses.replace(
+        gpu.device, model=gpu.device.model.with_hit_rates(l1_hit_rate=l1_hit_rate)
+    )
+    mach.units[gpu.unit_id] = dataclasses.replace(gpu, device=tuned)
+    return mach
+
+
+def test_fidelity_tier_changes_fingerprint():
+    coarse = machine("fermi")
+    detailed = machine("fermi", fidelity="detailed")
+    assert machine_fingerprint(coarse) != machine_fingerprint(detailed)
+
+
+def test_hit_rate_knob_changes_fingerprint():
+    a = machine("fermi", fidelity="detailed")
+    b = _with_hit_rate(machine("fermi", fidelity="detailed"), 0.9)
+    assert machine_fingerprint(a) != machine_fingerprint(b)
+
+
+def test_coarse_fingerprint_has_no_model_key():
+    """Model-less devices fingerprint exactly as before the model layer
+    existed, so pre-existing store files stay valid for coarse machines."""
+    a, b = machine("c2050"), machine("c2050")
+    assert machine_fingerprint(a) == machine_fingerprint(b)
+
+
+def test_loading_across_fidelity_tiers_raises_stale(tmp_path):
+    store = PerfModelStore(tmp_path)
+    coarse = machine("kepler")
+    detailed = machine("kepler", fidelity="detailed")
+    assert coarse.name == detailed.name  # same file on disk
+    store.save(coarse, _model())
+    with pytest.raises(StaleModelError):
+        store.load(detailed)
+    assert store.load(machine("kepler")) is not None  # same tier: fine
+
+
+def test_loading_across_hit_rate_settings_raises_stale(tmp_path):
+    store = PerfModelStore(tmp_path)
+    store.save(machine("volta", fidelity="detailed"), _model())
+    retuned = _with_hit_rate(machine("volta", fidelity="detailed"), 0.05)
+    with pytest.raises(StaleModelError):
+        store.load(retuned)
+
+
+def test_hand_edited_store_file_raises_stale(tmp_path):
+    """Regression: a store file whose fingerprint was edited by hand (or
+    written by a build with different model knobs) must be rejected."""
+    store = PerfModelStore(tmp_path)
+    mach = machine("pascal", fidelity="detailed")
+    path = store.save(mach, _model())
+    payload = json.loads(path.read_text())
+    payload["fingerprint"] = "0123456789abcdef"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(StaleModelError, match="different machine"):
+        store.load(mach)
+
+
+def test_stale_tier_entry_is_replaced_by_recalibration(tmp_path):
+    store = PerfModelStore(tmp_path)
+    store.save(machine("kepler"), _model(variant="old_cuda"))
+    detailed = machine("kepler", fidelity="detailed")
+    store.save(detailed, _model(variant="new_cuda"))  # replaces, not merges
+    loaded = store.load(machine("kepler", fidelity="detailed"))
+    fp = ("dev_spmv", (1000,))
+    assert loaded.predict(fp, "new_cuda", 1e3) is not None
+    assert loaded.predict(fp, "old_cuda", 1e3) is None
